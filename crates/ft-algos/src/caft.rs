@@ -1,0 +1,745 @@
+//! CAFT — Contention-Aware Fault Tolerant scheduling (§5, Algorithms 5.1
+//! and 5.2 of the paper).
+//!
+//! CAFT keeps FTSA's outer structure (replicate the most urgent free task
+//! `ε + 1` times on its best processors) but attacks the message blow-up:
+//! *"have each replica of a task communicate to a unique replica of its
+//! successors whenever possible, while preserving the fault tolerance
+//! capability"*.
+//!
+//! For the current task `t`:
+//!
+//! 1. A processor is a **singleton** if it hosts exactly one replica among
+//!    all replicas of all predecessors of `t`. `B̄(tj)` is the set of
+//!    replicas of predecessor `tj` living on singleton processors,
+//!    `λj = |B̄(tj)|`, and `θ = min_j λj` (capped at `ε + 1`).
+//! 2. `θ` replicas of `t` are placed by **One-To-One-Mapping**
+//!    (Algorithm 5.2): for every unlocked candidate processor, take the
+//!    head (earliest-communication-finish) replica of each `B̄(tj)` as the
+//!    sole sender, simulate the mapping, commit the best candidate — then
+//!    **lock** the chosen processor *and the sender processors*
+//!    (equation (7)) and pop the used heads. Locking is what defeats the
+//!    deadlock example of Proposition 5.2's proof (a processor that both
+//!    hosts a needed predecessor copy and feeds a different replica).
+//! 3. The remaining `ε + 1 − θ` replicas are placed FTSA-style with full
+//!    fan-in (which tolerates ε failures unconditionally), on processors
+//!    outside the locked set.
+//!
+//! With `ε = 0` every phase degenerates to HEFT. On outforests `θ = ε + 1`
+//! always holds and the message count is bounded by `e(ε + 1)`
+//! (Proposition 5.1 — verified by tests and the `messages` experiment).
+
+use crate::common::Ctx;
+use ft_graph::TaskId;
+use ft_model::{CommModel, FtSchedule, MsgSpec, Replica, ReplicaRef};
+use ft_platform::{Instance, ProcId};
+
+/// Options for [`caft_with`]; the toggles exist for the ablation benches.
+#[derive(Clone, Copy, Debug)]
+pub struct CaftOptions {
+    /// Number of supported failures ε.
+    pub eps: usize,
+    /// Communication model to schedule under.
+    pub model: CommModel,
+    /// Seed for random tie-breaking.
+    pub seed: u64,
+    /// Enable the one-to-one mapping phase (disabling reduces CAFT to
+    /// FTSA's full fan-in — the paper's baseline behaviour).
+    pub one_to_one: bool,
+    /// Lock sender processors per equation (7) (disabling reproduces the
+    /// deadlock-prone variant discussed in the Proposition 5.2 proof).
+    pub lock_senders: bool,
+    /// Hardened mode (extension, not in the paper): track the transitive
+    /// *support set* of every replica — the processors whose survival its
+    /// completion depends on — and only accept a one-to-one placement when
+    /// the supports of a task's replicas stay pairwise disjoint (falling
+    /// back to full fan-in otherwise). This restores a provable ε-failure
+    /// guarantee that the paper's per-step locking does not give on deep
+    /// general DAGs (see EXPERIMENTS.md "Proposition 5.2 revisited"), at
+    /// the price of more messages. Requires `m ≤ 64`.
+    pub disjoint_lineages: bool,
+    /// Insertion slot policy (extension): replicas may fill idle gaps on a
+    /// processor instead of appending after its last committed task.
+    pub insertion: bool,
+}
+
+impl Default for CaftOptions {
+    fn default() -> Self {
+        CaftOptions {
+            eps: 1,
+            model: CommModel::OnePort,
+            seed: 0,
+            one_to_one: true,
+            lock_senders: true,
+            disjoint_lineages: false,
+            insertion: false,
+        }
+    }
+}
+
+/// Runs CAFT with the given failure tolerance, model and tie-break seed.
+pub fn caft(inst: &Instance, eps: usize, model: CommModel, seed: u64) -> FtSchedule {
+    caft_with(inst, CaftOptions { eps, model, seed, ..CaftOptions::default() })
+}
+
+/// Runs hardened CAFT (disjoint lineage supports — see
+/// [`CaftOptions::disjoint_lineages`]): same interface as [`caft`], with a
+/// provable ε-failure guarantee under strict fail-silent replay.
+pub fn caft_hardened(inst: &Instance, eps: usize, model: CommModel, seed: u64) -> FtSchedule {
+    caft_with(
+        inst,
+        CaftOptions { eps, model, seed, disjoint_lineages: true, ..CaftOptions::default() },
+    )
+}
+
+/// Runs CAFT with explicit options.
+pub fn caft_with(inst: &Instance, opts: CaftOptions) -> FtSchedule {
+    if opts.disjoint_lineages {
+        assert!(
+            inst.num_procs() <= 64,
+            "hardened CAFT tracks supports as 64-bit masks (m ≤ 64)"
+        );
+    }
+    let mut ctx = Ctx::new(inst, opts.eps, opts.model, opts.seed);
+    if opts.insertion {
+        ctx = ctx.with_insertion();
+    }
+    // supports[t][k]: bitmask over processors the completion of replica
+    // t^(k+1) transitively depends on. Maintained in both modes (cheap),
+    // enforced only under `disjoint_lineages`.
+    let mut supports: Vec<Vec<u64>> = vec![Vec::new(); inst.num_tasks()];
+    while let Some(t) = ctx.pop_task() {
+        schedule_task(&mut ctx, t, &opts, &mut supports);
+        ctx.finish_task(t);
+    }
+    ctx.sched
+}
+
+#[inline]
+fn proc_bit(p: ProcId) -> u64 {
+    1u64 << (p.index() & 63)
+}
+
+/// Places the `ε + 1` replicas of one task for the windowed variant
+/// (crate-internal handle over [`schedule_task`]).
+pub(crate) fn schedule_task_for(
+    ctx: &mut Ctx<'_>,
+    t: TaskId,
+    opts: &CaftOptions,
+    supports: &mut Vec<Vec<u64>>,
+) {
+    schedule_task(ctx, t, opts, supports);
+}
+
+/// Places the `ε + 1` replicas of one task (Algorithm 5.1, lines 10–20).
+fn schedule_task(
+    ctx: &mut Ctx<'_>,
+    t: TaskId,
+    opts: &CaftOptions,
+    supports: &mut Vec<Vec<u64>>,
+) {
+    let replicas_needed = opts.eps + 1;
+    // P̄ — processors locked for this task (hosting one of its replicas or
+    // feeding one of them).
+    let mut locked: Vec<ProcId> = Vec::new();
+
+    // B̄(tj): replicas of each predecessor on singleton processors.
+    let mut bbar: Vec<Vec<Replica>> = singleton_replica_sets(ctx, t);
+    let theta = if opts.one_to_one && !bbar.is_empty() {
+        bbar.iter().map(|b| b.len()).min().unwrap_or(0).min(replicas_needed)
+    } else {
+        0
+    };
+
+    let mut copy = 0usize;
+    // --- One-to-one mapping rounds (Algorithm 5.2). ---
+    while copy < theta {
+        let lineage = opts.disjoint_lineages.then(|| LineageCtx {
+            supports,
+            placed: &supports[t.index()],
+            remaining_fillins: replicas_needed - copy - 1,
+            m: ctx.inst.num_procs(),
+        });
+        match one_to_one_round(ctx, t, copy, &locked, &bbar, lineage) {
+            Some(round) => {
+                ctx.commit(t, copy, round.proc, &round.specs);
+                supports[t.index()].push(round.support);
+                locked.push(round.proc);
+                if opts.lock_senders {
+                    for &s in &round.senders {
+                        if !locked.contains(&s) {
+                            locked.push(s);
+                        }
+                    }
+                }
+                // Pop the used heads from B̄ (Algorithm 5.2, line 11).
+                for (j, used) in round.heads.iter().enumerate() {
+                    if let Some(r) = used {
+                        bbar[j].retain(|x| x.of != *r);
+                    }
+                }
+                copy += 1;
+            }
+            // No unlocked candidate left: fall through to fill-in, which
+            // relaxes the exclusions.
+            None => break,
+        }
+    }
+
+    // --- FTSA-style fill-in for the remaining replicas (lines 16–20). ---
+    while copy < replicas_needed {
+        let mut excluded = locked.clone();
+        for p in ctx.procs_hosting(t) {
+            if !excluded.contains(&p) {
+                excluded.push(p);
+            }
+        }
+        if opts.disjoint_lineages {
+            // A fill-in replica's support is its own processor, which must
+            // stay outside every sibling's support.
+            let union: u64 = supports[t.index()].iter().fold(0, |a, &b| a | b);
+            for p in ctx.inst.platform.procs() {
+                if union & proc_bit(p) != 0 && !excluded.contains(&p) {
+                    excluded.push(p);
+                }
+            }
+        }
+        let best = if opts.disjoint_lineages {
+            // Rank with hardened specs so the EFT estimate matches what is
+            // committed.
+            let mut best: Option<(f64, ProcId)> = None;
+            for p in ctx.inst.platform.procs() {
+                if excluded.contains(&p) {
+                    continue;
+                }
+                let specs = hardened_fanin_specs(ctx, t, copy, p, supports);
+                let cand = ctx.eval(t, p, &specs);
+                if best.is_none_or(|(eft, bp)| {
+                    cand.eft.total_cmp(&eft).then_with(|| p.cmp(&bp)) == std::cmp::Ordering::Less
+                }) {
+                    best = Some((cand.eft, p));
+                }
+            }
+            best.expect(
+                "hardened one-to-one rounds reserve clean processors for fill-ins",
+            )
+            .1
+        } else {
+            let mut ranked = ctx.rank_candidates_full_fanin(t, copy, &excluded);
+            if ranked.is_empty() {
+                // Every processor is locked: relax the sender locks (keep
+                // only the hard space-exclusion constraint).
+                let hosting = ctx.procs_hosting(t);
+                ranked = ctx.rank_candidates_full_fanin(t, copy, &hosting);
+            }
+            ranked
+                .first()
+                .expect("platform has more processors than replicas")
+                .proc
+        };
+        let specs = if opts.disjoint_lineages {
+            hardened_fanin_specs(ctx, t, copy, best, supports)
+        } else {
+            ctx.full_fanin_specs(t, copy, best)
+        };
+        ctx.commit(t, copy, best, &specs);
+        supports[t.index()].push(proc_bit(best));
+        if !locked.contains(&best) {
+            locked.push(best);
+        }
+        copy += 1;
+    }
+}
+
+/// Lineage-tracking context for hardened one-to-one rounds.
+struct LineageCtx<'a> {
+    /// Per-replica supports of every scheduled task.
+    supports: &'a Vec<Vec<u64>>,
+    /// Supports of the replicas of the current task placed so far.
+    placed: &'a [u64],
+    /// Fill-in replicas still owed after this round.
+    remaining_fillins: usize,
+    /// Platform size.
+    m: usize,
+}
+
+impl LineageCtx<'_> {
+    /// True if placing a replica with `tentative` support keeps the
+    /// invariant: pairwise-disjoint supports and enough clean processors
+    /// left for the remaining fill-ins.
+    fn admissible(&self, tentative: u64) -> bool {
+        if self.placed.iter().any(|&s| s & tentative != 0) {
+            return false;
+        }
+        let union = self.placed.iter().fold(tentative, |a, &b| a | b);
+        let clean = self.m - (union.count_ones() as usize).min(self.m);
+        clean >= self.remaining_fillins
+    }
+
+    /// Support of an already-scheduled replica.
+    fn support_of(&self, r: ReplicaRef) -> u64 {
+        self.supports[r.task.index()][r.copy as usize]
+    }
+}
+
+/// The outcome of evaluating one one-to-one round.
+struct OneToOneRound {
+    proc: ProcId,
+    specs: Vec<MsgSpec>,
+    /// Sender processors to lock (eq. (7)).
+    senders: Vec<ProcId>,
+    /// Which head replica of each predecessor was consumed (None when a
+    /// co-located replica outside B̄ supplied the data).
+    heads: Vec<Option<ReplicaRef>>,
+    /// Transitive support mask of the new replica (hardened mode; own
+    /// processor only otherwise).
+    support: u64,
+}
+
+/// Computes `B̄(tj)` for every predecessor of `t`: replicas living on
+/// processors that host exactly one replica among all predecessors'
+/// replicas. Returns an empty vector for entry tasks.
+fn singleton_replica_sets(ctx: &Ctx<'_>, t: TaskId) -> Vec<Vec<Replica>> {
+    let g = &ctx.inst.graph;
+    if g.in_degree(t) == 0 {
+        return Vec::new();
+    }
+    let m = ctx.inst.num_procs();
+    let mut count = vec![0usize; m];
+    for &e in g.in_edges(t) {
+        let pred = g.edge(e).src;
+        for r in ctx.sched.replicas_of(pred) {
+            count[r.proc.index()] += 1;
+        }
+    }
+    g.in_edges(t)
+        .iter()
+        .map(|&e| {
+            let pred = g.edge(e).src;
+            ctx.sched
+                .replicas_of(pred)
+                .iter()
+                .filter(|r| count[r.proc.index()] == 1)
+                .copied()
+                .collect()
+        })
+        .collect()
+}
+
+/// Full fan-in specs for a hardened fill-in replica: like
+/// [`Ctx::full_fanin_specs`], but the co-location short-circuit is only
+/// taken when the local copy is *self-supported* (its support is exactly
+/// its own processor). A co-located chain replica can starve even while
+/// its processor lives, so relying on it alone would break the fill-in
+/// invariant "survives iff own processor survives"; in that case the
+/// remote copies are kept as backups.
+fn hardened_fanin_specs(
+    ctx: &Ctx<'_>,
+    t: TaskId,
+    copy: usize,
+    dst: ProcId,
+    supports: &[Vec<u64>],
+) -> Vec<MsgSpec> {
+    let g = &ctx.inst.graph;
+    let dst_ref = ReplicaRef::new(t, copy);
+    let mut specs = Vec::new();
+    for &e in g.in_edges(t) {
+        let pred = g.edge(e).src;
+        let reps = ctx.sched.replicas_of(pred);
+        let local = reps.iter().find(|r| r.proc == dst);
+        if let Some(local) = local {
+            specs.push(MsgSpec {
+                edge: e,
+                src: local.of,
+                dst: dst_ref,
+                from: local.proc,
+                ready: local.finish,
+                w: 0.0,
+            });
+            let self_supported =
+                supports[pred.index()][local.of.copy as usize] == proc_bit(dst);
+            if self_supported {
+                continue;
+            }
+        }
+        for r in reps {
+            if r.proc == dst {
+                continue; // already added as the local copy
+            }
+            specs.push(MsgSpec {
+                edge: e,
+                src: r.of,
+                dst: dst_ref,
+                from: r.proc,
+                ready: r.finish,
+                w: ctx.inst.comm_time(e, r.proc, dst),
+            });
+        }
+    }
+    specs
+}
+
+/// Evaluates every unlocked processor for one one-to-one placement and
+/// returns the winning round, or `None` if no candidate remains.
+fn one_to_one_round(
+    ctx: &Ctx<'_>,
+    t: TaskId,
+    copy: usize,
+    locked: &[ProcId],
+    bbar: &[Vec<Replica>],
+    lineage: Option<LineageCtx<'_>>,
+) -> Option<OneToOneRound> {
+    let g = &ctx.inst.graph;
+    let in_edges = g.in_edges(t);
+    let mut best: Option<(f64, OneToOneRound)> = None;
+
+    'candidates: for p in ctx.inst.platform.procs() {
+        if locked.contains(&p) || ctx.procs_hosting(t).contains(&p) {
+            continue;
+        }
+        let dst_ref = ReplicaRef::new(t, copy);
+        let mut specs = Vec::with_capacity(in_edges.len());
+        let mut senders = Vec::with_capacity(in_edges.len());
+        let mut heads = Vec::with_capacity(in_edges.len());
+        let mut support = proc_bit(p);
+        for (j, &e) in in_edges.iter().enumerate() {
+            let pred = g.edge(e).src;
+            // Co-location short-circuit (§6 note): if a replica of the
+            // predecessor lives on the candidate itself, use it for free.
+            if let Some(local) = ctx.sched.replicas_of(pred).iter().find(|r| r.proc == p) {
+                specs.push(MsgSpec {
+                    edge: e,
+                    src: local.of,
+                    dst: dst_ref,
+                    from: local.proc,
+                    ready: local.finish,
+                    w: 0.0,
+                });
+                senders.push(local.proc);
+                if let Some(l) = &lineage {
+                    support |= l.support_of(local.of);
+                }
+                // Pop it from B̄ only if it is a singleton replica.
+                heads.push(bbar[j].iter().any(|x| x.of == local.of).then_some(local.of));
+                continue;
+            }
+            // Head of B̄(tj): the replica with the earliest unconstrained
+            // communication finish towards p (the sort of Alg. 5.2 line 3).
+            // Under hardening, only heads whose support stays disjoint from
+            // the sibling replicas' supports are admissible.
+            let head = bbar[j]
+                .iter()
+                .filter(|r| r.proc != p)
+                .filter(|r| match &lineage {
+                    Some(l) => l.admissible(support | l.support_of(r.of)),
+                    None => true,
+                })
+                .min_by(|a, b| {
+                    let fa = unconstrained_finish(ctx, a, e, p);
+                    let fb = unconstrained_finish(ctx, b, e, p);
+                    fa.total_cmp(&fb).then_with(|| a.of.cmp(&b.of))
+                });
+            match head {
+                Some(h) => {
+                    specs.push(MsgSpec {
+                        edge: e,
+                        src: h.of,
+                        dst: dst_ref,
+                        from: h.proc,
+                        ready: h.finish,
+                        w: ctx.inst.comm_time(e, h.proc, p),
+                    });
+                    senders.push(h.proc);
+                    if let Some(l) = &lineage {
+                        support |= l.support_of(h.of);
+                    }
+                    heads.push(Some(h.of));
+                }
+                // B̄(tj) exhausted for this candidate (can happen when the
+                // only singleton replicas sit on p itself, already handled,
+                // or were popped): candidate unusable.
+                None => continue 'candidates,
+            }
+        }
+        if let Some(l) = &lineage {
+            // Final admissibility: the assembled support must stay disjoint
+            // and leave room for the remaining fill-ins.
+            if !l.admissible(support) {
+                continue 'candidates;
+            }
+        }
+        let cand = ctx.eval(t, p, &specs);
+        let better = match &best {
+            None => true,
+            Some((beft, bround)) => {
+                cand.eft
+                    .total_cmp(beft)
+                    .then_with(|| bround.proc.cmp(&p))
+                    .then_with(|| std::cmp::Ordering::Less)
+                    == std::cmp::Ordering::Less
+            }
+        };
+        if better {
+            best = Some((cand.eft, OneToOneRound { proc: p, specs, senders, heads, support }));
+        }
+    }
+    best.map(|(_, r)| r)
+}
+
+/// The unconstrained link finish `F̂(c, l)` of sending `r`'s data over edge
+/// `e` to processor `p` — the sort key of Algorithm 5.2 line 3.
+fn unconstrained_finish(ctx: &Ctx<'_>, r: &Replica, e: ft_graph::EdgeId, p: ProcId) -> f64 {
+    r.finish
+        .max(ctx.state.send_free(r.proc))
+        .max(ctx.state.link_ready(r.proc, p))
+        + ctx.inst.comm_time(e, r.proc, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen::{fork, random_layered, random_outforest, RandomDagParams};
+    use ft_graph::GraphBuilder;
+    use ft_model::validate_schedule;
+    use ft_platform::{random_instance, ExecMatrix, Platform, PlatformParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_instance(g: ft_graph::TaskGraph, m: usize) -> Instance {
+        let v = g.num_tasks();
+        Instance::new(
+            g,
+            Platform::uniform_clique(m, 1.0),
+            ExecMatrix::from_fn(v, m, |_, _| 1.0),
+        )
+    }
+
+    #[test]
+    fn valid_schedules_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for seed in 0..4u64 {
+            let g = random_layered(&RandomDagParams::default().with_tasks(30), &mut rng);
+            let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+            for eps in [0usize, 1, 3] {
+                let s = caft(&inst, eps, CommModel::OnePort, seed);
+                let errs = validate_schedule(&inst, &s);
+                assert!(errs.is_empty(), "eps {eps}: {errs:?}");
+                assert!(s.replicas.iter().all(|r| r.len() == eps + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_5_1_fork_message_bound() {
+        // On fork/outforest graphs CAFT generates at most e(ε+1) messages.
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = fork(12, 1.0..=2.0, 1.0..=3.0, &mut rng);
+        let e = g.num_edges();
+        let inst = uniform_instance(g, 10);
+        for eps in [1usize, 2, 3] {
+            let s = caft(&inst, eps, CommModel::OnePort, 0);
+            assert!(validate_schedule(&inst, &s).is_empty());
+            let total = s.messages.len();
+            assert!(
+                total <= e * (eps + 1),
+                "eps {eps}: {total} messages > e(ε+1) = {}",
+                e * (eps + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn proposition_5_1_outforest_message_bound() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = random_outforest(40, 0.1, 1.0..=5.0, 1.0..=5.0, &mut rng);
+        let e = g.num_edges();
+        let inst = uniform_instance(g, 8);
+        for eps in [1usize, 2] {
+            let s = caft(&inst, eps, CommModel::OnePort, 0);
+            assert!(validate_schedule(&inst, &s).is_empty());
+            assert!(
+                s.messages.len() <= e * (eps + 1),
+                "eps {eps}: {} > {}",
+                s.messages.len(),
+                e * (eps + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn caft_sends_fewer_messages_than_ftsa() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = random_layered(&RandomDagParams::default(), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        let eps = 3;
+        let c = caft(&inst, eps, CommModel::OnePort, 0);
+        let f = crate::ftsa::ftsa(&inst, eps, CommModel::OnePort, 0);
+        assert!(
+            c.num_remote_messages() < f.num_remote_messages(),
+            "CAFT {} vs FTSA {}",
+            c.num_remote_messages(),
+            f.num_remote_messages()
+        );
+    }
+
+    #[test]
+    fn eps0_equals_heft() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let g = random_layered(&RandomDagParams::default().with_tasks(25), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        let c = caft(&inst, 0, CommModel::OnePort, 5);
+        let h = crate::heft::heft(&inst, CommModel::OnePort, 5);
+        assert_eq!(c.latency(), h.latency());
+        assert_eq!(c.messages.len(), h.messages.len());
+    }
+
+    #[test]
+    fn deadlock_example_from_proposition_5_2() {
+        // The proof's example: t1 ≺ t2, ε = 1. With locking, the edges out
+        // of a processor hosting both a t1 copy and a t2 copy must go "to
+        // itself": no replica of t2 may depend on a *different* processor's
+        // t1 copy while its own host also hosts a t1 copy.
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_task(1.0);
+        let t2 = b.add_task(1.0);
+        b.add_edge(t1, t2, 5.0).unwrap();
+        let inst = uniform_instance(b.build(), 3);
+        let s = caft(&inst, 1, CommModel::OnePort, 0);
+        assert!(validate_schedule(&inst, &s).is_empty());
+        // Each replica of t2 receives from exactly one replica of t1, and
+        // the two (sender, receiver) chains are processor-disjoint (or
+        // co-located), so one failure cannot cut both.
+        let mut support: Vec<Vec<ft_platform::ProcId>> = Vec::new();
+        for r in s.replicas_of(ft_graph::TaskId(1)) {
+            let msgs: Vec<_> = s.messages_into(r.of).collect();
+            assert_eq!(msgs.len(), 1, "one-to-one: single incoming copy");
+            let mut procs = vec![r.proc];
+            if !msgs[0].is_local() {
+                procs.push(msgs[0].from);
+            }
+            support.push(procs);
+        }
+        assert!(
+            support[0].iter().all(|p| !support[1].contains(p)),
+            "chains must be disjoint: {support:?}"
+        );
+    }
+
+    #[test]
+    fn ablation_disable_one_to_one_matches_ftsa_message_count() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let g = random_layered(&RandomDagParams::default().with_tasks(30), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        let opts = CaftOptions {
+            eps: 2,
+            model: CommModel::OnePort,
+            seed: 0,
+            one_to_one: false,
+            ..CaftOptions::default()
+        };
+        let ablated = caft_with(&inst, opts);
+        assert!(validate_schedule(&inst, &ablated).is_empty());
+        // Without the one-to-one pass every replica takes the full fan-in,
+        // so the message count jumps back to FTSA territory — strictly more
+        // than contention-aware CAFT.
+        let full = caft(&inst, 2, CommModel::OnePort, 0);
+        assert!(
+            ablated.num_remote_messages() > full.num_remote_messages(),
+            "ablated {} vs full {}",
+            ablated.num_remote_messages(),
+            full.num_remote_messages()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let g = random_layered(&RandomDagParams::default().with_tasks(20), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        let a = caft(&inst, 2, CommModel::OnePort, 9);
+        let b = caft(&inst, 2, CommModel::OnePort, 9);
+        assert_eq!(a.latency(), b.latency());
+        assert_eq!(a.messages.len(), b.messages.len());
+    }
+
+    #[test]
+    fn macro_dataflow_model_also_valid() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let g = random_layered(&RandomDagParams::default().with_tasks(25), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 0.5, &mut rng);
+        let s = caft(&inst, 2, CommModel::MacroDataflow, 0);
+        assert!(validate_schedule(&inst, &s).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod hardened_tests {
+    use super::*;
+    use ft_graph::gen::{random_layered, RandomDagParams};
+    use ft_model::validate_schedule;
+    use ft_platform::{random_instance, PlatformParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hardened_schedules_audit_clean() {
+        let mut rng = StdRng::seed_from_u64(60);
+        for seed in 0..3u64 {
+            let g = random_layered(&RandomDagParams::default().with_tasks(40), &mut rng);
+            let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+            for eps in [1usize, 2] {
+                let s = caft_hardened(&inst, eps, CommModel::OnePort, seed);
+                let errs = validate_schedule(&inst, &s);
+                assert!(errs.is_empty(), "eps {eps}: {errs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hardened_costs_messages_but_not_more_than_ftsa() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = random_layered(&RandomDagParams::default(), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        let eps = 2;
+        let plain = caft(&inst, eps, CommModel::OnePort, 0);
+        let hard = caft_hardened(&inst, eps, CommModel::OnePort, 0);
+        let full = crate::ftsa::ftsa(&inst, eps, CommModel::OnePort, 0);
+        assert!(
+            hard.num_remote_messages() >= plain.num_remote_messages(),
+            "hardening cannot reduce messages: {} vs {}",
+            hard.num_remote_messages(),
+            plain.num_remote_messages()
+        );
+        assert!(
+            hard.num_remote_messages() <= full.num_remote_messages() * 11 / 10,
+            "hardened {} should stay near/below FTSA {}",
+            hard.num_remote_messages(),
+            full.num_remote_messages()
+        );
+    }
+
+    #[test]
+    fn hardened_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let g = random_layered(&RandomDagParams::default().with_tasks(30), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        let a = caft_hardened(&inst, 2, CommModel::OnePort, 4);
+        let b = caft_hardened(&inst, 2, CommModel::OnePort, 4);
+        assert_eq!(a.latency(), b.latency());
+        assert_eq!(a.messages.len(), b.messages.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn hardened_rejects_huge_platforms() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let g = random_layered(&RandomDagParams::default().with_tasks(10), &mut rng);
+        let inst = random_instance(
+            g,
+            &PlatformParams::default().with_procs(65),
+            1.0,
+            &mut rng,
+        );
+        caft_hardened(&inst, 1, CommModel::OnePort, 0);
+    }
+}

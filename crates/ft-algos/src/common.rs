@@ -1,0 +1,374 @@
+//! Shared scheduling machinery used by FTSA, FTBAR and CAFT.
+
+use crate::prio::{mean_bottom_levels, FreePool, ReadyTracker};
+use ft_graph::TaskId;
+use ft_model::timeline::Timeline;
+use ft_model::{CommModel, FtSchedule, MsgSpec, NetworkState, PlannedMsg, Replica, ReplicaRef};
+use ft_platform::{Instance, ProcId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One evaluated `(task, processor)` placement: its planned incoming
+/// messages and the resulting start/finish estimate.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Candidate host processor.
+    pub proc: ProcId,
+    /// Earliest start time (equation (5)).
+    pub est: f64,
+    /// Earliest finish time `EST + E(t, P)`.
+    pub eft: f64,
+    /// The planned batch realizing the estimate.
+    pub planned: Vec<PlannedMsg>,
+}
+
+/// Mutable state threaded through a scheduling run.
+pub struct Ctx<'a> {
+    /// The problem instance.
+    pub inst: &'a Instance,
+    /// Supported failures ε.
+    pub eps: usize,
+    /// Port/link/processor availability.
+    pub state: NetworkState,
+    /// The schedule under construction.
+    pub sched: FtSchedule,
+    /// Static bottom levels (mean costs).
+    pub bl: Vec<f64>,
+    /// Dynamic top levels, set when a task becomes free.
+    pub tl: Vec<f64>,
+    /// Random tie-break keys (the paper breaks ties randomly).
+    pub tie: Vec<u64>,
+    /// Dependency tracking.
+    pub ready: ReadyTracker,
+    /// Current free tasks (the paper's list α).
+    pub pool: FreePool,
+    /// Insertion-based processor slots (extension): when true, a replica
+    /// may fill an idle gap between already-committed computations (the
+    /// classic HEFT insertion policy) instead of appending after `r(P)`.
+    pub insertion: bool,
+    /// Per-processor computation intervals, maintained in insertion mode.
+    exec_slots: Vec<Timeline>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Initializes a run: ε, communication model, tie-break seed.
+    ///
+    /// # Panics
+    /// Panics unless the platform has at least `ε + 1` processors (space
+    /// exclusion needs `ε + 1` distinct hosts per task).
+    pub fn new(inst: &'a Instance, eps: usize, model: CommModel, seed: u64) -> Self {
+        let m = inst.num_procs();
+        assert!(
+            m > eps,
+            "need at least ε+1 = {} processors, platform has {m}",
+            eps + 1
+        );
+        let v = inst.graph.num_tasks();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tie: Vec<u64> = (0..v).map(|_| rng.gen()).collect();
+        let ready = ReadyTracker::new(&inst.graph);
+        let mut pool = FreePool::new();
+        for t in ready.initial() {
+            pool.push(t);
+        }
+        Ctx {
+            inst,
+            eps,
+            state: NetworkState::new(m, model),
+            sched: FtSchedule::new(v, eps, model),
+            bl: mean_bottom_levels(inst),
+            tl: vec![0.0; v],
+            tie,
+            ready,
+            pool,
+            insertion: false,
+            exec_slots: vec![Timeline::new(); m],
+        }
+    }
+
+    /// Switches this run to the insertion slot policy (see
+    /// [`Ctx::insertion`]).
+    pub fn with_insertion(mut self) -> Self {
+        self.insertion = true;
+        self
+    }
+
+    /// The list-scheduling priority `tl(t) + bl(t)`.
+    #[inline]
+    pub fn priority(&self, t: TaskId) -> f64 {
+        self.tl[t.index()] + self.bl[t.index()]
+    }
+
+    /// Pops the most urgent free task (`H(α)`).
+    pub fn pop_task(&mut self) -> Option<TaskId> {
+        let tl = &self.tl;
+        let bl = &self.bl;
+        let tie = &self.tie;
+        self.pool.pop_max(
+            |t| tl[t.index()] + bl[t.index()],
+            |t| tie[t.index()],
+        )
+    }
+
+    /// Full fan-in message specs for placing replica `copy` of `t` on
+    /// `dst`: every replica of every predecessor sends a copy — except
+    /// that, per the paper's §6 note, if some replica of a predecessor is
+    /// co-located with `dst`, only that (free, local) copy is used.
+    pub fn full_fanin_specs(&self, t: TaskId, copy: usize, dst: ProcId) -> Vec<MsgSpec> {
+        let g = &self.inst.graph;
+        let mut specs = Vec::new();
+        let dst_ref = ReplicaRef::new(t, copy);
+        for &e in g.in_edges(t) {
+            let pred = g.edge(e).src;
+            let reps = self.sched.replicas_of(pred);
+            debug_assert!(!reps.is_empty(), "predecessor {pred} not scheduled");
+            if let Some(local) = reps.iter().find(|r| r.proc == dst) {
+                specs.push(MsgSpec {
+                    edge: e,
+                    src: local.of,
+                    dst: dst_ref,
+                    from: local.proc,
+                    ready: local.finish,
+                    w: 0.0,
+                });
+            } else {
+                for r in reps {
+                    specs.push(MsgSpec {
+                        edge: e,
+                        src: r.of,
+                        dst: dst_ref,
+                        from: r.proc,
+                        ready: r.finish,
+                        w: self.inst.comm_time(e, r.proc, dst),
+                    });
+                }
+            }
+        }
+        specs
+    }
+
+    /// Evaluates placing replica `copy` of `t` on `dst` with the given
+    /// incoming messages (pure; nothing is committed).
+    ///
+    /// The earliest start (equation (5)) waits for `r(P)` and, per
+    /// predecessor edge, the *earliest* arriving copy of the data.
+    pub fn eval(&self, t: TaskId, dst: ProcId, specs: &[MsgSpec]) -> Candidate {
+        let planned = self.state.plan_batch(dst, specs);
+        let est = self.est_of(t, dst, &planned);
+        Candidate {
+            proc: dst,
+            est,
+            eft: est + self.inst.exec_time(t, dst),
+            planned,
+        }
+    }
+
+    /// Earliest start of `t` on `dst` given a planned batch.
+    ///
+    /// Append policy: equation (5) — waits for `r(P)` and the earliest copy
+    /// of each input. Insertion policy: waits for the inputs, then takes
+    /// the earliest idle gap on `dst` that fits `E(t, dst)`.
+    pub fn est_of(&self, t: TaskId, dst: ProcId, planned: &[PlannedMsg]) -> f64 {
+        let g = &self.inst.graph;
+        let mut est = if self.insertion { 0.0 } else { self.state.proc_ready(dst) };
+        for &e in g.in_edges(t) {
+            let first_arrival = planned
+                .iter()
+                .filter(|p| p.spec.edge == e)
+                .map(|p| p.finish)
+                .fold(f64::INFINITY, f64::min);
+            debug_assert!(
+                first_arrival.is_finite(),
+                "no planned message realizes edge {e} into {t}"
+            );
+            est = est.max(first_arrival);
+        }
+        if self.insertion {
+            est = self.exec_slots[dst.index()].earliest_gap(est, self.inst.exec_time(t, dst));
+        }
+        est
+    }
+
+    /// Commits replica `copy` of `t` on `dst` with the given specs:
+    /// re-plans against the *current* state (which may have advanced since
+    /// evaluation), then books messages, ports and the computation.
+    /// Returns the committed replica.
+    pub fn commit(&mut self, t: TaskId, copy: usize, dst: ProcId, specs: &[MsgSpec]) -> Replica {
+        let planned = self.state.plan_batch(dst, specs);
+        let est = self.est_of(t, dst, &planned);
+        let finish = est + self.inst.exec_time(t, dst);
+        self.state.commit_batch(dst, &planned);
+        if self.insertion {
+            self.exec_slots[dst.index()].add(est, finish, t.0);
+        } else {
+            self.state.commit_exec(dst, finish);
+        }
+        self.sched.push_messages(dst, &planned);
+        let replica = Replica {
+            of: ReplicaRef::new(t, copy),
+            proc: dst,
+            start: est,
+            finish,
+        };
+        self.sched.push_replica(replica);
+        replica
+    }
+
+    /// Marks `t` fully scheduled: updates successor top levels and frees
+    /// the ones whose predecessors are now all placed.
+    ///
+    /// `tl(s) = max over in-edges (earliest replica finish of pred + mean
+    /// comm)` — the dynamic top level on the partially mapped graph.
+    pub fn finish_task(&mut self, t: TaskId) {
+        let freed = self.ready.complete(&self.inst.graph, t);
+        for s in freed {
+            let g = &self.inst.graph;
+            let mut tl = 0.0f64;
+            for &e in g.in_edges(s) {
+                let pred = g.edge(e).src;
+                let first_finish = self
+                    .sched
+                    .replicas_of(pred)
+                    .iter()
+                    .map(|r| r.finish)
+                    .fold(f64::INFINITY, f64::min);
+                tl = tl.max(first_finish + self.inst.mean_comm(e));
+            }
+            self.tl[s.index()] = tl;
+            self.pool.push(s);
+        }
+    }
+
+    /// Processors already hosting a replica of `t` (space exclusion: later
+    /// copies must avoid them).
+    pub fn procs_hosting(&self, t: TaskId) -> Vec<ProcId> {
+        self.sched.procs_of(t)
+    }
+
+    /// Evaluates every allowed processor for replica `copy` of `t` with
+    /// full fan-in and returns candidates sorted by (EFT, proc id).
+    /// `excluded` processors are skipped.
+    pub fn rank_candidates_full_fanin(
+        &self,
+        t: TaskId,
+        copy: usize,
+        excluded: &[ProcId],
+    ) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for p in self.inst.platform.procs() {
+            if excluded.contains(&p) {
+                continue;
+            }
+            let specs = self.full_fanin_specs(t, copy, p);
+            out.push(self.eval(t, p, &specs));
+        }
+        out.sort_by(|a, b| a.eft.total_cmp(&b.eft).then_with(|| a.proc.cmp(&b.proc)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::GraphBuilder;
+    use ft_platform::{ExecMatrix, Platform};
+
+    /// a → c on 3 uniform processors (delay 1, exec 1, volume 2).
+    fn inst() -> Instance {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, c, 2.0).unwrap();
+        let g = b.build();
+        Instance::new(
+            g,
+            Platform::uniform_clique(3, 1.0),
+            ExecMatrix::from_fn(2, 3, |_, _| 1.0),
+        )
+    }
+
+    #[test]
+    fn entry_tasks_have_no_specs() {
+        let inst = inst();
+        let ctx = Ctx::new(&inst, 1, CommModel::OnePort, 0);
+        assert!(ctx.full_fanin_specs(TaskId(0), 0, ProcId(0)).is_empty());
+    }
+
+    #[test]
+    fn colocated_pred_short_circuits_fanin() {
+        let inst = inst();
+        let mut ctx = Ctx::new(&inst, 1, CommModel::OnePort, 0);
+        // Place both replicas of task 0.
+        ctx.commit(TaskId(0), 0, ProcId(0), &[]);
+        ctx.commit(TaskId(0), 1, ProcId(1), &[]);
+        // Towards P0 (hosting a copy): a single local spec.
+        let specs = ctx.full_fanin_specs(TaskId(1), 0, ProcId(0));
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].w, 0.0);
+        // Towards P2 (no copy): one spec per replica.
+        let specs = ctx.full_fanin_specs(TaskId(1), 0, ProcId(2));
+        assert_eq!(specs.len(), 2);
+        assert!(specs.iter().all(|s| s.w == 2.0));
+    }
+
+    #[test]
+    fn est_waits_for_first_copy_only() {
+        let inst = inst();
+        let mut ctx = Ctx::new(&inst, 1, CommModel::OnePort, 0);
+        ctx.commit(TaskId(0), 0, ProcId(0), &[]);
+        ctx.commit(TaskId(0), 1, ProcId(1), &[]);
+        let cand = ctx.eval(
+            TaskId(1),
+            ProcId(2),
+            &ctx.full_fanin_specs(TaskId(1), 0, ProcId(2)),
+        );
+        // Both copies finish at 1; the first transfer arrives at 3 (w = 2),
+        // the second is serialized behind it at the receive port — but EST
+        // only waits for the first: 3.
+        assert_eq!(cand.est, 3.0);
+        assert_eq!(cand.eft, 4.0);
+    }
+
+    #[test]
+    fn commit_books_everything() {
+        let inst = inst();
+        let mut ctx = Ctx::new(&inst, 0, CommModel::OnePort, 0);
+        assert_eq!(ctx.pop_task(), Some(TaskId(0)));
+        let r = ctx.commit(TaskId(0), 0, ProcId(1), &[]);
+        assert_eq!(r.start, 0.0);
+        assert_eq!(r.finish, 1.0);
+        assert_eq!(ctx.state.proc_ready(ProcId(1)), 1.0);
+        ctx.finish_task(TaskId(0));
+        // Task 1 became free with tl = finish + mean comm = 1 + 2.
+        assert_eq!(ctx.tl[1], 3.0);
+        assert_eq!(ctx.pool.len(), 1);
+    }
+
+    #[test]
+    fn rank_candidates_prefers_colocated() {
+        let inst = inst();
+        let mut ctx = Ctx::new(&inst, 0, CommModel::OnePort, 0);
+        ctx.commit(TaskId(0), 0, ProcId(1), &[]);
+        ctx.finish_task(TaskId(0));
+        let cands = ctx.rank_candidates_full_fanin(TaskId(1), 0, &[]);
+        assert_eq!(cands[0].proc, ProcId(1), "local placement avoids the transfer");
+        assert_eq!(cands[0].eft, 2.0);
+        assert!(cands[1].eft > 2.0);
+    }
+
+    #[test]
+    fn excluded_procs_are_skipped() {
+        let inst = inst();
+        let ctx = Ctx::new(&inst, 0, CommModel::OnePort, 0);
+        let cands = ctx.rank_candidates_full_fanin(TaskId(0), 0, &[ProcId(0), ProcId(2)]);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].proc, ProcId(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_processors_rejected() {
+        let inst = inst();
+        Ctx::new(&inst, 3, CommModel::OnePort, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! HEFT — the fault-free reference scheduler.
+//!
+//! Heterogeneous Earliest Finish Time (Topcuoglu, Hariri, Wu \[27\]): rank
+//! tasks by level, place each on the processor minimizing its finish time.
+//! Per §6 of the paper, "the fault-free version of CAFT reduces to an
+//! implementation of HEFT" — and with `ε = 0` the replication, fan-in and
+//! one-to-one machinery all degenerate to exactly this algorithm, so HEFT
+//! *is* FTSA at `ε = 0` here. The experiments use it as the fault-free
+//! baseline `CAFT*` in the overhead formula.
+
+use crate::ftsa::{ftsa_with, FtsaOptions};
+use ft_model::{CommModel, FtSchedule};
+use ft_platform::Instance;
+
+/// Schedules without replication: one copy per task on its EFT-minimizing
+/// processor, under the given communication model.
+pub fn heft(inst: &Instance, model: CommModel, seed: u64) -> FtSchedule {
+    ftsa_with(inst, FtsaOptions { eps: 0, model, seed, ..FtsaOptions::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen::{random_layered, RandomDagParams};
+    use ft_graph::GraphBuilder;
+    use ft_model::validate_schedule;
+    use ft_platform::{random_instance, ExecMatrix, Platform, PlatformParams, ProcId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn independent_tasks_spread_over_processors() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..4 {
+            b.add_task(1.0);
+        }
+        let g = b.build();
+        let inst = Instance::new(
+            g,
+            Platform::uniform_clique(4, 1.0),
+            ExecMatrix::from_fn(4, 4, |_, _| 5.0),
+        );
+        let s = heft(&inst, CommModel::OnePort, 0);
+        assert!(validate_schedule(&inst, &s).is_empty());
+        // With no dependences, EFT spreads the tasks: latency is one task.
+        assert_eq!(s.latency(), 5.0);
+    }
+
+    #[test]
+    fn picks_fast_processor() {
+        let mut b = GraphBuilder::new();
+        b.add_task(1.0);
+        let g = b.build();
+        let inst = Instance::new(
+            g,
+            Platform::uniform_clique(2, 1.0),
+            ExecMatrix::from_fn(1, 2, |_, p| if p == ProcId(0) { 10.0 } else { 2.0 }),
+        );
+        let s = heft(&inst, CommModel::OnePort, 0);
+        assert_eq!(s.replicas[0][0].proc, ProcId(1));
+        assert_eq!(s.latency(), 2.0);
+    }
+
+    #[test]
+    fn single_replica_per_task() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_layered(&RandomDagParams::default().with_tasks(30), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 2.0, &mut rng);
+        let s = heft(&inst, CommModel::OnePort, 0);
+        assert!(validate_schedule(&inst, &s).is_empty());
+        assert!(s.replicas.iter().all(|r| r.len() == 1));
+        // Without replication at most one message per edge.
+        assert!(s.messages.len() <= inst.graph.num_edges());
+    }
+}

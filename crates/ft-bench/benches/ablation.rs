@@ -1,0 +1,51 @@
+//! Ablations of CAFT's design choices (DESIGN.md §7):
+//!
+//! * one-to-one mapping on/off — off reduces CAFT to FTSA-style fan-in;
+//! * sender locking on/off — off reproduces the deadlock-prone pairing of
+//!   the Proposition 5.2 discussion;
+//! * one-port vs macro-dataflow — what contention awareness costs/buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_algos::{caft_with, CaftOptions, CommModel};
+use ft_bench::paper_instance;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let inst = paper_instance(0xAB1A, 100, 10, 0.5);
+    let eps = 2;
+    let base = CaftOptions { eps, model: CommModel::OnePort, seed: 0, ..CaftOptions::default() };
+    let variants: [(&str, CaftOptions); 6] = [
+        ("full", base),
+        ("no-one-to-one", CaftOptions { one_to_one: false, ..base }),
+        ("no-locking", CaftOptions { lock_senders: false, ..base }),
+        ("macro-dataflow", CaftOptions { model: CommModel::MacroDataflow, ..base }),
+        ("hardened", CaftOptions { disjoint_lineages: true, ..base }),
+        ("insertion", CaftOptions { insertion: true, ..base }),
+    ];
+
+    // The ablation's *result* check: dropping the one-to-one pass inflates
+    // the message count.
+    let full = caft_with(&inst, variants[0].1);
+    let no_oto = caft_with(&inst, variants[1].1);
+    assert!(
+        full.num_remote_messages() < no_oto.num_remote_messages(),
+        "one-to-one must reduce messages: {} vs {}",
+        full.num_remote_messages(),
+        no_oto.num_remote_messages()
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    for (name, opts) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| black_box(caft_with(black_box(inst), opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

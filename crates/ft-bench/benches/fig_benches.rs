@@ -1,0 +1,82 @@
+//! One Criterion group per paper figure: schedules a representative
+//! instance at each figure's `(m, ε, granularity-regime)` with all three
+//! algorithms, and asserts the headline comparison before measuring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_algos::{caft, ftbar, ftsa, CommModel};
+use ft_bench::paper_instance;
+use std::hint::black_box;
+
+struct FigSpec {
+    name: &'static str,
+    m: usize,
+    eps: usize,
+    /// Representative granularities from the figure's sweep (fine, coarse).
+    grans: [f64; 2],
+}
+
+const FIGS: [FigSpec; 6] = [
+    FigSpec { name: "fig1", m: 10, eps: 1, grans: [0.2, 2.0] },
+    FigSpec { name: "fig2", m: 10, eps: 3, grans: [0.2, 2.0] },
+    FigSpec { name: "fig3", m: 20, eps: 5, grans: [0.2, 2.0] },
+    FigSpec { name: "fig4", m: 10, eps: 1, grans: [1.0, 10.0] },
+    FigSpec { name: "fig5", m: 10, eps: 3, grans: [1.0, 10.0] },
+    FigSpec { name: "fig6", m: 20, eps: 5, grans: [1.0, 10.0] },
+];
+
+fn bench_figures(c: &mut Criterion) {
+    for spec in &FIGS {
+        let mut group = c.benchmark_group(spec.name);
+        for &gran in &spec.grans {
+            let inst = paper_instance(0x51ED, 100, spec.m, gran);
+            // Headline check at the fine-grain end, where contention
+            // dominates: CAFT's 0-crash latency beats FTSA and FTBAR under
+            // the one-port model. (At coarse grain single instances are
+            // noisy; the averaged comparison lives in tests/paper_claims.)
+            if gran == spec.grans[0] {
+                let lc = caft(&inst, spec.eps, CommModel::OnePort, 0).latency();
+                let lf = ftsa(&inst, spec.eps, CommModel::OnePort, 0).latency();
+                let lb = ftbar(&inst, spec.eps, CommModel::OnePort, 0).latency();
+                assert!(
+                    lc <= lf * 1.05 && lc <= lb * 1.05,
+                    "{} g={gran}: CAFT {lc:.1} vs FTSA {lf:.1} / FTBAR {lb:.1}",
+                    spec.name
+                );
+            }
+            type SchedFn = fn(
+                &ft_platform::Instance,
+                usize,
+                CommModel,
+                u64,
+            ) -> ft_model::FtSchedule;
+            for (algo, f) in [
+                ("caft", caft as SchedFn),
+                ("ftsa", ftsa as SchedFn),
+                ("ftbar", ftbar as SchedFn),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(algo, format!("g{gran}")),
+                    &inst,
+                    |b, inst| {
+                        b.iter(|| {
+                            black_box(f(
+                                black_box(inst),
+                                spec.eps,
+                                CommModel::OnePort,
+                                0,
+                            ))
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

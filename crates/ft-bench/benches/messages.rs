@@ -1,0 +1,54 @@
+//! Proposition 5.1 — message generation across graph families: verifies
+//! CAFT's linear bound on outforests and measures the scheduling cost of
+//! both regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_algos::{caft, ftsa, CommModel};
+use ft_bench::instance_for;
+use ft_graph::gen::{random_outforest, RandomDagParams};
+use ft_graph::gen::random_layered;
+use ft_sim::message_stats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_messages(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let outforest = random_outforest(100, 0.05, 10.0..=100.0, 50.0..=150.0, &mut rng);
+    let layered = random_layered(&RandomDagParams::default().with_tasks(100), &mut rng);
+    let families = [("outforest", outforest), ("layered", layered)];
+
+    let mut group = c.benchmark_group("messages");
+    for (name, graph) in families {
+        for eps in [1usize, 3] {
+            let inst = instance_for(graph.clone(), 10, 10, 1.0);
+            // Verify the analytical regime before timing it.
+            let sc = message_stats(&inst, &caft(&inst, eps, CommModel::OnePort, 0));
+            let sf = message_stats(&inst, &ftsa(&inst, eps, CommModel::OnePort, 0));
+            if name == "outforest" {
+                assert!(
+                    sc.total() <= sc.linear_bound,
+                    "Prop 5.1: {} > e(ε+1) = {}",
+                    sc.total(),
+                    sc.linear_bound
+                );
+            }
+            assert!(sc.total() <= sf.total(), "CAFT must not out-message FTSA");
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("eps{eps}")),
+                &inst,
+                |b, inst| {
+                    b.iter(|| black_box(caft(black_box(inst), eps, CommModel::OnePort, 0)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_messages
+}
+criterion_main!(benches);

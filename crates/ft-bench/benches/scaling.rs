@@ -1,0 +1,47 @@
+//! Theorem 5.1 — CAFT's complexity `O(e·m·(ε+1)² log(ε+1) + v log ω)`:
+//! runtime scaling along each parameter with the others held fixed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_algos::{caft, CommModel};
+use ft_bench::paper_instance;
+use std::hint::black_box;
+
+fn bench_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/tasks");
+    for v in [50usize, 100, 200, 400] {
+        let inst = paper_instance(1, v, 10, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(v), &inst, |b, inst| {
+            b.iter(|| black_box(caft(black_box(inst), 1, CommModel::OnePort, 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_procs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/procs");
+    for m in [5usize, 10, 20, 40] {
+        let inst = paper_instance(2, 100, m, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| black_box(caft(black_box(inst), 1, CommModel::OnePort, 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/eps");
+    let inst = paper_instance(3, 100, 20, 1.0);
+    for eps in [0usize, 1, 3, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &inst, |b, inst| {
+            b.iter(|| black_box(caft(black_box(inst), eps, CommModel::OnePort, 0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tasks, bench_procs, bench_eps
+}
+criterion_main!(benches);

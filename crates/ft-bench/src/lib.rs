@@ -1,0 +1,59 @@
+//! Shared workload builders for the Criterion benchmark suite.
+//!
+//! Each bench target regenerates one artifact of the paper's evaluation:
+//!
+//! * `fig_benches` — one group per figure (1–6): schedules a paper-scale
+//!   instance with CAFT, FTSA and FTBAR at that figure's `(m, ε)` and
+//!   granularity regime, measuring end-to-end scheduling time; a
+//!   per-group verification also recomputes the headline comparison
+//!   (CAFT latency below competitors) so the bench doubles as a
+//!   regression harness for the *result*, not just the runtime.
+//! * `scaling` — Theorem 5.1: CAFT runtime scaling in `v`, `m` and `ε`.
+//! * `messages` — Proposition 5.1: message generation on outforests vs
+//!   layered DAGs.
+//! * `ablation` — design-choice ablations from DESIGN.md: one-to-one
+//!   mapping on/off, sender locking on/off, one-port vs macro-dataflow.
+//!
+//! The numeric *series* the paper plots are produced by the
+//! `paper-figures` binary in `ft-experiments`; these benches cover the
+//! computational cost dimension and keep the comparisons honest under
+//! `cargo bench --workspace`.
+
+#![warn(missing_docs)]
+
+use ft_graph::gen::{random_layered, RandomDagParams};
+use ft_graph::TaskGraph;
+use ft_platform::{random_instance, Instance, PlatformParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A paper-style instance: `v` tasks, `m` processors, target granularity.
+pub fn paper_instance(seed: u64, v: usize, m: usize, gran: f64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = random_layered(&RandomDagParams::default().with_tasks(v), &mut rng);
+    instance_for(graph, seed, m, gran)
+}
+
+/// Wraps an arbitrary graph into a random platform instance.
+pub fn instance_for(graph: TaskGraph, seed: u64, m: usize, gran: f64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB0B);
+    random_instance(
+        graph,
+        &PlatformParams::default().with_procs(m),
+        gran,
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let inst = paper_instance(1, 50, 10, 1.0);
+        assert_eq!(inst.num_tasks(), 50);
+        assert_eq!(inst.num_procs(), 10);
+        assert!((inst.granularity() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! `paper-figures` — regenerate the paper's evaluation from the command
+//! line.
+//!
+//! ```text
+//! paper-figures all                 # figures 1-6 + messages + resilience
+//! paper-figures fig3                # one figure
+//! paper-figures messages            # Prop. 5.1 message counts
+//! paper-figures resilience          # Prop. 5.2 failure injection
+//! paper-figures fig1 --quick        # thinned sweep, 10 graphs/point
+//! paper-figures fig1 --graphs 20    # override graphs per point
+//! paper-figures all --json out.json # machine-readable dump
+//! ```
+
+use ft_experiments::figures::{by_id, figure_configs};
+use ft_experiments::messages::run_messages;
+use ft_experiments::resilience_exp::run_resilience;
+use ft_experiments::runner::{run_figure, FigureResult};
+use ft_experiments::table::{render_figure, render_messages, render_resilience};
+
+#[derive(serde::Serialize)]
+struct Dump {
+    figures: Vec<FigureResult>,
+    messages: Vec<ft_experiments::messages::MessageRow>,
+    resilience: Vec<ft_experiments::resilience_exp::ResilienceRow>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().cloned().unwrap_or_else(|| "all".to_string());
+    let quick = args.iter().any(|a| a == "--quick");
+    let graphs: Option<usize> = args
+        .iter()
+        .position(|a| a == "--graphs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    let json_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let tune = |mut cfg: ft_experiments::FigureConfig| {
+        if quick {
+            cfg = cfg.quick(10);
+        }
+        if let Some(g) = graphs {
+            cfg.graphs_per_point = g;
+        }
+        cfg
+    };
+
+    let mut dump = Dump { figures: Vec::new(), messages: Vec::new(), resilience: Vec::new() };
+    let msg_graphs = if quick { 5 } else { 20 };
+    let res_graphs = if quick { 2 } else { 10 };
+
+    match what.as_str() {
+        "all" => {
+            for cfg in figure_configs() {
+                let res = run_figure(&tune(cfg));
+                println!("{}", render_figure(&res));
+                dump.figures.push(res);
+            }
+            dump.messages = run_messages(msg_graphs, 0x5EED);
+            println!("{}", render_messages(&dump.messages));
+            dump.resilience = run_resilience(res_graphs, 0x5EED);
+            println!("{}", render_resilience(&dump.resilience));
+        }
+        "messages" => {
+            dump.messages = run_messages(msg_graphs, 0x5EED);
+            println!("{}", render_messages(&dump.messages));
+        }
+        "resilience" => {
+            dump.resilience = run_resilience(res_graphs, 0x5EED);
+            println!("{}", render_resilience(&dump.resilience));
+        }
+        id => match by_id(id) {
+            Some(cfg) => {
+                let res = run_figure(&tune(cfg));
+                println!("{}", render_figure(&res));
+                dump.figures.push(res);
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment '{id}' — expected fig1..fig6, messages, resilience or all"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+
+    if let Some(path) = json_path {
+        let txt = serde_json::to_string_pretty(&dump).expect("serializable results");
+        std::fs::write(&path, txt).expect("writable json path");
+        eprintln!("wrote {path}");
+    }
+}

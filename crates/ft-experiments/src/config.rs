@@ -1,0 +1,87 @@
+//! Experiment configurations matching §6.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one figure sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureConfig {
+    /// Figure identifier (`"fig1"` … `"fig6"`).
+    pub id: String,
+    /// Granularity sweep values.
+    pub granularities: Vec<f64>,
+    /// Number of processors `m`.
+    pub procs: usize,
+    /// Supported failures ε.
+    pub eps: usize,
+    /// Processors killed in the crash experiment (panel (b)/(c)).
+    pub crashes: usize,
+    /// Random graphs averaged per data point (the paper uses 60).
+    pub graphs_per_point: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// Type A sweep: granularity 0.2 ..= 2.0, step 0.2 (Figures 1–3).
+pub fn sweep_a() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 * 0.2).collect()
+}
+
+/// Type B sweep: granularity 1 ..= 10, step 1 (Figures 4–6).
+pub fn sweep_b() -> Vec<f64> {
+    (1..=10).map(|i| i as f64).collect()
+}
+
+impl FigureConfig {
+    /// Generic constructor.
+    pub fn new(
+        id: &str,
+        granularities: Vec<f64>,
+        procs: usize,
+        eps: usize,
+        crashes: usize,
+    ) -> Self {
+        FigureConfig {
+            id: id.to_string(),
+            granularities,
+            procs,
+            eps,
+            crashes,
+            graphs_per_point: 60,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Reduces the workload for tests and smoke runs: `n` graphs per point
+    /// and every other sweep value.
+    pub fn quick(mut self, n: usize) -> Self {
+        self.graphs_per_point = n;
+        self.granularities = self
+            .granularities
+            .into_iter()
+            .step_by(2)
+            .collect();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_paper() {
+        let a = sweep_a();
+        assert_eq!(a.len(), 10);
+        assert!((a[0] - 0.2).abs() < 1e-12);
+        assert!((a[9] - 2.0).abs() < 1e-12);
+        let b = sweep_b();
+        assert_eq!(b, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn quick_mode_thins_the_sweep() {
+        let cfg = FigureConfig::new("fig1", sweep_a(), 10, 1, 1).quick(5);
+        assert_eq!(cfg.graphs_per_point, 5);
+        assert_eq!(cfg.granularities.len(), 5);
+    }
+}

@@ -1,0 +1,67 @@
+//! The six paper figures as ready-made configurations.
+
+use crate::config::{sweep_a, sweep_b, FigureConfig};
+
+/// Figure 1: type A granularity, m = 10, ε = 1, 1 crash.
+pub fn fig1() -> FigureConfig {
+    FigureConfig::new("fig1", sweep_a(), 10, 1, 1)
+}
+
+/// Figure 2: type A granularity, m = 10, ε = 3, 2 crashes.
+pub fn fig2() -> FigureConfig {
+    FigureConfig::new("fig2", sweep_a(), 10, 3, 2)
+}
+
+/// Figure 3: type A granularity, m = 20, ε = 5, 3 crashes.
+pub fn fig3() -> FigureConfig {
+    FigureConfig::new("fig3", sweep_a(), 20, 5, 3)
+}
+
+/// Figure 4: type B granularity, m = 10, ε = 1, 1 crash.
+pub fn fig4() -> FigureConfig {
+    FigureConfig::new("fig4", sweep_b(), 10, 1, 1)
+}
+
+/// Figure 5: type B granularity, m = 10, ε = 3, 2 crashes.
+pub fn fig5() -> FigureConfig {
+    FigureConfig::new("fig5", sweep_b(), 10, 3, 2)
+}
+
+/// Figure 6: type B granularity, m = 20, ε = 5, 3 crashes.
+pub fn fig6() -> FigureConfig {
+    FigureConfig::new("fig6", sweep_b(), 20, 5, 3)
+}
+
+/// Every figure configuration, in paper order.
+pub fn figure_configs() -> Vec<FigureConfig> {
+    vec![fig1(), fig2(), fig3(), fig4(), fig5(), fig6()]
+}
+
+/// Looks a configuration up by id.
+pub fn by_id(id: &str) -> Option<FigureConfig> {
+    figure_configs().into_iter().find(|c| c.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_figures_with_paper_parameters() {
+        let all = figure_configs();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0].procs, 10);
+        assert_eq!(all[0].eps, 1);
+        assert_eq!(all[2].procs, 20);
+        assert_eq!(all[2].eps, 5);
+        assert_eq!(all[2].crashes, 3);
+        assert_eq!(all[3].granularities, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert!(all.iter().all(|c| c.graphs_per_point == 60));
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("fig5").is_some());
+        assert!(by_id("fig9").is_none());
+    }
+}

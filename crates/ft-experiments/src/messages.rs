@@ -1,0 +1,120 @@
+//! The message-count experiment behind Proposition 5.1 and the §6
+//! discussion of the replication communication blow-up.
+//!
+//! For several graph families and values of ε, measures the total message
+//! count of CAFT, FTSA and FTBAR against the analytical marks `e`,
+//! `e(ε+1)` and `e(ε+1)²`.
+
+use ft_algos::{caft, ftbar, ftsa, CommModel};
+use ft_graph::gen::{random_layered, random_outforest, RandomDagParams};
+use ft_graph::TaskGraph;
+use ft_platform::{random_instance, PlatformParams};
+use ft_sim::message_stats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One row of the message experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MessageRow {
+    /// Graph family name.
+    pub family: String,
+    /// Failures supported.
+    pub eps: usize,
+    /// Mean edge count `e`.
+    pub edges: f64,
+    /// Mean total messages per algorithm.
+    pub caft: f64,
+    /// FTSA mean total messages.
+    pub ftsa: f64,
+    /// FTBAR mean total messages.
+    pub ftbar: f64,
+    /// Mean linear mark `e(ε+1)`.
+    pub linear_bound: f64,
+    /// Mean quadratic mark `e(ε+1)²`.
+    pub quadratic_bound: f64,
+}
+
+/// Runs the experiment: `graphs` random graphs per (family, ε) cell.
+pub fn run_messages(graphs: usize, seed: u64) -> Vec<MessageRow> {
+    type FamilyGen = Box<dyn Fn(&mut StdRng) -> TaskGraph>;
+    let families: Vec<(&str, FamilyGen)> = vec![
+        (
+            "layered",
+            Box::new(|rng: &mut StdRng| random_layered(&RandomDagParams::default(), rng)),
+        ),
+        (
+            "outforest",
+            Box::new(|rng: &mut StdRng| {
+                random_outforest(100, 0.05, 10.0..=100.0, 50.0..=150.0, rng)
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, gen) in &families {
+        for eps in [1usize, 3, 5] {
+            let m = if eps >= 5 { 20 } else { 10 };
+            let mut acc = [0.0f64; 6]; // e, caft, ftsa, ftbar, lin, quad
+            for gi in 0..graphs {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(gi as u64 * 7919));
+                let g = gen(&mut rng);
+                let inst = random_instance(
+                    g,
+                    &PlatformParams::default().with_procs(m),
+                    1.0,
+                    &mut rng,
+                );
+                let model = CommModel::OnePort;
+                let sc = message_stats(&inst, &caft(&inst, eps, model, seed));
+                let sf = message_stats(&inst, &ftsa(&inst, eps, model, seed));
+                let sb = message_stats(&inst, &ftbar(&inst, eps, model, seed));
+                acc[0] += sc.edges as f64;
+                acc[1] += sc.total() as f64;
+                acc[2] += sf.total() as f64;
+                acc[3] += sb.total() as f64;
+                acc[4] += sc.linear_bound as f64;
+                acc[5] += sc.quadratic_bound as f64;
+            }
+            let n = graphs as f64;
+            rows.push(MessageRow {
+                family: name.to_string(),
+                eps,
+                edges: acc[0] / n,
+                caft: acc[1] / n,
+                ftsa: acc[2] / n,
+                ftbar: acc[3] / n,
+                linear_bound: acc[4] / n,
+                quadratic_bound: acc[5] / n,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outforest_rows_respect_proposition_5_1() {
+        let rows = run_messages(2, 1);
+        for r in rows.iter().filter(|r| r.family == "outforest") {
+            assert!(
+                r.caft <= r.linear_bound + 1e-9,
+                "eps {}: CAFT {} > e(ε+1) {}",
+                r.eps,
+                r.caft,
+                r.linear_bound
+            );
+        }
+    }
+
+    #[test]
+    fn caft_below_ftsa_below_quadratic() {
+        let rows = run_messages(2, 2);
+        for r in &rows {
+            assert!(r.caft <= r.ftsa + 1e-9, "{}/{}: {} > {}", r.family, r.eps, r.caft, r.ftsa);
+            assert!(r.ftsa <= r.quadratic_bound + 1e-9);
+        }
+    }
+}

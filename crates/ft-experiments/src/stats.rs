@@ -1,0 +1,107 @@
+//! Small streaming statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean / min / max / standard deviation (Welford).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Accumulator {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample {x}");
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 for < 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_extremes() {
+        let mut a = Accumulator::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            a.push(x);
+        }
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 4.0);
+    }
+
+    #[test]
+    fn std_dev_matches_textbook() {
+        let mut a = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.push(x);
+        }
+        // Sample std dev of this classic dataset is ~2.138.
+        assert!((a.std_dev() - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.std_dev(), 0.0);
+        assert!(a.min().is_nan());
+    }
+}

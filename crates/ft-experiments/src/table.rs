@@ -1,0 +1,189 @@
+//! Plain-text rendering of experiment results, one table per figure panel.
+
+use crate::messages::MessageRow;
+use crate::resilience_exp::ResilienceRow;
+use crate::runner::FigureResult;
+use std::fmt::Write as _;
+
+fn row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (c, w) in cells.iter().zip(widths) {
+        let _ = write!(out, "{c:>w$}  ", w = w);
+    }
+    out.push('\n');
+}
+
+fn fmt(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Renders the three panels of a figure as text tables.
+pub fn render_figure(res: &FigureResult) -> String {
+    let c = &res.config;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== {} — m = {}, ε = {}, {} crash(es), {} graphs/point ==",
+        c.id, c.procs, c.eps, c.crashes, c.graphs_per_point
+    );
+
+    // Panel (a): bounds.
+    let hdr_a = [
+        "g", "FF-CAFT", "FF-FTBAR", "CAFT0", "CAFT-UB", "FTSA0", "FTSA-UB", "FTBAR0",
+        "FTBAR-UB",
+    ];
+    let w: Vec<usize> = hdr_a.iter().map(|h| h.len().max(8)).collect();
+    let _ = writeln!(out, "-- (a) normalized latency: fault-free, 0 crash, upper bound --");
+    row(&mut out, &hdr_a.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    for p in &res.points {
+        row(
+            &mut out,
+            &[
+                fmt(p.granularity),
+                fmt(p.fault_free_caft),
+                fmt(p.fault_free_ftbar),
+                fmt(p.caft.zero_crash),
+                fmt(p.caft.upper),
+                fmt(p.ftsa.zero_crash),
+                fmt(p.ftsa.upper),
+                fmt(p.ftbar.zero_crash),
+                fmt(p.ftbar.upper),
+            ],
+            &w,
+        );
+    }
+
+    // Panel (b): crashes.
+    let hdr_b = ["g", "CAFT0", "CAFT-c", "FTSA0", "FTSA-c", "FTBAR0", "FTBAR-c", "CAFTsrv"];
+    let w: Vec<usize> = hdr_b.iter().map(|h| h.len().max(8)).collect();
+    let _ = writeln!(
+        out,
+        "-- (b) normalized latency with 0 crash vs {} crash(es) (CAFTsrv: strict-replay survival) --",
+        c.crashes
+    );
+    row(&mut out, &hdr_b.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    for p in &res.points {
+        row(
+            &mut out,
+            &[
+                fmt(p.granularity),
+                fmt(p.caft.zero_crash),
+                fmt(p.caft.crash),
+                fmt(p.ftsa.zero_crash),
+                fmt(p.ftsa.crash),
+                fmt(p.ftbar.zero_crash),
+                fmt(p.ftbar.crash),
+                fmt(p.caft_strict_completion),
+            ],
+            &w,
+        );
+    }
+
+    // Panel (c): overheads.
+    let hdr_c = ["g", "CAFT0%", "CAFTc%", "FTSA0%", "FTSAc%", "FTBAR0%", "FTBARc%"];
+    let w: Vec<usize> = hdr_c.iter().map(|h| h.len().max(8)).collect();
+    let _ = writeln!(out, "-- (c) average overhead (%) over fault-free CAFT --");
+    row(&mut out, &hdr_c.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    for p in &res.points {
+        row(
+            &mut out,
+            &[
+                fmt(p.granularity),
+                fmt(p.caft.overhead_zero),
+                fmt(p.caft.overhead_crash),
+                fmt(p.ftsa.overhead_zero),
+                fmt(p.ftsa.overhead_crash),
+                fmt(p.ftbar.overhead_zero),
+                fmt(p.ftbar.overhead_crash),
+            ],
+            &w,
+        );
+    }
+
+    // Extra: message counts (the §6 discussion).
+    let hdr_m = ["g", "CAFT-msg", "FTSA-msg", "FTBAR-msg"];
+    let w: Vec<usize> = hdr_m.iter().map(|h| h.len().max(9)).collect();
+    let _ = writeln!(out, "-- mean inter-processor message counts --");
+    row(&mut out, &hdr_m.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    for p in &res.points {
+        row(
+            &mut out,
+            &[
+                fmt(p.granularity),
+                fmt(p.caft.remote_msgs),
+                fmt(p.ftsa.remote_msgs),
+                fmt(p.ftbar.remote_msgs),
+            ],
+            &w,
+        );
+    }
+    out
+}
+
+/// Renders the Proposition 5.1 message-count experiment.
+pub fn render_messages(rows: &[MessageRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== message counts vs analytical bounds (Prop. 5.1) ==");
+    let hdr = ["family", "eps", "e", "CAFT", "FTSA", "FTBAR", "e(ε+1)", "e(ε+1)²"];
+    let w: Vec<usize> = hdr.iter().map(|h| h.len().max(9)).collect();
+    row(&mut out, &hdr.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    for r in rows {
+        row(
+            &mut out,
+            &[
+                r.family.clone(),
+                r.eps.to_string(),
+                fmt(r.edges),
+                fmt(r.caft),
+                fmt(r.ftsa),
+                fmt(r.ftbar),
+                fmt(r.linear_bound),
+                fmt(r.quadratic_bound),
+            ],
+            &w,
+        );
+    }
+    out
+}
+
+/// Renders the Proposition 5.2 resilience experiment.
+pub fn render_resilience(rows: &[ResilienceRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== operational resilience (Prop. 5.2) ==");
+    let hdr = ["algo", "eps", "patterns", "strict", "failover"];
+    let w: Vec<usize> = hdr.iter().map(|h| h.len().max(9)).collect();
+    row(&mut out, &hdr.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    for r in rows {
+        row(
+            &mut out,
+            &[
+                r.algo.clone(),
+                r.eps.to_string(),
+                r.patterns.to_string(),
+                format!("{:.3}", r.strict_rate),
+                format!("{:.3}", r.failover_rate),
+            ],
+            &w,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FigureConfig;
+    use crate::runner::run_figure;
+
+    #[test]
+    fn figure_table_renders_all_panels() {
+        let mut cfg = FigureConfig::new("figX", vec![1.0], 5, 1, 1);
+        cfg.graphs_per_point = 1;
+        let res = run_figure(&cfg);
+        let txt = render_figure(&res);
+        assert!(txt.contains("(a) normalized latency"));
+        assert!(txt.contains("(b) normalized latency with 0 crash"));
+        assert!(txt.contains("(c) average overhead"));
+        assert!(txt.contains("message counts"));
+        assert!(txt.contains("figX"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Graphviz (DOT) export, for eyeballing generated workloads.
+
+use crate::graph::TaskGraph;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax. Node labels show the task
+/// label and work amount; edge labels show the data volume.
+pub fn to_dot(g: &TaskGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph G {\n  rankdir=TB;\n  node [shape=ellipse];\n");
+    for t in g.tasks() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{} ({:.1})\"];",
+            t.index(),
+            g.label(t),
+            g.work(t)
+        );
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{:.1}\"];",
+            e.src.index(),
+            e.dst.index(),
+            e.volume
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_labeled_task(2.0, Some("sink".into()));
+        b.add_edge(a, c, 3.5).unwrap();
+        let g = b.build();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.contains("0 [label=\"t0 (1.0)\"];"));
+        assert!(dot.contains("1 [label=\"sink (2.0)\"];"));
+        assert!(dot.contains("0 -> 1 [label=\"3.5\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = GraphBuilder::new().build();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph G"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Linear chains — the degenerate DAG with width 1.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use rand::Rng;
+
+/// A chain of `n` tasks.
+pub fn chain<R: Rng>(
+    n: usize,
+    work: std::ops::RangeInclusive<f64>,
+    volume: std::ops::RangeInclusive<f64>,
+    rng: &mut R,
+) -> TaskGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    let mut prev = b.add_task(sample(rng, work.clone()));
+    for _ in 1..n {
+        let t = b.add_task(sample(rng, work.clone()));
+        b.add_edge(prev, t, sample(rng, volume.clone()))
+            .expect("chain edges cannot cycle");
+        prev = t;
+    }
+    b.build()
+}
+
+fn sample<R: Rng>(rng: &mut R, r: std::ops::RangeInclusive<f64>) -> f64 {
+    if r.start() == r.end() {
+        *r.start()
+    } else {
+        rng.gen_range(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::width;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = chain(8, 1.0..=1.0, 1.0..=1.0, &mut rng);
+        assert_eq!(g.num_tasks(), 8);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(width(&g), 1);
+        assert!(g.is_outforest());
+    }
+
+    #[test]
+    fn singleton_chain() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = chain(1, 2.0..=2.0, 1.0..=1.0, &mut rng);
+        assert_eq!(g.num_tasks(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

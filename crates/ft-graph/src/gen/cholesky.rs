@@ -1,0 +1,143 @@
+//! Tiled Cholesky factorization task graph.
+//!
+//! The standard right-looking tiled Cholesky DAG over a `T × T` tile grid:
+//!
+//! * `POTRF(k)` — factor diagonal tile `k`; depends on `SYRK(k−1, k)`;
+//! * `TRSM(k, i)` (`i > k`) — triangular solve of panel tile; depends on
+//!   `POTRF(k)` and `GEMM(k−1, i, k)`;
+//! * `SYRK(k, i)` (`i > k`) — symmetric update of diagonal tile `i`;
+//!   depends on `TRSM(k, i)` and `SYRK(k−1, i)`;
+//! * `GEMM(k, i, j)` (`k < j < i`) — update of off-diagonal tile `(i, j)`;
+//!   depends on `TRSM(k, i)`, `TRSM(k, j)` and `GEMM(k−1, i, j)`.
+//!
+//! Mixed fan-in degrees (1–3) and a long critical path through the
+//! diagonal make this the richest structured workload in the suite.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use crate::ids::TaskId;
+use std::collections::HashMap;
+
+/// Relative kernel costs, loosely mirroring flop counts per tile
+/// (`GEMM : SYRK : TRSM : POTRF = 2 : 1 : 1 : 1/3`, scaled by `unit_work`).
+fn costs(unit_work: f64) -> (f64, f64, f64, f64) {
+    (unit_work / 3.0, unit_work, unit_work, 2.0 * unit_work)
+}
+
+/// Tiled Cholesky DAG for `tiles × tiles` tiles (`tiles ≥ 1`).
+pub fn cholesky(tiles: usize, unit_work: f64, unit_volume: f64) -> TaskGraph {
+    assert!(tiles >= 1, "need at least one tile");
+    let (w_potrf, w_trsm, w_syrk, w_gemm) = costs(unit_work);
+    let mut b = GraphBuilder::new();
+    let mut potrf: Vec<TaskId> = Vec::with_capacity(tiles);
+    let mut trsm: HashMap<(usize, usize), TaskId> = HashMap::new();
+    let mut syrk: HashMap<(usize, usize), TaskId> = HashMap::new();
+    let mut gemm: HashMap<(usize, usize, usize), TaskId> = HashMap::new();
+
+    for k in 0..tiles {
+        let p = b.add_labeled_task(w_potrf, Some(format!("potrf({k})")));
+        potrf.push(p);
+        if k > 0 {
+            b.add_edge(syrk[&(k - 1, k)], p, unit_volume).unwrap();
+        }
+        for i in (k + 1)..tiles {
+            let t = b.add_labeled_task(w_trsm, Some(format!("trsm({k},{i})")));
+            trsm.insert((k, i), t);
+            b.add_edge(p, t, unit_volume).unwrap();
+            if k > 0 {
+                b.add_edge(gemm[&(k - 1, i, k)], t, unit_volume).unwrap();
+            }
+        }
+        for i in (k + 1)..tiles {
+            let s = b.add_labeled_task(w_syrk, Some(format!("syrk({k},{i})")));
+            syrk.insert((k, i), s);
+            b.add_edge(trsm[&(k, i)], s, unit_volume).unwrap();
+            if k > 0 {
+                b.add_edge(syrk[&(k - 1, i)], s, unit_volume).unwrap();
+            }
+            for j in (k + 1)..i {
+                let m = b.add_labeled_task(w_gemm, Some(format!("gemm({k},{i},{j})")));
+                gemm.insert((k, i, j), m);
+                b.add_edge(trsm[&(k, i)], m, unit_volume).unwrap();
+                b.add_edge(trsm[&(k, j)], m, unit_volume).unwrap();
+                if k > 0 {
+                    b.add_edge(gemm[&(k - 1, i, j)], m, unit_volume).unwrap();
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::topological_order;
+
+    /// Closed-form task count: T potrf + Σ (T−k−1) trsm + (T−k−1) syrk +
+    /// C(T−k−1, 2) gemm.
+    fn expected_tasks(t: usize) -> usize {
+        let mut n = t;
+        for k in 0..t {
+            let rem = t - k - 1;
+            n += 2 * rem + rem * rem.saturating_sub(1) / 2;
+        }
+        n
+    }
+
+    #[test]
+    fn task_counts() {
+        for t in 1..=6 {
+            let g = cholesky(t, 3.0, 1.0);
+            assert_eq!(g.num_tasks(), expected_tasks(t), "tiles {t}");
+            assert_eq!(topological_order(&g).len(), g.num_tasks());
+        }
+    }
+
+    #[test]
+    fn single_tile_is_one_task() {
+        let g = cholesky(1, 3.0, 1.0);
+        assert_eq!(g.num_tasks(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn entry_is_first_potrf_and_exit_is_last() {
+        let g = cholesky(4, 3.0, 1.0);
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.label(g.entry_tasks()[0]), "potrf(0)");
+        let exits = g.exit_tasks();
+        assert_eq!(exits.len(), 1);
+        assert_eq!(g.label(exits[0]), "potrf(3)");
+    }
+
+    #[test]
+    fn fanin_degrees_match_kernel_structure() {
+        let g = cholesky(4, 3.0, 1.0);
+        for t in g.tasks() {
+            let label = g.label(t);
+            let deg = g.in_degree(t);
+            if label.starts_with("potrf(0)") {
+                assert_eq!(deg, 0);
+            } else if label.starts_with("potrf") {
+                assert_eq!(deg, 1, "{label}");
+            } else if label.starts_with("gemm(0") {
+                assert_eq!(deg, 2, "{label}");
+            } else if label.starts_with("gemm") {
+                assert_eq!(deg, 3, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_is_heaviest_kernel() {
+        let g = cholesky(3, 3.0, 1.0);
+        let w = |prefix: &str| {
+            g.tasks()
+                .find(|&t| g.label(t).starts_with(prefix))
+                .map(|t| g.work(t))
+                .unwrap()
+        };
+        assert!(w("gemm") > w("syrk"));
+        assert!(w("syrk") > w("potrf"));
+    }
+}

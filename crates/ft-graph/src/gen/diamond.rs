@@ -1,0 +1,54 @@
+//! Fork-join ("diamond") graphs: a source fans out to `n` parallel tasks
+//! which all join into a sink. This is the paper's running-example shape
+//! (e.g. the three-task precedence example of §6) generalized.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use rand::Rng;
+
+/// A fork-join with `n` parallel middle tasks (`n + 2` tasks, `2n` edges).
+pub fn fork_join<R: Rng>(
+    n: usize,
+    work: std::ops::RangeInclusive<f64>,
+    volume: std::ops::RangeInclusive<f64>,
+    rng: &mut R,
+) -> TaskGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n + 2, 2 * n);
+    let src = b.add_labeled_task(sample(rng, work.clone()), Some("fork".into()));
+    let middles: Vec<_> = (0..n)
+        .map(|i| b.add_labeled_task(sample(rng, work.clone()), Some(format!("par{i}"))))
+        .collect();
+    let sink = b.add_labeled_task(sample(rng, work.clone()), Some("join".into()));
+    for &m in &middles {
+        b.add_edge(src, m, sample(rng, volume.clone())).unwrap();
+        b.add_edge(m, sink, sample(rng, volume.clone())).unwrap();
+    }
+    b.build()
+}
+
+fn sample<R: Rng>(rng: &mut R, r: std::ops::RangeInclusive<f64>) -> f64 {
+    if r.start() == r.end() {
+        *r.start()
+    } else {
+        rng.gen_range(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::width;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = fork_join(4, 1.0..=1.0, 1.0..=1.0, &mut rng);
+        assert_eq!(g.num_tasks(), 6);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(width(&g), 4);
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.exit_tasks().len(), 1);
+    }
+}

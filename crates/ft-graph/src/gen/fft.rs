@@ -1,0 +1,78 @@
+//! FFT butterfly task graphs.
+//!
+//! The classic `n = 2^k`-point FFT DAG used throughout the scheduling
+//! literature: `k + 1` layers of `n` tasks; the task `(l+1, i)` combines
+//! `(l, i)` and its butterfly partner `(l, i XOR 2^l)`. Every interior
+//! task has fan-in and fan-out exactly 2, and the graph's width is `n` —
+//! a stress test for replica placement under the one-port model.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use crate::ids::TaskId;
+
+/// Butterfly DAG for an `n`-point FFT (`n` must be a power of two ≥ 2).
+///
+/// `work` is the cost of one butterfly update; `volume` the data exchanged
+/// along each edge.
+pub fn fft(n: usize, work: f64, volume: f64) -> TaskGraph {
+    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two ≥ 2");
+    let stages = n.trailing_zeros() as usize;
+    let mut b = GraphBuilder::with_capacity(n * (stages + 1), 2 * n * stages);
+    let mut layer: Vec<TaskId> = (0..n)
+        .map(|i| b.add_labeled_task(work, Some(format!("x({i})"))))
+        .collect();
+    for l in 0..stages {
+        let stride = 1usize << l;
+        let next: Vec<TaskId> = (0..n)
+            .map(|i| b.add_labeled_task(work, Some(format!("bf({},{i})", l + 1))))
+            .collect();
+        for i in 0..n {
+            b.add_edge(layer[i], next[i], volume).unwrap();
+            b.add_edge(layer[i ^ stride], next[i], volume).unwrap();
+        }
+        layer = next;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::topological_order;
+    use crate::width::width;
+
+    #[test]
+    fn counts_for_8_points() {
+        let g = fft(8, 1.0, 1.0);
+        // 4 layers of 8 tasks; 2 in-edges per non-entry task.
+        assert_eq!(g.num_tasks(), 32);
+        assert_eq!(g.num_edges(), 2 * 8 * 3);
+        assert_eq!(g.entry_tasks().len(), 8);
+        assert_eq!(g.exit_tasks().len(), 8);
+        assert_eq!(topological_order(&g).len(), 32);
+    }
+
+    #[test]
+    fn interior_degrees_are_two() {
+        let g = fft(4, 1.0, 1.0);
+        for t in g.tasks() {
+            if g.in_degree(t) > 0 {
+                assert_eq!(g.in_degree(t), 2);
+            }
+            if g.out_degree(t) > 0 {
+                assert_eq!(g.out_degree(t), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn width_is_n() {
+        let g = fft(8, 1.0, 1.0);
+        assert_eq!(width(&g), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        fft(6, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Fork graphs: one root fanning out to `n` leaves.
+//!
+//! Fork graphs are outforests, so Proposition 5.1 applies: CAFT generates at
+//! most `e(ε + 1)` messages on them.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use rand::Rng;
+
+/// A fork with `n` leaves. Work is uniform in `work`, volumes in `volume`.
+pub fn fork<R: Rng>(
+    n: usize,
+    work: std::ops::RangeInclusive<f64>,
+    volume: std::ops::RangeInclusive<f64>,
+    rng: &mut R,
+) -> TaskGraph {
+    assert!(n >= 1, "a fork needs at least one leaf");
+    let mut b = GraphBuilder::with_capacity(n + 1, n);
+    let root = b.add_labeled_task(sample(rng, work.clone()), Some("root".into()));
+    for i in 0..n {
+        let leaf = b.add_labeled_task(sample(rng, work.clone()), Some(format!("leaf{i}")));
+        b.add_edge(root, leaf, sample(rng, volume.clone()))
+            .expect("fork edges cannot cycle");
+    }
+    b.build()
+}
+
+fn sample<R: Rng>(rng: &mut R, r: std::ops::RangeInclusive<f64>) -> f64 {
+    if r.start() == r.end() {
+        *r.start()
+    } else {
+        rng.gen_range(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = fork(5, 1.0..=1.0, 2.0..=2.0, &mut rng);
+        assert_eq!(g.num_tasks(), 6);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.is_outforest());
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.exit_tasks().len(), 5);
+    }
+
+    #[test]
+    fn e_equals_v_minus_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = fork(9, 1.0..=2.0, 1.0..=3.0, &mut rng);
+        assert_eq!(g.num_edges(), g.num_tasks() - 1);
+    }
+}

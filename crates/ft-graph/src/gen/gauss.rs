@@ -1,0 +1,113 @@
+//! Gaussian-elimination task graph.
+//!
+//! The classic structured workload of the heterogeneous-scheduling
+//! literature (used e.g. in the HEFT evaluation \[27\]): for an `n × n`
+//! matrix, step `k` has a pivot task `piv(k)` followed by `n − k − 1`
+//! column-update tasks `upd(k, j)`, with
+//!
+//! * `piv(k) → upd(k, j)`       (the pivot row is broadcast),
+//! * `upd(k, k+1) → piv(k+1)`   (the next pivot needs its column updated),
+//! * `upd(k, j) → upd(k+1, j)`  (each column flows to the next step).
+//!
+//! Work and volumes shrink with `n − k`, mirroring the shrinking trailing
+//! submatrix: pivot work `∝ (n−k)`, update work `∝ (n−k)`, message volume
+//! `∝ (n−k)`.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use crate::ids::TaskId;
+
+/// Gaussian-elimination DAG for an `n × n` matrix (`n ≥ 2`).
+///
+/// `unit_work` and `unit_volume` scale all costs.
+pub fn gaussian_elimination(n: usize, unit_work: f64, unit_volume: f64) -> TaskGraph {
+    assert!(n >= 2, "need at least a 2x2 matrix");
+    let steps = n - 1;
+    let mut b = GraphBuilder::new();
+    let mut piv: Vec<TaskId> = Vec::with_capacity(steps);
+    // upd[k] holds the update tasks of step k, for columns k+1..n.
+    let mut upd: Vec<Vec<TaskId>> = Vec::with_capacity(steps);
+
+    for k in 0..steps {
+        let remaining = (n - k) as f64;
+        let p = b.add_labeled_task(unit_work * remaining, Some(format!("piv({k})")));
+        piv.push(p);
+        let mut row = Vec::with_capacity(n - k - 1);
+        for j in (k + 1)..n {
+            let u = b.add_labeled_task(unit_work * remaining, Some(format!("upd({k},{j})")));
+            row.push(u);
+        }
+        upd.push(row);
+    }
+
+    for k in 0..steps {
+        let remaining = (n - k) as f64;
+        let vol = unit_volume * remaining;
+        // Pivot row broadcast to all updates of the step.
+        for &u in &upd[k] {
+            b.add_edge(piv[k], u, vol).unwrap();
+        }
+        if k + 1 < steps {
+            // upd(k, k+1) feeds piv(k+1); upd(k, j) feeds upd(k+1, j).
+            b.add_edge(upd[k][0], piv[k + 1], vol).unwrap();
+            for (idx, &u) in upd[k].iter().enumerate().skip(1) {
+                // Column j = k + 1 + idx; in step k+1 it sits at index idx - 1.
+                b.add_edge(u, upd[k + 1][idx - 1], vol).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::topological_order;
+    use crate::width::width;
+
+    #[test]
+    fn task_and_edge_counts() {
+        // steps k = 0..n-1, step k has 1 + (n-k-1) tasks.
+        let n = 5;
+        let g = gaussian_elimination(n, 1.0, 1.0);
+        let expected_tasks: usize = (0..n - 1).map(|k| n - k).sum();
+        assert_eq!(g.num_tasks(), expected_tasks);
+        // Edges: per step k: (n-k-1) broadcast + (n-k-1) flow (to next step,
+        // exists when k+1 < n-1).
+        let expected_edges: usize =
+            (0..n - 1).map(|k| (n - k - 1) + if k + 2 < n { n - k - 1 } else { 0 }).sum();
+        assert_eq!(g.num_edges(), expected_edges);
+    }
+
+    #[test]
+    fn is_acyclic_with_single_entry_and_exit() {
+        let g = gaussian_elimination(6, 2.0, 3.0);
+        assert_eq!(topological_order(&g).len(), g.num_tasks());
+        assert_eq!(g.entry_tasks().len(), 1, "only piv(0) is an entry");
+        assert_eq!(g.exit_tasks().len(), 1, "only upd(n-2, n-1) is an exit");
+    }
+
+    #[test]
+    fn width_shrinks_with_steps() {
+        let g = gaussian_elimination(6, 1.0, 1.0);
+        // Maximum parallelism is the first update row: n - 1 = 5 tasks.
+        assert_eq!(width(&g), 5);
+    }
+
+    #[test]
+    fn work_decreases_across_steps() {
+        let g = gaussian_elimination(4, 1.0, 1.0);
+        // piv(0) has work 4, piv(1) work 3, piv(2) work 2.
+        let pivots: Vec<f64> = g
+            .tasks()
+            .filter(|&t| g.label(t).starts_with("piv"))
+            .map(|t| g.work(t))
+            .collect();
+        assert_eq!(pivots, vec![4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_matrix() {
+        gaussian_elimination(1, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Reduction (in-tree) graphs: `n` leaves combined pairwise down to one
+//! root — the mirror image of a fork. Every interior task has in-degree 2,
+//! which keeps CAFT's one-to-one machinery busy on *every* step (two
+//! predecessor replica sets to pair per replica).
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use crate::ids::TaskId;
+use rand::Rng;
+
+/// Binary reduction tree over `n` leaves (`n ≥ 1`). Work/volume uniform in
+/// the given ranges. With odd counts the last element of a level is carried
+/// upward unchanged.
+pub fn reduction_tree<R: Rng>(
+    n: usize,
+    work: std::ops::RangeInclusive<f64>,
+    volume: std::ops::RangeInclusive<f64>,
+    rng: &mut R,
+) -> TaskGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(2 * n, 2 * n);
+    let mut level: Vec<TaskId> = (0..n)
+        .map(|i| b.add_labeled_task(sample(rng, work.clone()), Some(format!("leaf{i}"))))
+        .collect();
+    let mut depth = 0usize;
+    while level.len() > 1 {
+        depth += 1;
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let it = level.chunks(2);
+        for (idx, pair) in it.enumerate() {
+            if pair.len() == 2 {
+                let parent = b.add_labeled_task(
+                    sample(rng, work.clone()),
+                    Some(format!("red({depth},{idx})")),
+                );
+                b.add_edge(pair[0], parent, sample(rng, volume.clone())).unwrap();
+                b.add_edge(pair[1], parent, sample(rng, volume.clone())).unwrap();
+                next.push(parent);
+            } else {
+                next.push(pair[0]); // odd element carried upward
+            }
+        }
+        level = next;
+    }
+    b.build()
+}
+
+fn sample<R: Rng>(rng: &mut R, r: std::ops::RangeInclusive<f64>) -> f64 {
+    if r.start() == r.end() {
+        *r.start()
+    } else {
+        rng.gen_range(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::width;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_of_two_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = reduction_tree(8, 1.0..=1.0, 1.0..=1.0, &mut rng);
+        // 8 + 4 + 2 + 1 tasks, each interior with 2 in-edges.
+        assert_eq!(g.num_tasks(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.exit_tasks().len(), 1);
+        assert_eq!(g.entry_tasks().len(), 8);
+        assert_eq!(width(&g), 8);
+    }
+
+    #[test]
+    fn odd_counts_carry_elements() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = reduction_tree(5, 1.0..=1.0, 1.0..=1.0, &mut rng);
+        // Levels: 5 -> 3 (2 new) -> 2 (1 new) -> 1 (1 new): 5 + 4 tasks.
+        assert_eq!(g.num_tasks(), 9);
+        assert_eq!(g.exit_tasks().len(), 1);
+        for t in g.tasks() {
+            assert!(g.in_degree(t) == 0 || g.in_degree(t) == 2);
+        }
+    }
+
+    #[test]
+    fn single_leaf_is_trivial() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = reduction_tree(1, 2.0..=2.0, 1.0..=1.0, &mut rng);
+        assert_eq!(g.num_tasks(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Join graphs: `n` sources feeding one sink (the dual of a fork).
+//!
+//! Joins maximize the replica fan-in problem CAFT's one-to-one mapping is
+//! designed around: the sink has many predecessors whose replicas must each
+//! route data to every replica of the sink.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use rand::Rng;
+
+/// A join with `n` sources. Work is uniform in `work`, volumes in `volume`.
+pub fn join<R: Rng>(
+    n: usize,
+    work: std::ops::RangeInclusive<f64>,
+    volume: std::ops::RangeInclusive<f64>,
+    rng: &mut R,
+) -> TaskGraph {
+    assert!(n >= 1, "a join needs at least one source");
+    let mut b = GraphBuilder::with_capacity(n + 1, n);
+    let sources: Vec<_> = (0..n)
+        .map(|i| b.add_labeled_task(sample(rng, work.clone()), Some(format!("src{i}"))))
+        .collect();
+    let sink = b.add_labeled_task(sample(rng, work.clone()), Some("sink".into()));
+    for s in sources {
+        b.add_edge(s, sink, sample(rng, volume.clone()))
+            .expect("join edges cannot cycle");
+    }
+    b.build()
+}
+
+fn sample<R: Rng>(rng: &mut R, r: std::ops::RangeInclusive<f64>) -> f64 {
+    if r.start() == r.end() {
+        *r.start()
+    } else {
+        rng.gen_range(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = join(5, 1.0..=1.0, 2.0..=2.0, &mut rng);
+        assert_eq!(g.num_tasks(), 6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.entry_tasks().len(), 5);
+        assert_eq!(g.exit_tasks().len(), 1);
+        assert_eq!(g.in_degree(crate::ids::TaskId(5)), 5);
+        assert!(!g.is_outforest() || g.num_edges() <= 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's random layered DAGs.
+
+use crate::gen::params::RandomDagParams;
+use crate::graph::{GraphBuilder, TaskGraph};
+use crate::ids::TaskId;
+use rand::Rng;
+
+/// Generates a random layered DAG per the paper's §6 workload description.
+///
+/// Tasks are arranged into layers of roughly `params.layer_width` tasks.
+/// Every task outside the first layer draws an in-degree from
+/// `params.degree` and picks that many distinct predecessors, each from the
+/// previous layer with probability `1 − skip_prob` and from any earlier
+/// layer otherwise. Work and volume are uniform in their ranges.
+///
+/// The graph is *connected enough* for scheduling purposes (no isolated
+/// non-entry tasks); entry tasks are exactly the first layer.
+pub fn random_layered<R: Rng>(params: &RandomDagParams, rng: &mut R) -> TaskGraph {
+    let v = sample_usize(rng, params.tasks.clone());
+    let width = params.layer_width.max(1);
+    let mut b = GraphBuilder::with_capacity(v, v * 2);
+
+    // Carve v tasks into layers; layer sizes vary ±50% around the mean for
+    // irregularity, as real workflow shapes are rarely rectangular.
+    let mut layers: Vec<Vec<TaskId>> = Vec::new();
+    let mut remaining = v;
+    while remaining > 0 {
+        let lo = width.div_ceil(2);
+        let hi = (width * 3).div_ceil(2);
+        let size = sample_usize(rng, lo..=hi).min(remaining);
+        let layer: Vec<TaskId> = (0..size)
+            .map(|_| b.add_task(rng.gen_range(params.work.clone())))
+            .collect();
+        layers.push(layer);
+        remaining -= size;
+    }
+
+    for li in 1..layers.len() {
+        // Clone the target layer ids to appease the borrow checker; layers
+        // are small (≈ layer_width entries).
+        let targets = layers[li].clone();
+        for t in targets {
+            let deg = sample_usize(rng, params.degree.clone());
+            let mut chosen: Vec<TaskId> = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                let src_layer = if li > 1 && rng.gen_bool(params.skip_prob) {
+                    rng.gen_range(0..li)
+                } else {
+                    li - 1
+                };
+                let cands = &layers[src_layer];
+                let src = cands[rng.gen_range(0..cands.len())];
+                if !chosen.contains(&src) {
+                    chosen.push(src);
+                }
+            }
+            for src in chosen {
+                let vol = rng.gen_range(params.volume.clone());
+                b.add_edge(src, t, vol).expect("layered edges cannot cycle");
+            }
+        }
+    }
+    b.build()
+}
+
+fn sample_usize<R: Rng>(rng: &mut R, range: std::ops::RangeInclusive<usize>) -> usize {
+    if range.start() == range.end() {
+        *range.start()
+    } else {
+        rng.gen_range(range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::topological_order;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_task_count_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let g = random_layered(&RandomDagParams::default(), &mut rng);
+            assert!((80..=120).contains(&g.num_tasks()), "v = {}", g.num_tasks());
+        }
+    }
+
+    #[test]
+    fn every_non_first_layer_task_has_predecessors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_layered(&RandomDagParams::default(), &mut rng);
+        // All entry tasks must belong to the first layer: equivalently, the
+        // number of entry tasks is at most 1.5 * layer_width.
+        let entries = g.entry_tasks().len();
+        assert!(entries >= 1);
+        assert!(entries <= 12, "too many entry tasks: {entries}");
+        for t in g.tasks() {
+            if g.in_degree(t) == 0 {
+                continue;
+            }
+            assert!((1..=3).contains(&g.in_degree(t)), "deg {}", g.in_degree(t));
+        }
+    }
+
+    #[test]
+    fn is_acyclic_and_deterministic() {
+        let g1 = random_layered(&RandomDagParams::default(), &mut StdRng::seed_from_u64(7));
+        let g2 = random_layered(&RandomDagParams::default(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1.num_tasks(), g2.num_tasks());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(topological_order(&g1).len(), g1.num_tasks());
+        for (a, b) in g1.edges().iter().zip(g2.edges()) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.volume, b.volume);
+        }
+    }
+
+    #[test]
+    fn volumes_and_work_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_layered(&RandomDagParams::default(), &mut rng);
+        for e in g.edges() {
+            assert!((50.0..=150.0).contains(&e.volume));
+        }
+        for t in g.tasks() {
+            assert!((10.0..=100.0).contains(&g.work(t)));
+        }
+    }
+
+    #[test]
+    fn fixed_task_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_layered(&RandomDagParams::default().with_tasks(50), &mut rng);
+        assert_eq!(g.num_tasks(), 50);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload generators.
+//!
+//! `layered` produces the random DAGs of the paper's experimental section
+//! (§6): task count uniform in `[80, 120]`, per-task degree in `[1, 3]`,
+//! message volumes uniform in `[50, 150]`, with a post-hoc volume scaling to
+//! hit a target granularity exactly. The structured families (`fork`,
+//! `join`, `outforest`, `chain`, `diamond`, `gauss`, `stencil`)
+//! serve Proposition 5.1, the examples, and the test suite.
+//!
+//! All generators are deterministic functions of the supplied RNG, and every
+//! experiment seeds its RNG explicitly, so results reproduce bit-for-bit.
+
+pub mod chain;
+pub mod cholesky;
+pub mod diamond;
+pub mod fft;
+pub mod fork;
+pub mod gauss;
+pub mod intree;
+pub mod join;
+pub mod layered;
+pub mod outforest;
+pub mod params;
+pub mod stencil;
+
+pub use chain::chain;
+pub use cholesky::cholesky;
+pub use diamond::fork_join;
+pub use fft::fft;
+pub use intree::reduction_tree;
+pub use fork::fork;
+pub use gauss::gaussian_elimination;
+pub use join::join;
+pub use layered::random_layered;
+pub use outforest::random_outforest;
+pub use params::RandomDagParams;
+pub use stencil::stencil_2d;

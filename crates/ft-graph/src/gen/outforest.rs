@@ -1,0 +1,81 @@
+//! Random outforests — every task has in-degree at most one.
+//!
+//! This is the graph family of Proposition 5.1: on outforests CAFT's
+//! one-to-one mapping always applies, so the total number of messages is at
+//! most `e(ε + 1)`.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use rand::Rng;
+
+/// A random outforest with `v` tasks.
+///
+/// Each task after the first becomes a new root with probability
+/// `new_root_prob`, otherwise it attaches (with in-degree exactly one) to a
+/// uniformly chosen earlier task. Maximum out-degree is unbounded but
+/// concentrates around `1 / new_root_prob`-ish small values.
+pub fn random_outforest<R: Rng>(
+    v: usize,
+    new_root_prob: f64,
+    work: std::ops::RangeInclusive<f64>,
+    volume: std::ops::RangeInclusive<f64>,
+    rng: &mut R,
+) -> TaskGraph {
+    assert!(v >= 1, "need at least one task");
+    assert!((0.0..=1.0).contains(&new_root_prob));
+    let mut b = GraphBuilder::with_capacity(v, v);
+    let first = b.add_task(sample(rng, work.clone()));
+    let mut ids = vec![first];
+    for _ in 1..v {
+        let t = b.add_task(sample(rng, work.clone()));
+        if !rng.gen_bool(new_root_prob) {
+            let parent = ids[rng.gen_range(0..ids.len())];
+            b.add_edge(parent, t, sample(rng, volume.clone()))
+                .expect("tree edges cannot cycle");
+        }
+        ids.push(t);
+    }
+    b.build()
+}
+
+fn sample<R: Rng>(rng: &mut R, r: std::ops::RangeInclusive<f64>) -> f64 {
+    if r.start() == r.end() {
+        *r.start()
+    } else {
+        rng.gen_range(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn is_outforest() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let g = random_outforest(60, 0.1, 1.0..=10.0, 1.0..=10.0, &mut rng);
+            assert!(g.is_outforest());
+            assert_eq!(g.num_tasks(), 60);
+            // e = v - (number of roots)
+            assert_eq!(g.num_edges(), 60 - g.entry_tasks().len());
+        }
+    }
+
+    #[test]
+    fn single_tree_when_no_extra_roots() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = random_outforest(30, 0.0, 1.0..=1.0, 1.0..=1.0, &mut rng);
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.num_edges(), 29);
+    }
+
+    #[test]
+    fn all_roots_when_prob_one() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = random_outforest(10, 1.0, 1.0..=1.0, 1.0..=1.0, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.entry_tasks().len(), 10);
+    }
+}

@@ -1,0 +1,74 @@
+//! 2-D stencil / wavefront grids.
+//!
+//! Task `(i, j)` depends on `(i−1, j)` and `(i, j−1)` — the dependence
+//! pattern of dynamic-programming sweeps and domain decompositions. The
+//! anti-diagonal width makes it a good stress test for platforms with
+//! limited processors and for the one-port model (every interior task has
+//! fan-in and fan-out 2).
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use crate::ids::TaskId;
+
+/// A `rows × cols` wavefront grid with uniform work and volume.
+pub fn stencil_2d(rows: usize, cols: usize, work: f64, volume: f64) -> TaskGraph {
+    assert!(rows >= 1 && cols >= 1);
+    let mut b = GraphBuilder::with_capacity(rows * cols, 2 * rows * cols);
+    let mut ids = vec![vec![TaskId(0); cols]; rows];
+    for (i, row) in ids.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = b.add_labeled_task(work, Some(format!("c({i},{j})")));
+        }
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            if i + 1 < rows {
+                b.add_edge(ids[i][j], ids[i + 1][j], volume).unwrap();
+            }
+            if j + 1 < cols {
+                b.add_edge(ids[i][j], ids[i][j + 1], volume).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::width;
+
+    #[test]
+    fn counts() {
+        let g = stencil_2d(3, 4, 1.0, 1.0);
+        assert_eq!(g.num_tasks(), 12);
+        // Horizontal edges: 3 * 3; vertical: 2 * 4.
+        assert_eq!(g.num_edges(), 9 + 8);
+    }
+
+    #[test]
+    fn corner_degrees() {
+        let g = stencil_2d(3, 3, 1.0, 1.0);
+        assert_eq!(g.entry_tasks().len(), 1); // (0,0)
+        assert_eq!(g.exit_tasks().len(), 1); // (2,2)
+        // Interior task has fan-in 2 and fan-out 2.
+        let interior = g
+            .tasks()
+            .find(|&t| g.label(t) == "c(1,1)")
+            .unwrap();
+        assert_eq!(g.in_degree(interior), 2);
+        assert_eq!(g.out_degree(interior), 2);
+    }
+
+    #[test]
+    fn width_is_min_dimension() {
+        let g = stencil_2d(3, 5, 1.0, 1.0);
+        assert_eq!(width(&g), 3);
+    }
+
+    #[test]
+    fn single_row_is_chain() {
+        let g = stencil_2d(1, 6, 1.0, 1.0);
+        assert!(g.is_outforest());
+        assert_eq!(g.num_edges(), 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Strongly-typed indices for tasks and edges.
+//!
+//! Both identifiers are plain `u32` newtypes: dense, `Copy`, and usable as
+//! vector indices via [`TaskId::index`] / [`EdgeId::index`]. Using 32-bit
+//! indices keeps hot scheduler structures compact (see the type-size
+//! guidance in the Rust Performance Book); graphs with more than 4 billion
+//! tasks are out of scope.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task (a node of the [`TaskGraph`](crate::TaskGraph)).
+///
+/// Task ids are dense: a graph with `v` tasks uses ids `0..v`, so a
+/// `Vec<T>` indexed by [`TaskId::index`] is the idiomatic per-task map.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// Identifier of a dependence edge between two tasks.
+///
+/// Edge ids are dense: a graph with `e` edges uses ids `0..e`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize`, for indexing per-task vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TaskId` from a vector index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in 32 bits.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        TaskId(u32::try_from(i).expect("task index exceeds u32"))
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize`, for indexing per-edge vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a vector index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in 32 bits.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_roundtrip() {
+        for i in [0usize, 1, 17, 1 << 20] {
+            assert_eq!(TaskId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        for i in [0usize, 1, 17, 1 << 20] {
+            assert_eq!(EdgeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TaskId(3).to_string(), "t3");
+        assert_eq!(EdgeId(5).to_string(), "e5");
+        assert_eq!(format!("{:?}", TaskId(3)), "t3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(EdgeId(0) < EdgeId(9));
+    }
+}

@@ -1,0 +1,182 @@
+//! Top and bottom levels — the longest-path measures driving list-scheduling
+//! priorities.
+//!
+//! Following the paper (§5) and HEFT/FTSA conventions:
+//!
+//! * the **top level** `tl(t)` is the length of the longest path from an
+//!   entry node to `t`, *excluding* the execution time of `t` itself (so
+//!   `tl = 0` for entry tasks);
+//! * the **bottom level** `bl(t)` is the length of the longest path from `t`
+//!   to an exit node, *including* the execution time of `t` (so
+//!   `bl = node weight` for exit tasks).
+//!
+//! Path length is the sum of node weights and edge weights along the path.
+//! Weights are supplied as closures: the scheduling heuristics use the
+//! *average* execution cost over processors as node weight and the average
+//! communication time over distinct processor pairs as edge weight (as in
+//! HEFT \[27\] and FTSA \[4\]).
+
+use crate::graph::TaskGraph;
+use crate::ids::{EdgeId, TaskId};
+use crate::topo::topological_order;
+
+/// Top and bottom levels of every task, plus the implied makespan lower
+/// bound (the weighted critical-path length).
+#[derive(Clone, Debug)]
+pub struct Levels {
+    /// `tl(t)`, indexed by task id.
+    pub top: Vec<f64>,
+    /// `bl(t)`, indexed by task id.
+    pub bottom: Vec<f64>,
+}
+
+impl Levels {
+    /// The priority used by CAFT/FTSA: `tl(t) + bl(t)` — the length of the
+    /// longest path through `t`.
+    #[inline]
+    pub fn priority(&self, t: TaskId) -> f64 {
+        self.top[t.index()] + self.bottom[t.index()]
+    }
+
+    /// Critical-path length of the weighted graph:
+    /// `max_t tl(t) + bl(t) = max_t bl(t)` over entry tasks.
+    pub fn critical_path_length(&self) -> f64 {
+        self.top
+            .iter()
+            .zip(&self.bottom)
+            .map(|(a, b)| a + b)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Computes top levels with arbitrary node / edge weight functions.
+pub fn top_levels<N, E>(g: &TaskGraph, node_w: N, edge_w: E) -> Vec<f64>
+where
+    N: Fn(TaskId) -> f64,
+    E: Fn(EdgeId) -> f64,
+{
+    let mut tl = vec![0.0f64; g.num_tasks()];
+    for &t in &topological_order(g) {
+        let mut best = 0.0f64;
+        for &e in g.in_edges(t) {
+            let edge = g.edge(e);
+            let cand = tl[edge.src.index()] + node_w(edge.src) + edge_w(e);
+            if cand > best {
+                best = cand;
+            }
+        }
+        tl[t.index()] = best;
+    }
+    tl
+}
+
+/// Computes bottom levels with arbitrary node / edge weight functions.
+pub fn bottom_levels<N, E>(g: &TaskGraph, node_w: N, edge_w: E) -> Vec<f64>
+where
+    N: Fn(TaskId) -> f64,
+    E: Fn(EdgeId) -> f64,
+{
+    let mut bl = vec![0.0f64; g.num_tasks()];
+    let order = topological_order(g);
+    for &t in order.iter().rev() {
+        let mut best = 0.0f64;
+        for &e in g.out_edges(t) {
+            let edge = g.edge(e);
+            let cand = edge_w(e) + bl[edge.dst.index()];
+            if cand > best {
+                best = cand;
+            }
+        }
+        bl[t.index()] = node_w(t) + best;
+    }
+    bl
+}
+
+/// Computes both levels at once.
+pub fn levels<N, E>(g: &TaskGraph, node_w: N, edge_w: E) -> Levels
+where
+    N: Fn(TaskId) -> f64 + Copy,
+    E: Fn(EdgeId) -> f64 + Copy,
+{
+    Levels {
+        top: top_levels(g, node_w, edge_w),
+        bottom: bottom_levels(g, node_w, edge_w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Chain 0 -> 1 -> 2 with unit node weights and edge weights 10, 20.
+    fn chain() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        let t2 = b.add_task(1.0);
+        b.add_edge(t0, t1, 10.0).unwrap();
+        b.add_edge(t1, t2, 20.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn chain_levels() {
+        let g = chain();
+        let lv = levels(&g, |t| g.work(t), |e| g.edge(e).volume);
+        assert_eq!(lv.top, vec![0.0, 11.0, 32.0]);
+        assert_eq!(lv.bottom, vec![33.0, 22.0, 1.0]);
+        // tl + bl is constant along the single path.
+        for t in g.tasks() {
+            assert_eq!(lv.priority(t), 33.0);
+        }
+        assert_eq!(lv.critical_path_length(), 33.0);
+    }
+
+    #[test]
+    fn diamond_levels_pick_longest_branch() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3; branch through 2 is heavier.
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        let t2 = b.add_task(5.0);
+        let t3 = b.add_task(1.0);
+        b.add_edge(t0, t1, 1.0).unwrap();
+        b.add_edge(t0, t2, 1.0).unwrap();
+        b.add_edge(t1, t3, 1.0).unwrap();
+        b.add_edge(t2, t3, 1.0).unwrap();
+        let g = b.build();
+        let lv = levels(&g, |t| g.work(t), |e| g.edge(e).volume);
+        assert_eq!(lv.top[t3.index()], 1.0 + 1.0 + 5.0 + 1.0); // via t2
+        assert_eq!(lv.bottom[t0.index()], 1.0 + 1.0 + 5.0 + 1.0 + 1.0);
+        assert_eq!(lv.critical_path_length(), 9.0);
+    }
+
+    #[test]
+    fn entry_and_exit_conventions() {
+        let g = chain();
+        let lv = levels(&g, |t| g.work(t), |e| g.edge(e).volume);
+        // Entry: tl = 0. Exit: bl = own weight.
+        assert_eq!(lv.top[0], 0.0);
+        assert_eq!(lv.bottom[2], 1.0);
+    }
+
+    #[test]
+    fn zero_edge_weights_reduce_to_node_paths() {
+        let g = chain();
+        let bl = bottom_levels(&g, |t| g.work(t), |_| 0.0);
+        assert_eq!(bl, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn independent_tasks_have_trivial_levels() {
+        let mut b = GraphBuilder::new();
+        b.add_task(4.0);
+        b.add_task(7.0);
+        let g = b.build();
+        let lv = levels(&g, |t| g.work(t), |e| g.edge(e).volume);
+        assert_eq!(lv.top, vec![0.0, 0.0]);
+        assert_eq!(lv.bottom, vec![4.0, 7.0]);
+        assert_eq!(lv.critical_path_length(), 7.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Critical-path extraction.
+//!
+//! The critical path is the longest weighted path in the DAG; its length is
+//! the classical lower bound on any schedule's makespan when communications
+//! are free. The experiment harness uses it both as a sanity check and to
+//! normalize latencies.
+
+use crate::graph::TaskGraph;
+use crate::ids::{EdgeId, TaskId};
+use crate::levels::{bottom_levels, top_levels};
+
+/// Length of the longest weighted path (node weights + edge weights).
+pub fn critical_path_length<N, E>(g: &TaskGraph, node_w: N, edge_w: E) -> f64
+where
+    N: Fn(TaskId) -> f64 + Copy,
+    E: Fn(EdgeId) -> f64 + Copy,
+{
+    bottom_levels(g, node_w, edge_w).iter().copied().fold(0.0, f64::max)
+}
+
+/// The tasks of one longest weighted path, entry to exit.
+///
+/// Among equally long paths the smallest-id continuation is chosen, so the
+/// result is deterministic.
+pub fn critical_path<N, E>(g: &TaskGraph, node_w: N, edge_w: E) -> Vec<TaskId>
+where
+    N: Fn(TaskId) -> f64 + Copy,
+    E: Fn(EdgeId) -> f64 + Copy,
+{
+    if g.num_tasks() == 0 {
+        return Vec::new();
+    }
+    let tl = top_levels(g, node_w, edge_w);
+    let bl = bottom_levels(g, node_w, edge_w);
+    let total = |t: TaskId| tl[t.index()] + bl[t.index()];
+    let cp_len = g.tasks().map(total).fold(0.0, f64::max);
+    let eps = 1e-9 * cp_len.max(1.0);
+
+    // Start at the entry task achieving the critical length.
+    let mut cur = g
+        .tasks()
+        .filter(|&t| g.in_degree(t) == 0 && total(t) >= cp_len - eps)
+        .min()
+        .expect("DAG has at least one entry task");
+    let mut path = vec![cur];
+    loop {
+        // Follow an out-edge that stays on a critical continuation:
+        // bl(cur) = node_w(cur) + edge_w(e) + bl(dst).
+        let mut next: Option<TaskId> = None;
+        for &e in g.out_edges(cur) {
+            let edge = g.edge(e);
+            let cont = node_w(cur) + edge_w(e) + bl[edge.dst.index()];
+            if (cont - bl[cur.index()]).abs() <= eps {
+                next = match next {
+                    Some(n) if n <= edge.dst => Some(n),
+                    _ => Some(edge.dst),
+                };
+            }
+        }
+        match next {
+            Some(n) => {
+                path.push(n);
+                cur = n;
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn chain_path_is_whole_chain() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        let t2 = b.add_task(1.0);
+        b.add_edge(t0, t1, 2.0).unwrap();
+        b.add_edge(t1, t2, 2.0).unwrap();
+        let g = b.build();
+        let p = critical_path(&g, |t| g.work(t), |e| g.edge(e).volume);
+        assert_eq!(p, vec![t0, t1, t2]);
+        assert_eq!(critical_path_length(&g, |t| g.work(t), |e| g.edge(e).volume), 7.0);
+    }
+
+    #[test]
+    fn picks_heavier_branch() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let light = b.add_task(1.0);
+        let heavy = b.add_task(10.0);
+        let t3 = b.add_task(1.0);
+        b.add_edge(t0, light, 1.0).unwrap();
+        b.add_edge(t0, heavy, 1.0).unwrap();
+        b.add_edge(light, t3, 1.0).unwrap();
+        b.add_edge(heavy, t3, 1.0).unwrap();
+        let g = b.build();
+        let p = critical_path(&g, |t| g.work(t), |e| g.edge(e).volume);
+        assert_eq!(p, vec![t0, heavy, t3]);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_path() {
+        let g = GraphBuilder::new().build();
+        assert!(critical_path(&g, |_| 1.0, |_| 1.0).is_empty());
+        assert_eq!(critical_path_length(&g, |_| 1.0, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn path_length_matches_sum_of_weights() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..6).map(|i| b.add_task(1.0 + i as f64)).collect();
+        b.add_edge(ids[0], ids[2], 3.0).unwrap();
+        b.add_edge(ids[1], ids[2], 1.0).unwrap();
+        b.add_edge(ids[2], ids[3], 2.0).unwrap();
+        b.add_edge(ids[2], ids[4], 9.0).unwrap();
+        b.add_edge(ids[4], ids[5], 1.0).unwrap();
+        let g = b.build();
+        let node = |t: crate::ids::TaskId| g.work(t);
+        let edge = |e: crate::ids::EdgeId| g.edge(e).volume;
+        let p = critical_path(&g, node, edge);
+        // Recompute the path's length edge by edge.
+        let mut len = 0.0;
+        for w in p.windows(2) {
+            let eid = g
+                .out_edges(w[0])
+                .iter()
+                .copied()
+                .find(|&e| g.edge(e).dst == w[1])
+                .unwrap();
+            len += node(w[0]) + edge(eid);
+        }
+        len += node(*p.last().unwrap());
+        assert!((len - critical_path_length(&g, node, edge)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Reachability analyses: ancestors, descendants, transitive reduction.
+//!
+//! Used by tests (e.g. verifying that one-to-one supply chains recurse
+//! through ancestors) and by library users pruning redundant dependence
+//! edges before scheduling — a transitively redundant edge only adds
+//! messages under replication without constraining the schedule.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use crate::ids::TaskId;
+use crate::topo::topological_order;
+
+/// All tasks reachable *from* `t` (strict descendants).
+pub fn descendants(g: &TaskGraph, t: TaskId) -> Vec<TaskId> {
+    let mut seen = vec![false; g.num_tasks()];
+    let mut stack = vec![t];
+    let mut out = Vec::new();
+    while let Some(x) = stack.pop() {
+        for s in g.successors(x) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                out.push(s);
+                stack.push(s);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// All tasks that reach `t` (strict ancestors).
+pub fn ancestors(g: &TaskGraph, t: TaskId) -> Vec<TaskId> {
+    let mut seen = vec![false; g.num_tasks()];
+    let mut stack = vec![t];
+    let mut out = Vec::new();
+    while let Some(x) = stack.pop() {
+        for p in g.predecessors(x) {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                out.push(p);
+                stack.push(p);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Rebuilds the graph without transitively redundant edges: an edge
+/// `a → b` is dropped when another path `a ⤳ b` exists. Work and volumes
+/// of surviving edges are preserved.
+pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
+    let v = g.num_tasks();
+    // Longest path length in hops between pairs: an edge is redundant iff
+    // the longest a→b hop distance exceeds 1.
+    let order = topological_order(g);
+    // dist[a] computed per source by DP over the topological order suffix.
+    let mut b = GraphBuilder::with_capacity(v, g.num_edges());
+    for t in g.tasks() {
+        b.add_labeled_task(g.work(t), Some(g.label(t).to_string()));
+    }
+    for src in g.tasks() {
+        // Hop-longest-path from src to everything.
+        let mut dist = vec![i64::MIN; v];
+        dist[src.index()] = 0;
+        for &x in &order {
+            if dist[x.index()] == i64::MIN {
+                continue;
+            }
+            for s in g.successors(x) {
+                dist[s.index()] = dist[s.index()].max(dist[x.index()] + 1);
+            }
+        }
+        for &e in g.out_edges(src) {
+            let edge = g.edge(e);
+            if dist[edge.dst.index()] == 1 {
+                b.add_edge(edge.src, edge.dst, edge.volume)
+                    .expect("reduced edges cannot cycle");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Structural summary of a DAG.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Longest path length in hops (number of edges).
+    pub depth: usize,
+    /// Mean in-degree over non-entry tasks (0 if all tasks are entries).
+    pub mean_fanin: f64,
+    /// Entry task count.
+    pub entries: usize,
+    /// Exit task count.
+    pub exits: usize,
+}
+
+/// Computes [`GraphMetrics`].
+pub fn metrics(g: &TaskGraph) -> GraphMetrics {
+    let mut depth = 0usize;
+    let mut hops = vec![0usize; g.num_tasks()];
+    for &t in &topological_order(g) {
+        for s in g.successors(t) {
+            hops[s.index()] = hops[s.index()].max(hops[t.index()] + 1);
+            depth = depth.max(hops[s.index()]);
+        }
+    }
+    let non_entry = g.tasks().filter(|&t| g.in_degree(t) > 0).count();
+    GraphMetrics {
+        tasks: g.num_tasks(),
+        edges: g.num_edges(),
+        depth,
+        mean_fanin: if non_entry == 0 {
+            0.0
+        } else {
+            g.num_edges() as f64 / non_entry as f64
+        },
+        entries: g.entry_tasks().len(),
+        exits: g.exit_tasks().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// a → b → c plus the redundant shortcut a → c.
+    fn shortcut() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1.0);
+        let x = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, x, 1.0).unwrap();
+        b.add_edge(x, c, 1.0).unwrap();
+        b.add_edge(a, c, 9.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let g = shortcut();
+        assert_eq!(descendants(&g, TaskId(0)), vec![TaskId(1), TaskId(2)]);
+        assert_eq!(ancestors(&g, TaskId(2)), vec![TaskId(0), TaskId(1)]);
+        assert!(descendants(&g, TaskId(2)).is_empty());
+        assert!(ancestors(&g, TaskId(0)).is_empty());
+    }
+
+    #[test]
+    fn reduction_drops_shortcut() {
+        let g = shortcut();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.num_edges(), 2);
+        assert_eq!(r.num_tasks(), 3);
+        // The surviving edges keep their volumes.
+        assert!(r.edges().iter().all(|e| e.volume == 1.0));
+        // Labels preserved.
+        assert_eq!(r.label(TaskId(1)), g.label(TaskId(1)));
+    }
+
+    #[test]
+    fn reduction_of_reduced_graph_is_identity() {
+        let g = shortcut();
+        let r1 = transitive_reduction(&g);
+        let r2 = transitive_reduction(&r1);
+        assert_eq!(r1.num_edges(), r2.num_edges());
+    }
+
+    #[test]
+    fn diamond_is_already_reduced() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1.0);
+        let x = b.add_task(1.0);
+        let y = b.add_task(1.0);
+        let z = b.add_task(1.0);
+        b.add_edge(a, x, 1.0).unwrap();
+        b.add_edge(a, y, 1.0).unwrap();
+        b.add_edge(x, z, 1.0).unwrap();
+        b.add_edge(y, z, 1.0).unwrap();
+        let g = b.build();
+        assert_eq!(transitive_reduction(&g).num_edges(), 4);
+    }
+
+    #[test]
+    fn metrics_of_shortcut_graph() {
+        let m = metrics(&shortcut());
+        assert_eq!(m.tasks, 3);
+        assert_eq!(m.edges, 3);
+        assert_eq!(m.depth, 2);
+        assert_eq!(m.entries, 1);
+        assert_eq!(m.exits, 1);
+        assert!((m.mean_fanin - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_of_independent_tasks() {
+        let mut b = GraphBuilder::new();
+        b.add_task(1.0);
+        b.add_task(1.0);
+        let m = metrics(&b.build());
+        assert_eq!(m.depth, 0);
+        assert_eq!(m.mean_fanin, 0.0);
+        assert_eq!(m.entries, 2);
+    }
+}

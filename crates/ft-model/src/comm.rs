@@ -1,0 +1,84 @@
+//! Communication model selection and message planning types.
+
+use crate::replica::ReplicaRef;
+use ft_graph::EdgeId;
+use ft_platform::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// Which communication model governs a schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommModel {
+    /// Classical contention-free model: unlimited ports and link capacity.
+    MacroDataflow,
+    /// Bi-directional one-port model of the paper: one outgoing and one
+    /// incoming transfer per processor at a time, one message per link,
+    /// full communication/computation overlap.
+    OnePort,
+}
+
+/// A message the scheduler *wants* to route into a destination processor:
+/// the data produced by `src` (a replica of a predecessor task over graph
+/// edge `edge`), available at time `ready` on processor `from`, of
+/// wall-clock duration `w = V(edge) · d(from, dst)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MsgSpec {
+    /// The DAG edge this message realizes.
+    pub edge: EdgeId,
+    /// Sending replica.
+    pub src: ReplicaRef,
+    /// Receiving replica.
+    pub dst: ReplicaRef,
+    /// Sender processor.
+    pub from: ProcId,
+    /// Time at which the data is available on `from` (the sender replica's
+    /// finish time).
+    pub ready: f64,
+    /// Transfer duration on the wire towards the planned destination
+    /// (0 when co-located).
+    pub w: f64,
+}
+
+/// A planned (or committed) message: the spec plus its resource interval.
+///
+/// For a remote message, `[start, finish]` is the interval occupied on the
+/// sender's send port, the link and the receiver's receive port; `finish`
+/// is the arrival time `A(c, P)`. For a co-located message, `start ==
+/// finish == ready` and no resource is used.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlannedMsg {
+    /// The request this plan realizes.
+    pub spec: MsgSpec,
+    /// Transfer start `S(c, l)`.
+    pub start: f64,
+    /// Arrival `A(c, P) = S + w`.
+    pub finish: f64,
+}
+
+impl PlannedMsg {
+    /// True if sender and planned receiver are the same processor.
+    #[inline]
+    pub fn is_local(&self, dst: ProcId) -> bool {
+        self.spec.from == dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::TaskId;
+
+    #[test]
+    fn local_detection() {
+        let spec = MsgSpec {
+            edge: EdgeId(0),
+            src: ReplicaRef::new(TaskId(0), 0),
+            dst: ReplicaRef::new(TaskId(1), 0),
+            from: ProcId(2),
+            ready: 1.0,
+            w: 0.0,
+        };
+        let m = PlannedMsg { spec, start: 1.0, finish: 1.0 };
+        assert!(m.is_local(ProcId(2)));
+        assert!(!m.is_local(ProcId(1)));
+    }
+}

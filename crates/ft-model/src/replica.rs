@@ -1,0 +1,86 @@
+//! Replica identities and placements.
+//!
+//! Active replication (§2) schedules `ε + 1` copies `t^(1) … t^(ε+1)` of
+//! every task on pairwise-distinct processors. [`ReplicaRef`] names one
+//! copy; [`Replica`] is its committed placement in a schedule.
+
+use ft_platform::ProcId;
+use ft_graph::TaskId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reference to one replica of a task: the paper's `t^(k)`.
+///
+/// `copy` is the replica index, `0 ..= ε`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaRef {
+    /// The replicated task.
+    pub task: TaskId,
+    /// Replica index within `B(t)`.
+    pub copy: u8,
+}
+
+impl ReplicaRef {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(task: TaskId, copy: usize) -> Self {
+        ReplicaRef {
+            task,
+            copy: u8::try_from(copy).expect("more than 255 replicas"),
+        }
+    }
+}
+
+impl fmt::Debug for ReplicaRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^({})", self.task, self.copy + 1)
+    }
+}
+
+impl fmt::Display for ReplicaRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^({})", self.task, self.copy + 1)
+    }
+}
+
+/// A committed replica placement: `t^(k)` runs on `proc` during
+/// `[start, finish]` with `finish = start + E(t, proc)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Replica {
+    /// Which replica this is.
+    pub of: ReplicaRef,
+    /// Host processor `P(t^(k))`.
+    pub proc: ProcId,
+    /// Scheduled start time.
+    pub start: f64,
+    /// Scheduled finish time.
+    pub finish: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_one_based_copy() {
+        let r = ReplicaRef::new(TaskId(3), 0);
+        assert_eq!(r.to_string(), "t3^(1)");
+        assert_eq!(format!("{:?}", ReplicaRef::new(TaskId(3), 2)), "t3^(3)");
+    }
+
+    #[test]
+    fn ordering_groups_by_task_then_copy() {
+        let a = ReplicaRef::new(TaskId(1), 1);
+        let b = ReplicaRef::new(TaskId(2), 0);
+        let c = ReplicaRef::new(TaskId(1), 0);
+        let mut v = vec![a, b, c];
+        v.sort();
+        assert_eq!(v, vec![c, a, b]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_replicas_rejected() {
+        ReplicaRef::new(TaskId(0), 300);
+    }
+}

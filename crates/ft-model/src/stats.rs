@@ -1,0 +1,165 @@
+//! Schedule statistics: resource utilization and communication load.
+//!
+//! The paper's evaluation reports latency, overhead and message counts;
+//! these per-processor aggregates complete the picture for library users
+//! analyzing *why* a schedule behaves the way it does (e.g. how much of the
+//! one-port penalty shows up as receive-port busy time).
+
+use crate::schedule::FtSchedule;
+use ft_platform::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// Per-processor load breakdown over the schedule horizon.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProcLoad {
+    /// The processor.
+    pub proc: ProcId,
+    /// Number of replicas hosted.
+    pub replicas: usize,
+    /// Total computation time.
+    pub compute: f64,
+    /// Total send-port busy time (remote transfers originated).
+    pub send_busy: f64,
+    /// Total receive-port busy time (remote transfers absorbed).
+    pub recv_busy: f64,
+}
+
+/// Whole-schedule statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Schedule horizon: the latest finish over every replica and message.
+    pub horizon: f64,
+    /// Per-processor breakdown, indexed by processor id.
+    pub per_proc: Vec<ProcLoad>,
+    /// Sum of all computation time over all replicas.
+    pub total_compute: f64,
+    /// Sum of all remote transfer durations.
+    pub total_comm: f64,
+    /// Average compute utilization: `total_compute / (m · horizon)`.
+    pub mean_utilization: f64,
+}
+
+impl ScheduleStats {
+    /// The busiest processor by compute time.
+    pub fn busiest(&self) -> Option<&ProcLoad> {
+        self.per_proc
+            .iter()
+            .max_by(|a, b| a.compute.total_cmp(&b.compute))
+    }
+
+    /// Load imbalance: max compute / mean compute (1.0 = perfectly even).
+    pub fn imbalance(&self) -> f64 {
+        let m = self.per_proc.len() as f64;
+        if m == 0.0 || self.total_compute == 0.0 {
+            return 1.0;
+        }
+        let mean = self.total_compute / m;
+        self.busiest().map_or(1.0, |b| b.compute / mean)
+    }
+}
+
+/// Computes the statistics of a schedule on a platform of `m` processors.
+pub fn schedule_stats(m: usize, sched: &FtSchedule) -> ScheduleStats {
+    let mut per_proc: Vec<ProcLoad> = (0..m)
+        .map(|i| ProcLoad {
+            proc: ProcId::from_index(i),
+            replicas: 0,
+            compute: 0.0,
+            send_busy: 0.0,
+            recv_busy: 0.0,
+        })
+        .collect();
+    let mut horizon = 0.0f64;
+    let mut total_compute = 0.0;
+    for rs in &sched.replicas {
+        for r in rs {
+            let load = &mut per_proc[r.proc.index()];
+            load.replicas += 1;
+            load.compute += r.finish - r.start;
+            total_compute += r.finish - r.start;
+            horizon = horizon.max(r.finish);
+        }
+    }
+    let mut total_comm = 0.0;
+    for msg in &sched.messages {
+        if msg.is_local() {
+            continue;
+        }
+        let dur = msg.finish - msg.start;
+        per_proc[msg.from.index()].send_busy += dur;
+        per_proc[msg.to.index()].recv_busy += dur;
+        total_comm += dur;
+        horizon = horizon.max(msg.finish);
+    }
+    let mean_utilization = if m == 0 || horizon == 0.0 {
+        0.0
+    } else {
+        total_compute / (m as f64 * horizon)
+    };
+    ScheduleStats { horizon, per_proc, total_compute, total_comm, mean_utilization }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommModel;
+    use crate::replica::{Replica, ReplicaRef};
+    use crate::schedule::MessageRecord;
+    use ft_graph::{EdgeId, TaskId};
+
+    fn sample() -> FtSchedule {
+        let mut s = FtSchedule::new(2, 0, CommModel::OnePort);
+        s.push_replica(Replica {
+            of: ReplicaRef::new(TaskId(0), 0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 4.0,
+        });
+        s.push_replica(Replica {
+            of: ReplicaRef::new(TaskId(1), 0),
+            proc: ProcId(1),
+            start: 6.0,
+            finish: 8.0,
+        });
+        s.messages.push(MessageRecord {
+            edge: EdgeId(0),
+            src: ReplicaRef::new(TaskId(0), 0),
+            dst: ReplicaRef::new(TaskId(1), 0),
+            from: ProcId(0),
+            to: ProcId(1),
+            start: 4.0,
+            finish: 6.0,
+        });
+        s
+    }
+
+    #[test]
+    fn per_proc_breakdown() {
+        let stats = schedule_stats(3, &sample());
+        assert_eq!(stats.horizon, 8.0);
+        assert_eq!(stats.total_compute, 6.0);
+        assert_eq!(stats.total_comm, 2.0);
+        assert_eq!(stats.per_proc[0].compute, 4.0);
+        assert_eq!(stats.per_proc[0].send_busy, 2.0);
+        assert_eq!(stats.per_proc[1].recv_busy, 2.0);
+        assert_eq!(stats.per_proc[2].replicas, 0);
+        assert!((stats.mean_utilization - 6.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busiest_and_imbalance() {
+        let stats = schedule_stats(3, &sample());
+        assert_eq!(stats.busiest().unwrap().proc, ProcId(0));
+        // mean compute = 2, max = 4 → imbalance 2.
+        assert!((stats.imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_is_safe() {
+        let s = FtSchedule::new(0, 0, CommModel::OnePort);
+        let stats = schedule_stats(2, &s);
+        assert_eq!(stats.horizon, 0.0);
+        assert_eq!(stats.mean_utilization, 0.0);
+        assert_eq!(stats.imbalance(), 1.0);
+    }
+}

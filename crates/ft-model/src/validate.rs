@@ -1,0 +1,418 @@
+//! Independent schedule auditing.
+//!
+//! [`validate_schedule`] rebuilds every resource's occupancy from the raw
+//! replica/message records and checks, from scratch:
+//!
+//! * completeness — every task has exactly `ε + 1` replicas;
+//! * **space exclusion** — replicas of a task sit on distinct processors
+//!   (Proposition 5.2's prerequisite);
+//! * execution consistency — `finish − start = E(t, P)`;
+//! * processor exclusivity — a processor runs one task at a time (§2);
+//! * message consistency — senders/receivers are where the records claim,
+//!   transfers depart after the source replica finishes and take exactly
+//!   `V · d(Pk, Ph)`;
+//! * **precedence** — every replica has, for each predecessor edge, at
+//!   least one copy of the data arriving no later than its start
+//!   (equation (5));
+//! * **one-port exclusivity** — constraints (1), (2) and (3) of §4.3:
+//!   non-overlap per directed link, per send port and per receive port
+//!   (skipped under the macro-dataflow model, which has no such limits).
+//!
+//! Every scheduling algorithm in `ft-algos` is tested against this auditor,
+//! so a bookkeeping bug in a heuristic cannot silently produce an
+//! infeasible schedule.
+
+use crate::comm::CommModel;
+use crate::schedule::FtSchedule;
+use crate::timeline::Timeline;
+use ft_platform::Instance;
+use std::fmt;
+
+/// Absolute tolerance for time comparisons in the auditor.
+pub const AUDIT_EPS: f64 = 1e-6;
+
+/// A violation found by [`validate_schedule`].
+///
+/// Field names follow the paper's vocabulary: `task`/`copy` identify a
+/// replica `t^(k)`, `proc`/`from`/`to` are processor indices, `msg` indexes
+/// into [`FtSchedule::messages`].
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // fields are self-describing indices/values
+pub enum ValidationError {
+    /// Task has the wrong number of replicas.
+    ReplicaCount { task: usize, got: usize, want: usize },
+    /// Two replicas of one task share a processor.
+    SpaceExclusion { task: usize },
+    /// Replica duration does not match `E(t, P)`.
+    ExecDuration { task: usize, copy: usize, got: f64, want: f64 },
+    /// Two computations overlap on one processor.
+    ProcOverlap { proc: usize },
+    /// A message's source replica is not on the claimed processor, or
+    /// fires before its data exists, or has the wrong duration.
+    MessageInconsistent { msg: usize, reason: &'static str },
+    /// A replica starts before data from some predecessor has arrived.
+    PrecedenceViolation { task: usize, copy: usize, pred: usize },
+    /// Two messages overlap on a directed link (constraint (1)).
+    LinkOverlap { from: usize, to: usize },
+    /// Two outgoing messages overlap on a send port (constraint (2)).
+    SendPortOverlap { proc: usize },
+    /// Two incoming messages overlap on a receive port (constraint (3)).
+    RecvPortOverlap { proc: usize },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ReplicaCount { task, got, want } => {
+                write!(f, "task t{task}: {got} replicas, expected {want}")
+            }
+            ValidationError::SpaceExclusion { task } => {
+                write!(f, "task t{task}: two replicas share a processor")
+            }
+            ValidationError::ExecDuration { task, copy, got, want } => write!(
+                f,
+                "replica t{task}^({}): duration {got}, expected {want}",
+                copy + 1
+            ),
+            ValidationError::ProcOverlap { proc } => {
+                write!(f, "processor P{proc}: overlapping computations")
+            }
+            ValidationError::MessageInconsistent { msg, reason } => {
+                write!(f, "message #{msg}: {reason}")
+            }
+            ValidationError::PrecedenceViolation { task, copy, pred } => write!(
+                f,
+                "replica t{task}^({}) starts before any copy of t{pred}'s data arrives",
+                copy + 1
+            ),
+            ValidationError::LinkOverlap { from, to } => {
+                write!(f, "link P{from}->P{to}: overlapping messages")
+            }
+            ValidationError::SendPortOverlap { proc } => {
+                write!(f, "send port of P{proc}: overlapping messages")
+            }
+            ValidationError::RecvPortOverlap { proc } => {
+                write!(f, "receive port of P{proc}: overlapping messages")
+            }
+        }
+    }
+}
+
+/// Audits `sched` against `inst`. Returns every violation found (empty
+/// vector = the schedule is feasible under its communication model).
+pub fn validate_schedule(inst: &Instance, sched: &FtSchedule) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let v = inst.graph.num_tasks();
+    let m = inst.num_procs();
+
+    // --- Replica completeness, space exclusion, durations. ---
+    for t in inst.graph.tasks() {
+        let rs = sched.replicas_of(t);
+        if rs.len() != sched.num_replicas {
+            errors.push(ValidationError::ReplicaCount {
+                task: t.index(),
+                got: rs.len(),
+                want: sched.num_replicas,
+            });
+        }
+        for i in 0..rs.len() {
+            for j in (i + 1)..rs.len() {
+                if rs[i].proc == rs[j].proc {
+                    errors.push(ValidationError::SpaceExclusion { task: t.index() });
+                }
+            }
+        }
+        for r in rs {
+            let want = inst.exec_time(t, r.proc);
+            let got = r.finish - r.start;
+            if (got - want).abs() > AUDIT_EPS {
+                errors.push(ValidationError::ExecDuration {
+                    task: t.index(),
+                    copy: r.of.copy as usize,
+                    got,
+                    want,
+                });
+            }
+        }
+    }
+
+    // --- Processor exclusivity. ---
+    let mut proc_tl = vec![Timeline::new(); m];
+    for rs in &sched.replicas {
+        for r in rs {
+            proc_tl[r.proc.index()].add(r.start, r.finish, r.of.task.0);
+        }
+    }
+    for (p, tl) in proc_tl.iter().enumerate() {
+        if tl.first_overlap().is_some() {
+            errors.push(ValidationError::ProcOverlap { proc: p });
+        }
+    }
+
+    // --- Message consistency. ---
+    for (i, msg) in sched.messages.iter().enumerate() {
+        if msg.src.task.index() >= v || msg.dst.task.index() >= v {
+            errors.push(ValidationError::MessageInconsistent { msg: i, reason: "unknown task" });
+            continue;
+        }
+        let edge = inst.graph.edge(msg.edge);
+        if edge.src != msg.src.task || edge.dst != msg.dst.task {
+            errors.push(ValidationError::MessageInconsistent {
+                msg: i,
+                reason: "edge endpoints do not match replicas",
+            });
+            continue;
+        }
+        let src_rs = sched.replicas_of(msg.src.task);
+        let dst_rs = sched.replicas_of(msg.dst.task);
+        let (Some(src), Some(dst)) = (
+            src_rs.get(msg.src.copy as usize),
+            dst_rs.get(msg.dst.copy as usize),
+        ) else {
+            errors.push(ValidationError::MessageInconsistent { msg: i, reason: "missing replica" });
+            continue;
+        };
+        if src.proc != msg.from {
+            errors.push(ValidationError::MessageInconsistent {
+                msg: i,
+                reason: "source replica not on claimed sender",
+            });
+        }
+        if dst.proc != msg.to {
+            errors.push(ValidationError::MessageInconsistent {
+                msg: i,
+                reason: "destination replica not on claimed receiver",
+            });
+        }
+        if msg.start < src.finish - AUDIT_EPS {
+            errors.push(ValidationError::MessageInconsistent {
+                msg: i,
+                reason: "transfer departs before source replica finishes",
+            });
+        }
+        let want_w = if msg.is_local() {
+            0.0
+        } else {
+            inst.comm_time(msg.edge, msg.from, msg.to)
+        };
+        if ((msg.finish - msg.start) - want_w).abs() > AUDIT_EPS {
+            errors.push(ValidationError::MessageInconsistent {
+                msg: i,
+                reason: "transfer duration does not match V * d",
+            });
+        }
+    }
+
+    // --- Precedence (equation (5)): for every replica and every in-edge,
+    // some copy of the data arrives by the replica's start. ---
+    for t in inst.graph.tasks() {
+        for r in sched.replicas_of(t) {
+            for &e in inst.graph.in_edges(t) {
+                let pred = inst.graph.edge(e).src;
+                let earliest = sched
+                    .messages
+                    .iter()
+                    .filter(|msg| msg.dst == r.of && msg.edge == e)
+                    .map(|msg| msg.finish)
+                    .fold(f64::INFINITY, f64::min);
+                if earliest > r.start + AUDIT_EPS {
+                    errors.push(ValidationError::PrecedenceViolation {
+                        task: t.index(),
+                        copy: r.of.copy as usize,
+                        pred: pred.index(),
+                    });
+                }
+            }
+        }
+    }
+
+    // --- One-port exclusivity (constraints (1)–(3)). ---
+    if sched.model == CommModel::OnePort {
+        let mut send_tl = vec![Timeline::new(); m];
+        let mut recv_tl = vec![Timeline::new(); m];
+        let mut link_tl = vec![Timeline::new(); m * m];
+        for (i, msg) in sched.messages.iter().enumerate() {
+            if msg.is_local() {
+                continue;
+            }
+            let tag = i as u32;
+            send_tl[msg.from.index()].add(msg.start, msg.finish, tag);
+            recv_tl[msg.to.index()].add(msg.start, msg.finish, tag);
+            link_tl[msg.from.index() * m + msg.to.index()].add(msg.start, msg.finish, tag);
+        }
+        for p in 0..m {
+            if send_tl[p].first_overlap().is_some() {
+                errors.push(ValidationError::SendPortOverlap { proc: p });
+            }
+            if recv_tl[p].first_overlap().is_some() {
+                errors.push(ValidationError::RecvPortOverlap { proc: p });
+            }
+            for q in 0..m {
+                if link_tl[p * m + q].first_overlap().is_some() {
+                    errors.push(ValidationError::LinkOverlap { from: p, to: q });
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::{Replica, ReplicaRef};
+    use crate::schedule::MessageRecord;
+    use ft_graph::{EdgeId, GraphBuilder, TaskId};
+    use ft_platform::{ExecMatrix, Platform, ProcId};
+
+    /// Two tasks a → b, volume 2; two procs, delay 1; E(t, p) = 1 for all.
+    fn inst() -> Instance {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, c, 2.0).unwrap();
+        let graph = b.build();
+        let platform = Platform::uniform_clique(2, 1.0);
+        let exec = ExecMatrix::from_fn(2, 2, |_, _| 1.0);
+        Instance::new(graph, platform, exec)
+    }
+
+    fn rref(task: u32, copy: usize) -> ReplicaRef {
+        ReplicaRef::new(TaskId(task), copy)
+    }
+
+    /// A correct fault-free schedule: both tasks on P0, local message.
+    fn good_schedule() -> FtSchedule {
+        let mut s = FtSchedule::new(2, 0, CommModel::OnePort);
+        s.push_replica(Replica { of: rref(0, 0), proc: ProcId(0), start: 0.0, finish: 1.0 });
+        s.push_replica(Replica { of: rref(1, 0), proc: ProcId(0), start: 1.0, finish: 2.0 });
+        s.messages.push(MessageRecord {
+            edge: EdgeId(0),
+            src: rref(0, 0),
+            dst: rref(1, 0),
+            from: ProcId(0),
+            to: ProcId(0),
+            start: 1.0,
+            finish: 1.0,
+        });
+        s
+    }
+
+    #[test]
+    fn accepts_valid_schedule() {
+        assert!(validate_schedule(&inst(), &good_schedule()).is_empty());
+    }
+
+    #[test]
+    fn catches_missing_replica() {
+        let mut s = good_schedule();
+        s.replicas[1].clear();
+        let errs = validate_schedule(&inst(), &s);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::ReplicaCount { task: 1, .. })));
+    }
+
+    #[test]
+    fn catches_precedence_violation() {
+        let mut s = good_schedule();
+        // Make task 1 start before the data arrives.
+        s.replicas[1][0].start = 0.5;
+        s.replicas[1][0].finish = 1.5;
+        let errs = validate_schedule(&inst(), &s);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::PrecedenceViolation { task: 1, .. })));
+    }
+
+    #[test]
+    fn catches_proc_overlap() {
+        let mut s = good_schedule();
+        s.replicas[1][0].start = 0.5;
+        s.replicas[1][0].finish = 1.5;
+        let errs = validate_schedule(&inst(), &s);
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::ProcOverlap { proc: 0 })));
+    }
+
+    #[test]
+    fn catches_wrong_duration() {
+        let mut s = good_schedule();
+        s.replicas[0][0].finish = 3.0; // E = 1, duration 3.
+        let errs = validate_schedule(&inst(), &s);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::ExecDuration { task: 0, .. })));
+    }
+
+    #[test]
+    fn catches_space_exclusion() {
+        let mut s = FtSchedule::new(2, 1, CommModel::OnePort);
+        s.push_replica(Replica { of: rref(0, 0), proc: ProcId(0), start: 0.0, finish: 1.0 });
+        s.push_replica(Replica { of: rref(0, 1), proc: ProcId(0), start: 1.0, finish: 2.0 });
+        let errs = validate_schedule(&inst(), &s);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::SpaceExclusion { task: 0 })));
+    }
+
+    #[test]
+    fn catches_recv_port_overlap() {
+        // Remote schedule where two messages overlap at P1's receive port.
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        let d = b.add_task(1.0);
+        b.add_edge(a, d, 2.0).unwrap();
+        b.add_edge(c, d, 2.0).unwrap();
+        let graph = b.build();
+        let platform = Platform::uniform_clique(3, 1.0);
+        let exec = ExecMatrix::from_fn(3, 3, |_, _| 1.0);
+        let inst = Instance::new(graph, platform, exec);
+
+        let mut s = FtSchedule::new(3, 0, CommModel::OnePort);
+        s.push_replica(Replica { of: rref(0, 0), proc: ProcId(0), start: 0.0, finish: 1.0 });
+        s.push_replica(Replica { of: rref(1, 0), proc: ProcId(2), start: 0.0, finish: 1.0 });
+        s.push_replica(Replica { of: rref(2, 0), proc: ProcId(1), start: 3.0, finish: 4.0 });
+        for (i, (src_task, from)) in [(0u32, ProcId(0)), (1u32, ProcId(2))].iter().enumerate() {
+            s.messages.push(MessageRecord {
+                edge: EdgeId(i as u32),
+                src: rref(*src_task, 0),
+                dst: rref(2, 0),
+                from: *from,
+                to: ProcId(1),
+                start: 1.0,
+                finish: 3.0,
+            });
+        }
+        let errs = validate_schedule(&inst, &s);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::RecvPortOverlap { proc: 1 })));
+        // The same schedule is fine under macro-dataflow.
+        let mut s2 = s.clone();
+        s2.model = CommModel::MacroDataflow;
+        assert!(validate_schedule(&inst, &s2).is_empty());
+    }
+
+    #[test]
+    fn catches_early_departure() {
+        let mut s = good_schedule();
+        s.messages[0].start = 0.2;
+        s.messages[0].finish = 0.2;
+        // Also breaks precedence? No: arrival 0.2 <= start 1.0 is fine, but
+        // departure precedes source finish (1.0).
+        let errs = validate_schedule(&inst(), &s);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MessageInconsistent { .. })));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ValidationError::PrecedenceViolation { task: 3, copy: 1, pred: 2 };
+        assert!(e.to_string().contains("t3^(2)"));
+        let e = ValidationError::LinkOverlap { from: 0, to: 1 };
+        assert!(e.to_string().contains("P0->P1"));
+    }
+}

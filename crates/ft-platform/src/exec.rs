@@ -1,0 +1,111 @@
+//! The execution-cost matrix `E(t, P)`.
+
+use crate::ids::ProcId;
+use ft_graph::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Dense `v × m` matrix of execution times: `E(t, Pk)` is the time task `t`
+/// takes on processor `Pk` (§2 of the paper). Row-major by task.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExecMatrix {
+    v: usize,
+    m: usize,
+    costs: Vec<f64>,
+}
+
+impl ExecMatrix {
+    /// Builds the matrix from a cost function.
+    ///
+    /// # Panics
+    /// Panics if any cost is negative or non-finite.
+    pub fn from_fn<F>(v: usize, m: usize, mut f: F) -> Self
+    where
+        F: FnMut(TaskId, ProcId) -> f64,
+    {
+        let mut costs = Vec::with_capacity(v * m);
+        for t in 0..v {
+            for p in 0..m {
+                let c = f(TaskId::from_index(t), ProcId::from_index(p));
+                assert!(
+                    c.is_finite() && c >= 0.0,
+                    "execution cost must be finite and non-negative, got {c}"
+                );
+                costs.push(c);
+            }
+        }
+        ExecMatrix { v, m, costs }
+    }
+
+    /// Number of tasks (rows).
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.v
+    }
+
+    /// Number of processors (columns).
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.m
+    }
+
+    /// `E(t, p)`.
+    #[inline]
+    pub fn cost(&self, t: TaskId, p: ProcId) -> f64 {
+        self.costs[t.index() * self.m + p.index()]
+    }
+
+    /// Row of execution times for one task.
+    #[inline]
+    pub fn row(&self, t: TaskId) -> &[f64] {
+        &self.costs[t.index() * self.m..(t.index() + 1) * self.m]
+    }
+
+    /// Mean execution time of `t` over all processors — the node weight used
+    /// by HEFT-style priorities.
+    pub fn mean(&self, t: TaskId) -> f64 {
+        let row = self.row(t);
+        row.iter().sum::<f64>() / self.m as f64
+    }
+
+    /// Slowest execution time of `t` (the granularity numerator term).
+    pub fn slowest(&self, t: TaskId) -> f64 {
+        self.row(t).iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Fastest execution time of `t`.
+    pub fn fastest(&self, t: TaskId) -> f64 {
+        self.row(t).iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExecMatrix {
+        // 2 tasks × 3 procs; E(t, p) = (t+1) * (p+1).
+        ExecMatrix::from_fn(2, 3, |t, p| ((t.index() + 1) * (p.index() + 1)) as f64)
+    }
+
+    #[test]
+    fn indexing() {
+        let e = sample();
+        assert_eq!(e.cost(TaskId(0), ProcId(0)), 1.0);
+        assert_eq!(e.cost(TaskId(1), ProcId(2)), 6.0);
+        assert_eq!(e.row(TaskId(1)), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn statistics() {
+        let e = sample();
+        assert_eq!(e.mean(TaskId(0)), 2.0);
+        assert_eq!(e.slowest(TaskId(1)), 6.0);
+        assert_eq!(e.fastest(TaskId(1)), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_cost() {
+        ExecMatrix::from_fn(1, 1, |_, _| -1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Random platform and instance generation matching the paper's §6 setup.
+
+use crate::exec::ExecMatrix;
+use crate::instance::Instance;
+use crate::platform::Platform;
+use crate::topology::Topology;
+use ft_graph::TaskGraph;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::RangeInclusive;
+
+/// Parameters for [`random_platform`] / [`random_instance`].
+///
+/// Defaults follow §6: "the unit message delay of the links … chosen
+/// uniformly from the range `[0.5, 1]`". Computational heterogeneity is
+/// modeled Topcuoglu-style: each processor gets a speed factor, and each
+/// `(task, processor)` cost is `work(t) / speed(p)` perturbed by a small
+/// inconsistency factor (so the matrix is neither perfectly consistent nor
+/// fully random).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlatformParams {
+    /// Number of processors `m` (the paper uses 10 and 20).
+    pub procs: usize,
+    /// Range of physical per-link unit delays.
+    pub unit_delay: RangeInclusive<f64>,
+    /// Range of processor speed factors (cost divisor).
+    pub speed: RangeInclusive<f64>,
+    /// Range of the per-(task, processor) inconsistency multiplier.
+    pub noise: RangeInclusive<f64>,
+    /// Interconnect shape; the paper's experiments use a clique.
+    pub topology: Topology,
+}
+
+impl Default for PlatformParams {
+    fn default() -> Self {
+        PlatformParams {
+            procs: 10,
+            unit_delay: 0.5..=1.0,
+            speed: 0.5..=2.0,
+            noise: 0.9..=1.1,
+            topology: Topology::Clique,
+        }
+    }
+}
+
+impl PlatformParams {
+    /// Same parameters with a different processor count.
+    pub fn with_procs(mut self, m: usize) -> Self {
+        assert!(m >= 1);
+        self.procs = m;
+        self
+    }
+
+    /// Same parameters with a different topology.
+    pub fn with_topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+}
+
+/// Draws a random platform: physical link delays uniform in
+/// `params.unit_delay`, symmetric per link.
+pub fn random_platform<R: Rng>(params: &PlatformParams, rng: &mut R) -> Platform {
+    let m = params.procs;
+    // Pre-draw a symmetric delay table so the Platform constructor closure
+    // is deterministic.
+    let mut table = vec![0.0f64; m * m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let d = sample(rng, params.unit_delay.clone());
+            table[i * m + j] = d;
+            table[j * m + i] = d;
+        }
+    }
+    Platform::new(m, params.topology.clone(), move |a, b| table[a * m + b])
+}
+
+/// Draws the execution matrix for a graph on a platform: per-processor
+/// speeds in `params.speed`, per-entry noise in `params.noise`.
+pub fn random_exec<R: Rng>(
+    graph: &TaskGraph,
+    params: &PlatformParams,
+    rng: &mut R,
+) -> ExecMatrix {
+    let m = params.procs;
+    let speeds: Vec<f64> = (0..m).map(|_| sample(rng, params.speed.clone())).collect();
+    let v = graph.num_tasks();
+    let mut noise = Vec::with_capacity(v * m);
+    for _ in 0..v * m {
+        noise.push(sample(rng, params.noise.clone()));
+    }
+    ExecMatrix::from_fn(v, m, |t, p| {
+        graph.work(t) / speeds[p.index()] * noise[t.index() * m + p.index()]
+    })
+}
+
+/// Draws a full instance (platform + exec matrix) for a given graph, then
+/// rescales edge volumes so the realized granularity equals `granularity`
+/// (if the graph communicates at all).
+pub fn random_instance<R: Rng>(
+    graph: TaskGraph,
+    params: &PlatformParams,
+    granularity: f64,
+    rng: &mut R,
+) -> Instance {
+    let platform = random_platform(params, rng);
+    let exec = random_exec(&graph, params, rng);
+    let mut inst = Instance::new(graph, platform, exec);
+    inst.set_granularity(granularity);
+    inst
+}
+
+fn sample<R: Rng>(rng: &mut R, r: RangeInclusive<f64>) -> f64 {
+    if r.start() == r.end() {
+        *r.start()
+    } else {
+        rng.gen_range(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen::{random_layered, RandomDagParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn platform_delays_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = random_platform(&PlatformParams::default(), &mut rng);
+        assert_eq!(p.num_procs(), 10);
+        for k in p.procs() {
+            for h in p.procs() {
+                if k != h {
+                    let d = p.delay(k, h);
+                    assert!((0.5..=1.0).contains(&d), "delay {d}");
+                    assert_eq!(d, p.delay(h, k), "delays are symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instance_hits_target_granularity() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = random_layered(&RandomDagParams::default(), &mut rng);
+        for target in [0.2, 1.0, 5.0, 10.0] {
+            let inst =
+                random_instance(g.clone(), &PlatformParams::default(), target, &mut rng);
+            assert!(
+                (inst.granularity() - target).abs() < 1e-9,
+                "target {target}, got {}",
+                inst.granularity()
+            );
+        }
+    }
+
+    #[test]
+    fn exec_costs_scale_with_work() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_layered(&RandomDagParams::default(), &mut rng);
+        let params = PlatformParams::default();
+        let exec = random_exec(&g, &params, &mut rng);
+        // Fastest possible cost: work / max_speed * min_noise; slowest:
+        // work / min_speed * max_noise.
+        for t in g.tasks() {
+            for p in 0..params.procs {
+                let c = exec.cost(t, crate::ids::ProcId::from_index(p));
+                let lo = g.work(t) / 2.0 * 0.9;
+                let hi = g.work(t) / 0.5 * 1.1;
+                assert!(c >= lo - 1e-9 && c <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = {
+            let mut rng = StdRng::seed_from_u64(8);
+            random_layered(&RandomDagParams::default(), &mut rng)
+        };
+        let i1 = random_instance(
+            g.clone(),
+            &PlatformParams::default(),
+            1.0,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let i2 = random_instance(
+            g,
+            &PlatformParams::default(),
+            1.0,
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(i1.granularity(), i2.granularity());
+        assert_eq!(i1.mean_task_cost(), i2.mean_task_cost());
+    }
+}

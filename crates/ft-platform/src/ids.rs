@@ -1,0 +1,46 @@
+//! Processor identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processor. Dense: a platform with `m` processors uses
+/// ids `0..m`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The id as a `usize`, for indexing per-processor vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ProcId` from a vector index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ProcId(u32::try_from(i).expect("processor index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        assert_eq!(ProcId::from_index(4).index(), 4);
+        assert_eq!(ProcId(2).to_string(), "P2");
+    }
+}

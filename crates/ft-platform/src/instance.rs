@@ -1,0 +1,173 @@
+//! A scheduling problem instance: task graph + platform + realized costs.
+
+use crate::exec::ExecMatrix;
+use crate::ids::ProcId;
+use crate::platform::Platform;
+use ft_graph::granularity::{granularity, volume_scale_for_target};
+use ft_graph::{EdgeId, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Everything the schedulers need: the DAG, the platform, and the
+/// execution-cost matrix binding them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Instance {
+    /// The application DAG (edge volumes in data units).
+    pub graph: TaskGraph,
+    /// The target platform (unit delays per processor pair).
+    pub platform: Platform,
+    /// `E(t, P)` execution times.
+    pub exec: ExecMatrix,
+}
+
+impl Instance {
+    /// Bundles the three parts, validating dimensions.
+    pub fn new(graph: TaskGraph, platform: Platform, exec: ExecMatrix) -> Self {
+        assert_eq!(
+            exec.num_tasks(),
+            graph.num_tasks(),
+            "exec matrix rows must match task count"
+        );
+        assert_eq!(
+            exec.num_procs(),
+            platform.num_procs(),
+            "exec matrix columns must match processor count"
+        );
+        Instance { graph, platform, exec }
+    }
+
+    /// `E(t, p)`.
+    #[inline]
+    pub fn exec_time(&self, t: TaskId, p: ProcId) -> f64 {
+        self.exec.cost(t, p)
+    }
+
+    /// Wall-clock communication time `W(e) = V(e) · d(Pk, Ph)` for edge `e`
+    /// when the endpoints are mapped on `k` and `h` (0 when co-located).
+    #[inline]
+    pub fn comm_time(&self, e: EdgeId, k: ProcId, h: ProcId) -> f64 {
+        self.graph.edge(e).volume * self.platform.delay(k, h)
+    }
+
+    /// Mean communication time of edge `e` over distinct processor pairs —
+    /// the edge weight used by HEFT-style priorities.
+    pub fn mean_comm(&self, e: EdgeId) -> f64 {
+        self.graph.edge(e).volume * self.platform.mean_delay()
+    }
+
+    /// Slowest communication time of edge `e` (granularity denominator).
+    pub fn slowest_comm(&self, e: EdgeId) -> f64 {
+        self.graph.edge(e).volume * self.platform.max_delay()
+    }
+
+    /// The paper's granularity `g(G, P)`: total slowest computation over
+    /// total slowest communication.
+    pub fn granularity(&self) -> f64 {
+        granularity(
+            &self.graph,
+            |t| self.exec.slowest(t),
+            |e| self.slowest_comm(e),
+        )
+    }
+
+    /// Rescales every edge volume so the realized granularity equals
+    /// `target`. No-op (returns false) on graphs without communication.
+    pub fn set_granularity(&mut self, target: f64) -> bool {
+        let scale = volume_scale_for_target(
+            &self.graph,
+            |t| self.exec.slowest(t),
+            |e| self.slowest_comm(e),
+            target,
+        );
+        match scale {
+            Some(s) => {
+                self.graph = self.graph.scale_volumes(s);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Mean execution time of one task across tasks and processors — the
+    /// normalization constant for "normalized latency" in the experiments
+    /// (the paper does not define its normalization; see DESIGN.md §2).
+    pub fn mean_task_cost(&self) -> f64 {
+        let v = self.graph.num_tasks();
+        if v == 0 {
+            return 1.0;
+        }
+        let sum: f64 = self.graph.tasks().map(|t| self.exec.mean(t)).sum();
+        sum / v as f64
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.platform.num_procs()
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.graph.num_tasks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::GraphBuilder;
+
+    fn small_instance() -> Instance {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2.0);
+        let c = b.add_task(4.0);
+        b.add_edge(a, c, 10.0).unwrap();
+        let graph = b.build();
+        let platform = Platform::uniform_clique(2, 0.5);
+        let exec = ExecMatrix::from_fn(2, 2, |t, p| {
+            graph.work(t) * (1.0 + p.index() as f64)
+        });
+        Instance::new(graph, platform, exec)
+    }
+
+    #[test]
+    fn comm_time_uses_delay() {
+        let inst = small_instance();
+        assert_eq!(inst.comm_time(EdgeId(0), ProcId(0), ProcId(1)), 5.0);
+        assert_eq!(inst.comm_time(EdgeId(0), ProcId(1), ProcId(1)), 0.0);
+    }
+
+    #[test]
+    fn granularity_matches_definition() {
+        let inst = small_instance();
+        // slowest comp: 2*2 + 4*2 = 12; slowest comm: 10*0.5 = 5.
+        assert_eq!(inst.granularity(), 12.0 / 5.0);
+    }
+
+    #[test]
+    fn set_granularity_rescales() {
+        let mut inst = small_instance();
+        assert!(inst.set_granularity(1.0));
+        assert!((inst.granularity() - 1.0).abs() < 1e-12);
+        assert!(inst.set_granularity(7.5));
+        assert!((inst.granularity() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_task_cost() {
+        let inst = small_instance();
+        // task 0: (2 + 4)/2 = 3; task 1: (4 + 8)/2 = 6; mean = 4.5.
+        assert_eq!(inst.mean_task_cost(), 4.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_task(1.0);
+        let graph = b.build();
+        let platform = Platform::uniform_clique(2, 1.0);
+        let exec = ExecMatrix::from_fn(3, 2, |_, _| 1.0);
+        Instance::new(graph, platform, exec);
+    }
+}

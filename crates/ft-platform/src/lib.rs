@@ -1,0 +1,36 @@
+//! # ft-platform — heterogeneous target platforms
+//!
+//! Models the execution environment of the paper (§2): a set of processors
+//! `P = {P1 … Pm}` connected by a dedicated network. Computational
+//! heterogeneity is the function `E(t, Pk)` — the execution time of each
+//! task on each processor — and communication heterogeneity is the per-link
+//! unit delay `d(Pk, Ph)`, so a transfer of volume `V` between `Pk` and
+//! `Ph` takes `V · d(Pk, Ph)` (and `d(Pk, Pk) = 0`: co-located tasks
+//! communicate for free).
+//!
+//! The paper evaluates fully connected (clique) platforms; the conclusion
+//! sketches sparse interconnects with routing tables as an easy extension,
+//! and this crate implements both: [`Topology`] describes the physical
+//! links, [`routing`] builds shortest-delay routing tables, and
+//! [`Platform::delay`] returns end-to-end unit delays along the route.
+//!
+//! [`Instance`] bundles a task graph with a platform and the realized
+//! execution-cost matrix; it exposes the paper's granularity measure
+//! `g(G, P)` and the volume rescaling used by the experiment sweeps.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod gen;
+pub mod ids;
+pub mod instance;
+pub mod platform;
+pub mod routing;
+pub mod topology;
+
+pub use exec::ExecMatrix;
+pub use gen::{random_instance, random_platform, PlatformParams};
+pub use ids::ProcId;
+pub use instance::Instance;
+pub use platform::Platform;
+pub use topology::Topology;

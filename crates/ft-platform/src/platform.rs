@@ -1,0 +1,216 @@
+//! The platform: processors, links, unit delays.
+
+use crate::ids::ProcId;
+use crate::routing::{shortest_routes, Routes};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A heterogeneous platform of `m` processors.
+///
+/// Per §2 of the paper: processors are connected by dedicated links;
+/// `d(Pk, Ph)` is the time to ship one unit of data from `Pk` to `Ph`
+/// (`d(Pk, Pk) = 0`). On a [`Topology::Clique`] the end-to-end delay is the
+/// physical link delay; on sparse topologies it is the sum along the
+/// shortest-delay route.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Platform {
+    m: usize,
+    topology: Topology,
+    /// Physical per-link unit delays, symmetric, `m * m` (entries for
+    /// non-adjacent pairs are unused).
+    link_delay: Vec<f64>,
+    /// Precomputed end-to-end unit delays along routes, `m * m`.
+    delay: Vec<f64>,
+    /// Precomputed first hops, `m * m` (u32::MAX on diagonal).
+    next_hop: Vec<u32>,
+}
+
+impl Platform {
+    /// Builds a platform from a topology and a symmetric physical-delay
+    /// function on adjacent pairs.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`, the topology is disconnected, or a delay is not
+    /// strictly positive/finite.
+    pub fn new<F>(m: usize, topology: Topology, physical_delay: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64,
+    {
+        assert!(m >= 1, "platform needs at least one processor");
+        assert!(
+            topology.is_connected(m),
+            "topology must connect all processors"
+        );
+        let adj = topology.adjacency(m);
+        let mut link_delay = vec![0.0; m * m];
+        for (i, neigh) in adj.iter().enumerate() {
+            for &j in neigh {
+                let d = physical_delay(i.min(j), i.max(j));
+                assert!(
+                    d.is_finite() && d > 0.0,
+                    "link delay must be positive and finite, got {d}"
+                );
+                link_delay[i * m + j] = d;
+                link_delay[j * m + i] = d;
+            }
+        }
+        let routes: Routes = shortest_routes(m, &adj, |a, b| link_delay[a * m + b]);
+        Platform {
+            m,
+            topology,
+            link_delay,
+            delay: routes.delay,
+            next_hop: routes.next,
+        }
+    }
+
+    /// Fully connected platform with one shared unit delay (homogeneous
+    /// network) — convenient for tests and examples.
+    pub fn uniform_clique(m: usize, delay: f64) -> Self {
+        Platform::new(m, Topology::Clique, move |_, _| delay)
+    }
+
+    /// Number of processors `m`.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.m
+    }
+
+    /// Iterator over all processor ids.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.m).map(ProcId::from_index)
+    }
+
+    /// The topology this platform was built from.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// End-to-end unit delay `d(Pk, Ph)` (0 when `k == h`).
+    #[inline]
+    pub fn delay(&self, k: ProcId, h: ProcId) -> f64 {
+        self.delay[k.index() * self.m + h.index()]
+    }
+
+    /// Physical unit delay of the direct link between adjacent processors
+    /// (0 if not adjacent).
+    #[inline]
+    pub fn physical_delay(&self, k: ProcId, h: ProcId) -> f64 {
+        self.link_delay[k.index() * self.m + h.index()]
+    }
+
+    /// The route from `k` to `h`, both endpoints included.
+    pub fn route(&self, k: ProcId, h: ProcId) -> Vec<ProcId> {
+        let mut path = vec![k];
+        let mut cur = k.index();
+        let dst = h.index();
+        while cur != dst {
+            let nxt = self.next_hop[cur * self.m + dst];
+            assert!(nxt != u32::MAX, "no route from {k} to {h}");
+            cur = nxt as usize;
+            path.push(ProcId::from_index(cur));
+        }
+        path
+    }
+
+    /// True if `k` and `h` share a physical link.
+    pub fn adjacent(&self, k: ProcId, h: ProcId) -> bool {
+        k != h && self.link_delay[k.index() * self.m + h.index()] > 0.0
+    }
+
+    /// Largest end-to-end delay over distinct pairs — the "slowest link",
+    /// used by the granularity measure.
+    pub fn max_delay(&self) -> f64 {
+        let mut best = 0.0f64;
+        for k in 0..self.m {
+            for h in 0..self.m {
+                if k != h {
+                    best = best.max(self.delay[k * self.m + h]);
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean end-to-end delay over distinct ordered pairs (0 for m = 1).
+    /// Used as the edge-weight averaging constant in priority computation.
+    pub fn mean_delay(&self) -> f64 {
+        if self.m <= 1 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for k in 0..self.m {
+            for h in 0..self.m {
+                if k != h {
+                    sum += self.delay[k * self.m + h];
+                }
+            }
+        }
+        sum / (self.m * (self.m - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_clique_delays() {
+        let p = Platform::uniform_clique(4, 0.75);
+        assert_eq!(p.num_procs(), 4);
+        for k in p.procs() {
+            for h in p.procs() {
+                let expect = if k == h { 0.0 } else { 0.75 };
+                assert_eq!(p.delay(k, h), expect);
+            }
+        }
+        assert_eq!(p.max_delay(), 0.75);
+        assert_eq!(p.mean_delay(), 0.75);
+    }
+
+    #[test]
+    fn star_end_to_end_delay_sums_hops() {
+        let p = Platform::new(4, Topology::Star, |_, _| 0.5);
+        let a = ProcId(1);
+        let b = ProcId(2);
+        assert_eq!(p.delay(a, b), 1.0);
+        assert_eq!(p.route(a, b), vec![ProcId(1), ProcId(0), ProcId(2)]);
+        assert!(p.adjacent(ProcId(0), ProcId(3)));
+        assert!(!p.adjacent(a, b));
+    }
+
+    #[test]
+    fn single_processor_platform() {
+        let p = Platform::uniform_clique(1, 1.0);
+        assert_eq!(p.num_procs(), 1);
+        assert_eq!(p.mean_delay(), 0.0);
+        assert_eq!(p.delay(ProcId(0), ProcId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_disconnected() {
+        Platform::new(3, Topology::Custom(vec![(0, 1)]), |_, _| 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_delay() {
+        Platform::uniform_clique(2, 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Platform::new(5, Topology::Ring, |a, b| (a + b) as f64 * 0.1 + 0.2);
+        let s = serde_json::to_string(&p).unwrap();
+        let p2: Platform = serde_json::from_str(&s).unwrap();
+        assert_eq!(p2.num_procs(), 5);
+        for k in p.procs() {
+            for h in p.procs() {
+                // JSON float round-trips can differ in the last ulp
+                // depending on the serde_json float mode; compare loosely.
+                assert!((p.delay(k, h) - p2.delay(k, h)).abs() < 1e-9);
+            }
+        }
+    }
+}

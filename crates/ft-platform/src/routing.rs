@@ -1,0 +1,181 @@
+//! Shortest-delay routing over sparse topologies.
+//!
+//! Implements the extension sketched in the paper's conclusion: "each
+//! processor is provided with a routing table which indicates the route to
+//! be used to communicate with another processor". Routes minimize total
+//! unit delay (Dijkstra per source); ties break towards smaller next-hop
+//! indices so tables are deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Routing tables: end-to-end delays and next hops for every ordered pair.
+#[derive(Clone, Debug)]
+pub struct Routes {
+    m: usize,
+    /// `delay[k * m + h]` — total unit delay from k to h (0 on diagonal,
+    /// `f64::INFINITY` if unreachable).
+    pub delay: Vec<f64>,
+    /// `next[k * m + h]` — first hop on the route from k to h
+    /// (`u32::MAX` when unreachable or k == h).
+    pub next: Vec<u32>,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (dist, node): invert the comparison.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// All-pairs shortest-delay routes.
+///
+/// `adj` is the undirected adjacency structure; `link_delay(i, j)` must
+/// return the unit delay of the physical link between adjacent `i, j`.
+pub fn shortest_routes<F>(m: usize, adj: &[Vec<usize>], link_delay: F) -> Routes
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let mut delay = vec![f64::INFINITY; m * m];
+    let mut next = vec![u32::MAX; m * m];
+    for src in 0..m {
+        // Dijkstra from src; record each node's *predecessor* to recover
+        // first hops.
+        let mut dist = vec![f64::INFINITY; m];
+        let mut first_hop = vec![u32::MAX; m];
+        let mut done = vec![false; m];
+        dist[src] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, node: src });
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if done[u] {
+                continue;
+            }
+            done[u] = true;
+            for &v in &adj[u] {
+                let w = link_delay(u, v);
+                debug_assert!(w > 0.0, "physical link delay must be positive");
+                let nd = d + w;
+                if nd < dist[v] - 1e-15 {
+                    dist[v] = nd;
+                    first_hop[v] = if u == src { v as u32 } else { first_hop[u] };
+                    heap.push(HeapEntry { dist: nd, node: v });
+                }
+            }
+        }
+        for h in 0..m {
+            delay[src * m + h] = if h == src { 0.0 } else { dist[h] };
+            next[src * m + h] = first_hop[h];
+        }
+    }
+    Routes { m, delay, next }
+}
+
+impl Routes {
+    /// Full route from `k` to `h`, both endpoints included.
+    ///
+    /// # Panics
+    /// Panics if `h` is unreachable from `k`.
+    pub fn route(&self, k: usize, h: usize) -> Vec<usize> {
+        let mut path = vec![k];
+        let mut cur = k;
+        while cur != h {
+            let nxt = self.next[cur * self.m + h];
+            assert!(nxt != u32::MAX, "no route from {k} to {h}");
+            cur = nxt as usize;
+            path.push(cur);
+        }
+        path
+    }
+
+    /// End-to-end delay from `k` to `h`.
+    #[inline]
+    pub fn delay(&self, k: usize, h: usize) -> f64 {
+        self.delay[k * self.m + h]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn clique_routes_are_direct() {
+        let m = 4;
+        let adj = Topology::Clique.adjacency(m);
+        let r = shortest_routes(m, &adj, |_, _| 1.0);
+        for k in 0..m {
+            for h in 0..m {
+                if k != h {
+                    assert_eq!(r.route(k, h), vec![k, h]);
+                    assert_eq!(r.delay(k, h), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_routes_take_short_side() {
+        let m = 6;
+        let adj = Topology::Ring.adjacency(m);
+        let r = shortest_routes(m, &adj, |_, _| 1.0);
+        assert_eq!(r.delay(0, 3), 3.0); // either way round
+        assert_eq!(r.delay(0, 1), 1.0);
+        assert_eq!(r.delay(0, 5), 1.0); // wraps
+        assert_eq!(r.route(0, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn star_routes_pass_through_hub() {
+        let m = 5;
+        let adj = Topology::Star.adjacency(m);
+        let r = shortest_routes(m, &adj, |_, _| 2.0);
+        assert_eq!(r.route(1, 3), vec![1, 0, 3]);
+        assert_eq!(r.delay(1, 3), 4.0);
+        assert_eq!(r.route(0, 4), vec![0, 4]);
+    }
+
+    #[test]
+    fn heterogeneous_delays_pick_cheaper_path() {
+        // Triangle 0-1-2 where direct 0→2 is expensive.
+        let t = Topology::Custom(vec![(0, 1), (1, 2), (0, 2)]);
+        let adj = t.adjacency(3);
+        let delays = move |a: usize, b: usize| -> f64 {
+            match (a.min(b), a.max(b)) {
+                (0, 1) => 1.0,
+                (1, 2) => 1.0,
+                (0, 2) => 5.0,
+                _ => unreachable!(),
+            }
+        };
+        let r = shortest_routes(3, &adj, delays);
+        assert_eq!(r.route(0, 2), vec![0, 1, 2]);
+        assert_eq!(r.delay(0, 2), 2.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let t = Topology::Custom(vec![(0, 1)]);
+        let adj = t.adjacency(3);
+        let r = shortest_routes(3, &adj, |_, _| 1.0);
+        assert!(r.delay(0, 2).is_infinite());
+    }
+}

@@ -1,0 +1,147 @@
+//! Interconnect topologies.
+//!
+//! The paper's experiments use a clique (§2: "the processors are fully
+//! connected"); the conclusion proposes sparse interconnects with routing
+//! tables as an extension. A [`Topology`] lists the physical bidirectional
+//! links; [`crate::routing`] turns it into per-pair routes.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical interconnect shape. Links are bidirectional; the one-port model
+/// still distinguishes the two directions of a physical link (full-duplex
+/// network interfaces, §2).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every pair of processors is directly connected (the paper's model).
+    Clique,
+    /// Processors arranged in a cycle: `i ↔ (i+1) mod m`.
+    Ring,
+    /// Processor 0 is the hub; every other processor connects only to it.
+    Star,
+    /// Explicit undirected edge list over processor indices.
+    Custom(Vec<(u32, u32)>),
+}
+
+impl Topology {
+    /// The undirected adjacency lists implied by the topology for a
+    /// platform of `m` processors.
+    pub fn adjacency(&self, m: usize) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); m];
+        match self {
+            Topology::Clique => {
+                for (i, neighbors) in adj.iter_mut().enumerate() {
+                    for j in (0..m).filter(|&j| j != i) {
+                        neighbors.push(j);
+                    }
+                }
+            }
+            Topology::Ring => {
+                if m == 1 {
+                    return adj;
+                }
+                for i in 0..m {
+                    let next = (i + 1) % m;
+                    if !adj[i].contains(&next) {
+                        adj[i].push(next);
+                        adj[next].push(i);
+                    }
+                }
+            }
+            Topology::Star => {
+                for i in 1..m {
+                    adj[0].push(i);
+                    adj[i].push(0);
+                }
+            }
+            Topology::Custom(edges) => {
+                for &(a, b) in edges {
+                    let (a, b) = (a as usize, b as usize);
+                    assert!(a < m && b < m, "edge endpoint out of range");
+                    assert_ne!(a, b, "self-link");
+                    if !adj[a].contains(&b) {
+                        adj[a].push(b);
+                        adj[b].push(a);
+                    }
+                }
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        adj
+    }
+
+    /// True if every processor can reach every other.
+    pub fn is_connected(&self, m: usize) -> bool {
+        if m == 0 {
+            return true;
+        }
+        let adj = self.adjacency(m);
+        let mut seen = vec![false; m];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            for &j in &adj[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_adjacency() {
+        let adj = Topology::Clique.adjacency(4);
+        for (i, l) in adj.iter().enumerate() {
+            assert_eq!(l.len(), 3);
+            assert!(!l.contains(&i));
+        }
+        assert!(Topology::Clique.is_connected(4));
+    }
+
+    #[test]
+    fn ring_adjacency() {
+        let adj = Topology::Ring.adjacency(5);
+        for l in &adj {
+            assert_eq!(l.len(), 2);
+        }
+        assert!(Topology::Ring.is_connected(5));
+    }
+
+    #[test]
+    fn two_node_ring_has_single_link() {
+        let adj = Topology::Ring.adjacency(2);
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0]);
+    }
+
+    #[test]
+    fn star_adjacency() {
+        let adj = Topology::Star.adjacency(4);
+        assert_eq!(adj[0], vec![1, 2, 3]);
+        assert_eq!(adj[2], vec![0]);
+        assert!(Topology::Star.is_connected(4));
+    }
+
+    #[test]
+    fn custom_disconnected() {
+        let t = Topology::Custom(vec![(0, 1), (2, 3)]);
+        assert!(!t.is_connected(4));
+        assert!(Topology::Custom(vec![(0, 1)]).is_connected(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn custom_rejects_out_of_range() {
+        Topology::Custom(vec![(0, 9)]).adjacency(3);
+    }
+}

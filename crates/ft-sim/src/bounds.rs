@@ -1,0 +1,73 @@
+//! The three §6 latency metrics of a fault-tolerant schedule.
+
+use crate::replay::{replay_with_policy, ReplayPolicy};
+use crate::scenario::FaultScenario;
+use ft_model::FtSchedule;
+use ft_platform::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Latency metrics of one schedule (§4.2 / §6 of the paper).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LatencyBounds {
+    /// Latency with 0 crash: every task effective at its first replica's
+    /// finish (the schedule's nominal latency, a lower bound "achieved if
+    /// no processor permanently fails").
+    pub zero_crash: f64,
+    /// Upper bound: every replica waits for the last copy of each input,
+    /// and each task counts at its last replica ("always achieved even
+    /// with ε failures").
+    pub upper: f64,
+}
+
+/// Computes both bounds by replaying the schedule without failures under
+/// the two waiting policies.
+pub fn latency_bounds(inst: &Instance, sched: &FtSchedule) -> LatencyBounds {
+    let none = FaultScenario::none();
+    let first = replay_with_policy(inst, sched, &none, ReplayPolicy::FirstCopy);
+    let all = replay_with_policy(inst, sched, &none, ReplayPolicy::AllCopies);
+    LatencyBounds {
+        zero_crash: first.latency().expect("no-failure replay completes"),
+        upper: all
+            .last_copy_latency()
+            .expect("no-failure replay completes"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_algos::{caft, ftsa, CommModel};
+    use ft_graph::gen::{random_layered, RandomDagParams};
+    use ft_platform::{random_instance, PlatformParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_crash_matches_static_and_upper_dominates() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = random_layered(&RandomDagParams::default().with_tasks(40), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        for eps in [1usize, 2] {
+            for sched in [
+                caft(&inst, eps, CommModel::OnePort, 0),
+                ftsa(&inst, eps, CommModel::OnePort, 0),
+            ] {
+                let b = latency_bounds(&inst, &sched);
+                assert!((b.zero_crash - sched.latency()).abs() < 1e-6);
+                assert!(b.upper >= b.zero_crash - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_schedule_has_equal_bounds() {
+        // Without replication there is a single copy of everything: the
+        // first and last copies coincide.
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = random_layered(&RandomDagParams::default().with_tasks(25), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 2.0, &mut rng);
+        let sched = caft(&inst, 0, CommModel::OnePort, 0);
+        let b = latency_bounds(&inst, &sched);
+        assert!((b.upper - b.zero_crash).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,41 @@
+//! # ft-sim — executing schedules under failures
+//!
+//! The paper evaluates schedules three ways (§4.2, §6):
+//!
+//! * the **latency with 0 crash** — the static schedule's nominal latency
+//!   (each task effective as soon as its *first* replica finishes);
+//! * the **upper bound** — the latency if every task had to wait for the
+//!   *last* copy of each input ("always achieved even with ε failures");
+//! * the **real execution time when processors crash** — replaying the
+//!   static schedule with some processors dead, where a replica starts as
+//!   soon as the earliest *surviving* copy of each input arrives and
+//!   "ignores the later incoming data".
+//!
+//! All three come out of one event-driven [`replay()`] engine: the static
+//! schedule fixes the per-processor task order and the per-port / per-link
+//! message orders; the engine recomputes actual times under those orders
+//! with the dead processors' work removed. With no failures and the
+//! first-copy policy the replay reproduces the static times exactly (a
+//! strong internal consistency check, enforced by tests).
+//!
+//! On top of the engine:
+//! * [`bounds`] packages the three §6 metrics per schedule;
+//! * [`resilience`] checks Proposition 5.2 — the schedule completes under
+//!   *every* failure pattern of size ≤ ε (exhaustively for small
+//!   platforms, sampled otherwise);
+//! * [`messages`] tallies the communication counts behind Proposition 5.1
+//!   (`e`, `e(ε+1)`, `e(ε+1)²`).
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod messages;
+pub mod replay;
+pub mod resilience;
+pub mod scenario;
+
+pub use bounds::{latency_bounds, LatencyBounds};
+pub use messages::{message_stats, MessageStats};
+pub use replay::{replay, replay_with, replay_with_policy, ReplayConfig, ReplayOutcome, ReplayPolicy};
+pub use resilience::{check_resilience, ResilienceReport};
+pub use scenario::FaultScenario;

@@ -1,0 +1,237 @@
+//! Proposition 5.2 checking: does a schedule really survive ε failures?
+//!
+//! The paper argues (Proposition 5.2) that CAFT schedules are valid and
+//! resist ε failures. This module checks the claim *operationally*: replay
+//! the schedule under failure patterns and verify every task still
+//! completes a replica. For `C(m, ε)` small enough the check is exhaustive
+//! over all subsets of at most ε processors; beyond the cap it samples.
+//!
+//! This is also the instrument that surfaces any gap between the paper's
+//! informal proof and the algorithm as specified (see EXPERIMENTS.md): a
+//! counterexample, when found, is reported with its exact failure pattern.
+
+use crate::replay::replay;
+use crate::scenario::FaultScenario;
+use ft_model::FtSchedule;
+use ft_platform::{Instance, ProcId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Result of a resilience audit.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Failure patterns tested.
+    pub scenarios_tested: usize,
+    /// Whether the sweep covered every subset of size ≤ ε.
+    pub exhaustive: bool,
+    /// Failure patterns under which some task completed no replica.
+    pub counterexamples: Vec<Vec<ProcId>>,
+}
+
+impl ResilienceReport {
+    /// True if no failure pattern broke the schedule.
+    pub fn resilient(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+/// Checks that the schedule completes under every failure pattern of at
+/// most `eps` processors. Exhaustive when the number of subsets of size
+/// exactly `eps` is at most `max_exhaustive`; otherwise samples
+/// `max_exhaustive` random patterns of size `eps`.
+///
+/// (Subsets smaller than ε are dominated: killing fewer processors can only
+/// help, because a dead processor's work is a strict subset. They are still
+/// enumerated in exhaustive mode for completeness.)
+pub fn check_resilience(
+    inst: &Instance,
+    sched: &FtSchedule,
+    eps: usize,
+    max_exhaustive: usize,
+) -> ResilienceReport {
+    let m = inst.num_procs();
+    let exact = binomial(m, eps.min(m));
+    let mut counterexamples = Vec::new();
+    let mut tested = 0usize;
+    if exact <= max_exhaustive {
+        // Enumerate all subsets of size 1..=eps.
+        for k in 1..=eps.min(m) {
+            let mut subset: Vec<usize> = (0..k).collect();
+            loop {
+                let procs: Vec<ProcId> = subset.iter().map(|&i| ProcId::from_index(i)).collect();
+                let out = replay(inst, sched, &FaultScenario::procs(&procs));
+                tested += 1;
+                if !out.completed() {
+                    counterexamples.push(procs);
+                }
+                if !next_combination(&mut subset, m) {
+                    break;
+                }
+            }
+        }
+        ResilienceReport { scenarios_tested: tested, exhaustive: true, counterexamples }
+    } else {
+        let mut rng = StdRng::seed_from_u64(0xFACADE);
+        for _ in 0..max_exhaustive {
+            let sc = FaultScenario::random(m, eps, &mut rng);
+            let out = replay(inst, sched, &sc);
+            tested += 1;
+            if !out.completed() {
+                counterexamples.push(sc.dead().to_vec());
+            }
+        }
+        ResilienceReport { scenarios_tested: tested, exhaustive: false, counterexamples }
+    }
+}
+
+/// Advances `subset` to the next k-combination of `0..m`; false when done.
+fn next_combination(subset: &mut [usize], m: usize) -> bool {
+    let k = subset.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if subset[i] < m - (k - i) {
+            subset[i] += 1;
+            for j in (i + 1)..k {
+                subset[j] = subset[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1usize;
+    for i in 0..k {
+        num = num.saturating_mul(n - i) / (i + 1);
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_algos::{caft, ftsa, CommModel};
+    use ft_graph::gen::{fork, random_layered, RandomDagParams};
+    use ft_platform::{random_instance, ExecMatrix, Platform, PlatformParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combination_iterator_is_complete() {
+        let mut c = vec![0usize, 1];
+        let mut seen = vec![c.clone()];
+        while next_combination(&mut c, 4) {
+            seen.push(c.clone());
+        }
+        assert_eq!(seen, vec![
+            vec![0, 1], vec![0, 2], vec![0, 3],
+            vec![1, 2], vec![1, 3], vec![2, 3],
+        ]);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(4, 5), 0);
+    }
+
+    #[test]
+    fn ftsa_is_resilient_exhaustively() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = random_layered(&RandomDagParams::default().with_tasks(25), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        for eps in [1usize, 2] {
+            let s = ftsa(&inst, eps, CommModel::OnePort, 0);
+            let rep = check_resilience(&inst, &s, eps, 10_000);
+            assert!(rep.exhaustive);
+            assert!(
+                rep.resilient(),
+                "FTSA eps {eps} broken by {:?}",
+                rep.counterexamples.first()
+            );
+        }
+    }
+
+    #[test]
+    fn caft_resilient_on_forks() {
+        // On outforests the one-to-one chains are provably disjoint.
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = fork(10, 1.0..=2.0, 1.0..=3.0, &mut rng);
+        let v = g.num_tasks();
+        let inst = Instance::new(
+            g,
+            Platform::uniform_clique(8, 1.0),
+            ExecMatrix::from_fn(v, 8, |_, _| 1.0),
+        );
+        for eps in [1usize, 2] {
+            let s = caft(&inst, eps, CommModel::OnePort, 0);
+            let rep = check_resilience(&inst, &s, eps, 10_000);
+            assert!(rep.resilient(), "eps {eps}: {:?}", rep.counterexamples.first());
+        }
+    }
+
+    #[test]
+    fn unreplicated_schedule_is_fragile() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = random_layered(&RandomDagParams::default().with_tasks(20), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        let s = caft(&inst, 0, CommModel::OnePort, 0);
+        // ε = 0 schedule, audited against 1 failure: must break (some
+        // processor hosts at least one task).
+        let rep = check_resilience(&inst, &s, 1, 10_000);
+        assert!(!rep.resilient());
+    }
+
+    #[test]
+    fn sampled_mode_kicks_in_beyond_cap() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = random_layered(&RandomDagParams::default().with_tasks(15), &mut rng);
+        let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+        let s = ftsa(&inst, 2, CommModel::OnePort, 0);
+        let rep = check_resilience(&inst, &s, 2, 10);
+        assert!(!rep.exhaustive);
+        assert_eq!(rep.scenarios_tested, 10);
+        assert!(rep.resilient());
+    }
+}
+
+#[cfg(test)]
+mod hardened_resilience {
+    use super::*;
+    use ft_algos::{caft_hardened, CommModel};
+    use ft_graph::gen::{random_layered, RandomDagParams};
+    use ft_platform::{random_instance, PlatformParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The headline property of the hardened extension: exhaustive strict
+    /// (no fail-over) resilience on the deep random graphs where plain
+    /// CAFT's one-to-one chains starve (EXPERIMENTS.md, "Prop. 5.2
+    /// revisited").
+    #[test]
+    fn hardened_caft_is_strictly_resilient() {
+        let mut rng = StdRng::seed_from_u64(70);
+        for _ in 0..3 {
+            let g = random_layered(&RandomDagParams::default().with_tasks(60), &mut rng);
+            let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+            for eps in [1usize, 2] {
+                let s = caft_hardened(&inst, eps, CommModel::OnePort, 0);
+                let rep = check_resilience(&inst, &s, eps, 10_000);
+                assert!(rep.exhaustive);
+                assert!(
+                    rep.resilient(),
+                    "eps {eps} broken by {:?}",
+                    rep.counterexamples.first()
+                );
+            }
+        }
+    }
+}

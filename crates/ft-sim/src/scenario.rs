@@ -1,0 +1,102 @@
+//! Fault scenarios: which processors fail.
+//!
+//! The paper's model is fail-silent / fail-stop (§1, §2): a failed
+//! processor computes nothing and sends nothing, and failures are
+//! permanent. We model the adversarial worst case for a static schedule —
+//! processors dead from time 0 — so every replica and every message of a
+//! dead processor is lost (DESIGN.md §2).
+
+use ft_platform::ProcId;
+use rand::seq::index::sample;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A set of crashed processors.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    dead: Vec<ProcId>,
+}
+
+impl FaultScenario {
+    /// No failures.
+    pub fn none() -> Self {
+        FaultScenario { dead: Vec::new() }
+    }
+
+    /// The given processors fail (deduplicated, sorted).
+    pub fn procs(procs: &[ProcId]) -> Self {
+        let mut dead = procs.to_vec();
+        dead.sort_unstable();
+        dead.dedup();
+        FaultScenario { dead }
+    }
+
+    /// `k` distinct processors chosen uniformly among `m` (the paper's §6
+    /// crash drawing: "processors that fail … are chosen uniformly").
+    pub fn random<R: Rng>(m: usize, k: usize, rng: &mut R) -> Self {
+        assert!(k <= m, "cannot fail {k} of {m} processors");
+        let mut dead: Vec<ProcId> = sample(rng, m, k)
+            .into_iter()
+            .map(ProcId::from_index)
+            .collect();
+        dead.sort_unstable();
+        FaultScenario { dead }
+    }
+
+    /// True if `p` is dead in this scenario.
+    #[inline]
+    pub fn is_dead(&self, p: ProcId) -> bool {
+        self.dead.binary_search(&p).is_ok()
+    }
+
+    /// Number of failed processors.
+    #[inline]
+    pub fn num_failures(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// The failed processors, sorted.
+    pub fn dead(&self) -> &[ProcId] {
+        &self.dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_kills_nobody() {
+        let s = FaultScenario::none();
+        assert_eq!(s.num_failures(), 0);
+        assert!(!s.is_dead(ProcId(0)));
+    }
+
+    #[test]
+    fn procs_dedup_and_sort() {
+        let s = FaultScenario::procs(&[ProcId(3), ProcId(1), ProcId(3)]);
+        assert_eq!(s.dead(), &[ProcId(1), ProcId(3)]);
+        assert!(s.is_dead(ProcId(3)));
+        assert!(!s.is_dead(ProcId(2)));
+    }
+
+    #[test]
+    fn random_draws_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let s = FaultScenario::random(10, 3, &mut rng);
+            assert_eq!(s.num_failures(), 3);
+            assert!(s.dead().windows(2).all(|w| w[0] < w[1]));
+            assert!(s.dead().iter().all(|p| p.index() < 10));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_kill_more_than_platform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        FaultScenario::random(3, 4, &mut rng);
+    }
+}

@@ -1,0 +1,89 @@
+//! Exhaustive failure injection on a realistic workload — the operational
+//! side of Propositions 5.1 and 5.2.
+//!
+//! Schedules a paper-style random workload with CAFT and FTSA at ε = 2,
+//! then replays the schedules under *every* 1- and 2-processor failure
+//! pattern, reporting:
+//!
+//! * strict fail-silent completion (no runtime fail-over) — where CAFT's
+//!   one-to-one supply chains can starve transitively (the Prop. 5.2 gap
+//!   documented in EXPERIMENTS.md) while FTSA is bullet-proof;
+//! * fail-over completion and the crash-latency distribution.
+//!
+//! Run with: `cargo run --release --example crash_drill`
+
+use ftsched::prelude::*;
+use ftsched::sim::{replay_with, ReplayConfig, ReplayPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let graph = random_layered(&RandomDagParams::default(), &mut rng);
+    let inst = random_instance(graph, &PlatformParams::default(), 1.0, &mut rng);
+    let m = inst.num_procs();
+    let eps = 2;
+
+    println!(
+        "workload: {} tasks, {} edges, m = {m}, ε = {eps}\n",
+        inst.graph.num_tasks(),
+        inst.graph.num_edges()
+    );
+
+    for (name, sched) in [
+        ("CAFT", caft(&inst, eps, CommModel::OnePort, 0)),
+        ("CAFT-hardened", caft_hardened(&inst, eps, CommModel::OnePort, 0)),
+        ("FTSA", ftsa(&inst, eps, CommModel::OnePort, 0)),
+    ] {
+        assert!(validate_schedule(&inst, &sched).is_empty());
+        let nominal = sched.latency();
+        let mut patterns = 0usize;
+        let mut strict_ok = 0usize;
+        let mut failover_ok = 0usize;
+        let mut worst: f64 = 0.0;
+        let mut best = f64::INFINITY;
+        let mut sum = 0.0;
+
+        let mut drill = |dead: &[ProcId]| {
+            patterns += 1;
+            let sc = FaultScenario::procs(dead);
+            if replay_with(&inst, &sched, &sc, ReplayConfig::default()).completed() {
+                strict_ok += 1;
+            }
+            let out = replay_with(
+                &inst,
+                &sched,
+                &sc,
+                ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: true },
+            );
+            if out.completed() {
+                failover_ok += 1;
+                let lat = out.latency().unwrap();
+                worst = worst.max(lat);
+                best = best.min(lat);
+                sum += lat;
+            }
+        };
+        for a in 0..m {
+            drill(&[ProcId::from_index(a)]);
+            for b in (a + 1)..m {
+                drill(&[ProcId::from_index(a), ProcId::from_index(b)]);
+            }
+        }
+
+        println!("{name}: nominal latency {nominal:.2}, {} messages", sched.num_remote_messages());
+        println!("  patterns tested        : {patterns}");
+        println!(
+            "  strict completion      : {strict_ok}/{patterns} ({:.0}%)",
+            strict_ok as f64 / patterns as f64 * 100.0
+        );
+        println!(
+            "  fail-over completion   : {failover_ok}/{patterns} ({:.0}%)",
+            failover_ok as f64 / patterns as f64 * 100.0
+        );
+        println!(
+            "  crash latency (min/mean/max): {best:.2} / {:.2} / {worst:.2}\n",
+            sum / failover_ok as f64
+        );
+    }
+}

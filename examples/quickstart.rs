@@ -1,0 +1,83 @@
+//! Quickstart: build a small workflow, schedule it fault-tolerantly with
+//! CAFT under the one-port model, audit the schedule, and crash a
+//! processor to watch the replicas take over.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ftsched::prelude::*;
+use ftsched::sim::{latency_bounds, replay_with, ReplayConfig, ReplayPolicy};
+
+fn main() {
+    // --- An 6-task diamond-ish workflow, volumes in data units. ---
+    let mut b = GraphBuilder::new();
+    let ingest = b.add_labeled_task(4.0, Some("ingest".into()));
+    let clean = b.add_labeled_task(6.0, Some("clean".into()));
+    let stats = b.add_labeled_task(8.0, Some("stats".into()));
+    let train = b.add_labeled_task(12.0, Some("train".into()));
+    let eval = b.add_labeled_task(5.0, Some("eval".into()));
+    let report = b.add_labeled_task(2.0, Some("report".into()));
+    for (s, d, v) in [
+        (ingest, clean, 30.0),
+        (clean, stats, 20.0),
+        (clean, train, 40.0),
+        (stats, eval, 10.0),
+        (train, eval, 15.0),
+        (eval, report, 5.0),
+    ] {
+        b.add_edge(s, d, v).unwrap();
+    }
+    let graph = b.build();
+
+    // --- A 4-processor heterogeneous platform. ---
+    // Processor p runs a task of work w in w / speed(p) time units; links
+    // ship one data unit in 0.1 time units.
+    let speeds = [1.0, 2.0, 1.5, 0.8];
+    let platform = Platform::uniform_clique(4, 0.1);
+    let exec = ExecMatrix::from_fn(graph.num_tasks(), 4, |t, p| {
+        graph.work(t) / speeds[p.index()]
+    });
+    let inst = Instance::new(graph, platform, exec);
+
+    // --- Schedule with ε = 1 (every task twice, survives any 1 crash). ---
+    let eps = 1;
+    let sched = caft(&inst, eps, CommModel::OnePort, 42);
+    assert!(validate_schedule(&inst, &sched).is_empty(), "schedule must audit clean");
+
+    println!("CAFT schedule under the bi-directional one-port model (ε = {eps}):\n");
+    for t in inst.graph.tasks() {
+        for r in sched.replicas_of(t) {
+            println!(
+                "  {:<8} copy {} on {}  [{:6.2} .. {:6.2}]",
+                inst.graph.label(t),
+                r.of.copy + 1,
+                r.proc,
+                r.start,
+                r.finish
+            );
+        }
+    }
+    let b = latency_bounds(&inst, &sched);
+    println!("\nlatency with 0 crash : {:.2}", b.zero_crash);
+    println!("latency upper bound  : {:.2}", b.upper);
+    println!(
+        "messages             : {} remote + {} local",
+        sched.num_remote_messages(),
+        sched.num_local_messages()
+    );
+
+    // --- Crash each processor in turn; the other replicas carry on. ---
+    println!("\ncrash drill (fail-over replay):");
+    for p in inst.platform.procs() {
+        let out = replay_with(
+            &inst,
+            &sched,
+            &FaultScenario::procs(&[p]),
+            ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: true },
+        );
+        println!(
+            "  {p} down -> completed = {}, latency = {:.2}",
+            out.completed(),
+            out.latency().unwrap()
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Boundary conditions every scheduler must handle gracefully.
+
+use ftsched::prelude::*;
+use ftsched::sim::latency_bounds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn uniform(g: TaskGraph, m: usize) -> Instance {
+    let v = g.num_tasks();
+    Instance::new(
+        g,
+        Platform::uniform_clique(m, 1.0),
+        ExecMatrix::from_fn(v, m, |_, _| 1.0),
+    )
+}
+
+#[test]
+fn single_task_single_processor() {
+    let mut b = GraphBuilder::new();
+    b.add_task(3.0);
+    let inst = uniform(b.build(), 1);
+    let s = caft(&inst, 0, CommModel::OnePort, 0);
+    assert!(validate_schedule(&inst, &s).is_empty());
+    assert_eq!(s.latency(), 1.0);
+    assert!(s.messages.is_empty());
+}
+
+#[test]
+fn exactly_eps_plus_one_processors() {
+    // m = ε + 1: every processor hosts a replica of every task.
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = random_layered(&RandomDagParams::default().with_tasks(15), &mut rng);
+    let inst = uniform(g, 3);
+    for algo in [caft, ftsa, ftbar_wrap] {
+        let s = algo(&inst, 2, CommModel::OnePort, 0);
+        assert!(validate_schedule(&inst, &s).is_empty());
+        for rs in &s.replicas {
+            let procs: std::collections::HashSet<_> = rs.iter().map(|r| r.proc).collect();
+            assert_eq!(procs.len(), 3);
+        }
+    }
+}
+
+fn ftbar_wrap(
+    inst: &Instance,
+    eps: usize,
+    model: CommModel,
+    seed: u64,
+) -> ftsched::model::FtSchedule {
+    ftbar(inst, eps, model, seed)
+}
+
+#[test]
+fn zero_cost_tasks_are_legal() {
+    let mut b = GraphBuilder::new();
+    let a = b.add_task(0.0);
+    let c = b.add_task(0.0);
+    b.add_edge(a, c, 1.0).unwrap();
+    let g = b.build();
+    let inst = Instance::new(
+        g,
+        Platform::uniform_clique(2, 1.0),
+        ExecMatrix::from_fn(2, 2, |_, _| 0.0),
+    );
+    let s = caft(&inst, 1, CommModel::OnePort, 0);
+    assert!(validate_schedule(&inst, &s).is_empty());
+    assert_eq!(s.latency(), 0.0);
+}
+
+#[test]
+fn zero_volume_edges_cost_nothing() {
+    let mut b = GraphBuilder::new();
+    let a = b.add_task(1.0);
+    let c = b.add_task(1.0);
+    b.add_edge(a, c, 0.0).unwrap();
+    let inst = uniform(b.build(), 3);
+    let s = caft(&inst, 1, CommModel::OnePort, 0);
+    assert!(validate_schedule(&inst, &s).is_empty());
+    // Even across processors the dependence adds no wire time: latency 2.
+    assert!((s.latency() - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn wide_independent_graph_saturates_platform() {
+    let mut b = GraphBuilder::new();
+    for _ in 0..12 {
+        b.add_task(1.0);
+    }
+    let inst = uniform(b.build(), 4);
+    let s = caft(&inst, 0, CommModel::OnePort, 0);
+    assert!(validate_schedule(&inst, &s).is_empty());
+    // 12 unit tasks on 4 unit processors: exactly 3 rounds.
+    assert_eq!(s.latency(), 3.0);
+}
+
+#[test]
+fn deep_chain_with_replication() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = chain(20, 1.0..=1.0, 1.0..=1.0, &mut rng);
+    let inst = uniform(g, 4);
+    for eps in [1usize, 3] {
+        let s = caft(&inst, eps, CommModel::OnePort, 0);
+        assert!(validate_schedule(&inst, &s).is_empty());
+        let b = latency_bounds(&inst, &s);
+        assert!(b.upper >= b.zero_crash);
+        // A chain is an outforest: Prop 5.1 message bound applies.
+        assert!(s.messages.len() <= inst.graph.num_edges() * (eps + 1));
+    }
+}
+
+#[test]
+fn high_fanin_join_with_replication() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = join(9, 1.0..=1.0, 2.0..=2.0, &mut rng);
+    let inst = uniform(g, 5);
+    let s = caft(&inst, 2, CommModel::OnePort, 0);
+    assert!(validate_schedule(&inst, &s).is_empty());
+    // The sink has 9 predecessors with 3 replicas each: every sink replica
+    // still needs at least one copy per predecessor.
+    let sink = TaskId(9);
+    for r in s.replicas_of(sink) {
+        let mut edges: Vec<_> = s
+            .messages_into(r.of)
+            .map(|m| m.edge)
+            .collect();
+        edges.sort();
+        edges.dedup();
+        assert_eq!(edges.len(), 9, "replica {:?} misses an input", r.of);
+    }
+}
+
+#[test]
+fn reduction_tree_schedules_cleanly() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = reduction_tree(16, 1.0..=3.0, 1.0..=5.0, &mut rng);
+    let inst = uniform(g, 6);
+    for eps in [0usize, 1, 2] {
+        let s = caft(&inst, eps, CommModel::OnePort, 0);
+        assert!(validate_schedule(&inst, &s).is_empty());
+    }
+}
+
+#[test]
+fn fft_and_cholesky_schedule_cleanly() {
+    let inst_fft = uniform(fft(8, 2.0, 3.0), 6);
+    let s = caft(&inst_fft, 1, CommModel::OnePort, 0);
+    assert!(validate_schedule(&inst_fft, &s).is_empty());
+
+    let inst_chol = uniform(cholesky(4, 3.0, 2.0), 6);
+    let s = ftsa(&inst_chol, 2, CommModel::OnePort, 0);
+    assert!(validate_schedule(&inst_chol, &s).is_empty());
+}
+
+#[test]
+fn windowed_and_hardened_on_structured_graphs() {
+    use ftsched::algos::caft_windowed;
+    let inst = uniform(fft(8, 2.0, 3.0), 6);
+    let w = caft_windowed(&inst, 1, CommModel::OnePort, 0, 6);
+    assert!(validate_schedule(&inst, &w).is_empty());
+    let h = caft_hardened(&inst, 1, CommModel::OnePort, 0);
+    assert!(validate_schedule(&inst, &h).is_empty());
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration: generate → schedule → audit → replay, across
+//! every algorithm, communication model and replication degree.
+
+use ftsched::prelude::*;
+use ftsched::sim::{latency_bounds, replay_with, ReplayConfig, ReplayPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(seed: u64, tasks: usize, m: usize, gran: f64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = random_layered(&RandomDagParams::default().with_tasks(tasks), &mut rng);
+    random_instance(
+        graph,
+        &PlatformParams::default().with_procs(m),
+        gran,
+        &mut rng,
+    )
+}
+
+#[test]
+fn every_algorithm_produces_auditable_schedules() {
+    for seed in [1u64, 2, 3] {
+        let inst = workload(seed, 50, 10, 1.0);
+        for model in [CommModel::OnePort, CommModel::MacroDataflow] {
+            for eps in [0usize, 1, 3] {
+                for (name, sched) in [
+                    ("caft", caft(&inst, eps, model, seed)),
+                    ("ftsa", ftsa(&inst, eps, model, seed)),
+                    ("ftbar", ftbar(&inst, eps, model, seed)),
+                ] {
+                    let errs = validate_schedule(&inst, &sched);
+                    assert!(
+                        errs.is_empty(),
+                        "{name} seed {seed} {model:?} eps {eps}: {:?}",
+                        &errs[..errs.len().min(3)]
+                    );
+                    assert_eq!(sched.num_replicas, eps + 1);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn no_crash_replay_reproduces_static_times_for_all_algorithms() {
+    let inst = workload(11, 60, 10, 0.7);
+    for eps in [0usize, 2] {
+        for sched in [
+            caft(&inst, eps, CommModel::OnePort, 0),
+            ftsa(&inst, eps, CommModel::OnePort, 0),
+            ftbar(&inst, eps, CommModel::OnePort, 0),
+        ] {
+            let out = replay(&inst, &sched, &FaultScenario::none());
+            assert!(out.completed());
+            assert!(
+                (out.latency().unwrap() - sched.latency()).abs() < 1e-6,
+                "eps {eps}: replay {} vs static {}",
+                out.latency().unwrap(),
+                sched.latency()
+            );
+        }
+    }
+}
+
+#[test]
+fn upper_bound_dominates_crash_latencies_for_ftsa() {
+    // For full fan-in schedules the AllCopies bound dominates any ≤ ε
+    // crash pattern's latency (the paper's "always achieved" claim).
+    let inst = workload(13, 40, 8, 1.0);
+    let eps = 2;
+    let sched = ftsa(&inst, eps, CommModel::OnePort, 0);
+    let ub = latency_bounds(&inst, &sched).upper;
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..10 {
+        let sc = FaultScenario::random(8, eps, &mut rng);
+        let out = replay(&inst, &sched, &sc);
+        assert!(out.completed(), "FTSA must survive {sc:?}");
+        let lat = out.latency().unwrap();
+        assert!(
+            lat <= ub + 1e-6,
+            "crash latency {lat} exceeds upper bound {ub} under {sc:?}"
+        );
+    }
+}
+
+#[test]
+fn latencies_rank_sensibly_on_fine_grain_workloads() {
+    // At fine granularity (communication-heavy), contention awareness must
+    // pay: CAFT's 0-crash latency beats FTSA's and FTBAR's on average.
+    let mut wins_ftsa = 0;
+    let mut wins_ftbar = 0;
+    let n = 8;
+    for seed in 0..n {
+        let inst = workload(100 + seed, 90, 10, 0.4);
+        let c = caft(&inst, 1, CommModel::OnePort, seed).latency();
+        let f = ftsa(&inst, 1, CommModel::OnePort, seed).latency();
+        let b = ftbar(&inst, 1, CommModel::OnePort, seed).latency();
+        if c < f {
+            wins_ftsa += 1;
+        }
+        if c < b {
+            wins_ftbar += 1;
+        }
+    }
+    assert!(wins_ftsa >= n * 3 / 4, "CAFT only beat FTSA {wins_ftsa}/{n} times");
+    assert!(wins_ftbar >= n * 3 / 4, "CAFT only beat FTBAR {wins_ftbar}/{n} times");
+}
+
+#[test]
+fn replication_costs_latency_monotonically_in_expectation() {
+    // More failures supported ⇒ more replicas ⇒ latency does not improve.
+    let inst = workload(17, 60, 10, 1.0);
+    let l0 = caft(&inst, 0, CommModel::OnePort, 0).latency();
+    let l1 = caft(&inst, 1, CommModel::OnePort, 0).latency();
+    let l3 = caft(&inst, 3, CommModel::OnePort, 0).latency();
+    assert!(l0 <= l1 * 1.05, "ε=0 {l0} vs ε=1 {l1}");
+    assert!(l1 <= l3 * 1.05, "ε=1 {l1} vs ε=3 {l3}");
+}
+
+#[test]
+fn failover_replay_completes_under_any_eps_crashes() {
+    let inst = workload(19, 70, 10, 1.0);
+    let eps = 3;
+    let sched = caft(&inst, eps, CommModel::OnePort, 0);
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..20 {
+        let sc = FaultScenario::random(10, eps, &mut rng);
+        let out = replay_with(
+            &inst,
+            &sched,
+            &sc,
+            ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: true },
+        );
+        assert!(out.completed(), "fail-over must complete under {sc:?}");
+    }
+}
+
+#[test]
+fn serde_roundtrip_of_full_schedule() {
+    let inst = workload(29, 30, 6, 1.0);
+    let sched = caft(&inst, 1, CommModel::OnePort, 0);
+    let json = serde_json::to_string(&sched).unwrap();
+    let back: ftsched::model::FtSchedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.latency(), sched.latency());
+    assert_eq!(back.messages.len(), sched.messages.len());
+    assert!(validate_schedule(&inst, &back).is_empty());
+}

@@ -1,0 +1,128 @@
+//! Figure-level assertions: the qualitative claims of §6, checked on
+//! thinned sweeps (EXPERIMENTS.md records the full-resolution runs).
+
+use ft_experiments::config::FigureConfig;
+use ft_experiments::figures;
+use ft_experiments::runner::run_figure;
+
+fn quick(mut cfg: FigureConfig) -> FigureConfig {
+    cfg = cfg.quick(6);
+    cfg
+}
+
+#[test]
+fn figure1_caft_dominates_both_competitors() {
+    let res = run_figure(&quick(figures::fig1()));
+    for p in &res.points {
+        assert!(
+            p.caft.zero_crash < p.ftsa.zero_crash,
+            "g {}: CAFT {} vs FTSA {}",
+            p.granularity,
+            p.caft.zero_crash,
+            p.ftsa.zero_crash
+        );
+        assert!(
+            p.caft.zero_crash < p.ftbar.zero_crash,
+            "g {}: CAFT {} vs FTBAR {}",
+            p.granularity,
+            p.caft.zero_crash,
+            p.ftbar.zero_crash
+        );
+    }
+}
+
+#[test]
+fn figure1_caft_stays_close_to_fault_free() {
+    // "CAFT achieves a really good latency (with 0 crash), which is quite
+    // close to the fault free version" — within 2.2x at every point for
+    // ε = 1, where FTSA/FTBAR exceed it substantially at fine grain.
+    let res = run_figure(&quick(figures::fig1()));
+    for p in &res.points {
+        assert!(
+            p.caft.zero_crash < 2.2 * p.fault_free_caft,
+            "g {}: CAFT0 {} vs FF {}",
+            p.granularity,
+            p.caft.zero_crash,
+            p.fault_free_caft
+        );
+    }
+    let fine = &res.points[0];
+    assert!(fine.ftsa.zero_crash > 2.2 * fine.fault_free_caft);
+}
+
+#[test]
+fn figure4_ftsa_overhead_approaches_caft_as_granularity_grows() {
+    // "the fault tolerance overhead of FTSA diminishes gradually and
+    // becomes closer to that of CAFT as the g(G) value goes up".
+    let res = run_figure(&quick(figures::fig4()));
+    let first = &res.points[0];
+    let last = res.points.last().unwrap();
+    let gap_fine = first.ftsa.overhead_zero - first.caft.overhead_zero;
+    let gap_coarse = last.ftsa.overhead_zero - last.caft.overhead_zero;
+    assert!(
+        gap_coarse < gap_fine,
+        "gap should shrink: fine {gap_fine:.1} vs coarse {gap_coarse:.1}"
+    );
+}
+
+#[test]
+fn overheads_grow_with_supported_failures() {
+    // "the fault tolerance overhead increases together with the number of
+    // supported failures" — compare fig1 (ε = 1) and fig2 (ε = 3) at the
+    // same granularities.
+    let r1 = run_figure(&quick(figures::fig1()));
+    let r2 = run_figure(&quick(figures::fig2()));
+    let mean = |r: &ft_experiments::runner::FigureResult, f: fn(&ft_experiments::runner::PointResult) -> f64| {
+        r.points.iter().map(f).sum::<f64>() / r.points.len() as f64
+    };
+    assert!(
+        mean(&r2, |p| p.caft.overhead_zero) > mean(&r1, |p| p.caft.overhead_zero),
+        "CAFT overhead must grow with ε"
+    );
+    assert!(
+        mean(&r2, |p| p.ftsa.overhead_zero) > mean(&r1, |p| p.ftsa.overhead_zero),
+        "FTSA overhead must grow with ε"
+    );
+}
+
+#[test]
+fn message_counts_linear_vs_quadratic_regimes() {
+    // The §6 explanation of CAFT's advantage: e(ε+1) vs e(ε+1)² messages.
+    // At ε = 1 (fig1) singleton processors abound and the one-to-one pass
+    // fires for most tasks; at ε = 3 on 10 processors (fig2) singletons
+    // get scarce (4 replicas per predecessor) so the reduction shrinks but
+    // must remain visible.
+    let r1 = run_figure(&quick(figures::fig1()));
+    for p in &r1.points {
+        assert!(
+            p.caft.remote_msgs * 1.3 < p.ftsa.remote_msgs,
+            "fig1 g {}: CAFT {} should be well below FTSA {}",
+            p.granularity,
+            p.caft.remote_msgs,
+            p.ftsa.remote_msgs
+        );
+    }
+    let r2 = run_figure(&quick(figures::fig2()));
+    for p in &r2.points {
+        assert!(
+            p.caft.remote_msgs * 1.1 < p.ftsa.remote_msgs,
+            "fig2 g {}: CAFT {} vs FTSA {}",
+            p.granularity,
+            p.caft.remote_msgs,
+            p.ftsa.remote_msgs
+        );
+    }
+}
+
+#[test]
+fn latency_decreases_with_granularity() {
+    // Coarser graphs communicate less: normalized latency falls along the
+    // sweep for every series.
+    let res = run_figure(&quick(figures::fig1()));
+    let first = &res.points[0];
+    let last = res.points.last().unwrap();
+    assert!(last.caft.zero_crash < first.caft.zero_crash);
+    assert!(last.ftsa.zero_crash < first.ftsa.zero_crash);
+    assert!(last.ftbar.zero_crash < first.ftbar.zero_crash);
+    assert!(last.fault_free_caft < first.fault_free_caft);
+}
