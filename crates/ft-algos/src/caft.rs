@@ -79,7 +79,15 @@ impl Default for CaftOptions {
 
 /// Runs CAFT with the given failure tolerance, model and tie-break seed.
 pub fn caft(inst: &Instance, eps: usize, model: CommModel, seed: u64) -> FtSchedule {
-    caft_with(inst, CaftOptions { eps, model, seed, ..CaftOptions::default() })
+    caft_with(
+        inst,
+        CaftOptions {
+            eps,
+            model,
+            seed,
+            ..CaftOptions::default()
+        },
+    )
 }
 
 /// Runs hardened CAFT (disjoint lineage supports — see
@@ -88,7 +96,13 @@ pub fn caft(inst: &Instance, eps: usize, model: CommModel, seed: u64) -> FtSched
 pub fn caft_hardened(inst: &Instance, eps: usize, model: CommModel, seed: u64) -> FtSchedule {
     caft_with(
         inst,
-        CaftOptions { eps, model, seed, disjoint_lineages: true, ..CaftOptions::default() },
+        CaftOptions {
+            eps,
+            model,
+            seed,
+            disjoint_lineages: true,
+            ..CaftOptions::default()
+        },
     )
 }
 
@@ -132,12 +146,7 @@ pub(crate) fn schedule_task_for(
 }
 
 /// Places the `ε + 1` replicas of one task (Algorithm 5.1, lines 10–20).
-fn schedule_task(
-    ctx: &mut Ctx<'_>,
-    t: TaskId,
-    opts: &CaftOptions,
-    supports: &mut Vec<Vec<u64>>,
-) {
+fn schedule_task(ctx: &mut Ctx<'_>, t: TaskId, opts: &CaftOptions, supports: &mut Vec<Vec<u64>>) {
     let replicas_needed = opts.eps + 1;
     // P̄ — processors locked for this task (hosting one of its replicas or
     // feeding one of them).
@@ -146,7 +155,11 @@ fn schedule_task(
     // B̄(tj): replicas of each predecessor on singleton processors.
     let mut bbar: Vec<Vec<Replica>> = singleton_replica_sets(ctx, t);
     let theta = if opts.one_to_one && !bbar.is_empty() {
-        bbar.iter().map(|b| b.len()).min().unwrap_or(0).min(replicas_needed)
+        bbar.iter()
+            .map(|b| b.len())
+            .min()
+            .unwrap_or(0)
+            .min(replicas_needed)
     } else {
         0
     };
@@ -198,7 +211,7 @@ fn schedule_task(
             // A fill-in replica's support is its own processor, which must
             // stay outside every sibling's support.
             let union: u64 = supports[t.index()].iter().fold(0, |a, &b| a | b);
-            for p in ctx.inst.platform.procs() {
+            for p in ctx.candidate_procs() {
                 if union & proc_bit(p) != 0 && !excluded.contains(&p) {
                     excluded.push(p);
                 }
@@ -208,7 +221,7 @@ fn schedule_task(
             // Rank with hardened specs so the EFT estimate matches what is
             // committed.
             let mut best: Option<(f64, ProcId)> = None;
-            for p in ctx.inst.platform.procs() {
+            for p in ctx.candidate_procs() {
                 if excluded.contains(&p) {
                     continue;
                 }
@@ -220,10 +233,8 @@ fn schedule_task(
                     best = Some((cand.eft, p));
                 }
             }
-            best.expect(
-                "hardened one-to-one rounds reserve clean processors for fill-ins",
-            )
-            .1
+            best.expect("hardened one-to-one rounds reserve clean processors for fill-ins")
+                .1
         } else {
             let mut ranked = ctx.rank_candidates_full_fanin(t, copy, &excluded);
             if ranked.is_empty() {
@@ -356,8 +367,7 @@ fn hardened_fanin_specs(
                 ready: local.finish,
                 w: 0.0,
             });
-            let self_supported =
-                supports[pred.index()][local.of.copy as usize] == proc_bit(dst);
+            let self_supported = supports[pred.index()][local.of.copy as usize] == proc_bit(dst);
             if self_supported {
                 continue;
             }
@@ -393,7 +403,7 @@ fn one_to_one_round(
     let in_edges = g.in_edges(t);
     let mut best: Option<(f64, OneToOneRound)> = None;
 
-    'candidates: for p in ctx.inst.platform.procs() {
+    'candidates: for p in ctx.candidate_procs() {
         if locked.contains(&p) || ctx.procs_hosting(t).contains(&p) {
             continue;
         }
@@ -480,7 +490,16 @@ fn one_to_one_round(
             }
         };
         if better {
-            best = Some((cand.eft, OneToOneRound { proc: p, specs, senders, heads, support }));
+            best = Some((
+                cand.eft,
+                OneToOneRound {
+                    proc: p,
+                    specs,
+                    senders,
+                    heads,
+                    support,
+                },
+            ));
         }
     }
     best.map(|(_, r)| r)
@@ -734,12 +753,7 @@ mod hardened_tests {
     fn hardened_rejects_huge_platforms() {
         let mut rng = StdRng::seed_from_u64(63);
         let g = random_layered(&RandomDagParams::default().with_tasks(10), &mut rng);
-        let inst = random_instance(
-            g,
-            &PlatformParams::default().with_procs(65),
-            1.0,
-            &mut rng,
-        );
+        let inst = random_instance(g, &PlatformParams::default().with_procs(65), 1.0, &mut rng);
         caft_hardened(&inst, 1, CommModel::OnePort, 0);
     }
 }

@@ -48,6 +48,9 @@ pub struct Ctx<'a> {
     pub insertion: bool,
     /// Per-processor computation intervals, maintained in insertion mode.
     exec_slots: Vec<Timeline>,
+    /// Processors replicas may be placed on. Defaults to the whole
+    /// platform; sub-DAG rescheduling restricts it to the survivors.
+    allowed: Vec<ProcId>,
 }
 
 impl<'a> Ctx<'a> {
@@ -83,7 +86,92 @@ impl<'a> Ctx<'a> {
             pool,
             insertion: false,
             exec_slots: vec![Timeline::new(); m],
+            allowed: inst.platform.procs().collect(),
         }
+    }
+
+    /// Initializes a *sub-DAG* run for online rescheduling: only `remnant`
+    /// tasks will be scheduled, placements are restricted to the `allowed`
+    /// (surviving) processors, no computation starts before `release`, and
+    /// data produced by already-executed tasks is injected as frontier
+    /// pseudo-replicas (`sources[t]`: where copies of non-remnant task `t`
+    /// live, with `finish` = the time the data becomes available).
+    ///
+    /// The returned schedule contains real placements for remnant tasks
+    /// and echoes the frontier pseudo-replicas for non-remnant ones (so
+    /// message records resolve); callers only consume the remnant part.
+    ///
+    /// # Panics
+    /// Panics unless `allowed` has at least `eps + 1` processors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_subdag(
+        inst: &'a Instance,
+        eps: usize,
+        model: CommModel,
+        seed: u64,
+        remnant: &[bool],
+        sources: &[Vec<Replica>],
+        allowed: Vec<ProcId>,
+        release: f64,
+    ) -> Self {
+        let m = inst.num_procs();
+        let v = inst.graph.num_tasks();
+        assert_eq!(remnant.len(), v, "remnant mask must cover every task");
+        assert_eq!(sources.len(), v, "sources must cover every task");
+        assert!(
+            allowed.len() > eps,
+            "need at least ε+1 = {} surviving processors, got {}",
+            eps + 1,
+            allowed.len()
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tie: Vec<u64> = (0..v).map(|_| rng.gen()).collect();
+        let ready = ReadyTracker::for_subset(&inst.graph, remnant);
+        let mut pool = FreePool::new();
+        for t in ready.initial() {
+            pool.push(t);
+        }
+        let mut state = NetworkState::new(m, model);
+        for &p in &allowed {
+            state.commit_exec(p, release);
+        }
+        // Pre-populate the schedule with the frontier pseudo-replicas so
+        // `full_fanin_specs` & friends resolve non-remnant predecessors.
+        let mut sched = FtSchedule::new(v, eps, model);
+        for (t, srcs) in sources.iter().enumerate() {
+            debug_assert!(
+                srcs.is_empty() || !remnant[t],
+                "remnant task {t} cannot also be a data source"
+            );
+            let mut srcs = srcs.clone();
+            srcs.sort_by(|a, b| a.finish.total_cmp(&b.finish).then(a.proc.cmp(&b.proc)));
+            for (copy, src) in srcs.into_iter().take(eps + 1).enumerate() {
+                sched.push_replica(Replica {
+                    of: ReplicaRef::new(ft_graph::TaskId::from_index(t), copy),
+                    ..src
+                });
+            }
+        }
+        Ctx {
+            inst,
+            eps,
+            state,
+            sched,
+            bl: mean_bottom_levels(inst),
+            tl: vec![release; v],
+            tie,
+            ready,
+            pool,
+            insertion: false,
+            exec_slots: vec![Timeline::new(); m],
+            allowed,
+        }
+    }
+
+    /// The processors replicas may be placed on (the whole platform for
+    /// from-scratch runs, the survivors for sub-DAG rescheduling).
+    pub fn candidate_procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.allowed.iter().copied()
     }
 
     /// Switches this run to the insertion slot policy (see
@@ -104,10 +192,8 @@ impl<'a> Ctx<'a> {
         let tl = &self.tl;
         let bl = &self.bl;
         let tie = &self.tie;
-        self.pool.pop_max(
-            |t| tl[t.index()] + bl[t.index()],
-            |t| tie[t.index()],
-        )
+        self.pool
+            .pop_max(|t| tl[t.index()] + bl[t.index()], |t| tie[t.index()])
     }
 
     /// Full fan-in message specs for placing replica `copy` of `t` on
@@ -170,7 +256,11 @@ impl<'a> Ctx<'a> {
     /// the earliest idle gap on `dst` that fits `E(t, dst)`.
     pub fn est_of(&self, t: TaskId, dst: ProcId, planned: &[PlannedMsg]) -> f64 {
         let g = &self.inst.graph;
-        let mut est = if self.insertion { 0.0 } else { self.state.proc_ready(dst) };
+        let mut est = if self.insertion {
+            0.0
+        } else {
+            self.state.proc_ready(dst)
+        };
         for &e in g.in_edges(t) {
             let first_arrival = planned
                 .iter()
@@ -255,7 +345,7 @@ impl<'a> Ctx<'a> {
         excluded: &[ProcId],
     ) -> Vec<Candidate> {
         let mut out = Vec::new();
-        for p in self.inst.platform.procs() {
+        for p in self.candidate_procs() {
             if excluded.contains(&p) {
                 continue;
             }
@@ -351,7 +441,11 @@ mod tests {
         ctx.commit(TaskId(0), 0, ProcId(1), &[]);
         ctx.finish_task(TaskId(0));
         let cands = ctx.rank_candidates_full_fanin(TaskId(1), 0, &[]);
-        assert_eq!(cands[0].proc, ProcId(1), "local placement avoids the transfer");
+        assert_eq!(
+            cands[0].proc,
+            ProcId(1),
+            "local placement avoids the transfer"
+        );
         assert_eq!(cands[0].eft, 2.0);
         assert!(cands[1].eft > 2.0);
     }

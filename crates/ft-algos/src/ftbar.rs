@@ -45,13 +45,26 @@ pub struct FtbarOptions {
 
 impl Default for FtbarOptions {
     fn default() -> Self {
-        FtbarOptions { eps: 1, model: CommModel::OnePort, seed: 0, insertion: false }
+        FtbarOptions {
+            eps: 1,
+            model: CommModel::OnePort,
+            seed: 0,
+            insertion: false,
+        }
     }
 }
 
 /// Runs FTBAR with the given failure tolerance, model and tie-break seed.
 pub fn ftbar(inst: &Instance, eps: usize, model: CommModel, seed: u64) -> FtSchedule {
-    ftbar_with(inst, FtbarOptions { eps, model, seed, ..FtbarOptions::default() })
+    ftbar_with(
+        inst,
+        FtbarOptions {
+            eps,
+            model,
+            seed,
+            ..FtbarOptions::default()
+        },
+    )
 }
 
 /// Runs FTBAR with explicit options.

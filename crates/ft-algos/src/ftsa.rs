@@ -35,13 +35,26 @@ pub struct FtsaOptions {
 
 impl Default for FtsaOptions {
     fn default() -> Self {
-        FtsaOptions { eps: 1, model: CommModel::OnePort, seed: 0, insertion: false }
+        FtsaOptions {
+            eps: 1,
+            model: CommModel::OnePort,
+            seed: 0,
+            insertion: false,
+        }
     }
 }
 
 /// Runs FTSA with the given failure tolerance, model and tie-break seed.
 pub fn ftsa(inst: &Instance, eps: usize, model: CommModel, seed: u64) -> FtSchedule {
-    ftsa_with(inst, FtsaOptions { eps, model, seed, ..FtsaOptions::default() })
+    ftsa_with(
+        inst,
+        FtsaOptions {
+            eps,
+            model,
+            seed,
+            ..FtsaOptions::default()
+        },
+    )
 }
 
 /// Runs FTSA with explicit options.

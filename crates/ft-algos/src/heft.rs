@@ -15,7 +15,15 @@ use ft_platform::Instance;
 /// Schedules without replication: one copy per task on its EFT-minimizing
 /// processor, under the given communication model.
 pub fn heft(inst: &Instance, model: CommModel, seed: u64) -> FtSchedule {
-    ftsa_with(inst, FtsaOptions { eps: 0, model, seed, ..FtsaOptions::default() })
+    ftsa_with(
+        inst,
+        FtsaOptions {
+            eps: 0,
+            model,
+            seed,
+            ..FtsaOptions::default()
+        },
+    )
 }
 
 #[cfg(test)]

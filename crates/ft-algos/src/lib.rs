@@ -35,12 +35,14 @@ pub mod ftbar;
 pub mod ftsa;
 pub mod heft;
 pub mod prio;
+pub mod subdag;
 pub mod windowed;
 
 pub use caft::{caft, caft_hardened, caft_with, CaftOptions};
 pub use ftbar::{ftbar, ftbar_with, FtbarOptions};
 pub use ftsa::{ftsa, ftsa_with, FtsaOptions};
 pub use heft::heft;
+pub use subdag::{caft_on_subdag, SubDagOutcome, SubDagSpec};
 pub use windowed::{caft_windowed, caft_windowed_with, WindowedOptions};
 
 pub use ft_model::CommModel;

@@ -17,11 +17,7 @@ use ft_platform::Instance;
 
 /// Static bottom levels on the mean-cost weighted graph.
 pub fn mean_bottom_levels(inst: &Instance) -> Vec<f64> {
-    bottom_levels(
-        &inst.graph,
-        |t| inst.exec.mean(t),
-        |e| inst.mean_comm(e),
-    )
+    bottom_levels(&inst.graph, |t| inst.exec.mean(t), |e| inst.mean_comm(e))
 }
 
 /// A deterministic max-priority pool of free tasks.
@@ -113,6 +109,31 @@ impl ReadyTracker {
         ReadyTracker {
             remaining_preds: g.tasks().map(|t| g.in_degree(t)).collect(),
         }
+    }
+
+    /// Initializes for scheduling only the tasks with `in_subset[t]`,
+    /// counting only predecessors inside the subset (data of outside
+    /// predecessors is assumed already produced). Outside tasks are pinned
+    /// with a sentinel so they never become free.
+    ///
+    /// The subset must be closed under successors: every successor of a
+    /// subset task is itself in the subset (which holds by construction for
+    /// "not yet executed" sub-DAGs, since a task cannot run before its
+    /// predecessors).
+    pub fn for_subset(g: &TaskGraph, in_subset: &[bool]) -> Self {
+        let remaining_preds = g
+            .tasks()
+            .map(|t| {
+                if !in_subset[t.index()] {
+                    return usize::MAX;
+                }
+                g.in_edges(t)
+                    .iter()
+                    .filter(|&&e| in_subset[g.edge(e).src.index()])
+                    .count()
+            })
+            .collect();
+        ReadyTracker { remaining_preds }
     }
 
     /// The initially free (entry) tasks.

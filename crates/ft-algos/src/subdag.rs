@@ -1,0 +1,265 @@
+//! Incremental rescheduling: CAFT on the not-yet-executed sub-DAG.
+//!
+//! When processors crash *during* execution (the online model of
+//! `ft-runtime`), the `Reschedule` recovery policy re-runs CAFT on the
+//! tasks that have not produced any result yet, against the surviving
+//! platform. This module provides that entry point without duplicating the
+//! scheduling machinery: [`Ctx::for_subdag`] seeds a normal CAFT run with
+//!
+//! * a **remnant mask** — the tasks still to execute (closed under
+//!   successors by construction);
+//! * **frontier sources** — for each already-executed task feeding the
+//!   remnant, the processors holding its output and the times the data
+//!   became available, injected as pseudo-replicas so the ordinary fan-in
+//!   and one-to-one machinery treats them like any scheduled predecessor;
+//! * the **surviving processors** and a **release time** before which no
+//!   new computation may start (detection time of the failure).
+//!
+//! The result is a regular [`FtSchedule`]: remnant tasks carry fresh
+//! placements (`ε + 1` replicas on survivors), non-remnant tasks echo their
+//! frontier pseudo-replicas, and message records route data from frontier
+//! copies to new replicas. A remnant task whose frontier data was lost on
+//! every surviving processor is unschedulable; it is skipped, its
+//! descendants stay unscheduled (empty replica lists), and the caller
+//! observes the gap (see [`SubDagOutcome::unscheduled`]).
+
+use crate::caft::{schedule_task_for, CaftOptions};
+use crate::common::Ctx;
+use ft_graph::TaskId;
+use ft_model::{FtSchedule, Replica};
+use ft_platform::{Instance, ProcId};
+
+/// The input of an incremental rescheduling run.
+#[derive(Clone, Debug)]
+pub struct SubDagSpec {
+    /// `remnant[t]`: task `t` still needs to execute.
+    pub remnant: Vec<bool>,
+    /// `sources[t]`: surviving copies of the output of non-remnant task
+    /// `t` — host processor and availability time (`finish`). Empty for
+    /// remnant tasks and for tasks that feed nothing in the remnant.
+    pub sources: Vec<Vec<Replica>>,
+    /// Surviving processors, candidates for the new placements.
+    pub alive: Vec<ProcId>,
+    /// No new computation or transfer decision starts before this time
+    /// (typically the failure-detection instant).
+    pub release: f64,
+}
+
+/// The output of [`caft_on_subdag`].
+#[derive(Clone, Debug)]
+pub struct SubDagOutcome {
+    /// The repaired schedule (remnant placements + frontier echoes).
+    pub schedule: FtSchedule,
+    /// Remnant tasks that could not be (re)scheduled because some
+    /// predecessor's data survives nowhere, in topological order.
+    pub unscheduled: Vec<TaskId>,
+}
+
+/// Re-runs CAFT over the remnant sub-DAG on the surviving platform.
+///
+/// `opts.eps` is the replication degree of the *new* placements; it is
+/// capped internally so the survivors can host `ε + 1` space-exclusive
+/// copies. The run is deterministic in `(inst, spec, opts)`.
+pub fn caft_on_subdag(inst: &Instance, spec: &SubDagSpec, opts: &CaftOptions) -> SubDagOutcome {
+    if opts.disjoint_lineages {
+        // Same guard as `caft_with`: supports are 64-bit processor masks.
+        assert!(
+            inst.num_procs() <= 64,
+            "hardened sub-DAG repair tracks supports as 64-bit masks (m ≤ 64)"
+        );
+    }
+    let eps = opts.eps.min(spec.alive.len().saturating_sub(1));
+    let mut ctx = Ctx::for_subdag(
+        inst,
+        eps,
+        opts.model,
+        opts.seed,
+        &spec.remnant,
+        &spec.sources,
+        spec.alive.clone(),
+        spec.release,
+    );
+    let run_opts = CaftOptions { eps, ..*opts };
+    let g = &inst.graph;
+    // Frontier pseudo-replicas support themselves (used when the hardened
+    // lineage mode is enabled for the repair run).
+    let mut supports: Vec<Vec<u64>> = vec![Vec::new(); inst.num_tasks()];
+    for (t, srcs) in spec.sources.iter().enumerate() {
+        let n = ctx
+            .sched
+            .replicas_of(TaskId::from_index(t))
+            .len()
+            .min(srcs.len());
+        for r in ctx.sched.replicas_of(TaskId::from_index(t)).iter().take(n) {
+            supports[t].push(1u64 << (r.proc.index() & 63));
+        }
+    }
+    let mut unscheduled = Vec::new();
+    while let Some(t) = ctx.pop_task() {
+        // A remnant task is schedulable only if every non-remnant
+        // predecessor left at least one surviving copy of its data.
+        let feasible = g.in_edges(t).iter().all(|&e| {
+            let pred = g.edge(e).src;
+            spec.remnant[pred.index()] || !ctx.sched.replicas_of(pred).is_empty()
+        });
+        if !feasible {
+            // Skipping without `finish_task` keeps every descendant
+            // blocked, which is exactly the semantics we want: data gone,
+            // subtree unrecoverable by rescheduling alone.
+            unscheduled.push(t);
+            continue;
+        }
+        schedule_task_for(&mut ctx, t, &run_opts, &mut supports);
+        ctx.finish_task(t);
+    }
+    // Tasks never freed (descendants of unscheduled ones) are also gaps.
+    for t in g.tasks() {
+        if spec.remnant[t.index()]
+            && ctx.sched.replicas_of(t).is_empty()
+            && !unscheduled.contains(&t)
+        {
+            unscheduled.push(t);
+        }
+    }
+    SubDagOutcome {
+        schedule: ctx.sched,
+        unscheduled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::GraphBuilder;
+    use ft_model::{CommModel, ReplicaRef};
+    use ft_platform::{ExecMatrix, Platform};
+
+    /// chain a → b → c, plus d independent; 4 uniform processors.
+    fn chain_instance() -> Instance {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        let t2 = b.add_task(1.0);
+        let _t3 = b.add_task(1.0);
+        b.add_edge(t0, t1, 2.0).unwrap();
+        b.add_edge(t1, t2, 2.0).unwrap();
+        let g = b.build();
+        Instance::new(
+            g,
+            Platform::uniform_clique(4, 1.0),
+            ExecMatrix::from_fn(4, 4, |_, _| 1.0),
+        )
+    }
+
+    fn source(task: u32, copy: usize, proc: u32, finish: f64) -> Replica {
+        Replica {
+            of: ReplicaRef::new(TaskId(task), copy),
+            proc: ProcId(proc),
+            start: finish,
+            finish,
+        }
+    }
+
+    #[test]
+    fn reschedules_tail_on_survivors() {
+        let inst = chain_instance();
+        // t0 finished at 1.0 on P0 and P1; t1, t2, t3 still to run; P3 died.
+        let spec = SubDagSpec {
+            remnant: vec![false, true, true, true],
+            sources: vec![
+                vec![source(0, 0, 0, 1.0), source(0, 1, 1, 1.0)],
+                vec![],
+                vec![],
+                vec![],
+            ],
+            alive: vec![ProcId(0), ProcId(1), ProcId(2)],
+            release: 2.0,
+        };
+        let opts = CaftOptions {
+            eps: 1,
+            model: CommModel::OnePort,
+            ..Default::default()
+        };
+        let out = caft_on_subdag(&inst, &spec, &opts);
+        assert!(out.unscheduled.is_empty());
+        for t in [1u32, 2, 3] {
+            let reps = out.schedule.replicas_of(TaskId(t));
+            assert_eq!(reps.len(), 2, "task {t} gets ε+1 replicas");
+            for r in reps {
+                assert!(spec.alive.contains(&r.proc), "placed on a survivor");
+                assert!(r.start >= spec.release, "respects the release time");
+            }
+            // Space exclusion among the new replicas.
+            assert_ne!(reps[0].proc, reps[1].proc);
+        }
+        // Frontier echo: t0 keeps its two pseudo-replicas.
+        assert_eq!(out.schedule.replicas_of(TaskId(0)).len(), 2);
+    }
+
+    #[test]
+    fn caps_replication_to_survivors() {
+        let inst = chain_instance();
+        let spec = SubDagSpec {
+            remnant: vec![false, true, true, true],
+            sources: vec![vec![source(0, 0, 0, 1.0)], vec![], vec![], vec![]],
+            alive: vec![ProcId(0), ProcId(1)],
+            release: 1.0,
+        };
+        let opts = CaftOptions {
+            eps: 3,
+            model: CommModel::OnePort,
+            ..Default::default()
+        };
+        let out = caft_on_subdag(&inst, &spec, &opts);
+        assert!(out.unscheduled.is_empty());
+        assert_eq!(
+            out.schedule.replicas_of(TaskId(1)).len(),
+            2,
+            "ε capped at 1"
+        );
+    }
+
+    #[test]
+    fn lost_frontier_data_marks_subtree_unschedulable() {
+        let inst = chain_instance();
+        // t0 executed but its only copy died with its processor: t1 and t2
+        // are unrecoverable; independent t3 still reschedules.
+        let spec = SubDagSpec {
+            remnant: vec![false, true, true, true],
+            sources: vec![vec![], vec![], vec![], vec![]],
+            alive: vec![ProcId(0), ProcId(1), ProcId(2)],
+            release: 2.0,
+        };
+        let opts = CaftOptions {
+            eps: 1,
+            model: CommModel::OnePort,
+            ..Default::default()
+        };
+        let out = caft_on_subdag(&inst, &spec, &opts);
+        assert_eq!(out.unscheduled, vec![TaskId(1), TaskId(2)]);
+        assert!(out.schedule.replicas_of(TaskId(1)).is_empty());
+        assert!(out.schedule.replicas_of(TaskId(2)).is_empty());
+        assert_eq!(out.schedule.replicas_of(TaskId(3)).len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = chain_instance();
+        let spec = SubDagSpec {
+            remnant: vec![false, true, true, true],
+            sources: vec![vec![source(0, 0, 0, 1.0)], vec![], vec![], vec![]],
+            alive: vec![ProcId(0), ProcId(1), ProcId(2)],
+            release: 2.0,
+        };
+        let opts = CaftOptions {
+            eps: 1,
+            model: CommModel::OnePort,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = caft_on_subdag(&inst, &spec, &opts);
+        let b = caft_on_subdag(&inst, &spec, &opts);
+        assert_eq!(a.schedule.latency(), b.schedule.latency());
+        assert_eq!(a.schedule.messages.len(), b.schedule.messages.len());
+    }
+}

@@ -38,7 +38,10 @@ pub struct WindowedOptions {
 
 impl Default for WindowedOptions {
     fn default() -> Self {
-        WindowedOptions { caft: CaftOptions::default(), window: 10 }
+        WindowedOptions {
+            caft: CaftOptions::default(),
+            window: 10,
+        }
     }
 }
 
@@ -53,7 +56,12 @@ pub fn caft_windowed(
     caft_windowed_with(
         inst,
         WindowedOptions {
-            caft: CaftOptions { eps, model, seed, ..CaftOptions::default() },
+            caft: CaftOptions {
+                eps,
+                model,
+                seed,
+                ..CaftOptions::default()
+            },
             window,
         },
     )

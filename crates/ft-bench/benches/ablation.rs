@@ -13,14 +13,49 @@ use std::hint::black_box;
 fn bench_ablation(c: &mut Criterion) {
     let inst = paper_instance(0xAB1A, 100, 10, 0.5);
     let eps = 2;
-    let base = CaftOptions { eps, model: CommModel::OnePort, seed: 0, ..CaftOptions::default() };
+    let base = CaftOptions {
+        eps,
+        model: CommModel::OnePort,
+        seed: 0,
+        ..CaftOptions::default()
+    };
     let variants: [(&str, CaftOptions); 6] = [
         ("full", base),
-        ("no-one-to-one", CaftOptions { one_to_one: false, ..base }),
-        ("no-locking", CaftOptions { lock_senders: false, ..base }),
-        ("macro-dataflow", CaftOptions { model: CommModel::MacroDataflow, ..base }),
-        ("hardened", CaftOptions { disjoint_lineages: true, ..base }),
-        ("insertion", CaftOptions { insertion: true, ..base }),
+        (
+            "no-one-to-one",
+            CaftOptions {
+                one_to_one: false,
+                ..base
+            },
+        ),
+        (
+            "no-locking",
+            CaftOptions {
+                lock_senders: false,
+                ..base
+            },
+        ),
+        (
+            "macro-dataflow",
+            CaftOptions {
+                model: CommModel::MacroDataflow,
+                ..base
+            },
+        ),
+        (
+            "hardened",
+            CaftOptions {
+                disjoint_lineages: true,
+                ..base
+            },
+        ),
+        (
+            "insertion",
+            CaftOptions {
+                insertion: true,
+                ..base
+            },
+        ),
     ];
 
     // The ablation's *result* check: dropping the one-to-one pass inflates

@@ -16,12 +16,42 @@ struct FigSpec {
 }
 
 const FIGS: [FigSpec; 6] = [
-    FigSpec { name: "fig1", m: 10, eps: 1, grans: [0.2, 2.0] },
-    FigSpec { name: "fig2", m: 10, eps: 3, grans: [0.2, 2.0] },
-    FigSpec { name: "fig3", m: 20, eps: 5, grans: [0.2, 2.0] },
-    FigSpec { name: "fig4", m: 10, eps: 1, grans: [1.0, 10.0] },
-    FigSpec { name: "fig5", m: 10, eps: 3, grans: [1.0, 10.0] },
-    FigSpec { name: "fig6", m: 20, eps: 5, grans: [1.0, 10.0] },
+    FigSpec {
+        name: "fig1",
+        m: 10,
+        eps: 1,
+        grans: [0.2, 2.0],
+    },
+    FigSpec {
+        name: "fig2",
+        m: 10,
+        eps: 3,
+        grans: [0.2, 2.0],
+    },
+    FigSpec {
+        name: "fig3",
+        m: 20,
+        eps: 5,
+        grans: [0.2, 2.0],
+    },
+    FigSpec {
+        name: "fig4",
+        m: 10,
+        eps: 1,
+        grans: [1.0, 10.0],
+    },
+    FigSpec {
+        name: "fig5",
+        m: 10,
+        eps: 3,
+        grans: [1.0, 10.0],
+    },
+    FigSpec {
+        name: "fig6",
+        m: 20,
+        eps: 5,
+        grans: [1.0, 10.0],
+    },
 ];
 
 fn bench_figures(c: &mut Criterion) {
@@ -43,12 +73,8 @@ fn bench_figures(c: &mut Criterion) {
                     spec.name
                 );
             }
-            type SchedFn = fn(
-                &ft_platform::Instance,
-                usize,
-                CommModel,
-                u64,
-            ) -> ft_model::FtSchedule;
+            type SchedFn =
+                fn(&ft_platform::Instance, usize, CommModel, u64) -> ft_model::FtSchedule;
             for (algo, f) in [
                 ("caft", caft as SchedFn),
                 ("ftsa", ftsa as SchedFn),
@@ -58,14 +84,7 @@ fn bench_figures(c: &mut Criterion) {
                     BenchmarkId::new(algo, format!("g{gran}")),
                     &inst,
                     |b, inst| {
-                        b.iter(|| {
-                            black_box(f(
-                                black_box(inst),
-                                spec.eps,
-                                CommModel::OnePort,
-                                0,
-                            ))
-                        })
+                        b.iter(|| black_box(f(black_box(inst), spec.eps, CommModel::OnePort, 0)))
                     },
                 );
             }

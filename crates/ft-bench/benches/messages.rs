@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ft_algos::{caft, ftsa, CommModel};
 use ft_bench::instance_for;
-use ft_graph::gen::{random_outforest, RandomDagParams};
 use ft_graph::gen::random_layered;
+use ft_graph::gen::{random_outforest, RandomDagParams};
 use ft_sim::message_stats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,9 +37,7 @@ fn bench_messages(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("eps{eps}")),
                 &inst,
-                |b, inst| {
-                    b.iter(|| black_box(caft(black_box(inst), eps, CommModel::OnePort, 0)))
-                },
+                |b, inst| b.iter(|| black_box(caft(black_box(inst), eps, CommModel::OnePort, 0))),
             );
         }
     }

@@ -1,0 +1,106 @@
+//! Benchmarks of the online failure-injection engine (`ft-runtime`):
+//!
+//! * `runtime/execute` — one online run per policy on a paper-scale
+//!   instance with two mid-execution crashes;
+//! * `runtime/no-failure` — the engine on a failure-free scenario vs. the
+//!   static replay it must reproduce;
+//! * `runtime/simulate_many` — Monte-Carlo batch throughput (rayon).
+//!
+//! Each group also re-asserts the headline semantic property (recovery
+//! completes at least as much as absorb; failure-free engine == replay) so
+//! the bench doubles as a regression harness. Baseline numbers:
+//! `BENCH_runtime.json` at the repo root (regenerate with
+//! `BENCH_JSON=BENCH_runtime.json cargo bench -p ft-bench --bench runtime`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_algos::{caft, CommModel};
+use ft_bench::paper_instance;
+use ft_platform::ProcId;
+use ft_runtime::{
+    execute, simulate_many, EngineConfig, LifetimeDist, MonteCarloConfig, RecoveryPolicy,
+};
+use ft_sim::{replay, FaultScenario};
+use std::hint::black_box;
+
+fn bench_execute(c: &mut Criterion) {
+    let inst = paper_instance(1, 100, 10, 1.0);
+    let sched = caft(&inst, 1, CommModel::OnePort, 0);
+    let nominal = sched.latency();
+    let scenario = FaultScenario::timed(&[(ProcId(2), nominal * 0.3), (ProcId(7), nominal * 0.6)]);
+    let mut group = c.benchmark_group("runtime/execute");
+    let mut completions = Vec::new();
+    for policy in RecoveryPolicy::ALL {
+        let cfg = EngineConfig {
+            policy,
+            detection_latency: 1.0,
+            seed: 0,
+        };
+        completions.push(execute(&inst, &sched, &scenario, &cfg).completed());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(execute(&inst, &sched, &scenario, cfg))),
+        );
+    }
+    group.finish();
+    assert!(
+        completions[1] >= completions[0] && completions[2] >= completions[0],
+        "recovery must not complete less than absorb"
+    );
+}
+
+fn bench_no_failure_overhead(c: &mut Criterion) {
+    let inst = paper_instance(2, 100, 10, 1.0);
+    let sched = caft(&inst, 1, CommModel::OnePort, 0);
+    let none = FaultScenario::none();
+    let cfg = EngineConfig::default();
+    // Semantics check: engine == replay on the failure-free run.
+    let online = execute(&inst, &sched, &none, &cfg).latency().unwrap();
+    let stat = replay(&inst, &sched, &none).latency().unwrap();
+    assert!(
+        (online - stat).abs() < 1e-9,
+        "online {online} vs replay {stat}"
+    );
+
+    let mut group = c.benchmark_group("runtime/no-failure");
+    group.bench_function("online engine", |b| {
+        b.iter(|| black_box(execute(&inst, &sched, &none, &cfg)))
+    });
+    group.bench_function("static replay", |b| {
+        b.iter(|| black_box(replay(&inst, &sched, &none)))
+    });
+    group.finish();
+}
+
+fn bench_simulate_many(c: &mut Criterion) {
+    let inst = paper_instance(3, 60, 10, 1.0);
+    let sched = caft(&inst, 1, CommModel::OnePort, 0);
+    let nominal = sched.latency();
+    let mut group = c.benchmark_group("runtime/simulate_many");
+    group.sample_size(10);
+    for runs in [100usize, 500] {
+        let cfg = MonteCarloConfig {
+            runs,
+            lifetime: LifetimeDist::Exponential {
+                mean: nominal * 4.0,
+            },
+            engine: EngineConfig {
+                policy: RecoveryPolicy::Reschedule,
+                detection_latency: 1.0,
+                seed: 0,
+            },
+            seed: 9,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(runs), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_many(&inst, &sched, cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_execute, bench_no_failure_overhead, bench_simulate_many
+}
+criterion_main!(benches);

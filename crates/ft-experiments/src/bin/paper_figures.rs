@@ -6,11 +6,13 @@
 //! paper-figures fig3                # one figure
 //! paper-figures messages            # Prop. 5.1 message counts
 //! paper-figures resilience          # Prop. 5.2 failure injection
+//! paper-figures degradation         # online runtime: completion vs MTTF
 //! paper-figures fig1 --quick        # thinned sweep, 10 graphs/point
 //! paper-figures fig1 --graphs 20    # override graphs per point
 //! paper-figures all --json out.json # machine-readable dump
 //! ```
 
+use ft_experiments::degradation::{render_degradation, run_degradation, DegradationConfig};
 use ft_experiments::figures::{by_id, figure_configs};
 use ft_experiments::messages::run_messages;
 use ft_experiments::resilience_exp::run_resilience;
@@ -22,6 +24,7 @@ struct Dump {
     figures: Vec<FigureResult>,
     messages: Vec<ft_experiments::messages::MessageRow>,
     resilience: Vec<ft_experiments::resilience_exp::ResilienceRow>,
+    degradation: Vec<ft_experiments::degradation::DegradationRow>,
 }
 
 fn main() {
@@ -49,9 +52,18 @@ fn main() {
         cfg
     };
 
-    let mut dump = Dump { figures: Vec::new(), messages: Vec::new(), resilience: Vec::new() };
+    let mut dump = Dump {
+        figures: Vec::new(),
+        messages: Vec::new(),
+        resilience: Vec::new(),
+        degradation: Vec::new(),
+    };
     let msg_graphs = if quick { 5 } else { 20 };
     let res_graphs = if quick { 2 } else { 10 };
+    let deg_cfg = DegradationConfig {
+        runs: if quick { 60 } else { 400 },
+        ..DegradationConfig::default()
+    };
 
     match what.as_str() {
         "all" => {
@@ -64,6 +76,8 @@ fn main() {
             println!("{}", render_messages(&dump.messages));
             dump.resilience = run_resilience(res_graphs, 0x5EED);
             println!("{}", render_resilience(&dump.resilience));
+            dump.degradation = run_degradation(&deg_cfg);
+            println!("{}", render_degradation(&dump.degradation));
         }
         "messages" => {
             dump.messages = run_messages(msg_graphs, 0x5EED);
@@ -73,6 +87,10 @@ fn main() {
             dump.resilience = run_resilience(res_graphs, 0x5EED);
             println!("{}", render_resilience(&dump.resilience));
         }
+        "degradation" => {
+            dump.degradation = run_degradation(&deg_cfg);
+            println!("{}", render_degradation(&dump.degradation));
+        }
         id => match by_id(id) {
             Some(cfg) => {
                 let res = run_figure(&tune(cfg));
@@ -81,7 +99,8 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown experiment '{id}' — expected fig1..fig6, messages, resilience or all"
+                    "unknown experiment '{id}' — expected fig1..fig6, messages, \
+                     resilience, degradation or all"
                 );
                 std::process::exit(2);
             }

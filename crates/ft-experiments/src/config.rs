@@ -55,11 +55,7 @@ impl FigureConfig {
     /// and every other sweep value.
     pub fn quick(mut self, n: usize) -> Self {
         self.graphs_per_point = n;
-        self.granularities = self
-            .granularities
-            .into_iter()
-            .step_by(2)
-            .collect();
+        self.granularities = self.granularities.into_iter().step_by(2).collect();
         self
     }
 }

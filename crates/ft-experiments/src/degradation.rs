@@ -1,0 +1,189 @@
+//! Degradation vs. failure rate: the online-runtime experiment.
+//!
+//! The paper's §6 crash experiments kill a fixed number of processors at
+//! t = 0 and replay statically. The online engine in `ft-runtime` opens
+//! the temporal axis: processors crash *during* execution with
+//! exponential lifetimes, failures are detected after a latency, and a
+//! recovery policy reacts. This experiment sweeps the failure rate (mean
+//! time to failure as a multiple of the schedule's nominal latency) and
+//! reports, per [`RecoveryPolicy`], the completion rate and the latency
+//! degradation over a Monte-Carlo batch — the online analogue of the
+//! figure panels (b)/(c).
+
+use ft_algos::{caft, CommModel};
+use ft_graph::gen::{random_layered, RandomDagParams};
+use ft_platform::{random_instance, PlatformParams};
+use ft_runtime::{
+    simulate_many, BatchSummary, EngineConfig, LifetimeDist, MonteCarloConfig, RecoveryPolicy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the degradation sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Tasks in the workload.
+    pub tasks: usize,
+    /// Processors `m`.
+    pub procs: usize,
+    /// Supported failures ε of the static schedule.
+    pub eps: usize,
+    /// Granularity of the instance.
+    pub granularity: f64,
+    /// MTTF sweep, as multiples of the schedule's nominal latency
+    /// (descending = increasing failure pressure).
+    pub mttf_factors: Vec<f64>,
+    /// Monte-Carlo runs per (factor, policy) cell.
+    pub runs: usize,
+    /// Detection latency of the runtime.
+    pub detection_latency: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            tasks: 60,
+            procs: 10,
+            eps: 1,
+            granularity: 1.0,
+            mttf_factors: vec![16.0, 8.0, 4.0, 2.0, 1.0],
+            runs: 400,
+            detection_latency: 1.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One cell of the sweep: a policy at a failure rate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DegradationRow {
+    /// MTTF as a multiple of the nominal latency.
+    pub mttf_factor: f64,
+    /// The Monte-Carlo aggregate for each policy at this rate.
+    pub summary: BatchSummary,
+}
+
+/// Runs the sweep: one CAFT schedule, `|mttf_factors| × 3` Monte-Carlo
+/// batches. Deterministic in the configuration.
+pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let graph = random_layered(&RandomDagParams::default().with_tasks(cfg.tasks), &mut rng);
+    let inst = random_instance(
+        graph,
+        &PlatformParams::default().with_procs(cfg.procs),
+        cfg.granularity,
+        &mut rng,
+    );
+    let sched = caft(&inst, cfg.eps, CommModel::OnePort, cfg.seed);
+    let nominal = sched.latency();
+    let mut rows = Vec::new();
+    for &factor in &cfg.mttf_factors {
+        for policy in RecoveryPolicy::ALL {
+            let mc = MonteCarloConfig {
+                runs: cfg.runs,
+                lifetime: LifetimeDist::Exponential {
+                    mean: nominal * factor,
+                },
+                engine: EngineConfig {
+                    policy,
+                    detection_latency: cfg.detection_latency,
+                    seed: cfg.seed,
+                },
+                seed: cfg.seed ^ factor.to_bits(),
+            };
+            rows.push(DegradationRow {
+                mttf_factor: factor,
+                summary: simulate_many(&inst, &sched, &mc),
+            });
+        }
+    }
+    rows
+}
+
+/// ASCII table of the sweep.
+pub fn render_degradation(rows: &[DegradationRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "degradation vs. failure rate (exponential lifetimes; MTTF in units of the \
+         nominal latency)\n",
+    );
+    out.push_str(
+        "  MTTF   policy        completion   mean slowdown   recovered/run   \
+         replicas/run   msgs/run\n",
+    );
+    let mut last = f64::NAN;
+    for row in rows {
+        let s = &row.summary;
+        if row.mttf_factor != last {
+            out.push_str(&format!("  {:-<90}\n", ""));
+            last = row.mttf_factor;
+        }
+        let runs = s.runs.max(1) as f64;
+        out.push_str(&format!(
+            "  {:>5.1}  {:<12}  {:>8.1}%   {:>12.3}   {:>13.2}   {:>12.2}   {:>8.2}\n",
+            row.mttf_factor,
+            s.policy.name(),
+            s.completion_rate() * 100.0,
+            s.mean_slowdown,
+            s.tasks_recovered as f64 / runs,
+            s.recovery_replicas as f64 / runs,
+            s.recovery_messages as f64 / runs,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> DegradationConfig {
+        DegradationConfig {
+            tasks: 25,
+            procs: 6,
+            runs: 40,
+            mttf_factors: vec![8.0, 2.0],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_shape_and_determinism() {
+        let rows = run_degradation(&quick());
+        assert_eq!(rows.len(), 2 * 3);
+        let again = run_degradation(&quick());
+        assert_eq!(
+            serde_json::to_string(&rows).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+        let table = render_degradation(&rows);
+        assert!(table.contains("re-replicate"));
+        assert!(table.contains("8.0"));
+    }
+
+    #[test]
+    fn recovery_never_completes_less() {
+        let rows = run_degradation(&quick());
+        for chunk in rows.chunks(3) {
+            let [absorb, rerep, resched] = chunk else {
+                panic!("3 policies")
+            };
+            assert!(rerep.summary.completed >= absorb.summary.completed);
+            assert!(resched.summary.completed >= absorb.summary.completed);
+        }
+    }
+
+    #[test]
+    fn harsher_rates_complete_no_more_under_absorb() {
+        let rows = run_degradation(&quick());
+        let absorb: Vec<_> = rows
+            .iter()
+            .filter(|r| r.summary.policy == RecoveryPolicy::Absorb)
+            .collect();
+        assert!(absorb[0].mttf_factor > absorb[1].mttf_factor);
+        assert!(absorb[0].summary.completed >= absorb[1].summary.completed);
+    }
+}

@@ -55,7 +55,10 @@ mod tests {
         assert_eq!(all[2].procs, 20);
         assert_eq!(all[2].eps, 5);
         assert_eq!(all[2].crashes, 3);
-        assert_eq!(all[3].granularities, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(
+            all[3].granularities,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        );
         assert!(all.iter().all(|c| c.graphs_per_point == 60));
     }
 

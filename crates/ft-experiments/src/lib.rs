@@ -17,11 +17,13 @@
 //!   (= HEFT) latency.
 //!
 //! [`run_figure`] computes every series of one figure;
-//! [`figures::figure_configs`] lists the six paper configurations. Two
-//! additional experiments quantify the paper's analytical claims:
-//! [`messages::run_messages`] (Proposition 5.1 message counts) and
+//! [`figures::figure_configs`] lists the six paper configurations. Three
+//! additional experiments go beyond the figures:
+//! [`messages::run_messages`] (Proposition 5.1 message counts),
 //! [`resilience_exp::run_resilience`] (Proposition 5.2, strict vs fail-over
-//! replay).
+//! replay), and [`degradation::run_degradation`] (the online-runtime
+//! degradation-vs-failure-rate sweep over `ft-runtime`'s recovery
+//! policies).
 //!
 //! Everything is deterministic: each data point derives its RNG seed from
 //! `(figure seed, point index, graph index)`.
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod degradation;
 pub mod figures;
 pub mod messages;
 pub mod resilience_exp;
@@ -37,5 +40,6 @@ pub mod stats;
 pub mod table;
 
 pub use config::FigureConfig;
+pub use degradation::{render_degradation, run_degradation, DegradationConfig, DegradationRow};
 pub use runner::{run_figure, FigureResult, PointResult};
 pub use stats::Accumulator;

@@ -58,12 +58,8 @@ pub fn run_messages(graphs: usize, seed: u64) -> Vec<MessageRow> {
             for gi in 0..graphs {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(gi as u64 * 7919));
                 let g = gen(&mut rng);
-                let inst = random_instance(
-                    g,
-                    &PlatformParams::default().with_procs(m),
-                    1.0,
-                    &mut rng,
-                );
+                let inst =
+                    random_instance(g, &PlatformParams::default().with_procs(m), 1.0, &mut rng);
                 let model = CommModel::OnePort;
                 let sc = message_stats(&inst, &caft(&inst, eps, model, seed));
                 let sf = message_stats(&inst, &ftsa(&inst, eps, model, seed));
@@ -113,7 +109,14 @@ mod tests {
     fn caft_below_ftsa_below_quadratic() {
         let rows = run_messages(2, 2);
         for r in &rows {
-            assert!(r.caft <= r.ftsa + 1e-9, "{}/{}: {} > {}", r.family, r.eps, r.caft, r.ftsa);
+            assert!(
+                r.caft <= r.ftsa + 1e-9,
+                "{}/{}: {} > {}",
+                r.family,
+                r.eps,
+                r.caft,
+                r.ftsa
+            );
             assert!(r.ftsa <= r.quadratic_bound + 1e-9);
         }
     }

@@ -15,8 +15,8 @@
 
 use ft_algos::{caft, caft_hardened, ftbar, ftsa, CommModel};
 use ft_graph::gen::{random_layered, RandomDagParams};
-use ft_platform::{random_instance, Instance, PlatformParams, ProcId};
 use ft_model::FtSchedule;
+use ft_platform::{random_instance, Instance, PlatformParams, ProcId};
 use ft_sim::{replay_with, FaultScenario, ReplayConfig, ReplayPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,7 +52,10 @@ fn completion_rates(inst: &Instance, sched: &FtSchedule, eps: usize) -> (usize, 
             inst,
             sched,
             &sc,
-            ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: false },
+            ReplayConfig {
+                policy: ReplayPolicy::FirstCopy,
+                reroute: false,
+            },
         );
         if strict.completed() {
             strict_ok += 1;
@@ -61,7 +64,10 @@ fn completion_rates(inst: &Instance, sched: &FtSchedule, eps: usize) -> (usize, 
             inst,
             sched,
             &sc,
-            ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: true },
+            ReplayConfig {
+                policy: ReplayPolicy::FirstCopy,
+                reroute: true,
+            },
         );
         if failover.completed() {
             failover_ok += 1;

@@ -145,7 +145,10 @@ pub fn run_figure(cfg: &FigureConfig) -> FigureResult {
                     &inst,
                     &sched,
                     &scenario,
-                    ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: true },
+                    ReplayConfig {
+                        policy: ReplayPolicy::FirstCopy,
+                        reroute: true,
+                    },
                 );
                 let crash_lat = crash_out
                     .latency()
@@ -178,7 +181,10 @@ pub fn run_figure(cfg: &FigureConfig) -> FigureResult {
             caft_strict_completion: strict_ok.mean(),
         });
     }
-    FigureResult { config: cfg.clone(), points }
+    FigureResult {
+        config: cfg.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]

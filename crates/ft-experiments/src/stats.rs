@@ -15,7 +15,13 @@ pub struct Accumulator {
 impl Accumulator {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.

@@ -28,12 +28,18 @@ pub fn render_figure(res: &FigureResult) -> String {
 
     // Panel (a): bounds.
     let hdr_a = [
-        "g", "FF-CAFT", "FF-FTBAR", "CAFT0", "CAFT-UB", "FTSA0", "FTSA-UB", "FTBAR0",
-        "FTBAR-UB",
+        "g", "FF-CAFT", "FF-FTBAR", "CAFT0", "CAFT-UB", "FTSA0", "FTSA-UB", "FTBAR0", "FTBAR-UB",
     ];
     let w: Vec<usize> = hdr_a.iter().map(|h| h.len().max(8)).collect();
-    let _ = writeln!(out, "-- (a) normalized latency: fault-free, 0 crash, upper bound --");
-    row(&mut out, &hdr_a.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    let _ = writeln!(
+        out,
+        "-- (a) normalized latency: fault-free, 0 crash, upper bound --"
+    );
+    row(
+        &mut out,
+        &hdr_a.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &w,
+    );
     for p in &res.points {
         row(
             &mut out,
@@ -53,14 +59,20 @@ pub fn render_figure(res: &FigureResult) -> String {
     }
 
     // Panel (b): crashes.
-    let hdr_b = ["g", "CAFT0", "CAFT-c", "FTSA0", "FTSA-c", "FTBAR0", "FTBAR-c", "CAFTsrv"];
+    let hdr_b = [
+        "g", "CAFT0", "CAFT-c", "FTSA0", "FTSA-c", "FTBAR0", "FTBAR-c", "CAFTsrv",
+    ];
     let w: Vec<usize> = hdr_b.iter().map(|h| h.len().max(8)).collect();
     let _ = writeln!(
         out,
         "-- (b) normalized latency with 0 crash vs {} crash(es) (CAFTsrv: strict-replay survival) --",
         c.crashes
     );
-    row(&mut out, &hdr_b.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    row(
+        &mut out,
+        &hdr_b.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &w,
+    );
     for p in &res.points {
         row(
             &mut out,
@@ -79,10 +91,16 @@ pub fn render_figure(res: &FigureResult) -> String {
     }
 
     // Panel (c): overheads.
-    let hdr_c = ["g", "CAFT0%", "CAFTc%", "FTSA0%", "FTSAc%", "FTBAR0%", "FTBARc%"];
+    let hdr_c = [
+        "g", "CAFT0%", "CAFTc%", "FTSA0%", "FTSAc%", "FTBAR0%", "FTBARc%",
+    ];
     let w: Vec<usize> = hdr_c.iter().map(|h| h.len().max(8)).collect();
     let _ = writeln!(out, "-- (c) average overhead (%) over fault-free CAFT --");
-    row(&mut out, &hdr_c.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    row(
+        &mut out,
+        &hdr_c.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &w,
+    );
     for p in &res.points {
         row(
             &mut out,
@@ -103,7 +121,11 @@ pub fn render_figure(res: &FigureResult) -> String {
     let hdr_m = ["g", "CAFT-msg", "FTSA-msg", "FTBAR-msg"];
     let w: Vec<usize> = hdr_m.iter().map(|h| h.len().max(9)).collect();
     let _ = writeln!(out, "-- mean inter-processor message counts --");
-    row(&mut out, &hdr_m.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    row(
+        &mut out,
+        &hdr_m.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &w,
+    );
     for p in &res.points {
         row(
             &mut out,
@@ -123,9 +145,22 @@ pub fn render_figure(res: &FigureResult) -> String {
 pub fn render_messages(rows: &[MessageRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== message counts vs analytical bounds (Prop. 5.1) ==");
-    let hdr = ["family", "eps", "e", "CAFT", "FTSA", "FTBAR", "e(ε+1)", "e(ε+1)²"];
+    let hdr = [
+        "family",
+        "eps",
+        "e",
+        "CAFT",
+        "FTSA",
+        "FTBAR",
+        "e(ε+1)",
+        "e(ε+1)²",
+    ];
     let w: Vec<usize> = hdr.iter().map(|h| h.len().max(9)).collect();
-    row(&mut out, &hdr.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    row(
+        &mut out,
+        &hdr.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &w,
+    );
     for r in rows {
         row(
             &mut out,
@@ -151,7 +186,11 @@ pub fn render_resilience(rows: &[ResilienceRow]) -> String {
     let _ = writeln!(out, "== operational resilience (Prop. 5.2) ==");
     let hdr = ["algo", "eps", "patterns", "strict", "failover"];
     let w: Vec<usize> = hdr.iter().map(|h| h.len().max(9)).collect();
-    row(&mut out, &hdr.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &w);
+    row(
+        &mut out,
+        &hdr.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &w,
+    );
     for r in rows {
         row(
             &mut out,

@@ -14,7 +14,10 @@ use crate::ids::TaskId;
 /// `work` is the cost of one butterfly update; `volume` the data exchanged
 /// along each edge.
 pub fn fft(n: usize, work: f64, volume: f64) -> TaskGraph {
-    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two ≥ 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "n must be a power of two ≥ 2"
+    );
     let stages = n.trailing_zeros() as usize;
     let mut b = GraphBuilder::with_capacity(n * (stages + 1), 2 * n * stages);
     let mut layer: Vec<TaskId> = (0..n)

@@ -73,8 +73,9 @@ mod tests {
         assert_eq!(g.num_tasks(), expected_tasks);
         // Edges: per step k: (n-k-1) broadcast + (n-k-1) flow (to next step,
         // exists when k+1 < n-1).
-        let expected_edges: usize =
-            (0..n - 1).map(|k| (n - k - 1) + if k + 2 < n { n - k - 1 } else { 0 }).sum();
+        let expected_edges: usize = (0..n - 1)
+            .map(|k| (n - k - 1) + if k + 2 < n { n - k - 1 } else { 0 })
+            .sum();
         assert_eq!(g.num_edges(), expected_edges);
     }
 

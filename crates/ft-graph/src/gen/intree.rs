@@ -32,8 +32,10 @@ pub fn reduction_tree<R: Rng>(
                     sample(rng, work.clone()),
                     Some(format!("red({depth},{idx})")),
                 );
-                b.add_edge(pair[0], parent, sample(rng, volume.clone())).unwrap();
-                b.add_edge(pair[1], parent, sample(rng, volume.clone())).unwrap();
+                b.add_edge(pair[0], parent, sample(rng, volume.clone()))
+                    .unwrap();
+                b.add_edge(pair[1], parent, sample(rng, volume.clone()))
+                    .unwrap();
                 next.push(parent);
             } else {
                 next.push(pair[0]); // odd element carried upward

@@ -27,9 +27,9 @@ pub use chain::chain;
 pub use cholesky::cholesky;
 pub use diamond::fork_join;
 pub use fft::fft;
-pub use intree::reduction_tree;
 pub use fork::fork;
 pub use gauss::gaussian_elimination;
+pub use intree::reduction_tree;
 pub use join::join;
 pub use layered::random_layered;
 pub use outforest::random_outforest;

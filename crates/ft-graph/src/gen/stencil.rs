@@ -50,11 +50,8 @@ mod tests {
         let g = stencil_2d(3, 3, 1.0, 1.0);
         assert_eq!(g.entry_tasks().len(), 1); // (0,0)
         assert_eq!(g.exit_tasks().len(), 1); // (2,2)
-        // Interior task has fan-in 2 and fan-out 2.
-        let interior = g
-            .tasks()
-            .find(|&t| g.label(t) == "c(1,1)")
-            .unwrap();
+                                             // Interior task has fan-in 2 and fan-out 2.
+        let interior = g.tasks().find(|&t| g.label(t) == "c(1,1)").unwrap();
         assert_eq!(g.in_degree(interior), 2);
         assert_eq!(g.out_degree(interior), 2);
     }

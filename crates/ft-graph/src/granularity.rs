@@ -55,7 +55,10 @@ where
     C: Fn(TaskId) -> f64,
     W: Fn(EdgeId) -> f64,
 {
-    assert!(target > 0.0 && target.is_finite(), "target granularity must be positive");
+    assert!(
+        target > 0.0 && target.is_finite(),
+        "target granularity must be positive"
+    );
     let current = granularity(g, slowest_comp, slowest_comm);
     if !current.is_finite() || current == 0.0 {
         return None;
@@ -113,11 +116,10 @@ mod tests {
     fn scaling_hits_target() {
         let g = two_task_graph();
         for target in [0.2, 0.5, 1.0, 2.0, 10.0] {
-            let s = volume_scale_for_target(&g, |t| g.work(t), |e| g.edge(e).volume, target)
-                .unwrap();
+            let s =
+                volume_scale_for_target(&g, |t| g.work(t), |e| g.edge(e).volume, target).unwrap();
             let scaled = g.scale_volumes(s);
-            let realized =
-                granularity(&scaled, |t| scaled.work(t), |e| scaled.edge(e).volume);
+            let realized = granularity(&scaled, |t| scaled.work(t), |e| scaled.edge(e).volume);
             assert!(
                 (realized - target).abs() < 1e-12,
                 "target {target}, got {realized}"

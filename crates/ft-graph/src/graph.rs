@@ -129,12 +129,16 @@ impl TaskGraph {
 
     /// Immediate successors `Γ+(t)`.
     pub fn successors(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.succ[t.index()].iter().map(move |&e| self.edges[e.index()].dst)
+        self.succ[t.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].dst)
     }
 
     /// Immediate predecessors `Γ−(t)`.
     pub fn predecessors(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.pred[t.index()].iter().map(move |&e| self.edges[e.index()].src)
+        self.pred[t.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].src)
     }
 
     /// In-degree `|Γ−(t)|`.
@@ -237,7 +241,9 @@ impl GraphBuilder {
         );
         let id = TaskId::from_index(self.graph.work.len());
         self.graph.work.push(work);
-        self.graph.labels.push(label.unwrap_or_else(|| format!("t{}", id.0)));
+        self.graph
+            .labels
+            .push(label.unwrap_or_else(|| format!("t{}", id.0)));
         self.graph.succ.push(Vec::new());
         self.graph.pred.push(Vec::new());
         id
@@ -246,7 +252,12 @@ impl GraphBuilder {
     /// Adds a dependence edge. Fails if either endpoint is unknown, the edge
     /// is a self-loop, the volume is invalid, or the edge would close a
     /// cycle.
-    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, volume: f64) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        volume: f64,
+    ) -> Result<EdgeId, GraphError> {
         let v = self.graph.num_tasks();
         if src.index() >= v {
             return Err(GraphError::UnknownTask(src));

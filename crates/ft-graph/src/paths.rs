@@ -15,7 +15,10 @@ where
     N: Fn(TaskId) -> f64 + Copy,
     E: Fn(EdgeId) -> f64 + Copy,
 {
-    bottom_levels(g, node_w, edge_w).iter().copied().fold(0.0, f64::max)
+    bottom_levels(g, node_w, edge_w)
+        .iter()
+        .copied()
+        .fold(0.0, f64::max)
 }
 
 /// The tasks of one longest weighted path, entry to exit.
@@ -84,7 +87,10 @@ mod tests {
         let g = b.build();
         let p = critical_path(&g, |t| g.work(t), |e| g.edge(e).volume);
         assert_eq!(p, vec![t0, t1, t2]);
-        assert_eq!(critical_path_length(&g, |t| g.work(t), |e| g.edge(e).volume), 7.0);
+        assert_eq!(
+            critical_path_length(&g, |t| g.work(t), |e| g.edge(e).volume),
+            7.0
+        );
     }
 
     #[test]

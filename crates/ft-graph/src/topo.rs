@@ -7,8 +7,8 @@
 
 use crate::graph::TaskGraph;
 use crate::ids::TaskId;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Topological order of the tasks (entry tasks first).
 ///

@@ -77,7 +77,11 @@ mod tests {
             ready: 1.0,
             w: 0.0,
         };
-        let m = PlannedMsg { spec, start: 1.0, finish: 1.0 };
+        let m = PlannedMsg {
+            spec,
+            start: 1.0,
+            finish: 1.0,
+        };
         assert!(m.is_local(ProcId(2)));
         assert!(!m.is_local(ProcId(1)));
     }

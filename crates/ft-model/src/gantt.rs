@@ -43,7 +43,11 @@ pub fn render_gantt(m: usize, sched: &FtSchedule, width: usize) -> String {
         }
         let _ = writeln!(out, "P{p:<3} |{}|", String::from_utf8(row).unwrap());
     }
-    let _ = writeln!(out, "     0{}{horizon:.1}", " ".repeat(width.saturating_sub(6)));
+    let _ = writeln!(
+        out,
+        "     0{}{horizon:.1}",
+        " ".repeat(width.saturating_sub(6))
+    );
     out
 }
 

@@ -4,8 +4,8 @@
 //! every task on pairwise-distinct processors. [`ReplicaRef`] names one
 //! copy; [`Replica`] is its committed placement in a schedule.
 
-use ft_platform::ProcId;
 use ft_graph::TaskId;
+use ft_platform::ProcId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

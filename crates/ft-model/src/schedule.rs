@@ -131,11 +131,7 @@ impl FtSchedule {
     pub fn latency(&self) -> f64 {
         self.replicas
             .iter()
-            .map(|rs| {
-                rs.iter()
-                    .map(|r| r.finish)
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|rs| rs.iter().map(|r| r.finish).fold(f64::INFINITY, f64::min))
             .fold(0.0, f64::max)
     }
 
@@ -195,10 +191,30 @@ mod tests {
     fn mk_schedule() -> FtSchedule {
         // Two tasks, ε = 1: task 0 on P0/P1, task 1 on P1/P2.
         let mut s = FtSchedule::new(2, 1, CommModel::OnePort);
-        s.push_replica(Replica { of: rref(0, 0), proc: ProcId(0), start: 0.0, finish: 2.0 });
-        s.push_replica(Replica { of: rref(0, 1), proc: ProcId(1), start: 0.0, finish: 3.0 });
-        s.push_replica(Replica { of: rref(1, 0), proc: ProcId(1), start: 4.0, finish: 6.0 });
-        s.push_replica(Replica { of: rref(1, 1), proc: ProcId(2), start: 5.0, finish: 9.0 });
+        s.push_replica(Replica {
+            of: rref(0, 0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 2.0,
+        });
+        s.push_replica(Replica {
+            of: rref(0, 1),
+            proc: ProcId(1),
+            start: 0.0,
+            finish: 3.0,
+        });
+        s.push_replica(Replica {
+            of: rref(1, 0),
+            proc: ProcId(1),
+            start: 4.0,
+            finish: 6.0,
+        });
+        s.push_replica(Replica {
+            of: rref(1, 1),
+            proc: ProcId(2),
+            start: 5.0,
+            finish: 9.0,
+        });
         let planned = vec![
             PlannedMsg {
                 spec: MsgSpec {

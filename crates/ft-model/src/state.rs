@@ -98,7 +98,11 @@ impl NetworkState {
                     .iter()
                     .map(|&spec| {
                         if spec.from == dst {
-                            PlannedMsg { spec, start: spec.ready, finish: spec.ready }
+                            PlannedMsg {
+                                spec,
+                                start: spec.ready,
+                                finish: spec.ready,
+                            }
                         } else {
                             PlannedMsg {
                                 spec,
@@ -121,7 +125,11 @@ impl NetworkState {
         let mut remote: Vec<MsgSpec> = Vec::with_capacity(specs.len());
         for &spec in specs {
             if spec.from == dst {
-                planned.push(PlannedMsg { spec, start: spec.ready, finish: spec.ready });
+                planned.push(PlannedMsg {
+                    spec,
+                    start: spec.ready,
+                    finish: spec.ready,
+                });
             } else {
                 remote.push(spec);
             }
@@ -141,9 +149,8 @@ impl NetworkState {
             })
             .collect();
         keyed.sort_by(|a, b| {
-            a.0.total_cmp(&b.0).then_with(|| {
-                (a.1.from, a.1.src, a.1.edge).cmp(&(b.1.from, b.1.src, b.1.edge))
-            })
+            a.0.total_cmp(&b.0)
+                .then_with(|| (a.1.from, a.1.src, a.1.edge).cmp(&(b.1.from, b.1.src, b.1.edge)))
         });
         // Serialize: chain through temporary copies of SF / R(l) / RF.
         // Batches are small (≤ |Γ−(t)| · (ε+1)), so linear scans beat maps.
@@ -159,7 +166,11 @@ impl NetworkState {
             store(&mut sf_tmp, spec.from, finish);
             store(&mut link_tmp, spec.from, finish);
             rf = finish;
-            planned.push(PlannedMsg { spec, start, finish });
+            planned.push(PlannedMsg {
+                spec,
+                start,
+                finish,
+            });
         }
         planned.sort_by(cmp_planned);
         planned
@@ -198,7 +209,9 @@ fn cmp_planned(a: &PlannedMsg, b: &PlannedMsg) -> std::cmp::Ordering {
     a.finish
         .total_cmp(&b.finish)
         .then_with(|| a.start.total_cmp(&b.start))
-        .then_with(|| (a.spec.from, a.spec.src, a.spec.edge).cmp(&(b.spec.from, b.spec.src, b.spec.edge)))
+        .then_with(|| {
+            (a.spec.from, a.spec.src, a.spec.edge).cmp(&(b.spec.from, b.spec.src, b.spec.edge))
+        })
 }
 
 fn lookup(v: &[(ProcId, f64)], key: ProcId) -> Option<f64> {
@@ -258,7 +271,11 @@ mod tests {
         // Sender 0 is busy sending until t = 10 (constraint (2)).
         st.commit_batch(
             ProcId(1),
-            &[PlannedMsg { spec: spec(7, 0, 0.0, 10.0), start: 0.0, finish: 10.0 }],
+            &[PlannedMsg {
+                spec: spec(7, 0, 0.0, 10.0),
+                start: 0.0,
+                finish: 10.0,
+            }],
         );
         let planned = st.plan_batch(ProcId(2), &[spec(0, 0, 0.0, 3.0)]);
         assert_eq!(planned[0].start, 10.0);
@@ -299,7 +316,10 @@ mod tests {
         let _ = st.plan_batch(ProcId(2), &[spec(0, 0, 0.0, 4.0)]);
         assert_eq!(before.recv_free(ProcId(2)), st.recv_free(ProcId(2)));
         assert_eq!(before.send_free(ProcId(0)), st.send_free(ProcId(0)));
-        assert_eq!(before.link_ready(ProcId(0), ProcId(2)), st.link_ready(ProcId(0), ProcId(2)));
+        assert_eq!(
+            before.link_ready(ProcId(0), ProcId(2)),
+            st.link_ready(ProcId(0), ProcId(2))
+        );
     }
 
     #[test]
@@ -310,7 +330,11 @@ mod tests {
         assert_eq!(st.send_free(ProcId(0)), 4.0);
         assert_eq!(st.recv_free(ProcId(2)), 4.0);
         assert_eq!(st.link_ready(ProcId(0), ProcId(2)), 4.0);
-        assert_eq!(st.link_ready(ProcId(0), ProcId(1)), 0.0, "other links untouched");
+        assert_eq!(
+            st.link_ready(ProcId(0), ProcId(1)),
+            0.0,
+            "other links untouched"
+        );
     }
 
     #[test]

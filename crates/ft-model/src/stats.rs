@@ -96,7 +96,13 @@ pub fn schedule_stats(m: usize, sched: &FtSchedule) -> ScheduleStats {
     } else {
         total_compute / (m as f64 * horizon)
     };
-    ScheduleStats { horizon, per_proc, total_compute, total_comm, mean_utilization }
+    ScheduleStats {
+        horizon,
+        per_proc,
+        total_compute,
+        total_comm,
+        mean_utilization,
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,10 @@ impl Timeline {
     /// Records an interval. Zero-length intervals are ignored (they cannot
     /// conflict).
     pub fn add(&mut self, start: f64, end: f64, tag: u32) {
-        debug_assert!(end >= start - TIME_EPS, "reversed interval [{start}, {end})");
+        debug_assert!(
+            end >= start - TIME_EPS,
+            "reversed interval [{start}, {end})"
+        );
         if end - start > TIME_EPS {
             self.intervals.push((start, end, tag));
         }

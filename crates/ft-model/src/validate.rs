@@ -40,18 +40,31 @@ pub const AUDIT_EPS: f64 = 1e-6;
 #[allow(missing_docs)] // fields are self-describing indices/values
 pub enum ValidationError {
     /// Task has the wrong number of replicas.
-    ReplicaCount { task: usize, got: usize, want: usize },
+    ReplicaCount {
+        task: usize,
+        got: usize,
+        want: usize,
+    },
     /// Two replicas of one task share a processor.
     SpaceExclusion { task: usize },
     /// Replica duration does not match `E(t, P)`.
-    ExecDuration { task: usize, copy: usize, got: f64, want: f64 },
+    ExecDuration {
+        task: usize,
+        copy: usize,
+        got: f64,
+        want: f64,
+    },
     /// Two computations overlap on one processor.
     ProcOverlap { proc: usize },
     /// A message's source replica is not on the claimed processor, or
     /// fires before its data exists, or has the wrong duration.
     MessageInconsistent { msg: usize, reason: &'static str },
     /// A replica starts before data from some predecessor has arrived.
-    PrecedenceViolation { task: usize, copy: usize, pred: usize },
+    PrecedenceViolation {
+        task: usize,
+        copy: usize,
+        pred: usize,
+    },
     /// Two messages overlap on a directed link (constraint (1)).
     LinkOverlap { from: usize, to: usize },
     /// Two outgoing messages overlap on a send port (constraint (2)).
@@ -69,7 +82,12 @@ impl fmt::Display for ValidationError {
             ValidationError::SpaceExclusion { task } => {
                 write!(f, "task t{task}: two replicas share a processor")
             }
-            ValidationError::ExecDuration { task, copy, got, want } => write!(
+            ValidationError::ExecDuration {
+                task,
+                copy,
+                got,
+                want,
+            } => write!(
                 f,
                 "replica t{task}^({}): duration {got}, expected {want}",
                 copy + 1
@@ -152,7 +170,10 @@ pub fn validate_schedule(inst: &Instance, sched: &FtSchedule) -> Vec<ValidationE
     // --- Message consistency. ---
     for (i, msg) in sched.messages.iter().enumerate() {
         if msg.src.task.index() >= v || msg.dst.task.index() >= v {
-            errors.push(ValidationError::MessageInconsistent { msg: i, reason: "unknown task" });
+            errors.push(ValidationError::MessageInconsistent {
+                msg: i,
+                reason: "unknown task",
+            });
             continue;
         }
         let edge = inst.graph.edge(msg.edge);
@@ -169,7 +190,10 @@ pub fn validate_schedule(inst: &Instance, sched: &FtSchedule) -> Vec<ValidationE
             src_rs.get(msg.src.copy as usize),
             dst_rs.get(msg.dst.copy as usize),
         ) else {
-            errors.push(ValidationError::MessageInconsistent { msg: i, reason: "missing replica" });
+            errors.push(ValidationError::MessageInconsistent {
+                msg: i,
+                reason: "missing replica",
+            });
             continue;
         };
         if src.proc != msg.from {
@@ -285,8 +309,18 @@ mod tests {
     /// A correct fault-free schedule: both tasks on P0, local message.
     fn good_schedule() -> FtSchedule {
         let mut s = FtSchedule::new(2, 0, CommModel::OnePort);
-        s.push_replica(Replica { of: rref(0, 0), proc: ProcId(0), start: 0.0, finish: 1.0 });
-        s.push_replica(Replica { of: rref(1, 0), proc: ProcId(0), start: 1.0, finish: 2.0 });
+        s.push_replica(Replica {
+            of: rref(0, 0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.push_replica(Replica {
+            of: rref(1, 0),
+            proc: ProcId(0),
+            start: 1.0,
+            finish: 2.0,
+        });
         s.messages.push(MessageRecord {
             edge: EdgeId(0),
             src: rref(0, 0),
@@ -332,7 +366,9 @@ mod tests {
         s.replicas[1][0].start = 0.5;
         s.replicas[1][0].finish = 1.5;
         let errs = validate_schedule(&inst(), &s);
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::ProcOverlap { proc: 0 })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::ProcOverlap { proc: 0 })));
     }
 
     #[test]
@@ -348,8 +384,18 @@ mod tests {
     #[test]
     fn catches_space_exclusion() {
         let mut s = FtSchedule::new(2, 1, CommModel::OnePort);
-        s.push_replica(Replica { of: rref(0, 0), proc: ProcId(0), start: 0.0, finish: 1.0 });
-        s.push_replica(Replica { of: rref(0, 1), proc: ProcId(0), start: 1.0, finish: 2.0 });
+        s.push_replica(Replica {
+            of: rref(0, 0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.push_replica(Replica {
+            of: rref(0, 1),
+            proc: ProcId(0),
+            start: 1.0,
+            finish: 2.0,
+        });
         let errs = validate_schedule(&inst(), &s);
         assert!(errs
             .iter()
@@ -371,9 +417,24 @@ mod tests {
         let inst = Instance::new(graph, platform, exec);
 
         let mut s = FtSchedule::new(3, 0, CommModel::OnePort);
-        s.push_replica(Replica { of: rref(0, 0), proc: ProcId(0), start: 0.0, finish: 1.0 });
-        s.push_replica(Replica { of: rref(1, 0), proc: ProcId(2), start: 0.0, finish: 1.0 });
-        s.push_replica(Replica { of: rref(2, 0), proc: ProcId(1), start: 3.0, finish: 4.0 });
+        s.push_replica(Replica {
+            of: rref(0, 0),
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.push_replica(Replica {
+            of: rref(1, 0),
+            proc: ProcId(2),
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.push_replica(Replica {
+            of: rref(2, 0),
+            proc: ProcId(1),
+            start: 3.0,
+            finish: 4.0,
+        });
         for (i, (src_task, from)) in [(0u32, ProcId(0)), (1u32, ProcId(2))].iter().enumerate() {
             s.messages.push(MessageRecord {
                 edge: EdgeId(i as u32),
@@ -410,7 +471,11 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        let e = ValidationError::PrecedenceViolation { task: 3, copy: 1, pred: 2 };
+        let e = ValidationError::PrecedenceViolation {
+            task: 3,
+            copy: 1,
+            pred: 2,
+        };
         assert!(e.to_string().contains("t3^(2)"));
         let e = ValidationError::LinkOverlap { from: 0, to: 1 };
         assert!(e.to_string().contains("P0->P1"));

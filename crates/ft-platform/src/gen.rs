@@ -77,11 +77,7 @@ pub fn random_platform<R: Rng>(params: &PlatformParams, rng: &mut R) -> Platform
 
 /// Draws the execution matrix for a graph on a platform: per-processor
 /// speeds in `params.speed`, per-entry noise in `params.noise`.
-pub fn random_exec<R: Rng>(
-    graph: &TaskGraph,
-    params: &PlatformParams,
-    rng: &mut R,
-) -> ExecMatrix {
+pub fn random_exec<R: Rng>(graph: &TaskGraph, params: &PlatformParams, rng: &mut R) -> ExecMatrix {
     let m = params.procs;
     let speeds: Vec<f64> = (0..m).map(|_| sample(rng, params.speed.clone())).collect();
     let v = graph.num_tasks();
@@ -146,8 +142,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let g = random_layered(&RandomDagParams::default(), &mut rng);
         for target in [0.2, 1.0, 5.0, 10.0] {
-            let inst =
-                random_instance(g.clone(), &PlatformParams::default(), target, &mut rng);
+            let inst = random_instance(g.clone(), &PlatformParams::default(), target, &mut rng);
             assert!(
                 (inst.granularity() - target).abs() < 1e-9,
                 "target {target}, got {}",

@@ -32,7 +32,11 @@ impl Instance {
             platform.num_procs(),
             "exec matrix columns must match processor count"
         );
-        Instance { graph, platform, exec }
+        Instance {
+            graph,
+            platform,
+            exec,
+        }
     }
 
     /// `E(t, p)`.
@@ -124,9 +128,7 @@ mod tests {
         b.add_edge(a, c, 10.0).unwrap();
         let graph = b.build();
         let platform = Platform::uniform_clique(2, 0.5);
-        let exec = ExecMatrix::from_fn(2, 2, |t, p| {
-            graph.work(t) * (1.0 + p.index() as f64)
-        });
+        let exec = ExecMatrix::from_fn(2, 2, |t, p| graph.work(t) * (1.0 + p.index() as f64));
         Instance::new(graph, platform, exec)
     }
 

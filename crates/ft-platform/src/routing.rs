@@ -63,7 +63,10 @@ where
         let mut done = vec![false; m];
         dist[src] = 0.0;
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry { dist: 0.0, node: src });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: src,
+        });
         while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
             if done[u] {
                 continue;

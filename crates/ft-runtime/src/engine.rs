@@ -1,0 +1,1257 @@
+//! The online execution engine: timed crashes, detection, recovery.
+//!
+//! [`execute`] runs a static [`FtSchedule`] against a *timed*
+//! [`FaultScenario`]: each listed processor works normally until its crash
+//! time and is fail-stop dead afterwards. The engine is an operation-graph
+//! discrete-event simulation in the style of `ft-sim`'s replay (same
+//! inherited FIFO orders, same first-surviving-copy input policy), with
+//! three additions:
+//!
+//! 1. **Timed validity** — an operation completes only if it finishes by
+//!    its processor's crash deadline (computations: the host; transfers:
+//!    the sender — a fail-stop sender transmits into the void if the
+//!    receiver died, and the receiving replica's own deadline accounts for
+//!    the loss).
+//! 2. **Failure propagation with ghost pass-through** — when an operation
+//!    can no longer happen, operations waiting on its *data* starve
+//!    (first-copy groups lose a member; fan-in edges fail), but operations
+//!    merely queued *behind* it on a port, link or processor inherit its
+//!    accumulated queue time and proceed: a vanished transfer does not
+//!    occupy its port. With every crash at time 0 this reproduces the
+//!    fail-silent pruning of `ft_sim::replay` exactly, a property pinned
+//!    by the `timed_model` test-suite.
+//! 3. **Detection and recovery** — each crash is detected
+//!    `detection_latency` later, at which point the configured
+//!    [`RecoveryPolicy`] may inject repair work: replacement replicas fed
+//!    by surviving copies (`ReReplicate`) or a full CAFT repair plan on the
+//!    not-yet-started sub-DAG (`Reschedule`, via
+//!    [`ft_algos::caft_on_subdag`]). Repair traffic is modeled
+//!    contention-free with respect to the in-flight static traffic (the
+//!    same emergency-traffic simplification the replay engine makes for
+//!    its fail-over reroute; see DESIGN.md §4). Knowledge honesty: policies
+//!    only act on *detected* crashes — work scheduled onto a processor
+//!    that has crashed but whose failure is still undetected is trusted,
+//!    fails, and is repaired at the next detection.
+//!
+//! Determinism: `execute` is a pure function of
+//! `(instance, schedule, scenario, config)`.
+
+use crate::metrics::RunOutcome;
+use crate::policy::{EngineConfig, RecoveryPolicy};
+use ft_algos::{caft_on_subdag, CaftOptions, SubDagSpec};
+use ft_graph::TaskId;
+use ft_model::{FtSchedule, Replica, ReplicaRef};
+use ft_platform::{Instance, ProcId};
+use ft_sim::FaultScenario;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Runs the schedule online under the timed scenario and recovery policy.
+pub fn execute(
+    inst: &Instance,
+    sched: &FtSchedule,
+    scenario: &FaultScenario,
+    cfg: &EngineConfig,
+) -> RunOutcome {
+    let mut engine = Engine::new(inst, sched, scenario, cfg);
+    engine.build_static_ops();
+    engine.seed_events();
+    engine.run();
+    engine.into_outcome()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpState {
+    /// Waiting for dependencies.
+    Pending,
+    /// All dependencies met; completion event queued.
+    Scheduled,
+    /// Completed; produced its data.
+    Done,
+    /// Can never happen (crashed resource or starved inputs); may still
+    /// owe a queue pass-through to its FIFO successors.
+    Failed,
+    /// Failed op whose queue pass-through has been emitted.
+    GhostDone,
+    /// Superseded repair work (a newer repair plan replaced it).
+    Cancelled,
+}
+
+#[derive(Clone, Debug)]
+struct Op {
+    /// Nominal duration (ignored when `fixed_finish` is set).
+    duration: f64,
+    /// Repair-plan operations complete at their planned instant.
+    fixed_finish: Option<f64>,
+    /// Earliest allowed start (0 for static work, detection time for
+    /// repair work).
+    release: f64,
+    /// Completion is valid only if `finish ≤ deadline` (crash time of the
+    /// executing / sending processor).
+    deadline: f64,
+    /// Executing (exec) or sending (msg) processor.
+    proc: u32,
+    /// `Some(task)` for computations, `None` for transfers.
+    task: Option<TaskId>,
+    /// True for repair work injected at a detection.
+    recovery: bool,
+    /// Estimated finish (repair planning estimate; exact once scheduled).
+    est_finish: f64,
+
+    hard_remaining: u32,
+    fifo_remaining: u32,
+    groups_remaining: u32,
+    /// Live (not-yet-failed) member count per input group.
+    group_live: Vec<u32>,
+    /// Whether each input group already delivered its first copy.
+    group_done: Vec<bool>,
+    data_ready: f64,
+    fifo_ready: f64,
+
+    hard_deps: Vec<u32>,
+    fifo_deps: Vec<u32>,
+    /// `(dependent, group index)` pairs.
+    group_deps: Vec<(u32, u32)>,
+
+    state: OpState,
+    finish: f64,
+}
+
+impl Op {
+    fn new(duration: f64, release: f64, deadline: f64, proc: ProcId) -> Self {
+        Op {
+            duration,
+            fixed_finish: None,
+            release,
+            deadline,
+            proc: proc.index() as u32,
+            task: None,
+            recovery: false,
+            est_finish: 0.0,
+            hard_remaining: 0,
+            fifo_remaining: 0,
+            groups_remaining: 0,
+            group_live: Vec::new(),
+            group_done: Vec::new(),
+            data_ready: 0.0,
+            fifo_ready: 0.0,
+            hard_deps: Vec::new(),
+            fifo_deps: Vec::new(),
+            group_deps: Vec::new(),
+            state: OpState::Pending,
+            finish: 0.0,
+        }
+    }
+}
+
+/// Local propagation actions, drained to a fixpoint between events.
+enum Act {
+    TrySchedule(u32),
+    Fail(u32),
+    RealDone(u32, f64),
+    GhostDone(u32),
+}
+
+struct Engine<'a> {
+    inst: &'a Instance,
+    sched: &'a FtSchedule,
+    scenario: &'a FaultScenario,
+    cfg: &'a EngineConfig,
+
+    ops: Vec<Op>,
+    /// `(finish, kind, id)`; kind 0 = op completion, 1 = detection of
+    /// processor `id`. Completions at a given instant precede detections.
+    heap: BinaryHeap<Reverse<(OrdF64, u8, u32)>>,
+
+    /// Static exec op per (task, copy); `None` when pruned at build time.
+    static_exec: Vec<Vec<Option<u32>>>,
+    /// Recovery exec ops per task.
+    recovery_exec: Vec<Vec<u32>>,
+    topo_position: Vec<usize>,
+    known_dead: Vec<bool>,
+
+    first_finish: Vec<Option<f64>>,
+    recovered: Vec<bool>,
+    detections: usize,
+    reschedules: usize,
+    recovery_replicas: usize,
+    recovery_messages: usize,
+    /// Per-task flag: a recovery pass found the task's data gone on
+    /// every survivor (deduplicated across detections).
+    unrecoverable: Vec<bool>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        inst: &'a Instance,
+        sched: &'a FtSchedule,
+        scenario: &'a FaultScenario,
+        cfg: &'a EngineConfig,
+    ) -> Self {
+        assert!(
+            cfg.detection_latency.is_finite() && cfg.detection_latency >= 0.0,
+            "bad detection latency {}",
+            cfg.detection_latency
+        );
+        let v = inst.num_tasks();
+        let mut topo_position = vec![0usize; v];
+        for (i, t) in ft_graph::topological_order(&inst.graph)
+            .into_iter()
+            .enumerate()
+        {
+            topo_position[t.index()] = i;
+        }
+        Engine {
+            inst,
+            sched,
+            scenario,
+            cfg,
+            ops: Vec::new(),
+            heap: BinaryHeap::new(),
+            static_exec: (0..v)
+                .map(|t| vec![None; sched.replicas[t].len()])
+                .collect(),
+            recovery_exec: vec![Vec::new(); v],
+            topo_position,
+            known_dead: vec![false; inst.num_procs()],
+            first_finish: vec![None; v],
+            recovered: vec![false; v],
+            detections: 0,
+            reschedules: 0,
+            recovery_replicas: 0,
+            recovery_messages: 0,
+            unrecoverable: vec![false; v],
+        }
+    }
+
+    #[inline]
+    fn deadline(&self, p: ProcId) -> f64 {
+        self.scenario.deadline(p)
+    }
+
+    /// Mirrors `ft_sim::replay` passes 1–2: prunes replicas dead or
+    /// statically starved under the processors crashed at t ≤ 0, builds
+    /// exec/msg ops, inherits the static FIFO orders, and wires the
+    /// first-copy input groups.
+    fn build_static_ops(&mut self) {
+        let g = &self.inst.graph;
+        let v = g.num_tasks();
+        let m = self.inst.num_procs();
+        let dead0: Vec<bool> = (0..m)
+            .map(|p| self.deadline(ProcId::from_index(p)) <= 0.0)
+            .collect();
+
+        // Pass 1: static liveness (crash-at-0 processors only).
+        let mut alive: Vec<Vec<bool>> = self
+            .sched
+            .replicas
+            .iter()
+            .map(|rs| rs.iter().map(|r| !dead0[r.proc.index()]).collect())
+            .collect();
+        let mut incoming: Vec<Vec<Vec<usize>>> = (0..v)
+            .map(|t| vec![Vec::new(); self.sched.replicas[t].len()])
+            .collect();
+        for (mi, msg) in self.sched.messages.iter().enumerate() {
+            let t = msg.dst.task.index();
+            let c = msg.dst.copy as usize;
+            if c < incoming[t].len() {
+                incoming[t][c].push(mi);
+            }
+        }
+        for &t in &ft_graph::topological_order(g) {
+            let ti = t.index();
+            for c in 0..alive[ti].len() {
+                if !alive[ti][c] {
+                    continue;
+                }
+                for &e in g.in_edges(t) {
+                    let has_live_copy = incoming[ti][c].iter().any(|&mi| {
+                        let msg = &self.sched.messages[mi];
+                        msg.edge == e && alive[msg.src.task.index()][msg.src.copy as usize]
+                    });
+                    if !has_live_copy {
+                        alive[ti][c] = false; // statically starved
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pass 2a: exec ops for surviving replicas.
+        for (t, alive_t) in alive.iter().enumerate() {
+            for (c, r) in self.sched.replicas[t].iter().enumerate() {
+                if !alive_t[c] {
+                    continue;
+                }
+                let id = self.ops.len() as u32;
+                let mut op = Op::new(
+                    self.inst.exec_time(r.of.task, r.proc),
+                    0.0,
+                    self.deadline(r.proc),
+                    r.proc,
+                );
+                op.task = Some(r.of.task);
+                self.ops.push(op);
+                self.static_exec[t][c] = Some(id);
+            }
+        }
+
+        // Pass 2b: msg ops for messages whose source replica survives.
+        let mut msg_op: Vec<Option<u32>> = vec![None; self.sched.messages.len()];
+        for (mi, msg) in self.sched.messages.iter().enumerate() {
+            if !alive[msg.src.task.index()][msg.src.copy as usize] {
+                continue;
+            }
+            let id = self.ops.len() as u32;
+            self.ops.push(Op::new(
+                msg.finish - msg.start,
+                0.0,
+                self.deadline(msg.from),
+                msg.from,
+            ));
+            msg_op[mi] = Some(id);
+            let src = self.static_exec[msg.src.task.index()][msg.src.copy as usize]
+                .expect("surviving source replica has an exec op");
+            self.add_hard_dep(src, id);
+        }
+
+        // Pass 2c: inherited FIFO chains (from static start times).
+        let mut per_proc: Vec<Vec<(f64, u32)>> = vec![Vec::new(); m];
+        for (t, rs) in self.sched.replicas.iter().enumerate() {
+            for (c, r) in rs.iter().enumerate() {
+                if let Some(op) = self.static_exec[t][c] {
+                    per_proc[r.proc.index()].push((r.start, op));
+                }
+            }
+        }
+        let mut send_q: Vec<Vec<(f64, u32)>> = vec![Vec::new(); m];
+        let mut recv_q: Vec<Vec<(f64, u32)>> = vec![Vec::new(); m];
+        let mut link_q: Vec<Vec<(f64, u32)>> = vec![Vec::new(); m * m];
+        for (mi, msg) in self.sched.messages.iter().enumerate() {
+            let Some(op) = msg_op[mi] else { continue };
+            if msg.is_local() {
+                continue;
+            }
+            send_q[msg.from.index()].push((msg.start, op));
+            link_q[msg.from.index() * m + msg.to.index()].push((msg.start, op));
+            if !dead0[msg.to.index()] {
+                recv_q[msg.to.index()].push((msg.start, op));
+            }
+        }
+        for q in per_proc
+            .iter_mut()
+            .chain(send_q.iter_mut())
+            .chain(recv_q.iter_mut())
+            .chain(link_q.iter_mut())
+        {
+            q.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            for w in q.windows(2) {
+                let (prev, next) = (w[0].1, w[1].1);
+                self.ops[prev as usize].fifo_deps.push(next);
+                self.ops[next as usize].fifo_remaining += 1;
+            }
+        }
+
+        // Pass 2d: first-copy input groups.
+        for (t, incoming_t) in incoming.iter().enumerate() {
+            for (c, incoming_tc) in incoming_t.iter().enumerate() {
+                let Some(ex) = self.static_exec[t][c] else {
+                    continue;
+                };
+                for &e in g.in_edges(TaskId::from_index(t)) {
+                    let members: Vec<u32> = incoming_tc
+                        .iter()
+                        .filter(|&&mi| self.sched.messages[mi].edge == e)
+                        .filter_map(|&mi| msg_op[mi])
+                        .collect();
+                    debug_assert!(!members.is_empty(), "live replica with starved edge");
+                    self.add_group(ex, &members);
+                }
+            }
+        }
+    }
+
+    /// Queues the initial completions and the detection events.
+    fn seed_events(&mut self) {
+        for (p, t) in self.scenario.crashes() {
+            self.heap.push(Reverse((
+                OrdF64(t + self.cfg.detection_latency),
+                1,
+                p.index() as u32,
+            )));
+        }
+        let mut acts: Vec<Act> = (0..self.ops.len() as u32).map(Act::TrySchedule).collect();
+        self.drain(&mut acts);
+    }
+
+    /// The main event loop.
+    fn run(&mut self) {
+        while let Some(Reverse((OrdF64(time), kind, id))) = self.heap.pop() {
+            if kind == 0 {
+                self.on_completion(id, time);
+            } else {
+                self.on_detection(ProcId::from_index(id as usize), time);
+            }
+        }
+    }
+
+    fn on_completion(&mut self, id: u32, time: f64) {
+        let op = &mut self.ops[id as usize];
+        if op.state == OpState::Cancelled {
+            return;
+        }
+        debug_assert_eq!(op.state, OpState::Scheduled);
+        op.state = OpState::Done;
+        if let Some(t) = op.task {
+            let ti = t.index();
+            if self.first_finish[ti].is_none() {
+                self.first_finish[ti] = Some(time);
+                self.recovered[ti] = op.recovery;
+            }
+        }
+        let mut acts = vec![Act::RealDone(id, time)];
+        self.drain(&mut acts);
+    }
+
+    /// Drains dependency-propagation actions to a fixpoint.
+    fn drain(&mut self, acts: &mut Vec<Act>) {
+        while let Some(act) = acts.pop() {
+            match act {
+                Act::TrySchedule(i) => self.try_schedule(i, acts),
+                Act::Fail(i) => self.fail(i, acts),
+                Act::RealDone(i, t) => {
+                    let hard = std::mem::take(&mut self.ops[i as usize].hard_deps);
+                    for &d in &hard {
+                        let dep = &mut self.ops[d as usize];
+                        dep.hard_remaining -= 1;
+                        dep.data_ready = dep.data_ready.max(t);
+                        acts.push(Act::TrySchedule(d));
+                    }
+                    self.ops[i as usize].hard_deps = hard;
+                    let groups = std::mem::take(&mut self.ops[i as usize].group_deps);
+                    for &(d, gi) in &groups {
+                        let dep = &mut self.ops[d as usize];
+                        if dep.state == OpState::Pending && !dep.group_done[gi as usize] {
+                            dep.group_done[gi as usize] = true;
+                            dep.groups_remaining -= 1;
+                            dep.data_ready = dep.data_ready.max(t);
+                            acts.push(Act::TrySchedule(d));
+                        }
+                    }
+                    self.ops[i as usize].group_deps = groups;
+                    self.fifo_out(i, t, acts);
+                }
+                Act::GhostDone(i) => {
+                    debug_assert_eq!(self.ops[i as usize].state, OpState::Failed);
+                    self.ops[i as usize].state = OpState::GhostDone;
+                    let t = self.ops[i as usize].fifo_ready;
+                    self.fifo_out(i, t, acts);
+                }
+            }
+        }
+    }
+
+    /// Delivers `i`'s queue slot to its FIFO successors at time `t`.
+    fn fifo_out(&mut self, i: u32, t: f64, acts: &mut Vec<Act>) {
+        let fifo = std::mem::take(&mut self.ops[i as usize].fifo_deps);
+        for &d in &fifo {
+            let dep = &mut self.ops[d as usize];
+            dep.fifo_remaining -= 1;
+            dep.fifo_ready = dep.fifo_ready.max(t);
+            if dep.state == OpState::Failed && dep.fifo_remaining == 0 {
+                acts.push(Act::GhostDone(d));
+            } else {
+                acts.push(Act::TrySchedule(d));
+            }
+        }
+        self.ops[i as usize].fifo_deps = fifo;
+    }
+
+    fn try_schedule(&mut self, i: u32, acts: &mut Vec<Act>) {
+        let op = &mut self.ops[i as usize];
+        if op.state != OpState::Pending
+            || op.hard_remaining != 0
+            || op.fifo_remaining != 0
+            || op.groups_remaining != 0
+        {
+            return;
+        }
+        let start = op.data_ready.max(op.fifo_ready).max(op.release);
+        let finish = match op.fixed_finish {
+            Some(f) => f.max(start),
+            None => start + op.duration,
+        };
+        if finish <= op.deadline {
+            op.state = OpState::Scheduled;
+            op.finish = finish;
+            op.est_finish = finish;
+            self.heap.push(Reverse((OrdF64(finish), 0, i)));
+        } else {
+            acts.push(Act::Fail(i));
+        }
+    }
+
+    fn fail(&mut self, i: u32, acts: &mut Vec<Act>) {
+        if self.ops[i as usize].state != OpState::Pending {
+            return;
+        }
+        self.ops[i as usize].state = OpState::Failed;
+        let hard = std::mem::take(&mut self.ops[i as usize].hard_deps);
+        for &d in &hard {
+            acts.push(Act::Fail(d));
+        }
+        self.ops[i as usize].hard_deps = hard;
+        let groups = std::mem::take(&mut self.ops[i as usize].group_deps);
+        for &(d, gi) in &groups {
+            let dep = &mut self.ops[d as usize];
+            if dep.state == OpState::Pending && !dep.group_done[gi as usize] {
+                dep.group_live[gi as usize] -= 1;
+                if dep.group_live[gi as usize] == 0 {
+                    acts.push(Act::Fail(d));
+                }
+            }
+        }
+        self.ops[i as usize].group_deps = groups;
+        if self.ops[i as usize].fifo_remaining == 0 {
+            acts.push(Act::GhostDone(i));
+        }
+    }
+
+    // --- dependency wiring helpers --------------------------------------
+
+    fn add_hard_dep(&mut self, from: u32, to: u32) {
+        match self.ops[from as usize].state {
+            OpState::Done => {
+                let t = self.ops[from as usize].finish;
+                let dep = &mut self.ops[to as usize];
+                dep.data_ready = dep.data_ready.max(t);
+            }
+            OpState::Failed | OpState::GhostDone | OpState::Cancelled => {
+                // The producer can never deliver: the dependent fails too.
+                let mut acts = vec![Act::Fail(to)];
+                self.drain(&mut acts);
+            }
+            _ => {
+                self.ops[from as usize].hard_deps.push(to);
+                self.ops[to as usize].hard_remaining += 1;
+            }
+        }
+    }
+
+    /// Adds one first-copy group on `ex` over live `members`.
+    fn add_group(&mut self, ex: u32, members: &[u32]) {
+        let gi = self.ops[ex as usize].group_live.len() as u32;
+        let mut live = 0u32;
+        let mut done_time: Option<f64> = None;
+        for &mo in members {
+            match self.ops[mo as usize].state {
+                OpState::Done => {
+                    let t = self.ops[mo as usize].finish;
+                    done_time = Some(done_time.map_or(t, |d: f64| d.min(t)));
+                }
+                OpState::Failed | OpState::GhostDone | OpState::Cancelled => {}
+                _ => {
+                    self.ops[mo as usize].group_deps.push((ex, gi));
+                    live += 1;
+                }
+            }
+        }
+        let op = &mut self.ops[ex as usize];
+        if let Some(t) = done_time {
+            // A member already delivered: group satisfied at its time.
+            op.group_live.push(live);
+            op.group_done.push(true);
+            op.data_ready = op.data_ready.max(t);
+        } else if live == 0 {
+            // No member can ever deliver.
+            op.group_live.push(0);
+            op.group_done.push(false);
+            let mut acts = vec![Act::Fail(ex)];
+            self.drain(&mut acts);
+        } else {
+            op.group_live.push(live);
+            op.group_done.push(false);
+            op.groups_remaining += 1;
+        }
+    }
+
+    // --- failure detection & recovery -----------------------------------
+
+    fn on_detection(&mut self, p: ProcId, time: f64) {
+        self.known_dead[p.index()] = true;
+        self.detections += 1;
+        match self.cfg.policy {
+            RecoveryPolicy::Absorb => {}
+            RecoveryPolicy::ReReplicate => self.re_replicate(p, time),
+            RecoveryPolicy::Reschedule => self.reschedule(time),
+        }
+    }
+
+    /// True if some replica of `t` is completed, or is scheduled on a
+    /// processor not known to be dead (i.e. the runtime believes the task
+    /// is safe without intervention).
+    fn task_believed_safe(&self, t: usize) -> bool {
+        if self.first_finish[t].is_some() {
+            return true;
+        }
+        let safe = |&id: &u32| {
+            let op = &self.ops[id as usize];
+            op.state == OpState::Scheduled && !self.known_dead[op.proc as usize]
+        };
+        self.static_exec[t].iter().flatten().any(&safe) || self.recovery_exec[t].iter().any(safe)
+    }
+
+    /// Surviving data copies of task `t` as `(op, proc, est_finish)`;
+    /// `op = None` when the data already exists (completed op).
+    fn surviving_copies(&self, t: usize) -> Vec<(Option<u32>, ProcId, f64)> {
+        let mut out = Vec::new();
+        let push = |id: u32, ops: &Vec<Op>, known_dead: &Vec<bool>, out: &mut Vec<_>| {
+            let op = &ops[id as usize];
+            if known_dead[op.proc as usize] {
+                return;
+            }
+            match op.state {
+                OpState::Done => out.push((None, ProcId::from_index(op.proc as usize), op.finish)),
+                OpState::Scheduled => {
+                    out.push((Some(id), ProcId::from_index(op.proc as usize), op.finish))
+                }
+                OpState::Pending if op.recovery => out.push((
+                    Some(id),
+                    ProcId::from_index(op.proc as usize),
+                    op.est_finish,
+                )),
+                _ => {}
+            }
+        };
+        for id in self.static_exec[t].iter().flatten() {
+            push(*id, &self.ops, &self.known_dead, &mut out);
+        }
+        for id in &self.recovery_exec[t] {
+            push(*id, &self.ops, &self.known_dead, &mut out);
+        }
+        out.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.1.cmp(&b.1)));
+        out
+    }
+
+    /// `ReReplicate`: one replacement replica per task that lost a copy on
+    /// `p` and is not believed safe, in topological order (so replacements
+    /// can feed later replacements).
+    fn re_replicate(&mut self, p: ProcId, time: f64) {
+        let g = &self.inst.graph;
+        let mut lost: Vec<usize> = Vec::new();
+        for t in 0..g.num_tasks() {
+            let on_p_not_done = |&id: &u32| {
+                let op = &self.ops[id as usize];
+                op.proc as usize == p.index() && op.state != OpState::Done
+            };
+            if (self.static_exec[t].iter().flatten().any(on_p_not_done)
+                || self.recovery_exec[t].iter().any(on_p_not_done)
+                // A replica pruned at build time (its static host crashed
+                // pre-start, or statically starved) also counts as lost.
+                || self.static_exec[t].iter().any(|o| o.is_none()))
+                && !self.task_believed_safe(t)
+            {
+                lost.push(t);
+            }
+        }
+        lost.sort_by_key(|&t| self.topo_position[t]);
+
+        for t in lost {
+            if self.task_believed_safe(t) {
+                continue; // an earlier replacement this round covered it
+            }
+            // A still-live pending replacement from an earlier detection?
+            let pending_recovery = self.recovery_exec[t].iter().any(|&id| {
+                let op = &self.ops[id as usize];
+                op.state == OpState::Pending && !self.known_dead[op.proc as usize]
+            });
+            if pending_recovery {
+                continue;
+            }
+            self.spawn_replacement(TaskId::from_index(t), time);
+        }
+    }
+
+    /// Greedy single replacement replica for `t` at detection time `T`.
+    fn spawn_replacement(&mut self, t: TaskId, now: f64) {
+        let g = &self.inst.graph;
+        let in_edges: Vec<_> = g.in_edges(t).to_vec();
+        // Surviving sources per input edge.
+        let mut edge_sources: Vec<Vec<(Option<u32>, ProcId, f64)>> = Vec::new();
+        for &e in &in_edges {
+            let pred = g.edge(e).src;
+            let copies = self.surviving_copies(pred.index());
+            if copies.is_empty() {
+                // No resolvable source now. If the predecessor still has a
+                // pending static replica on a survivor, its data may yet be
+                // produced — the eager one-shot heuristic simply cannot plan
+                // this far behind the frontier and leaves the task to its
+                // static replicas (`Reschedule` handles this case). Only
+                // count the task unrecoverable when the data is truly gone.
+                let pred_may_run = self.static_exec[pred.index()].iter().any(|&id| {
+                    id.is_some_and(|id| {
+                        let op = &self.ops[id as usize];
+                        op.state == OpState::Pending && !self.known_dead[op.proc as usize]
+                    })
+                });
+                if !pred_may_run {
+                    self.unrecoverable[t.index()] = true;
+                }
+                return;
+            }
+            edge_sources.push(copies);
+        }
+        // Candidate hosts: survivors, excluding hosts of live copies of `t`
+        // (space exclusion) when possible.
+        let hosting: Vec<usize> = self
+            .surviving_copies(t.index())
+            .iter()
+            .map(|&(_, p, _)| p.index())
+            .collect();
+        let mut candidates: Vec<ProcId> = (0..self.inst.num_procs())
+            .filter(|&p| !self.known_dead[p] && !hosting.contains(&p))
+            .map(ProcId::from_index)
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..self.inst.num_procs())
+                .filter(|&p| !self.known_dead[p])
+                .map(ProcId::from_index)
+                .collect();
+        }
+        if candidates.is_empty() {
+            self.unrecoverable[t.index()] = true;
+            return;
+        }
+        // Pick the host minimizing the estimated finish.
+        type Best = (f64, ProcId, Vec<(Option<u32>, ProcId, f64)>);
+        let mut best: Option<Best> = None;
+        for &q in &candidates {
+            let mut start = now;
+            let mut picks = Vec::with_capacity(in_edges.len());
+            for (ei, &e) in in_edges.iter().enumerate() {
+                let pick = edge_sources[ei]
+                    .iter()
+                    .min_by(|a, b| {
+                        let fa = a.2 + self.inst.comm_time(e, a.1, q);
+                        let fb = b.2 + self.inst.comm_time(e, b.1, q);
+                        fa.total_cmp(&fb).then_with(|| a.1.cmp(&b.1))
+                    })
+                    .copied()
+                    .expect("non-empty source list");
+                start = start.max(pick.2 + self.inst.comm_time(e, pick.1, q));
+                picks.push(pick);
+            }
+            let est = start + self.inst.exec_time(t, q);
+            if best.as_ref().is_none_or(|(b, bp, _)| {
+                est.total_cmp(b).then_with(|| q.cmp(bp)) == std::cmp::Ordering::Less
+            }) {
+                best = Some((est, q, picks));
+            }
+        }
+        let (est, q, picks) = best.expect("candidate list non-empty");
+
+        // Materialize: one contention-free transfer per remote input, then
+        // the replacement computation.
+        let ex = self.ops.len() as u32;
+        let mut exec_op = Op::new(self.inst.exec_time(t, q), now, self.deadline(q), q);
+        exec_op.task = Some(t);
+        exec_op.recovery = true;
+        exec_op.est_finish = est;
+        self.ops.push(exec_op);
+        self.recovery_exec[t.index()].push(ex);
+        self.recovery_replicas += 1;
+
+        let mut acts = Vec::new();
+        for (ei, &e) in in_edges.iter().enumerate() {
+            let (src_op, src_proc, src_est) = picks[ei];
+            if src_proc == q {
+                match src_op {
+                    Some(s) => self.add_hard_dep(s, ex),
+                    None => {
+                        let dep = &mut self.ops[ex as usize];
+                        dep.data_ready = dep.data_ready.max(src_est);
+                    }
+                }
+                continue;
+            }
+            let w = self.inst.comm_time(e, src_proc, q);
+            let mid = self.ops.len() as u32;
+            self.ops
+                .push(Op::new(w, now, self.deadline(src_proc), src_proc));
+            self.recovery_messages += 1;
+            match src_op {
+                Some(s) => self.add_hard_dep(s, mid),
+                None => {
+                    let dep = &mut self.ops[mid as usize];
+                    dep.data_ready = dep.data_ready.max(src_est);
+                }
+            }
+            self.add_hard_dep(mid, ex);
+            acts.push(Act::TrySchedule(mid));
+        }
+        acts.push(Act::TrySchedule(ex));
+        self.drain(&mut acts);
+    }
+
+    /// `Reschedule`: cancel any previous repair plan and re-run CAFT on the
+    /// not-yet-started sub-DAG over the surviving processors.
+    fn reschedule(&mut self, now: f64) {
+        self.reschedules += 1;
+        // Cancel superseded repair work.
+        for op in &mut self.ops {
+            if op.recovery && matches!(op.state, OpState::Pending | OpState::Scheduled) {
+                op.state = OpState::Cancelled;
+            }
+        }
+        let mut recovery_exec = std::mem::take(&mut self.recovery_exec);
+        for lists in &mut recovery_exec {
+            lists.retain(|&id| self.ops[id as usize].state == OpState::Done);
+        }
+        self.recovery_exec = recovery_exec;
+
+        let v = self.inst.num_tasks();
+        let alive: Vec<ProcId> = (0..self.inst.num_procs())
+            .filter(|&p| !self.known_dead[p])
+            .map(ProcId::from_index)
+            .collect();
+        if alive.is_empty() {
+            return;
+        }
+        let eps = self.sched.epsilon().min(alive.len() - 1);
+
+        // Remnant = not completed and not safely in flight.
+        let remnant: Vec<bool> = (0..v).map(|t| !self.task_believed_safe(t)).collect();
+        // Frontier sources, pre-sorted exactly like `Ctx::for_subdag` sorts
+        // (by finish then proc) and capped at ε+1, so pseudo-replica copy
+        // indices align with `src_ops`.
+        let mut sources: Vec<Vec<Replica>> = vec![Vec::new(); v];
+        let mut src_ops: Vec<Vec<Option<u32>>> = vec![Vec::new(); v];
+        for t in 0..v {
+            if remnant[t] {
+                continue;
+            }
+            for (op, proc, est) in self.surviving_copies(t).into_iter().take(eps + 1) {
+                let copy = sources[t].len();
+                sources[t].push(Replica {
+                    of: ReplicaRef::new(TaskId::from_index(t), copy),
+                    proc,
+                    start: est,
+                    finish: est,
+                });
+                src_ops[t].push(op);
+            }
+        }
+
+        let spec = SubDagSpec {
+            remnant: remnant.clone(),
+            sources,
+            alive,
+            release: now,
+        };
+        let opts = CaftOptions {
+            eps,
+            model: self.sched.model,
+            seed: self.cfg.seed.wrapping_add(self.reschedules as u64),
+            ..CaftOptions::default()
+        };
+        let out = caft_on_subdag(self.inst, &spec, &opts);
+        for t in &out.unscheduled {
+            self.unrecoverable[t.index()] = true;
+        }
+
+        // Materialize the plan as fixed-time ops.
+        let plan = &out.schedule;
+        let mut new_exec: Vec<Vec<Option<u32>>> = vec![Vec::new(); v];
+        let mut acts = Vec::new();
+        for t in 0..v {
+            if !remnant[t] {
+                continue;
+            }
+            for r in plan.replicas_of(TaskId::from_index(t)) {
+                let id = self.ops.len() as u32;
+                let mut op = Op::new(r.finish - r.start, now, self.deadline(r.proc), r.proc);
+                op.task = Some(r.of.task);
+                op.recovery = true;
+                op.fixed_finish = Some(r.finish);
+                op.est_finish = r.finish;
+                self.ops.push(op);
+                new_exec[t].push(Some(id));
+                self.recovery_exec[t].push(id);
+                self.recovery_replicas += 1;
+            }
+        }
+        // Wire the plan's messages: first-copy groups per (replica, edge).
+        let resolve_src = |src: ReplicaRef| -> Option<Option<u32>> {
+            let t = src.task.index();
+            let c = src.copy as usize;
+            if remnant[t] {
+                new_exec[t].get(c).copied()
+            } else {
+                src_ops[t].get(c).copied()
+            }
+        };
+        for t in 0..v {
+            if !remnant[t] {
+                continue;
+            }
+            for c in 0..plan.replicas_of(TaskId::from_index(t)).len() {
+                let Some(Some(ex)) = new_exec[t].get(c).copied() else {
+                    continue;
+                };
+                let dst_ref = ReplicaRef::new(TaskId::from_index(t), c);
+                for &e in self.inst.graph.in_edges(TaskId::from_index(t)) {
+                    let mut members: Vec<u32> = Vec::new();
+                    for msg in plan
+                        .messages
+                        .iter()
+                        .filter(|m| m.dst == dst_ref && m.edge == e)
+                    {
+                        let Some(src_op) = resolve_src(msg.src) else {
+                            continue;
+                        };
+                        let mid = self.ops.len() as u32;
+                        let mut mop = Op::new(
+                            msg.finish - msg.start,
+                            now,
+                            self.deadline(msg.from),
+                            msg.from,
+                        );
+                        mop.fixed_finish = Some(msg.finish);
+                        mop.recovery = true;
+                        self.ops.push(mop);
+                        if !msg.is_local() {
+                            self.recovery_messages += 1;
+                        }
+                        match src_op {
+                            Some(s) => self.add_hard_dep(s, mid),
+                            None => {
+                                // Frontier data already produced; the plan
+                                // time embeds its availability.
+                            }
+                        }
+                        members.push(mid);
+                        acts.push(Act::TrySchedule(mid));
+                    }
+                    if !members.is_empty() {
+                        self.add_group(ex, &members);
+                    }
+                }
+                acts.push(Act::TrySchedule(ex));
+            }
+        }
+        self.drain(&mut acts);
+    }
+
+    fn into_outcome(self) -> RunOutcome {
+        let unrecoverable = self
+            .unrecoverable
+            .iter()
+            .zip(&self.first_finish)
+            .filter(|&(&flagged, finish)| flagged && finish.is_none())
+            .count();
+        RunOutcome {
+            first_finish: self.first_finish,
+            recovered: self.recovered,
+            num_failures: self.scenario.num_failures(),
+            detections: self.detections,
+            reschedules: self.reschedules,
+            recovery_replicas: self.recovery_replicas,
+            recovery_messages: self.recovery_messages,
+            unrecoverable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_algos::{caft, ftsa, CommModel};
+    use ft_graph::gen::{random_layered, RandomDagParams};
+    use ft_platform::PlatformParams;
+    use ft_sim::{replay, ReplayOutcome};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64, tasks: usize, gran: f64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_layered(&RandomDagParams::default().with_tasks(tasks), &mut rng);
+        ft_platform::random_instance(g, &PlatformParams::default(), gran, &mut rng)
+    }
+
+    fn assert_matches_replay(out: &RunOutcome, rep: &ReplayOutcome) {
+        assert_eq!(out.completed(), rep.completed());
+        match (out.latency(), rep.latency()) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "online {a} vs replay {b}"),
+            (None, None) => {}
+            (a, b) => panic!("online {a:?} vs replay {b:?}"),
+        }
+        // Per-task first completions must agree, not just the maximum.
+        for (t, f) in out.first_finish.iter().enumerate() {
+            let rf = rep.replica_finish[t]
+                .iter()
+                .flatten()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            match f {
+                Some(f) => assert!((f - rf).abs() < 1e-9, "task {t}: {f} vs {rf}"),
+                None => assert!(!rf.is_finite(), "task {t}: online missing, replay {rf}"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_failure_reproduces_static_replay_exactly() {
+        for seed in 0..3u64 {
+            let inst = setup(seed, 40, 1.0);
+            for eps in [0usize, 1, 2] {
+                let sched = caft(&inst, eps, CommModel::OnePort, seed);
+                let out = execute(
+                    &inst,
+                    &sched,
+                    &FaultScenario::none(),
+                    &EngineConfig::default(),
+                );
+                let rep = replay(&inst, &sched, &FaultScenario::none());
+                assert_matches_replay(&out, &rep);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_beyond_makespan_is_a_no_op() {
+        let inst = setup(4, 35, 0.7);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 4);
+        let after = sched.full_makespan();
+        let scenario = FaultScenario::timed(&[(ProcId(0), after), (ProcId(3), after + 5.0)]);
+        for policy in RecoveryPolicy::ALL {
+            let out = execute(&inst, &sched, &scenario, &EngineConfig::with_policy(policy));
+            let rep = replay(&inst, &sched, &FaultScenario::none());
+            assert_matches_replay(&out, &rep);
+            assert_eq!(out.detections, 2);
+            assert_eq!(out.recovery_replicas, 0, "{policy}: nothing to recover");
+        }
+    }
+
+    #[test]
+    fn crash_at_zero_with_absorb_reproduces_adversarial_replay() {
+        let inst = setup(17, 40, 1.0);
+        for (eps, seed) in [(1usize, 0u64), (2, 1)] {
+            for algo in [caft, ftsa] {
+                let sched = algo(&inst, eps, CommModel::OnePort, seed);
+                for p in inst.platform.procs() {
+                    let scenario = FaultScenario::procs(&[p]);
+                    let out = execute(
+                        &inst,
+                        &sched,
+                        &scenario,
+                        &EngineConfig::with_policy(RecoveryPolicy::Absorb),
+                    );
+                    let rep = replay(&inst, &sched, &scenario);
+                    assert_matches_replay(&out, &rep);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_run_crash_is_absorbed_by_ftsa_replication() {
+        // FTSA ε = 1 full fan-in: losing one processor mid-run can delay
+        // but never kill the computation, even with no recovery at all.
+        let inst = setup(7, 40, 1.0);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 7);
+        let nominal = sched.latency();
+        for p in inst.platform.procs() {
+            let scenario = FaultScenario::timed(&[(p, nominal * 0.4)]);
+            let out = execute(
+                &inst,
+                &sched,
+                &scenario,
+                &EngineConfig::with_policy(RecoveryPolicy::Absorb),
+            );
+            assert!(out.completed(), "mid-run crash of {p} killed FTSA ε=1");
+        }
+    }
+
+    #[test]
+    fn later_crashes_never_hurt_absorb() {
+        // Under Absorb, delaying a crash can only preserve or improve the
+        // outcome set: everything that completed before keeps completing.
+        let inst = setup(9, 35, 0.8);
+        let sched = caft(&inst, 1, CommModel::OnePort, 9);
+        let nominal = sched.latency();
+        let p = ProcId(2);
+        let mut last_completed = false;
+        for frac in [0.0, 0.3, 0.6, 0.9, 1.2] {
+            let scenario = FaultScenario::timed(&[(p, nominal * frac)]);
+            let out = execute(
+                &inst,
+                &sched,
+                &scenario,
+                &EngineConfig::with_policy(RecoveryPolicy::Absorb),
+            );
+            assert!(
+                out.completed() || !last_completed,
+                "completion regressed when delaying the crash to {frac}"
+            );
+            last_completed = out.completed();
+        }
+    }
+
+    #[test]
+    fn reschedule_repairs_a_caft_starvation() {
+        // The pinned CAFT ε = 1 counterexample (see ft-sim replay tests):
+        // some single crash starves the strict replay. The online engine
+        // with Reschedule must repair every such crash at any time, and
+        // with Absorb must reproduce the starvation for the t = 0 crash.
+        let inst = setup(17, 30, 1.0);
+        let sched = caft(&inst, 1, CommModel::OnePort, 0);
+        let mut broke_some = false;
+        for p in inst.platform.procs() {
+            let strict = replay(&inst, &sched, &FaultScenario::procs(&[p]));
+            if strict.completed() {
+                continue;
+            }
+            broke_some = true;
+            for crash_at in [0.0, sched.latency() * 0.5] {
+                let scenario = FaultScenario::timed(&[(p, crash_at)]);
+                let cfg = EngineConfig {
+                    policy: RecoveryPolicy::Reschedule,
+                    detection_latency: 0.5,
+                    seed: 0,
+                };
+                let out = execute(&inst, &sched, &scenario, &cfg);
+                assert!(
+                    out.completed(),
+                    "reschedule failed to repair crash of {p} at {crash_at}"
+                );
+                assert!(out.reschedules >= 1);
+            }
+        }
+        assert!(broke_some, "expected the pinned starvation counterexample");
+    }
+
+    #[test]
+    fn re_replicate_restores_completion_under_double_crash() {
+        // ε = 1 tolerates one failure; two mid-run crashes generally break
+        // Absorb. ReReplicate must recover whenever data survives.
+        let inst = setup(21, 40, 1.0);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 3);
+        let nominal = sched.latency();
+        let scenario =
+            FaultScenario::timed(&[(ProcId(0), nominal * 0.1), (ProcId(1), nominal * 0.2)]);
+        let absorb = execute(
+            &inst,
+            &sched,
+            &scenario,
+            &EngineConfig {
+                policy: RecoveryPolicy::Absorb,
+                detection_latency: 0.2,
+                seed: 0,
+            },
+        );
+        let rerep = execute(
+            &inst,
+            &sched,
+            &scenario,
+            &EngineConfig {
+                policy: RecoveryPolicy::ReReplicate,
+                detection_latency: 0.2,
+                seed: 0,
+            },
+        );
+        assert!(
+            rerep.completed(),
+            "re-replication failed to repair double crash"
+        );
+        if !absorb.completed() {
+            assert!(rerep.tasks_recovered() > 0);
+        }
+        assert!(
+            rerep.recovery_replicas > 0,
+            "two early crashes must leave lost pending replicas to replace"
+        );
+    }
+
+    #[test]
+    fn detection_latency_delays_recovery() {
+        let inst = setup(25, 40, 1.0);
+        let sched = caft(&inst, 1, CommModel::OnePort, 5);
+        let nominal = sched.latency();
+        let scenario =
+            FaultScenario::timed(&[(ProcId(0), nominal * 0.2), (ProcId(4), nominal * 0.35)]);
+        let run = |delta: f64| {
+            execute(
+                &inst,
+                &sched,
+                &scenario,
+                &EngineConfig {
+                    policy: RecoveryPolicy::ReReplicate,
+                    detection_latency: delta,
+                    seed: 0,
+                },
+            )
+        };
+        let fast = run(0.1);
+        let slow = run(nominal * 0.5);
+        if let (Some(f), Some(s)) = (fast.latency(), slow.latency()) {
+            assert!(
+                f <= s + 1e-9,
+                "faster detection must not finish later: {f} vs {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_inputs() {
+        let inst = setup(31, 45, 0.6);
+        let sched = caft(&inst, 2, CommModel::OnePort, 2);
+        let scenario = FaultScenario::timed(&[
+            (ProcId(1), sched.latency() * 0.25),
+            (ProcId(5), sched.latency() * 0.5),
+        ]);
+        for policy in RecoveryPolicy::ALL {
+            let cfg = EngineConfig {
+                policy,
+                detection_latency: 0.3,
+                seed: 4,
+            };
+            let a = execute(&inst, &sched, &scenario, &cfg);
+            let b = execute(&inst, &sched, &scenario, &cfg);
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "{policy} not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn killing_every_processor_fails_the_run() {
+        let inst = setup(33, 20, 1.0);
+        let sched = caft(&inst, 1, CommModel::OnePort, 0);
+        let crashes: Vec<(ProcId, f64)> = inst.platform.procs().map(|p| (p, 0.0)).collect();
+        let scenario = FaultScenario::timed(&crashes);
+        for policy in RecoveryPolicy::ALL {
+            let out = execute(&inst, &sched, &scenario, &EngineConfig::with_policy(policy));
+            assert!(!out.completed(), "{policy}: no processors, no progress");
+            assert_eq!(out.latency(), None);
+        }
+    }
+}
+
+/// Total-order wrapper for f64 heap keys.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}

@@ -1,0 +1,81 @@
+//! # ft-runtime — online failure injection, detection and recovery
+//!
+//! The static stack (ft-algos + ft-sim) answers "does this ε-resilient
+//! schedule survive an adversarial set of processors dead from t = 0?".
+//! This crate answers the *temporal* question the paper's fail-stop model
+//! (§1–§2) actually poses: processors crash **during** execution, failures
+//! are *detected* after a latency, and the runtime may *react*.
+//!
+//! * [`LifetimeDist`] — exponential / Weibull / trace lifetimes, drawn into
+//!   timed [`FaultScenario`](ft_sim::FaultScenario)s ([`draw_scenario`]);
+//! * [`execute`] — the discrete-event online engine: replays the static
+//!   schedule's inherited orders (first-surviving-copy input policy, as in
+//!   `ft_sim::replay`), kills work at crash times, and repairs at
+//!   detections;
+//! * [`RecoveryPolicy`] — [`Absorb`](RecoveryPolicy::Absorb) (paper
+//!   baseline: static replicas only),
+//!   [`ReReplicate`](RecoveryPolicy::ReReplicate) (eager replacement
+//!   copies) and [`Reschedule`](RecoveryPolicy::Reschedule) (CAFT repair
+//!   plan on the not-yet-started sub-DAG via
+//!   [`ft_algos::caft_on_subdag`]);
+//! * [`simulate_many`] — rayon-parallel Monte-Carlo batches with a
+//!   deterministic [`BatchSummary`];
+//! * [`report`] — one run against the §6 latency bounds.
+//!
+//! ## Consistency with the static stack
+//!
+//! Two pinned properties tie the online engine to the replay semantics
+//! (enforced by the `timed_model` integration tests):
+//!
+//! * crash times at or beyond the schedule's makespan reproduce the
+//!   no-failure static replay **exactly**;
+//! * crash time 0 under [`RecoveryPolicy::Absorb`] reproduces the
+//!   adversarial [`FaultScenario::procs`](ft_sim::FaultScenario::procs)
+//!   strict replay **exactly**.
+//!
+//! ## Example
+//!
+//! ```
+//! use ft_runtime::prelude::*;
+//! use ft_algos::{caft, CommModel};
+//! use ft_graph::gen::{random_layered, RandomDagParams};
+//! use ft_platform::{random_instance, PlatformParams};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = random_layered(&RandomDagParams::default().with_tasks(30), &mut rng);
+//! let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+//! let sched = caft(&inst, 1, CommModel::OnePort, 0);
+//!
+//! // One mid-execution crash, detected 1 time-unit later, repaired by
+//! // rescheduling the remaining sub-DAG.
+//! let scenario = ft_sim::FaultScenario::timed(&[(ft_platform::ProcId(0), sched.latency() / 2.0)]);
+//! let out = execute(&inst, &sched, &scenario, &EngineConfig {
+//!     policy: RecoveryPolicy::Reschedule,
+//!     detection_latency: 1.0,
+//!     seed: 0,
+//! });
+//! assert!(out.completed());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod engine;
+pub mod lifetime;
+pub mod metrics;
+pub mod policy;
+
+pub use batch::{simulate_many, MonteCarloConfig};
+pub use engine::execute;
+pub use lifetime::{draw_scenario, LifetimeDist};
+pub use metrics::{report, BatchSummary, RunOutcome, RunReport};
+pub use policy::{EngineConfig, RecoveryPolicy};
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use crate::{
+        draw_scenario, execute, report, simulate_many, BatchSummary, EngineConfig, LifetimeDist,
+        MonteCarloConfig, RecoveryPolicy, RunOutcome, RunReport,
+    };
+}

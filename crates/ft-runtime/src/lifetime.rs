@@ -1,0 +1,145 @@
+//! Processor lifetime distributions.
+//!
+//! The evaluation tradition the paper builds on (HEFT \[27\], FTBAR \[10\])
+//! models fail-stop processors whose time-to-failure follows a lifetime
+//! distribution; exponential (constant hazard rate) and Weibull
+//! (aging / infant-mortality hazards) are the standard choices. A
+//! [`LifetimeDist`] turns a seeded RNG into per-processor crash times, and
+//! [`draw_scenario`] packages a platform-wide draw as a
+//! [`FaultScenario`](ft_sim::FaultScenario).
+
+use ft_platform::ProcId;
+use ft_sim::FaultScenario;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A processor lifetime (time-to-crash) distribution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LifetimeDist {
+    /// Processors never fail.
+    Never,
+    /// Exponential lifetimes with the given **mean** time to failure
+    /// (hazard rate `1 / mean`), memoryless.
+    Exponential {
+        /// Mean time to failure (must be positive and finite).
+        mean: f64,
+    },
+    /// Weibull lifetimes: `scale · (−ln U)^(1/shape)`. `shape < 1` models
+    /// infant mortality, `shape > 1` wear-out, `shape = 1` is exponential
+    /// with mean `scale`.
+    Weibull {
+        /// Shape parameter `k` (positive, finite).
+        shape: f64,
+        /// Scale parameter `λ` (positive, finite).
+        scale: f64,
+    },
+    /// A fixed trace: crash time per processor index (`INFINITY` or a
+    /// missing entry = never fails). Draws ignore the RNG.
+    Trace(Vec<f64>),
+}
+
+impl LifetimeDist {
+    /// Draws the crash time of processor `p`.
+    ///
+    /// Finite times are non-negative; `f64::INFINITY` means "never".
+    pub fn draw<R: Rng>(&self, p: ProcId, rng: &mut R) -> f64 {
+        match self {
+            LifetimeDist::Never => f64::INFINITY,
+            LifetimeDist::Exponential { mean } => {
+                assert!(
+                    mean.is_finite() && *mean > 0.0,
+                    "bad exponential mean {mean}"
+                );
+                let u: f64 = rng.gen();
+                // Inverse CDF; 1 - u in (0, 1] avoids ln(0).
+                -mean * (1.0 - u).ln()
+            }
+            LifetimeDist::Weibull { shape, scale } => {
+                assert!(
+                    shape.is_finite() && *shape > 0.0,
+                    "bad Weibull shape {shape}"
+                );
+                assert!(
+                    scale.is_finite() && *scale > 0.0,
+                    "bad Weibull scale {scale}"
+                );
+                let u: f64 = rng.gen();
+                scale * (-(1.0 - u).ln()).powf(1.0 / shape)
+            }
+            LifetimeDist::Trace(times) => times.get(p.index()).copied().unwrap_or(f64::INFINITY),
+        }
+    }
+}
+
+/// Draws one timed scenario for an `m`-processor platform: every processor
+/// whose sampled lifetime is finite crashes at that time.
+pub fn draw_scenario<R: Rng>(m: usize, dist: &LifetimeDist, rng: &mut R) -> FaultScenario {
+    let crashes: Vec<(ProcId, f64)> = (0..m)
+        .map(ProcId::from_index)
+        .filter_map(|p| {
+            let t = dist.draw(p, rng);
+            t.is_finite().then_some((p, t))
+        })
+        .collect();
+    FaultScenario::timed(&crashes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_means_never() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = draw_scenario(8, &LifetimeDist::Never, &mut rng);
+        assert_eq!(s.num_failures(), 0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = LifetimeDist::Exponential { mean: 10.0 };
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| d.draw(ProcId(0), &mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn weibull_shape_1_matches_exponential_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LifetimeDist::Weibull {
+            shape: 1.0,
+            scale: 5.0,
+        };
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| d.draw(ProcId(0), &mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_partial() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LifetimeDist::Trace(vec![4.0, f64::INFINITY]);
+        assert_eq!(d.draw(ProcId(0), &mut rng), 4.0);
+        assert_eq!(d.draw(ProcId(1), &mut rng), f64::INFINITY);
+        assert_eq!(d.draw(ProcId(7), &mut rng), f64::INFINITY);
+        let s = draw_scenario(3, &d, &mut rng);
+        assert_eq!(s.dead(), &[ProcId(0)]);
+        assert_eq!(s.crash_time(ProcId(0)), Some(4.0));
+    }
+
+    #[test]
+    fn draws_are_seed_deterministic() {
+        let d = LifetimeDist::Weibull {
+            shape: 2.0,
+            scale: 30.0,
+        };
+        let a = draw_scenario(10, &d, &mut StdRng::seed_from_u64(9));
+        let b = draw_scenario(10, &d, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-run and aggregate metrics of online executions.
+
+use crate::policy::RecoveryPolicy;
+use ft_model::FtSchedule;
+use ft_platform::Instance;
+use ft_sim::latency_bounds;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one online execution ([`crate::execute`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// First completion time of each task (any replica, static or
+    /// recovery); `None` if the task never completed.
+    pub first_finish: Vec<Option<f64>>,
+    /// Whether the first completion of each task came from a recovery
+    /// replica (false for uncompleted tasks).
+    pub recovered: Vec<bool>,
+    /// Number of processors that crash in the scenario (at any time).
+    pub num_failures: usize,
+    /// Failure detections processed.
+    pub detections: usize,
+    /// Repair plans computed (`Reschedule` invocations).
+    pub reschedules: usize,
+    /// Recovery replicas spawned (both policies).
+    pub recovery_replicas: usize,
+    /// Remote recovery transfers added.
+    pub recovery_messages: usize,
+    /// Distinct tasks a recovery pass flagged as unrepairable (data lost
+    /// on every survivor) and that indeed never completed.
+    pub unrecoverable: usize,
+}
+
+impl RunOutcome {
+    /// True if every task completed at least one replica.
+    pub fn completed(&self) -> bool {
+        self.first_finish.iter().all(|f| f.is_some())
+    }
+
+    /// Achieved latency `max_t` (first completion of `t`); `None` if some
+    /// task never completed.
+    pub fn latency(&self) -> Option<f64> {
+        let mut latency = 0.0f64;
+        for f in &self.first_finish {
+            latency = latency.max((*f)?);
+        }
+        Some(latency)
+    }
+
+    /// Tasks whose first completion came from a recovery replica.
+    pub fn tasks_recovered(&self) -> usize {
+        self.recovered.iter().filter(|&&r| r).count()
+    }
+}
+
+/// One run's metrics put in context of the §6 static bounds.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Achieved latency (`NaN` when the run did not complete).
+    pub latency: f64,
+    /// The schedule's nominal (0-crash) latency.
+    pub zero_crash: f64,
+    /// The schedule's last-copy upper bound.
+    pub upper_bound: f64,
+    /// `latency / zero_crash` (`NaN` when incomplete).
+    pub slowdown: f64,
+    /// True if the achieved latency stayed at or below the upper bound.
+    pub within_bound: bool,
+}
+
+/// Packages a run against the §6 latency bounds of its schedule.
+pub fn report(inst: &Instance, sched: &FtSchedule, out: &RunOutcome) -> RunReport {
+    let b = latency_bounds(inst, sched);
+    let latency = out.latency().unwrap_or(f64::NAN);
+    RunReport {
+        latency,
+        zero_crash: b.zero_crash,
+        upper_bound: b.upper,
+        slowdown: latency / b.zero_crash,
+        within_bound: latency <= b.upper + 1e-9,
+    }
+}
+
+/// Deterministic aggregate over a Monte-Carlo batch
+/// ([`crate::simulate_many`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchSummary {
+    /// Recovery policy the batch ran under.
+    pub policy: RecoveryPolicy,
+    /// Runs simulated.
+    pub runs: usize,
+    /// Runs in which every task completed.
+    pub completed: usize,
+    /// Runs with at least one crash before the nominal makespan.
+    pub disturbed: usize,
+    /// Mean achieved latency over completed runs.
+    pub mean_latency: f64,
+    /// Maximum achieved latency over completed runs.
+    pub max_latency: f64,
+    /// Mean achieved latency over completed runs, normalized by the
+    /// schedule's nominal (0-crash) latency.
+    pub mean_slowdown: f64,
+    /// Mean number of crashes injected per run.
+    pub mean_failures: f64,
+    /// Total tasks completed by a recovery replica, across runs.
+    pub tasks_recovered: usize,
+    /// Total recovery replicas spawned, across runs.
+    pub recovery_replicas: usize,
+    /// Total remote recovery transfers, across runs.
+    pub recovery_messages: usize,
+}
+
+impl BatchSummary {
+    /// Fraction of runs that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.runs == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.runs as f64
+    }
+
+    /// One-line human-readable summary (stable format; the acceptance
+    /// example diffs two of these for determinism).
+    pub fn one_line(&self) -> String {
+        format!(
+            "{:<12} runs {:>5}  completed {:>5} ({:>5.1}%)  disturbed {:>5}  \
+             mean latency {:>8.2}  mean slowdown {:>5.2}x  recovered {:>4}  \
+             spawned {:>4} (+{} msgs)",
+            self.policy.name(),
+            self.runs,
+            self.completed,
+            self.completion_rate() * 100.0,
+            self.disturbed,
+            self.mean_latency,
+            self.mean_slowdown,
+            self.tasks_recovered,
+            self.recovery_replicas,
+            self.recovery_messages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let out = RunOutcome {
+            first_finish: vec![Some(3.0), Some(5.0)],
+            recovered: vec![false, true],
+            num_failures: 1,
+            detections: 1,
+            reschedules: 0,
+            recovery_replicas: 1,
+            recovery_messages: 2,
+            unrecoverable: 0,
+        };
+        assert!(out.completed());
+        assert_eq!(out.latency(), Some(5.0));
+        assert_eq!(out.tasks_recovered(), 1);
+
+        let failed = RunOutcome {
+            first_finish: vec![Some(3.0), None],
+            ..out
+        };
+        assert!(!failed.completed());
+        assert_eq!(failed.latency(), None);
+    }
+}

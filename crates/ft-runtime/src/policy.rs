@@ -1,0 +1,101 @@
+//! Recovery policies and engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// What the runtime does when a processor failure is detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Do nothing: rely on the static replicas the scheduler placed (the
+    /// paper's baseline — an ε-resilient schedule absorbs up to ε
+    /// failures by construction).
+    Absorb,
+    /// Eagerly re-place the lost, not-yet-completed replicas: for each
+    /// task that lost a copy and is neither finished nor safely running,
+    /// spawn one replacement replica on the surviving processor with the
+    /// earliest estimated finish, fed by the earliest surviving copy of
+    /// each input (contention-free emergency transfers, like the replay
+    /// engine's fail-over reroute).
+    ReReplicate,
+    /// Re-run CAFT on the not-yet-started sub-DAG against the surviving
+    /// platform (`ft_algos::caft_on_subdag`), superseding any previous
+    /// repair plan. In-flight work continues under the static schedule's
+    /// orders; the repair plan executes at its own planned times.
+    Reschedule,
+}
+
+impl RecoveryPolicy {
+    /// All policies, in presentation order.
+    pub const ALL: [RecoveryPolicy; 3] = [
+        RecoveryPolicy::Absorb,
+        RecoveryPolicy::ReReplicate,
+        RecoveryPolicy::Reschedule,
+    ];
+
+    /// Short lowercase name for tables and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Absorb => "absorb",
+            RecoveryPolicy::ReReplicate => "re-replicate",
+            RecoveryPolicy::Reschedule => "reschedule",
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of one online execution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Recovery policy applied at each failure detection.
+    pub policy: RecoveryPolicy,
+    /// Time between a crash and every survivor learning about it (a
+    /// heartbeat timeout; uniform across processors for now — see
+    /// ROADMAP for heterogeneous detection latencies).
+    pub detection_latency: f64,
+    /// Seed for the repair runs (tie-breaking inside `caft_on_subdag`).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            policy: RecoveryPolicy::Absorb,
+            detection_latency: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Convenience constructor with the given policy and defaults
+    /// elsewhere.
+    pub fn with_policy(policy: RecoveryPolicy) -> Self {
+        EngineConfig {
+            policy,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(RecoveryPolicy::Absorb.to_string(), "absorb");
+        assert_eq!(RecoveryPolicy::ALL.len(), 3);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = EngineConfig::with_policy(RecoveryPolicy::Reschedule);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

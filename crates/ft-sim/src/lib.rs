@@ -36,6 +36,8 @@ pub mod scenario;
 
 pub use bounds::{latency_bounds, LatencyBounds};
 pub use messages::{message_stats, MessageStats};
-pub use replay::{replay, replay_with, replay_with_policy, ReplayConfig, ReplayOutcome, ReplayPolicy};
+pub use replay::{
+    replay, replay_with, replay_with_policy, ReplayConfig, ReplayOutcome, ReplayPolicy,
+};
 pub use resilience::{check_resilience, ResilienceReport};
 pub use scenario::FaultScenario;

@@ -65,10 +65,7 @@ impl ReplayOutcome {
     pub fn latency(&self) -> Option<f64> {
         let mut latency = 0.0f64;
         for rs in &self.replica_finish {
-            let first = rs
-                .iter()
-                .flatten()
-                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let first = rs.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
             if !first.is_finite() {
                 return None;
             }
@@ -111,7 +108,10 @@ pub struct ReplayConfig {
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: false }
+        ReplayConfig {
+            policy: ReplayPolicy::FirstCopy,
+            reroute: false,
+        }
     }
 }
 
@@ -153,7 +153,15 @@ pub fn replay_with_policy(
     scenario: &FaultScenario,
     policy: ReplayPolicy,
 ) -> ReplayOutcome {
-    replay_with(inst, sched, scenario, ReplayConfig { policy, reroute: false })
+    replay_with(
+        inst,
+        sched,
+        scenario,
+        ReplayConfig {
+            policy,
+            reroute: false,
+        },
+    )
 }
 
 /// Replays the schedule under a full [`ReplayConfig`].
@@ -205,8 +213,7 @@ pub fn replay_with(
             for &e in g.in_edges(t) {
                 let has_live_copy = incoming[ti][c].iter().any(|&mi| {
                     let msg = &messages[mi];
-                    msg.edge == e
-                        && alive[msg.src.task.index()][msg.src.copy as usize]
+                    msg.edge == e && alive[msg.src.task.index()][msg.src.copy as usize]
                 });
                 if has_live_copy {
                     continue;
@@ -219,9 +226,7 @@ pub fn replay_with(
                         .replicas_of(pred)
                         .iter()
                         .filter(|r| alive[pred.index()][r.of.copy as usize])
-                        .min_by(|a, b| {
-                            a.finish.total_cmp(&b.finish).then_with(|| a.of.cmp(&b.of))
-                        })
+                        .min_by(|a, b| a.finish.total_cmp(&b.finish).then_with(|| a.of.cmp(&b.of)))
                         .copied();
                     if let Some(src) = source {
                         let dst = &sched.replicas[ti][c];
@@ -339,7 +344,11 @@ pub fn replay_with(
     for t in 0..v {
         for c in 0..sched.replicas[t].len() {
             let Some(ex) = exec_op[t][c] else { continue };
-            for (gi, &e) in g.in_edges(ft_graph::TaskId::from_index(t)).iter().enumerate() {
+            for (gi, &e) in g
+                .in_edges(ft_graph::TaskId::from_index(t))
+                .iter()
+                .enumerate()
+            {
                 let members: Vec<u32> = incoming[t][c]
                     .iter()
                     .filter(|&&mi| messages[mi].edge == e)
@@ -419,7 +428,12 @@ pub fn replay_with(
                     let m = &messages[mi];
                     format!(
                         "msg e{} {:?}@{}->{:?}@{} key {:.1}",
-                        m.edge.index(), m.src, m.from, m.dst, m.to, m.start
+                        m.edge.index(),
+                        m.src,
+                        m.from,
+                        m.dst,
+                        m.to,
+                        m.start
                     )
                 }
             }
@@ -430,7 +444,9 @@ pub fn replay_with(
                 shown += 1;
                 eprintln!(
                     "stuck op {i} [{}]: hard {} groups {}",
-                    describe(i), op.hard_remaining, op.groups_remaining
+                    describe(i),
+                    op.hard_remaining,
+                    op.groups_remaining
                 );
                 // What does it wait on?
                 for (j, other) in ops.iter().enumerate() {
@@ -552,12 +568,8 @@ mod tests {
         let inst = random_setup(13, 2.0);
         let s = caft(&inst, 1, CommModel::OnePort, 0);
         // Find a processor hosting nothing, if any.
-        let used: std::collections::HashSet<_> = s
-            .replicas
-            .iter()
-            .flatten()
-            .map(|r| r.proc)
-            .collect();
+        let used: std::collections::HashSet<_> =
+            s.replicas.iter().flatten().map(|r| r.proc).collect();
         let idle = inst.platform.procs().find(|p| !used.contains(p));
         if let Some(idle) = idle {
             let out = replay(&inst, &s, &FaultScenario::procs(&[idle]));
@@ -607,9 +619,15 @@ mod tests {
                 &inst,
                 &s,
                 &FaultScenario::procs(&[p]),
-                ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: true },
+                ReplayConfig {
+                    policy: ReplayPolicy::FirstCopy,
+                    reroute: true,
+                },
             );
-            assert!(out.completed(), "fail-over replay must complete (crash {p})");
+            assert!(
+                out.completed(),
+                "fail-over replay must complete (crash {p})"
+            );
         }
     }
 

@@ -70,7 +70,11 @@ pub fn check_resilience(
                 }
             }
         }
-        ResilienceReport { scenarios_tested: tested, exhaustive: true, counterexamples }
+        ResilienceReport {
+            scenarios_tested: tested,
+            exhaustive: true,
+            counterexamples,
+        }
     } else {
         let mut rng = StdRng::seed_from_u64(0xFACADE);
         for _ in 0..max_exhaustive {
@@ -81,7 +85,11 @@ pub fn check_resilience(
                 counterexamples.push(sc.dead().to_vec());
             }
         }
-        ResilienceReport { scenarios_tested: tested, exhaustive: false, counterexamples }
+        ResilienceReport {
+            scenarios_tested: tested,
+            exhaustive: false,
+            counterexamples,
+        }
     }
 }
 
@@ -130,10 +138,17 @@ mod tests {
         while next_combination(&mut c, 4) {
             seen.push(c.clone());
         }
-        assert_eq!(seen, vec![
-            vec![0, 1], vec![0, 2], vec![0, 3],
-            vec![1, 2], vec![1, 3], vec![2, 3],
-        ]);
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3],
+            ]
+        );
     }
 
     #[test]
@@ -174,7 +189,11 @@ mod tests {
         for eps in [1usize, 2] {
             let s = caft(&inst, eps, CommModel::OnePort, 0);
             let rep = check_resilience(&inst, &s, eps, 10_000);
-            assert!(rep.resilient(), "eps {eps}: {:?}", rep.counterexamples.first());
+            assert!(
+                rep.resilient(),
+                "eps {eps}: {:?}",
+                rep.counterexamples.first()
+            );
         }
     }
 

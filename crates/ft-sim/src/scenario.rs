@@ -1,52 +1,122 @@
-//! Fault scenarios: which processors fail.
+//! Fault scenarios: which processors fail, and when.
 //!
 //! The paper's model is fail-silent / fail-stop (§1, §2): a failed
 //! processor computes nothing and sends nothing, and failures are
-//! permanent. We model the adversarial worst case for a static schedule —
-//! processors dead from time 0 — so every replica and every message of a
-//! dead processor is lost (DESIGN.md §2).
+//! permanent. Two views of the same [`FaultScenario`] coexist:
+//!
+//! * the **static adversarial view** used by [`replay`](crate::replay):
+//!   every listed processor is treated as dead from time 0, so every
+//!   replica and every message of a dead processor is lost (DESIGN.md §2).
+//!   This is the worst case for a static schedule and the view under which
+//!   ε-resilience (Proposition 5.2) is checked;
+//! * the **timed view** used by the online engine in `ft-runtime`: each
+//!   listed processor works normally until its [`crash
+//!   time`](FaultScenario::crash_time) and is fail-stop dead afterwards.
+//!
+//! [`FaultScenario::procs`] and [`FaultScenario::random`] build the
+//! historical t = 0 special case; [`FaultScenario::timed`] and
+//! [`FaultScenario::random_timed`] attach strictly later crash times.
 
 use ft_platform::ProcId;
 use rand::seq::index::sample;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// A set of crashed processors.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// A set of crashed processors with their crash times.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultScenario {
     dead: Vec<ProcId>,
+    /// Crash time of `dead[i]`; `0.0` is the adversarial dead-from-start
+    /// case. Non-negative and finite.
+    times: Vec<f64>,
 }
 
 impl FaultScenario {
     /// No failures.
     pub fn none() -> Self {
-        FaultScenario { dead: Vec::new() }
+        FaultScenario {
+            dead: Vec::new(),
+            times: Vec::new(),
+        }
     }
 
-    /// The given processors fail (deduplicated, sorted).
+    /// The given processors fail at time 0 (deduplicated, sorted).
     pub fn procs(procs: &[ProcId]) -> Self {
         let mut dead = procs.to_vec();
         dead.sort_unstable();
         dead.dedup();
-        FaultScenario { dead }
+        let times = vec![0.0; dead.len()];
+        FaultScenario { dead, times }
+    }
+
+    /// The given processors fail at the given times (deduplicated keeping
+    /// the *earliest* time per processor, sorted by processor).
+    ///
+    /// # Panics
+    /// Panics if a crash time is negative or non-finite.
+    pub fn timed(crashes: &[(ProcId, f64)]) -> Self {
+        for &(p, t) in crashes {
+            assert!(t.is_finite() && t >= 0.0, "bad crash time {t} for {p}");
+        }
+        let mut sorted = crashes.to_vec();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        sorted.dedup_by_key(|&mut (p, _)| p);
+        let (dead, times) = sorted.into_iter().unzip();
+        FaultScenario { dead, times }
     }
 
     /// `k` distinct processors chosen uniformly among `m` (the paper's §6
-    /// crash drawing: "processors that fail … are chosen uniformly").
+    /// crash drawing: "processors that fail … are chosen uniformly"),
+    /// failing at time 0.
     pub fn random<R: Rng>(m: usize, k: usize, rng: &mut R) -> Self {
-        assert!(k <= m, "cannot fail {k} of {m} processors");
-        let mut dead: Vec<ProcId> = sample(rng, m, k)
-            .into_iter()
-            .map(ProcId::from_index)
-            .collect();
-        dead.sort_unstable();
-        FaultScenario { dead }
+        Self::random_timed(m, k, |_| 0.0, rng)
     }
 
-    /// True if `p` is dead in this scenario.
+    /// `k` distinct uniformly-chosen processors, with the crash time of
+    /// each drawn from `draw_time` (in choice order).
+    pub fn random_timed<R: Rng>(
+        m: usize,
+        k: usize,
+        mut draw_time: impl FnMut(&mut R) -> f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(k <= m, "cannot fail {k} of {m} processors");
+        let crashes: Vec<(ProcId, f64)> = sample(rng, m, k)
+            .into_iter()
+            .map(|i| (ProcId::from_index(i), draw_time(rng)))
+            .collect();
+        Self::timed(&crashes)
+    }
+
+    /// True if `p` fails in this scenario (at any time) — the static
+    /// adversarial view.
     #[inline]
     pub fn is_dead(&self, p: ProcId) -> bool {
         self.dead.binary_search(&p).is_ok()
+    }
+
+    /// True if `p` has failed by time `t` (timed view; crashes take effect
+    /// strictly after their instant, so work *finishing* at the crash time
+    /// still completes).
+    #[inline]
+    pub fn is_dead_at(&self, p: ProcId, t: f64) -> bool {
+        match self.crash_time(p) {
+            Some(ct) => ct < t,
+            None => false,
+        }
+    }
+
+    /// The crash time of `p`, or `None` if it never fails.
+    #[inline]
+    pub fn crash_time(&self, p: ProcId) -> Option<f64> {
+        self.dead.binary_search(&p).ok().map(|i| self.times[i])
+    }
+
+    /// The crash time of `p` as a deadline: `+∞` for processors that never
+    /// fail (convenient for comparisons in event engines).
+    #[inline]
+    pub fn deadline(&self, p: ProcId) -> f64 {
+        self.crash_time(p).unwrap_or(f64::INFINITY)
     }
 
     /// Number of failed processors.
@@ -58,6 +128,23 @@ impl FaultScenario {
     /// The failed processors, sorted.
     pub fn dead(&self) -> &[ProcId] {
         &self.dead
+    }
+
+    /// `(processor, crash time)` pairs, sorted by processor.
+    pub fn crashes(&self) -> impl Iterator<Item = (ProcId, f64)> + '_ {
+        self.dead.iter().copied().zip(self.times.iter().copied())
+    }
+
+    /// The earliest crash time, or `None` for a failure-free scenario.
+    pub fn earliest_crash(&self) -> Option<f64> {
+        self.times.iter().copied().reduce(f64::min)
+    }
+
+    /// True if every crash happens at time 0 (the historical adversarial
+    /// special case; such scenarios behave identically under static replay
+    /// and the online engine's `Absorb` policy).
+    pub fn is_static(&self) -> bool {
+        self.times.iter().all(|&t| t == 0.0)
     }
 }
 
@@ -72,6 +159,8 @@ mod tests {
         let s = FaultScenario::none();
         assert_eq!(s.num_failures(), 0);
         assert!(!s.is_dead(ProcId(0)));
+        assert_eq!(s.earliest_crash(), None);
+        assert!(s.is_static());
     }
 
     #[test]
@@ -80,6 +169,32 @@ mod tests {
         assert_eq!(s.dead(), &[ProcId(1), ProcId(3)]);
         assert!(s.is_dead(ProcId(3)));
         assert!(!s.is_dead(ProcId(2)));
+        assert_eq!(s.crash_time(ProcId(3)), Some(0.0));
+        assert!(s.is_static());
+    }
+
+    #[test]
+    fn timed_keeps_earliest_per_proc() {
+        let s = FaultScenario::timed(&[(ProcId(2), 7.5), (ProcId(0), 3.0), (ProcId(2), 4.0)]);
+        assert_eq!(s.dead(), &[ProcId(0), ProcId(2)]);
+        assert_eq!(s.crash_time(ProcId(2)), Some(4.0));
+        assert_eq!(s.crash_time(ProcId(1)), None);
+        assert_eq!(s.deadline(ProcId(1)), f64::INFINITY);
+        assert_eq!(s.earliest_crash(), Some(3.0));
+        assert!(!s.is_static());
+    }
+
+    #[test]
+    fn timed_liveness_is_strict_after_the_crash() {
+        let s = FaultScenario::timed(&[(ProcId(1), 5.0)]);
+        assert!(
+            !s.is_dead_at(ProcId(1), 5.0),
+            "work finishing at τ completes"
+        );
+        assert!(s.is_dead_at(ProcId(1), 5.0 + 1e-9));
+        assert!(!s.is_dead_at(ProcId(0), 1e12));
+        // The static view still reports the processor as failed.
+        assert!(s.is_dead(ProcId(1)));
     }
 
     #[test]
@@ -90,7 +205,17 @@ mod tests {
             assert_eq!(s.num_failures(), 3);
             assert!(s.dead().windows(2).all(|w| w[0] < w[1]));
             assert!(s.dead().iter().all(|p| p.index() < 10));
+            assert!(s.is_static());
         }
+    }
+
+    #[test]
+    fn random_timed_draws_times() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = FaultScenario::random_timed(8, 4, |r| r.gen_range(1.0..=9.0), &mut rng);
+        assert_eq!(s.num_failures(), 4);
+        assert!(s.crashes().all(|(_, t)| (1.0..=9.0).contains(&t)));
+        assert!(!s.is_static());
     }
 
     #[test]
@@ -98,5 +223,11 @@ mod tests {
     fn cannot_kill_more_than_platform() {
         let mut rng = StdRng::seed_from_u64(1);
         FaultScenario::random(3, 4, &mut rng);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_crash_times() {
+        FaultScenario::timed(&[(ProcId(0), -1.0)]);
     }
 }

@@ -32,7 +32,10 @@ fn main() {
 
     for (name, sched) in [
         ("CAFT", caft(&inst, eps, CommModel::OnePort, 0)),
-        ("CAFT-hardened", caft_hardened(&inst, eps, CommModel::OnePort, 0)),
+        (
+            "CAFT-hardened",
+            caft_hardened(&inst, eps, CommModel::OnePort, 0),
+        ),
         ("FTSA", ftsa(&inst, eps, CommModel::OnePort, 0)),
     ] {
         assert!(validate_schedule(&inst, &sched).is_empty());
@@ -54,7 +57,10 @@ fn main() {
                 &inst,
                 &sched,
                 &sc,
-                ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: true },
+                ReplayConfig {
+                    policy: ReplayPolicy::FirstCopy,
+                    reroute: true,
+                },
             );
             if out.completed() {
                 failover_ok += 1;
@@ -71,7 +77,10 @@ fn main() {
             }
         }
 
-        println!("{name}: nominal latency {nominal:.2}, {} messages", sched.num_remote_messages());
+        println!(
+            "{name}: nominal latency {nominal:.2}, {} messages",
+            sched.num_remote_messages()
+        );
         println!("  patterns tested        : {patterns}");
         println!(
             "  strict completion      : {strict_ok}/{patterns} ({:.0}%)",

@@ -56,7 +56,6 @@ fn main() {
     }
     println!(
         "\nRoutes on the star pass through the hub: P1 -> P3 goes {:?}",
-        Platform::new(m, Topology::Star, |_, _| 0.05)
-            .route(ProcId(1), ProcId(3))
+        Platform::new(m, Topology::Star, |_, _| 0.05).route(ProcId(1), ProcId(3))
     );
 }

@@ -41,7 +41,10 @@ fn main() {
     // --- Schedule with ε = 1 (every task twice, survives any 1 crash). ---
     let eps = 1;
     let sched = caft(&inst, eps, CommModel::OnePort, 42);
-    assert!(validate_schedule(&inst, &sched).is_empty(), "schedule must audit clean");
+    assert!(
+        validate_schedule(&inst, &sched).is_empty(),
+        "schedule must audit clean"
+    );
 
     println!("CAFT schedule under the bi-directional one-port model (ε = {eps}):\n");
     for t in inst.graph.tasks() {
@@ -72,7 +75,10 @@ fn main() {
             &inst,
             &sched,
             &FaultScenario::procs(&[p]),
-            ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: true },
+            ReplayConfig {
+                policy: ReplayPolicy::FirstCopy,
+                reroute: true,
+            },
         );
         println!(
             "  {p} down -> completed = {}, latency = {:.2}",

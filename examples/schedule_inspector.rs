@@ -57,5 +57,8 @@ fn main() {
 
     // Machine-readable export (e.g. for external visualization).
     let json = serde_json::to_string(&sched).expect("schedules serialize");
-    println!("\nschedule JSON: {} bytes (replicas + messages)", json.len());
+    println!(
+        "\nschedule JSON: {} bytes (replicas + messages)",
+        json.len()
+    );
 }

@@ -1,0 +1,256 @@
+//! Offline stand-in for the parts of `criterion` 0.5 this workspace uses.
+//!
+//! Each benchmark runs one warm-up iteration and then `sample_size` timed
+//! iterations; the mean wall-clock time is printed. No statistics, outlier
+//! analysis or HTML reports. Setting the environment variable
+//! `BENCH_JSON=<path>` additionally dumps all measurements of the process
+//! as a JSON object `{"bench_id": mean_nanoseconds, ...}`, which is how the
+//! committed `BENCH_*.json` baselines are produced.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::Instant;
+
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Benchmark identifier: an optional function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().id, self.sample_size, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API parity; drop would do).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmarked closure; call [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(f());
+        }
+        let total = start.elapsed();
+        self.mean_ns = Some(total.as_secs_f64() * 1e9 / self.sample_size as f64);
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        mean_ns: None,
+    };
+    f(&mut b);
+    let mean = b.mean_ns.unwrap_or(f64::NAN);
+    println!("{id:<60} time: {}", human_time(mean));
+    RESULTS.lock().unwrap().push((id.to_string(), mean));
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Writes collected results as JSON when `BENCH_JSON` is set (called by
+/// [`criterion_main!`] at exit).
+pub fn finalize() {
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  \"{}\": {:.1}{}\n",
+            id.replace('"', "'"),
+            ns,
+            sep
+        ));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path:?}: {e}");
+    }
+}
+
+/// Declares a group of benchmark functions (both upstream syntaxes).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs_and_records() {
+        benches();
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|(id, _)| id == "shim/10"));
+        assert!(results.iter().all(|(_, ns)| ns.is_finite()));
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for the parts of `rayon` 1.x this workspace uses:
+//! `into_par_iter()` / `par_iter()` on ranges, vectors and slices, with
+//! `map`, `collect`, `sum` and `for_each`.
+//!
+//! Execution model: the items are materialized, split into one contiguous
+//! chunk per available core, and processed on scoped `std::thread`s.
+//! Output order matches input order, so `collect()` is deterministic.
+
+/// Work-splitting threshold: below this many items, run sequentially.
+const SEQ_CUTOFF: usize = 2;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < SEQ_CUTOFF {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk = n.div_ceil(threads);
+    let mut slots: Vec<Option<Vec<R>>> = Vec::new();
+    slots.resize_with(threads, || None);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    {
+        let mut it = items.into_iter();
+        loop {
+            let c: Vec<T> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (slot, c) in slots.iter_mut().zip(chunks) {
+            handles.push(scope.spawn(move || {
+                *slot = Some(c.into_iter().map(f).collect());
+            }));
+        }
+        for h in handles {
+            h.join().expect("rayon shim worker panicked");
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for s in slots.into_iter().flatten() {
+        out.extend(s);
+    }
+    out
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator (lazy: runs at the consuming call).
+pub struct Map<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Consuming operations shared by all parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Runs the pipeline, yielding the results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Applies `f` to every element in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self::Item, MapFn<Self, F>>
+    where
+        Self: Sized,
+    {
+        Map {
+            items: self.run(),
+            f: MapFn(f, std::marker::PhantomData),
+        }
+    }
+
+    /// Collects into a container (only `Vec` supported).
+    fn collect<C: FromParallel<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+
+    /// Sums the elements.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Calls `f` on every element in parallel, discarding results.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F)
+    where
+        Self::Item: Send,
+    {
+        let _ = parallel_map(self.run(), f);
+    }
+}
+
+/// Function wrapper tying the mapped closure to its source iterator type.
+pub struct MapFn<I, F>(F, std::marker::PhantomData<fn() -> I>);
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send, R: Send, I, F: Fn(T) -> R + Sync> ParallelIterator for Map<T, MapFn<I, F>> {
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        let f = self.f.0;
+        parallel_map(self.items, f)
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Builds the iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing parallel iteration (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send;
+    /// Builds the iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Target containers for [`ParallelIterator::collect`].
+pub trait FromParallel<T> {
+    /// Builds the container from in-order results.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// One-stop imports mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<u64> = (0u64..1000).map(|i| i * i).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn sum_works() {
+        let s: u64 = (0u64..100).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+}

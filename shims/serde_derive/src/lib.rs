@@ -1,0 +1,400 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Hand-rolled on top of `proc_macro` alone (no `syn`/`quote` available
+//! offline). Supports exactly the item shapes this workspace derives on:
+//!
+//! * structs with named fields          → JSON object;
+//! * tuple structs with one field       → the inner value (newtype);
+//! * tuple structs with several fields  → JSON array;
+//! * enums with unit variants           → `"Variant"`;
+//! * enums with tuple variants          → `{"Variant": value-or-array}`.
+//!
+//! Generics, struct enum variants and `#[serde(...)]` attributes are not
+//! supported and abort compilation with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip outer attributes and visibility.
+    let kind = loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => panic!("serde shim derive: unexpected token {other}"),
+            None => panic!("serde shim derive: ran out of tokens"),
+        }
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic items are not supported ({name})");
+        }
+    }
+    let shape = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Named(parse_named_fields(g.stream()))
+            } else {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_top_level_fields(g.stream()))
+        }
+        other => panic!("serde shim derive: unsupported item body for {name}: {other:?}"),
+    };
+    Item { name, shape }
+}
+
+/// Field names of a named-field body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match toks.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("serde shim derive: expected ':', got {other:?}"),
+                }
+                i = skip_type(&toks, i);
+            }
+            other => panic!("serde shim derive: unexpected field token {other}"),
+        }
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the `,` that ends the field (or at
+/// end of stream). Tracks `<`/`>` nesting; bracketed constructs are single
+/// `Group` tokens and need no tracking.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                return i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Number of fields in a tuple body (`(pub u32, Vec<(u32, u32)>)`).
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// `(variant name, shape)` pairs.
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantShape)> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                i += 1;
+                let shape = match toks.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantShape::Tuple(count_top_level_fields(g.stream()).max(1))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantShape::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => VariantShape::Unit,
+                };
+                variants.push((vname, shape));
+                match toks.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    None => {}
+                    other => panic!("serde shim derive: expected ',' after variant, got {other:?}"),
+                }
+            }
+            other => panic!("serde shim derive: unexpected variant token {other}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(ref __f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(__f0))])"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("ref __f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Seq(::std::vec![{}]))])",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("ref {f}")).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Map(::std::vec![{}]))])",
+                            binds.join(", "),
+                            pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(__v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})), \
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"expected {n}-element array for {name}\"))) }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| !matches!(s, VariantShape::Unit))
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => unreachable!(),
+                    VariantShape::Tuple(1) => format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?))"
+                    ),
+                    VariantShape::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => match __inner {{ \
+                             ::serde::Value::Seq(__items) if __items.len() == {arity} \
+                             => ::std::result::Result::Ok({name}::{v}({})), \
+                             _ => ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"expected {arity}-element array for {name}::{v}\"\
+                             ))) }}",
+                            items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::field(__inner, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }})",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {unit} \
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown {name} variant {{__other}}\"))) }}, \
+                 ::serde::Value::Map(__pairs) if __pairs.len() == 1 => {{ \
+                 let (__tag, __inner) = &__pairs[0]; \
+                 match __tag.as_str() {{ \
+                 {data} \
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown {name} variant {{__other}}\"))) }} }}, \
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"expected string or single-key object for {name}\"))) }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(", "))
+                },
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -9,9 +9,13 @@
 //! * [`platform`] — heterogeneous processors, links, topologies;
 //! * [`model`] — macro-dataflow and bi-directional one-port communication
 //!   models, schedules, validation;
-//! * [`algos`] — HEFT, FTSA, FTBAR and CAFT;
+//! * [`algos`] — HEFT, FTSA, FTBAR and CAFT (plus incremental sub-DAG
+//!   rescheduling for online recovery);
 //! * [`sim`] — crash scenarios, schedule replay, latency bounds,
 //!   resilience verification;
+//! * [`runtime`] — the online failure-injection engine: stochastically
+//!   timed crashes, detection latency, recovery policies, Monte-Carlo
+//!   batches;
 //! * [`experiments`] — the harness regenerating every figure of the paper.
 //!
 //! ## Quickstart
@@ -41,13 +45,14 @@ pub use ft_experiments as experiments;
 pub use ft_graph as graph;
 pub use ft_model as model;
 pub use ft_platform as platform;
+pub use ft_runtime as runtime;
 pub use ft_sim as sim;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use ft_algos::{
-        caft, caft_hardened, caft_windowed, ftbar, ftsa, heft, CaftOptions, FtbarOptions,
-        FtsaOptions, WindowedOptions,
+        caft, caft_hardened, caft_on_subdag, caft_windowed, ftbar, ftsa, heft, CaftOptions,
+        FtbarOptions, FtsaOptions, SubDagOutcome, SubDagSpec, WindowedOptions,
     };
     pub use ft_graph::gen::{
         chain, cholesky, fft, fork, fork_join, gaussian_elimination, join, random_layered,
@@ -58,6 +63,10 @@ pub mod prelude {
     pub use ft_platform::{
         random_instance, random_platform, ExecMatrix, Instance, Platform, PlatformParams, ProcId,
         Topology,
+    };
+    pub use ft_runtime::{
+        draw_scenario, execute, simulate_many, BatchSummary, EngineConfig, LifetimeDist,
+        MonteCarloConfig, RecoveryPolicy, RunOutcome,
     };
     pub use ft_sim::{replay, FaultScenario, ReplayOutcome, ReplayPolicy};
 }

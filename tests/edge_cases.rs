@@ -119,10 +119,7 @@ fn high_fanin_join_with_replication() {
     // still needs at least one copy per predecessor.
     let sink = TaskId(9);
     for r in s.replicas_of(sink) {
-        let mut edges: Vec<_> = s
-            .messages_into(r.of)
-            .map(|m| m.edge)
-            .collect();
+        let mut edges: Vec<_> = s.messages_into(r.of).map(|m| m.edge).collect();
         edges.sort();
         edges.dedup();
         assert_eq!(edges.len(), 9, "replica {:?} misses an input", r.of);

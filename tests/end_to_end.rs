@@ -102,8 +102,14 @@ fn latencies_rank_sensibly_on_fine_grain_workloads() {
             wins_ftbar += 1;
         }
     }
-    assert!(wins_ftsa >= n * 3 / 4, "CAFT only beat FTSA {wins_ftsa}/{n} times");
-    assert!(wins_ftbar >= n * 3 / 4, "CAFT only beat FTBAR {wins_ftbar}/{n} times");
+    assert!(
+        wins_ftsa >= n * 3 / 4,
+        "CAFT only beat FTSA {wins_ftsa}/{n} times"
+    );
+    assert!(
+        wins_ftbar >= n * 3 / 4,
+        "CAFT only beat FTBAR {wins_ftbar}/{n} times"
+    );
 }
 
 #[test]
@@ -129,7 +135,10 @@ fn failover_replay_completes_under_any_eps_crashes() {
             &inst,
             &sched,
             &sc,
-            ReplayConfig { policy: ReplayPolicy::FirstCopy, reroute: true },
+            ReplayConfig {
+                policy: ReplayPolicy::FirstCopy,
+                reroute: true,
+            },
         );
         assert!(out.completed(), "fail-over must complete under {sc:?}");
     }

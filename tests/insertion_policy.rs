@@ -19,13 +19,21 @@ fn insertion_schedules_audit_clean() {
         for eps in [0usize, 1, 2] {
             let s = ftsa_with(
                 &inst,
-                FtsaOptions { eps, insertion: true, ..FtsaOptions::default() },
+                FtsaOptions {
+                    eps,
+                    insertion: true,
+                    ..FtsaOptions::default()
+                },
             );
             let errs = validate_schedule(&inst, &s);
             assert!(errs.is_empty(), "ftsa seed {seed} eps {eps}: {errs:?}");
             let c = caft_with(
                 &inst,
-                CaftOptions { eps, insertion: true, ..CaftOptions::default() },
+                CaftOptions {
+                    eps,
+                    insertion: true,
+                    ..CaftOptions::default()
+                },
             );
             let errs = validate_schedule(&inst, &c);
             assert!(errs.is_empty(), "caft seed {seed} eps {eps}: {errs:?}");
@@ -46,12 +54,21 @@ fn insertion_never_hurts_much_and_often_helps() {
         let inst = workload(100 + seed, 60, 0.5);
         let app = caft_with(
             &inst,
-            CaftOptions { eps: 1, seed, ..CaftOptions::default() },
+            CaftOptions {
+                eps: 1,
+                seed,
+                ..CaftOptions::default()
+            },
         )
         .latency();
         let ins = caft_with(
             &inst,
-            CaftOptions { eps: 1, seed, insertion: true, ..CaftOptions::default() },
+            CaftOptions {
+                eps: 1,
+                seed,
+                insertion: true,
+                ..CaftOptions::default()
+            },
         )
         .latency();
         total_app += app;
@@ -66,7 +83,10 @@ fn insertion_never_hurts_much_and_often_helps() {
         total_ins / n as f64,
         total_app / n as f64
     );
-    assert!(wins >= (n / 2) as usize, "insertion should win at least half: {wins}/{n}");
+    assert!(
+        wins >= (n / 2) as usize,
+        "insertion should win at least half: {wins}/{n}"
+    );
 }
 
 #[test]
@@ -77,7 +97,11 @@ fn insertion_replay_never_exceeds_static_latency() {
     let inst = workload(7, 50, 0.8);
     let s = ftsa_with(
         &inst,
-        FtsaOptions { eps: 2, insertion: true, ..FtsaOptions::default() },
+        FtsaOptions {
+            eps: 2,
+            insertion: true,
+            ..FtsaOptions::default()
+        },
     );
     let out = replay(&inst, &s, &FaultScenario::none());
     assert!(out.completed());
@@ -97,7 +121,7 @@ fn insertion_fills_a_real_gap() {
     // Two processors: P0 fast for everything; force producer and consumer
     // apart via exec costs so the transfer (10 time units) idles P1.
     let exec = ExecMatrix::from_fn(3, 2, |t, p| match (t.index(), p.index()) {
-        (0, 0) => 1.0,   // producer fast on P0
+        (0, 0) => 1.0, // producer fast on P0
         (0, 1) => 100.0,
         (1, 0) => 100.0, // consumer must run on P1
         (1, 1) => 1.0,
@@ -107,7 +131,11 @@ fn insertion_fills_a_real_gap() {
     let inst = Instance::new(g, Platform::uniform_clique(2, 1.0), exec);
     let s = ftsa_with(
         &inst,
-        FtsaOptions { eps: 0, insertion: true, ..FtsaOptions::default() },
+        FtsaOptions {
+            eps: 0,
+            insertion: true,
+            ..FtsaOptions::default()
+        },
     );
     assert!(validate_schedule(&inst, &s).is_empty());
     // The filler must not wait behind the consumer's late start.

@@ -72,7 +72,8 @@ fn overheads_grow_with_supported_failures() {
     // same granularities.
     let r1 = run_figure(&quick(figures::fig1()));
     let r2 = run_figure(&quick(figures::fig2()));
-    let mean = |r: &ft_experiments::runner::FigureResult, f: fn(&ft_experiments::runner::PointResult) -> f64| {
+    let mean = |r: &ft_experiments::runner::FigureResult,
+                f: fn(&ft_experiments::runner::PointResult) -> f64| {
         r.points.iter().map(f).sum::<f64>() / r.points.len() as f64
     };
     assert!(

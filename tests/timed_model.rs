@@ -1,0 +1,180 @@
+//! Property tests pinning the timed fault model to the static stack.
+//!
+//! Two consistency guarantees tie `ft-runtime`'s online engine to
+//! `ft-sim`'s replay semantics:
+//!
+//! * crash times at or beyond the schedule's makespan change nothing: the
+//!   online run reproduces the no-failure static replay exactly;
+//! * crash time 0 under the `Absorb` policy is the adversarial special
+//!   case: the online run reproduces the strict dead-from-start replay of
+//!   `FaultScenario::procs` exactly.
+
+use ftsched::prelude::*;
+use ftsched::runtime::report;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_workload() -> impl Strategy<Value = (u64, usize, usize, usize, f64)> {
+    // (seed, tasks, procs, eps, granularity)
+    (
+        any::<u64>(),
+        10usize..40,
+        4usize..10,
+        0usize..3,
+        prop_oneof![Just(0.4f64), Just(1.0), Just(3.0)],
+    )
+}
+
+fn make_instance(seed: u64, tasks: usize, procs: usize, gran: f64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = random_layered(&RandomDagParams::default().with_tasks(tasks), &mut rng);
+    random_instance(
+        graph,
+        &PlatformParams::default().with_procs(procs),
+        gran,
+        &mut rng,
+    )
+}
+
+/// Per-task equality between an online outcome and a replay outcome.
+fn same_results(out: &RunOutcome, rep: &ReplayOutcome) -> Result<(), String> {
+    if out.completed() != rep.completed() {
+        return Err(format!(
+            "completion mismatch: online {} vs replay {}",
+            out.completed(),
+            rep.completed()
+        ));
+    }
+    for (t, f) in out.first_finish.iter().enumerate() {
+        let rf = rep.replica_finish[t]
+            .iter()
+            .flatten()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        match f {
+            Some(f) if (f - rf).abs() > 1e-9 => {
+                return Err(format!("task {t}: online {f} vs replay {rf}"));
+            }
+            None if rf.is_finite() => {
+                return Err(format!("task {t}: online missing, replay {rf}"));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Crash times ≥ the full makespan reproduce the no-failure replay
+    /// exactly, under every scheduler and recovery policy.
+    #[test]
+    fn crashes_beyond_makespan_change_nothing(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        offset in 0.0f64..100.0,
+    ) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        for sched in [
+            caft(&inst, eps, CommModel::OnePort, seed),
+            ftsa(&inst, eps, CommModel::OnePort, seed),
+        ] {
+            let after = sched.full_makespan() + offset;
+            let crashes: Vec<_> = inst.platform.procs().map(|p| (p, after)).collect();
+            let scenario = FaultScenario::timed(&crashes);
+            let rep = replay(&inst, &sched, &FaultScenario::none());
+            for policy in RecoveryPolicy::ALL {
+                let out = execute(&inst, &sched, &scenario,
+                                  &EngineConfig::with_policy(policy));
+                if let Err(e) = same_results(&out, &rep) {
+                    prop_assert!(false, "{policy}: {e}");
+                }
+                prop_assert_eq!(out.recovery_replicas, 0);
+            }
+        }
+    }
+
+    /// Crash time 0 under `Absorb` reproduces the adversarial
+    /// dead-from-start strict replay exactly.
+    #[test]
+    fn crash_at_zero_matches_adversarial_replay(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        k in 1usize..3,
+    ) {
+        let eps = eps.min(procs - 1);
+        let k = k.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let scenario = FaultScenario::random(procs, k, &mut rng);
+        prop_assert!(scenario.is_static());
+        for sched in [
+            caft(&inst, eps, CommModel::OnePort, seed),
+            ftsa(&inst, eps, CommModel::OnePort, seed),
+        ] {
+            let out = execute(&inst, &sched, &scenario,
+                              &EngineConfig::with_policy(RecoveryPolicy::Absorb));
+            let rep = replay(&inst, &sched, &scenario);
+            if let Err(e) = same_results(&out, &rep) {
+                prop_assert!(false, "{e}");
+            }
+        }
+    }
+
+    /// Online latency of a completed undisturbed-or-disturbed run never
+    /// beats the physics: it is at least the biggest single-task cost and,
+    /// when no crash happens before the makespan, exactly the nominal.
+    #[test]
+    fn timed_draws_respect_nominal((seed, tasks, procs, eps, gran) in arb_workload()) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let scenario = ftsched::runtime::draw_scenario(
+            procs,
+            &LifetimeDist::Weibull { shape: 1.5, scale: sched.latency() * 3.0 },
+            &mut rng,
+        );
+        let out = execute(&inst, &sched, &scenario,
+                          &EngineConfig::with_policy(RecoveryPolicy::Absorb));
+        let undisturbed = scenario
+            .earliest_crash()
+            .is_none_or(|t| t >= sched.full_makespan());
+        if undisturbed {
+            prop_assert!(out.completed());
+            let lat = out.latency().unwrap();
+            prop_assert!((lat - sched.latency()).abs() < 1e-9);
+        }
+        if let Some(lat) = out.latency() {
+            let rpt = report(&inst, &sched, &out);
+            prop_assert!(rpt.latency == lat);
+            prop_assert!(lat > 0.0 && lat.is_finite());
+        }
+    }
+
+    /// Recovery policies never complete fewer tasks than Absorb on the
+    /// same timed scenario (they only ever add replicas).
+    #[test]
+    fn recovery_dominates_absorb((seed, tasks, procs, eps, gran) in arb_workload()) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let scenario = ftsched::runtime::draw_scenario(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() * 2.0 },
+            &mut rng,
+        );
+        let count = |policy| {
+            let cfg = EngineConfig { policy, detection_latency: 0.5, seed: 1 };
+            execute(&inst, &sched, &scenario, &cfg)
+                .first_finish
+                .iter()
+                .flatten()
+                .count()
+        };
+        let absorb = count(RecoveryPolicy::Absorb);
+        prop_assert!(count(RecoveryPolicy::ReReplicate) >= absorb);
+        prop_assert!(count(RecoveryPolicy::Reschedule) >= absorb);
+    }
+}
