@@ -7,6 +7,9 @@
 //! paper-figures messages            # Prop. 5.1 message counts
 //! paper-figures resilience          # Prop. 5.2 failure injection
 //! paper-figures degradation         # online runtime: completion vs MTTF
+//! paper-figures degradation --policy checkpoint   # one policy only
+//! paper-figures degradation --ck-interval 0.25 --ck-interval 1 \
+//!               --ck-overhead 0.005 # checkpoint sweep knobs (× mean task cost)
 //! paper-figures fig1 --quick        # thinned sweep, 10 graphs/point
 //! paper-figures fig1 --graphs 20    # override graphs per point
 //! paper-figures all --json out.json # machine-readable dump
@@ -41,6 +44,45 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let only_policy: Option<String> = args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(p) = &only_policy {
+        let known = ["absorb", "re-replicate", "reschedule", "checkpoint"];
+        if !known.contains(&p.as_str()) {
+            eprintln!(
+                "unknown policy '{p}' — expected one of {}",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let parse_positive = |flag: &str, s: Option<&String>, allow_zero: bool| -> f64 {
+        let raw = s.unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        });
+        match raw.parse::<f64>() {
+            Ok(v) if v.is_finite() && (v > 0.0 || (allow_zero && v == 0.0)) => v,
+            _ => {
+                let bound = if allow_zero { "≥ 0" } else { "> 0" };
+                eprintln!("bad {flag} value '{raw}' — expected a finite number {bound}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let ck_intervals: Vec<f64> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--ck-interval")
+        .map(|(i, _)| parse_positive("--ck-interval", args.get(i + 1), false))
+        .collect();
+    let ck_overhead: Option<f64> = args
+        .iter()
+        .position(|a| a == "--ck-overhead")
+        .map(|i| parse_positive("--ck-overhead", args.get(i + 1), true));
 
     let tune = |mut cfg: ft_experiments::FigureConfig| {
         if quick {
@@ -60,10 +102,17 @@ fn main() {
     };
     let msg_graphs = if quick { 5 } else { 20 };
     let res_graphs = if quick { 2 } else { 10 };
-    let deg_cfg = DegradationConfig {
+    let mut deg_cfg = DegradationConfig {
         runs: if quick { 60 } else { 400 },
+        only_policy,
         ..DegradationConfig::default()
     };
+    if !ck_intervals.is_empty() {
+        deg_cfg.checkpoint_intervals = ck_intervals;
+    }
+    if let Some(ov) = ck_overhead {
+        deg_cfg.checkpoint_overhead = ov;
+    }
 
     match what.as_str() {
         "all" => {

@@ -9,6 +9,14 @@
 //! reports, per [`RecoveryPolicy`], the completion rate and the latency
 //! degradation over a Monte-Carlo batch — the online analogue of the
 //! figure panels (b)/(c).
+//!
+//! Since the checkpoint/restart PR the sweep is **four-way**: next to
+//! `Absorb` / `ReReplicate` / `Reschedule` it runs one `Checkpoint`
+//! policy per configured interval (intervals and the per-checkpoint
+//! overhead are expressed as multiples of the instance's mean task cost,
+//! so they track the workload's scale). `only_policy` restricts the
+//! sweep to a single policy name — the `paper-figures degradation
+//! --policy checkpoint` path.
 
 use ft_algos::{caft, CommModel};
 use ft_graph::gen::{random_layered, RandomDagParams};
@@ -34,6 +42,15 @@ pub struct DegradationConfig {
     /// MTTF sweep, as multiples of the schedule's nominal latency
     /// (descending = increasing failure pressure).
     pub mttf_factors: Vec<f64>,
+    /// Checkpoint intervals to sweep, as multiples of the instance's
+    /// mean task cost (one `Checkpoint` policy per entry).
+    pub checkpoint_intervals: Vec<f64>,
+    /// Per-checkpoint overhead, as a multiple of the mean task cost.
+    pub checkpoint_overhead: f64,
+    /// Restrict the sweep to the policy with this
+    /// [`name`](RecoveryPolicy::name) (e.g. `"checkpoint"`); `None` runs
+    /// the full four-way comparison.
+    pub only_policy: Option<String>,
     /// Monte-Carlo runs per (factor, policy) cell.
     pub runs: usize,
     /// Detection latency of the runtime.
@@ -50,10 +67,32 @@ impl Default for DegradationConfig {
             eps: 1,
             granularity: 1.0,
             mttf_factors: vec![16.0, 8.0, 4.0, 2.0, 1.0],
+            checkpoint_intervals: vec![0.25, 1.0],
+            checkpoint_overhead: 0.005,
+            only_policy: None,
             runs: 400,
             detection_latency: 1.0,
             seed: 0x5EED,
         }
+    }
+}
+
+impl DegradationConfig {
+    /// The policy roster of one sweep cell, in presentation order:
+    /// the three parameterless baselines, then one `Checkpoint` per
+    /// configured interval — filtered down when `only_policy` is set.
+    pub fn policies(&self, mean_task_cost: f64) -> Vec<RecoveryPolicy> {
+        let mut all: Vec<RecoveryPolicy> = RecoveryPolicy::ALL.to_vec();
+        for &iv in &self.checkpoint_intervals {
+            all.push(RecoveryPolicy::checkpoint(
+                iv * mean_task_cost,
+                self.checkpoint_overhead * mean_task_cost,
+            ));
+        }
+        if let Some(name) = &self.only_policy {
+            all.retain(|p| p.name() == name.as_str());
+        }
+        all
     }
 }
 
@@ -66,8 +105,10 @@ pub struct DegradationRow {
     pub summary: BatchSummary,
 }
 
-/// Runs the sweep: one CAFT schedule, `|mttf_factors| × 3` Monte-Carlo
-/// batches. Deterministic in the configuration.
+/// Runs the sweep: one CAFT schedule, `|mttf_factors| × |policies|`
+/// Monte-Carlo batches. Deterministic in the configuration; every policy
+/// sees the **same** fault draws at a given rate (batch seeds depend only
+/// on the rate), so cells in one rate group are run-for-run comparable.
 pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let graph = random_layered(&RandomDagParams::default().with_tasks(cfg.tasks), &mut rng);
@@ -79,9 +120,10 @@ pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
     );
     let sched = caft(&inst, cfg.eps, CommModel::OnePort, cfg.seed);
     let nominal = sched.latency();
+    let policies = cfg.policies(inst.mean_task_cost());
     let mut rows = Vec::new();
     for &factor in &cfg.mttf_factors {
-        for policy in RecoveryPolicy::ALL {
+        for &policy in &policies {
             let mc = MonteCarloConfig {
                 runs: cfg.runs,
                 lifetime: LifetimeDist::Exponential {
@@ -111,26 +153,29 @@ pub fn render_degradation(rows: &[DegradationRow]) -> String {
          nominal latency)\n",
     );
     out.push_str(
-        "  MTTF   policy        completion   mean slowdown   recovered/run   \
-         replicas/run   msgs/run\n",
+        "  MTTF   policy                completion   mean slowdown   recovered/run   \
+         replicas/run   msgs/run   ck-paid/run   saved/run\n",
     );
     let mut last = f64::NAN;
     for row in rows {
         let s = &row.summary;
         if row.mttf_factor != last {
-            out.push_str(&format!("  {:-<90}\n", ""));
+            out.push_str(&format!("  {:-<126}\n", ""));
             last = row.mttf_factor;
         }
         let runs = s.runs.max(1) as f64;
         out.push_str(&format!(
-            "  {:>5.1}  {:<12}  {:>8.1}%   {:>12.3}   {:>13.2}   {:>12.2}   {:>8.2}\n",
+            "  {:>5.1}  {:<20}  {:>8.1}%   {:>12.3}   {:>13.2}   {:>12.2}   {:>8.2}   \
+             {:>11.2}   {:>9.2}\n",
             row.mttf_factor,
-            s.policy.name(),
+            s.policy.label(),
             s.completion_rate() * 100.0,
             s.mean_slowdown,
             s.tasks_recovered as f64 / runs,
             s.recovery_replicas as f64 / runs,
             s.recovery_messages as f64 / runs,
+            s.mean_checkpoint_overhead(),
+            s.mean_work_saved(),
         ));
     }
     out
@@ -140,39 +185,73 @@ pub fn render_degradation(rows: &[DegradationRow]) -> String {
 mod tests {
     use super::*;
 
+    const QUICK_FACTORS: [f64; 3] = [8.0, 2.0, 1.0];
+
     fn quick() -> DegradationConfig {
         DegradationConfig {
             tasks: 25,
             procs: 6,
             runs: 40,
-            mttf_factors: vec![8.0, 2.0],
+            mttf_factors: QUICK_FACTORS.to_vec(),
             ..Default::default()
         }
     }
 
+    fn by_policy<'a>(
+        rows: &'a [DegradationRow],
+        factor: f64,
+        pred: impl Fn(&RecoveryPolicy) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a DegradationRow> {
+        rows.iter()
+            .filter(move |r| r.mttf_factor == factor && pred(&r.summary.policy))
+    }
+
     #[test]
     fn sweep_shape_and_determinism() {
-        let rows = run_degradation(&quick());
-        assert_eq!(rows.len(), 2 * 3);
-        let again = run_degradation(&quick());
+        let cfg = quick();
+        let rows = run_degradation(&cfg);
+        // 3 baselines + one checkpoint policy per interval, per rate.
+        assert_eq!(rows.len(), 3 * (3 + cfg.checkpoint_intervals.len()));
+        let again = run_degradation(&cfg);
         assert_eq!(
             serde_json::to_string(&rows).unwrap(),
             serde_json::to_string(&again).unwrap()
         );
         let table = render_degradation(&rows);
         assert!(table.contains("re-replicate"));
+        assert!(table.contains("ckpt τ="));
         assert!(table.contains("8.0"));
+    }
+
+    #[test]
+    fn only_policy_restricts_the_roster() {
+        let cfg = DegradationConfig {
+            only_policy: Some("checkpoint".into()),
+            ..quick()
+        };
+        let rows = run_degradation(&cfg);
+        assert_eq!(rows.len(), 3 * cfg.checkpoint_intervals.len());
+        assert!(rows
+            .iter()
+            .all(|r| matches!(r.summary.policy, RecoveryPolicy::Checkpoint { .. })));
     }
 
     #[test]
     fn recovery_never_completes_less() {
         let rows = run_degradation(&quick());
-        for chunk in rows.chunks(3) {
-            let [absorb, rerep, resched] = chunk else {
-                panic!("3 policies")
-            };
-            assert!(rerep.summary.completed >= absorb.summary.completed);
-            assert!(resched.summary.completed >= absorb.summary.completed);
+        for &factor in &QUICK_FACTORS {
+            let absorb = by_policy(&rows, factor, |p| *p == RecoveryPolicy::Absorb)
+                .next()
+                .unwrap();
+            for r in by_policy(&rows, factor, |p| *p != RecoveryPolicy::Absorb) {
+                assert!(
+                    r.summary.completed >= absorb.summary.completed,
+                    "{} completed {} < absorb {} at MTTF {factor}",
+                    r.summary.policy.label(),
+                    r.summary.completed,
+                    absorb.summary.completed
+                );
+            }
         }
     }
 
@@ -185,5 +264,34 @@ mod tests {
             .collect();
         assert!(absorb[0].mttf_factor > absorb[1].mttf_factor);
         assert!(absorb[0].summary.completed >= absorb[1].summary.completed);
+    }
+
+    #[test]
+    fn checkpoint_beats_re_replicate_somewhere() {
+        // The acceptance cell: at some (failure rate, interval), resuming
+        // from checkpoints yields a better expected makespan than
+        // recomputing from scratch — completing at least as many runs
+        // with a strictly lower mean latency.
+        let rows = run_degradation(&quick());
+        let mut found = false;
+        for &factor in &QUICK_FACTORS {
+            let rerep = by_policy(&rows, factor, |p| *p == RecoveryPolicy::ReReplicate)
+                .next()
+                .unwrap();
+            for ck in by_policy(&rows, factor, |p| {
+                matches!(p, RecoveryPolicy::Checkpoint { .. })
+            }) {
+                if ck.summary.completed >= rerep.summary.completed
+                    && ck.summary.mean_latency < rerep.summary.mean_latency
+                {
+                    found = true;
+                }
+            }
+        }
+        assert!(
+            found,
+            "no (rate, interval) cell where checkpoint beats re-replicate:\n{}",
+            render_degradation(&rows)
+        );
     }
 }

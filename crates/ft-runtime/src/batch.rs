@@ -1,4 +1,40 @@
 //! Monte-Carlo driver: thousands of timed-failure runs in parallel.
+//!
+//! [`simulate_many`] draws one timed [`FaultScenario`] per run from a
+//! [`LifetimeDist`], executes each under the configured recovery policy
+//! (rayon-parallel), and folds the outcomes into a deterministic
+//! [`BatchSummary`]: run `i`'s generator is seeded from `(seed, i)`, and
+//! aggregation happens in run order, so the summary is independent of
+//! thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_runtime::{simulate_many, EngineConfig, LifetimeDist, MonteCarloConfig, RecoveryPolicy};
+//! use ft_algos::{caft, CommModel};
+//! use ft_graph::gen::{random_layered, RandomDagParams};
+//! use ft_platform::{random_instance, PlatformParams};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let g = random_layered(&RandomDagParams::default().with_tasks(25), &mut rng);
+//! let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+//! let sched = caft(&inst, 1, CommModel::OnePort, 5);
+//!
+//! let cfg = MonteCarloConfig {
+//!     runs: 100,
+//!     lifetime: LifetimeDist::Exponential { mean: 4.0 * sched.latency() },
+//!     engine: EngineConfig::with_policy(RecoveryPolicy::checkpoint(2.0, 0.05)),
+//!     seed: 9,
+//! };
+//! let summary = simulate_many(&inst, &sched, &cfg);
+//! assert_eq!(summary.runs, 100);
+//! // Same configuration ⇒ byte-identical summary.
+//! assert_eq!(
+//!     summary.one_line(),
+//!     simulate_many(&inst, &sched, &cfg).one_line(),
+//! );
+//! ```
 
 use crate::engine::execute;
 use crate::lifetime::{draw_scenario, LifetimeDist};
@@ -73,11 +109,15 @@ fn summarize(
     let mut tasks_recovered = 0usize;
     let mut recovery_replicas = 0usize;
     let mut recovery_messages = 0usize;
+    let mut checkpoint_overhead = 0.0f64;
+    let mut work_saved = 0.0f64;
     for (earliest_crash, out) in outcomes {
         failures += out.num_failures;
         tasks_recovered += out.tasks_recovered();
         recovery_replicas += out.recovery_replicas;
         recovery_messages += out.recovery_messages;
+        checkpoint_overhead += out.checkpoint_overhead;
+        work_saved += out.work_saved;
         if earliest_crash.is_some_and(|t| t < nominal) {
             disturbed += 1;
         }
@@ -101,6 +141,8 @@ fn summarize(
         tasks_recovered,
         recovery_replicas,
         recovery_messages,
+        checkpoint_overhead,
+        work_saved,
     }
 }
 
@@ -155,6 +197,65 @@ mod tests {
         assert!((s.mean_latency - sched.latency()).abs() < 1e-9);
         assert!((s.mean_slowdown - 1.0).abs() < 1e-12);
         assert_eq!(s.recovery_replicas, 0);
+    }
+
+    #[test]
+    fn checkpoint_resume_batches_are_deterministic() {
+        // Resume decisions depend on recorded partial progress — pin that
+        // the whole (progress tracking + resume) pipeline is a pure
+        // function of the batch seed, and that it actually resumes.
+        let (inst, sched) = setup();
+        let interval = inst.mean_task_cost() * 0.25;
+        let cfg = MonteCarloConfig {
+            runs: 128,
+            lifetime: LifetimeDist::Exponential {
+                mean: sched.latency(),
+            },
+            engine: EngineConfig {
+                policy: RecoveryPolicy::checkpoint(interval, 0.02),
+                detection_latency: 0.5,
+                seed: 3,
+            },
+            seed: 23,
+        };
+        let a = simulate_many(&inst, &sched, &cfg);
+        let b = simulate_many(&inst, &sched, &cfg);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "checkpoint-resume batches must be seed-deterministic"
+        );
+        assert!(a.work_saved > 0.0, "some run must resume from a checkpoint");
+        assert!(a.checkpoint_overhead > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_interval_infinity_matches_re_replicate_batches() {
+        let (inst, sched) = setup();
+        let mk = |policy| MonteCarloConfig {
+            runs: 96,
+            lifetime: LifetimeDist::Exponential {
+                mean: sched.latency() * 1.5,
+            },
+            engine: EngineConfig {
+                policy,
+                detection_latency: 0.5,
+                seed: 3,
+            },
+            seed: 29,
+        };
+        let ck = simulate_many(
+            &inst,
+            &sched,
+            &mk(RecoveryPolicy::checkpoint(f64::INFINITY, 0.4)),
+        );
+        let rr = simulate_many(&inst, &sched, &mk(RecoveryPolicy::ReReplicate));
+        assert_eq!(ck.completed, rr.completed);
+        assert_eq!(ck.recovery_replicas, rr.recovery_replicas);
+        assert_eq!(ck.recovery_messages, rr.recovery_messages);
+        assert!((ck.mean_latency - rr.mean_latency).abs() < 1e-12);
+        assert_eq!(ck.work_saved, 0.0);
+        assert_eq!(ck.checkpoint_overhead, 0.0);
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //! 3. **Detection and recovery** — each crash is detected
 //!    `detection_latency` later, at which point the configured
 //!    [`RecoveryPolicy`] may inject repair work: replacement replicas fed
-//!    by surviving copies (`ReReplicate`) or a full CAFT repair plan on the
-//!    not-yet-started sub-DAG (`Reschedule`, via
+//!    by surviving copies (`ReReplicate`), resumed replicas restored from
+//!    the last completed checkpoint (`Checkpoint`), or a full CAFT repair
+//!    plan on the not-yet-started sub-DAG (`Reschedule`, via
 //!    [`ft_algos::caft_on_subdag`]). Repair traffic is modeled
 //!    contention-free with respect to the in-flight static traffic (the
 //!    same emergency-traffic simplification the replay engine makes for
@@ -32,9 +33,50 @@
 //!    only act on *detected* crashes — work scheduled onto a processor
 //!    that has crashed but whose failure is still undetected is trusted,
 //!    fails, and is repaired at the next detection.
+//! 4. **Resumable partial progress** (`Checkpoint` only) — every
+//!    computation stretches by one `overhead` per completed `interval` of
+//!    work (checkpoint writes; none after the final segment). When a
+//!    computation dies with its host, the checkpoints it completed by the
+//!    crash instant are credited to the task's resumable fraction; a
+//!    replacement then reads the newest checkpoint from stable storage
+//!    (one more `overhead`), fetches no inputs, and recomputes only the
+//!    remaining fraction. With `interval = ∞` no checkpoint is ever
+//!    written and the policy degenerates to `ReReplicate` exactly (pinned
+//!    by `tests/timed_model.rs`); see DESIGN.md §5 for the full state
+//!    machine.
 //!
 //! Determinism: `execute` is a pure function of
 //! `(instance, schedule, scenario, config)`.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_runtime::{execute, EngineConfig, RecoveryPolicy};
+//! use ft_algos::{caft, CommModel};
+//! use ft_graph::gen::{random_layered, RandomDagParams};
+//! use ft_platform::{random_instance, PlatformParams, ProcId};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(11);
+//! let g = random_layered(&RandomDagParams::default().with_tasks(40), &mut rng);
+//! let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+//! let sched = caft(&inst, 1, CommModel::OnePort, 11);
+//!
+//! // Crash one processor halfway through; resume its work from
+//! // checkpoints written every 2 time units at 0.05 each.
+//! let scenario = ft_sim::FaultScenario::timed(&[(ProcId(2), sched.latency() * 0.5)]);
+//! let cfg = EngineConfig {
+//!     policy: RecoveryPolicy::checkpoint(2.0, 0.05),
+//!     detection_latency: 1.0,
+//!     seed: 0,
+//! };
+//! let out = execute(&inst, &sched, &scenario, &cfg);
+//! assert_eq!(out.detections, 1);
+//! // Every completed computation paid its checkpoint writes…
+//! assert!(out.checkpoint_overhead > 0.0);
+//! // …and the outcome accounts for the recomputation resuming avoided.
+//! assert!(out.work_saved >= 0.0);
+//! ```
 
 use crate::metrics::RunOutcome;
 use crate::policy::{EngineConfig, RecoveryPolicy};
@@ -79,8 +121,22 @@ enum OpState {
 
 #[derive(Clone, Debug)]
 struct Op {
-    /// Nominal duration (ignored when `fixed_finish` is set).
+    /// Wall-clock duration (ignored when `fixed_finish` is set). For
+    /// computations under `Checkpoint` this is `work` plus the checkpoint
+    /// padding `ck_pad`; otherwise it equals `work`.
     duration: f64,
+    /// Remaining nominal work units (computations; equals the transfer
+    /// time for messages).
+    work: f64,
+    /// Total work of the task on this host (`work / (1 − done_frac)`);
+    /// only meaningful for computations.
+    full: f64,
+    /// Fraction of the task restored from a checkpoint before this op
+    /// starts (0 for everything but resumed replacements).
+    done_frac: f64,
+    /// Checkpoint padding baked into `duration`: one `overhead` per
+    /// checkpoint write, plus one read when `done_frac > 0`.
+    ck_pad: f64,
     /// Repair-plan operations complete at their planned instant.
     fixed_finish: Option<f64>,
     /// Earliest allowed start (0 for static work, detection time for
@@ -121,6 +177,10 @@ impl Op {
     fn new(duration: f64, release: f64, deadline: f64, proc: ProcId) -> Self {
         Op {
             duration,
+            work: duration,
+            full: duration,
+            done_frac: 0.0,
+            ck_pad: 0.0,
             fixed_finish: None,
             release,
             deadline,
@@ -179,6 +239,29 @@ struct Engine<'a> {
     /// Per-task flag: a recovery pass found the task's data gone on
     /// every survivor (deduplicated across detections).
     unrecoverable: Vec<bool>,
+
+    /// `(interval, overhead)` when the policy is `Checkpoint`.
+    ck: Option<(f64, f64)>,
+    /// Best checkpointed fraction of each task (stable storage: survives
+    /// any crash; monotone under the max over crashed replicas).
+    task_ck_frac: Vec<f64>,
+    /// Total time spent writing and reading checkpoints in *completed*
+    /// computations.
+    checkpoint_overhead: f64,
+    /// Total recomputation avoided by resuming (work units on the
+    /// resuming host), over completed resumed replicas.
+    work_saved: f64,
+}
+
+/// Checkpoint writes a computation of `work` units performs: one per
+/// completed `interval`, none after the final segment (a task no longer
+/// than `interval` never checkpoints).
+fn checkpoints_for(work: f64, interval: f64) -> u32 {
+    if !interval.is_finite() || work <= interval {
+        0
+    } else {
+        (work / interval).ceil() as u32 - 1
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -193,6 +276,20 @@ impl<'a> Engine<'a> {
             "bad detection latency {}",
             cfg.detection_latency
         );
+        let ck = match cfg.policy {
+            RecoveryPolicy::Checkpoint { interval, overhead } => {
+                assert!(
+                    interval > 0.0 && !interval.is_nan(),
+                    "bad checkpoint interval {interval}"
+                );
+                assert!(
+                    overhead.is_finite() && overhead >= 0.0,
+                    "bad checkpoint overhead {overhead}"
+                );
+                Some((interval, overhead))
+            }
+            _ => None,
+        };
         let v = inst.num_tasks();
         let mut topo_position = vec![0usize; v];
         for (i, t) in ft_graph::topological_order(&inst.graph)
@@ -221,6 +318,31 @@ impl<'a> Engine<'a> {
             recovery_replicas: 0,
             recovery_messages: 0,
             unrecoverable: vec![false; v],
+            ck,
+            task_ck_frac: vec![0.0; v],
+            checkpoint_overhead: 0.0,
+            work_saved: 0.0,
+        }
+    }
+
+    /// Stretches a computation op's wall-clock duration by its checkpoint
+    /// writes (and one read when resuming); no-op outside `Checkpoint`.
+    fn apply_checkpointing(&self, op: &mut Op) {
+        let Some((interval, overhead)) = self.ck else {
+            return;
+        };
+        let writes = checkpoints_for(op.work, interval) as f64 * overhead;
+        let read = if op.done_frac > 0.0 { overhead } else { 0.0 };
+        op.ck_pad = writes + read;
+        op.duration = op.work + op.ck_pad;
+    }
+
+    /// Wall-clock duration of a fresh computation of `w` work units under
+    /// the active policy (checkpoint writes included).
+    fn comp_wall(&self, w: f64) -> f64 {
+        match self.ck {
+            Some((interval, overhead)) => w + checkpoints_for(w, interval) as f64 * overhead,
+            None => w,
         }
     }
 
@@ -291,6 +413,7 @@ impl<'a> Engine<'a> {
                     r.proc,
                 );
                 op.task = Some(r.of.task);
+                self.apply_checkpointing(&mut op);
                 self.ops.push(op);
                 self.static_exec[t][c] = Some(id);
             }
@@ -402,6 +525,7 @@ impl<'a> Engine<'a> {
         }
         debug_assert_eq!(op.state, OpState::Scheduled);
         op.state = OpState::Done;
+        let (ck_pad, saved) = (op.ck_pad, op.full * op.done_frac);
         if let Some(t) = op.task {
             let ti = t.index();
             if self.first_finish[ti].is_none() {
@@ -409,6 +533,8 @@ impl<'a> Engine<'a> {
                 self.recovered[ti] = op.recovery;
             }
         }
+        self.checkpoint_overhead += ck_pad;
+        self.work_saved += saved;
         let mut acts = vec![Act::RealDone(id, time)];
         self.drain(&mut acts);
     }
@@ -487,8 +613,43 @@ impl<'a> Engine<'a> {
             op.est_finish = finish;
             self.heap.push(Reverse((OrdF64(finish), 0, i)));
         } else {
+            self.record_crash_progress(i, start);
             acts.push(Act::Fail(i));
         }
+    }
+
+    /// A computation that cannot finish by its host's crash deadline still
+    /// ran until the crash: under `Checkpoint`, the checkpoints it
+    /// completed by that instant are credited to the task's resumable
+    /// fraction (stable storage — they survive the host).
+    fn record_crash_progress(&mut self, i: u32, start: f64) {
+        let Some((interval, overhead)) = self.ck else {
+            return;
+        };
+        let op = &self.ops[i as usize];
+        let Some(t) = op.task else {
+            return; // transfers don't checkpoint
+        };
+        if op.fixed_finish.is_some() {
+            return;
+        }
+        let read = if op.done_frac > 0.0 { overhead } else { 0.0 };
+        // Checkpoint k completes at start + read + k·(interval + overhead);
+        // one completing exactly at the crash instant still counts
+        // (crashes take effect strictly after their time).
+        let window = op.deadline - start - read;
+        let k_total = checkpoints_for(op.work, interval);
+        let k_done = if window > 0.0 && (interval + overhead).is_finite() {
+            ((window / (interval + overhead)).floor() as u32).min(k_total)
+        } else {
+            0
+        };
+        if k_done == 0 {
+            return;
+        }
+        let frac = op.done_frac + k_done as f64 * interval / op.full;
+        let slot = &mut self.task_ck_frac[t.index()];
+        *slot = slot.max(frac);
     }
 
     fn fail(&mut self, i: u32, acts: &mut Vec<Act>) {
@@ -582,7 +743,11 @@ impl<'a> Engine<'a> {
         self.detections += 1;
         match self.cfg.policy {
             RecoveryPolicy::Absorb => {}
-            RecoveryPolicy::ReReplicate => self.re_replicate(p, time),
+            // Checkpoint shares ReReplicate's lost-task selection; the
+            // spawn resumes from a checkpoint whenever one exists.
+            RecoveryPolicy::ReReplicate | RecoveryPolicy::Checkpoint { .. } => {
+                self.re_replicate(p, time)
+            }
             RecoveryPolicy::Reschedule => self.reschedule(time),
         }
     }
@@ -673,7 +838,13 @@ impl<'a> Engine<'a> {
     }
 
     /// Greedy single replacement replica for `t` at detection time `T`.
+    /// Under `Checkpoint`, a task with a completed checkpoint is resumed
+    /// from it instead of replaced from scratch.
     fn spawn_replacement(&mut self, t: TaskId, now: f64) {
+        if self.ck.is_some() && self.task_ck_frac[t.index()] > 0.0 {
+            self.spawn_resume(t, now);
+            return;
+        }
         let g = &self.inst.graph;
         let in_edges: Vec<_> = g.in_edges(t).to_vec();
         // Surviving sources per input edge.
@@ -701,27 +872,9 @@ impl<'a> Engine<'a> {
             }
             edge_sources.push(copies);
         }
-        // Candidate hosts: survivors, excluding hosts of live copies of `t`
-        // (space exclusion) when possible.
-        let hosting: Vec<usize> = self
-            .surviving_copies(t.index())
-            .iter()
-            .map(|&(_, p, _)| p.index())
-            .collect();
-        let mut candidates: Vec<ProcId> = (0..self.inst.num_procs())
-            .filter(|&p| !self.known_dead[p] && !hosting.contains(&p))
-            .map(ProcId::from_index)
-            .collect();
-        if candidates.is_empty() {
-            candidates = (0..self.inst.num_procs())
-                .filter(|&p| !self.known_dead[p])
-                .map(ProcId::from_index)
-                .collect();
-        }
-        if candidates.is_empty() {
-            self.unrecoverable[t.index()] = true;
+        let Some(candidates) = self.replacement_candidates(t) else {
             return;
-        }
+        };
         // Pick the host minimizing the estimated finish.
         type Best = (f64, ProcId, Vec<(Option<u32>, ProcId, f64)>);
         let mut best: Option<Best> = None;
@@ -741,7 +894,7 @@ impl<'a> Engine<'a> {
                 start = start.max(pick.2 + self.inst.comm_time(e, pick.1, q));
                 picks.push(pick);
             }
-            let est = start + self.inst.exec_time(t, q);
+            let est = start + self.comp_wall(self.inst.exec_time(t, q));
             if best.as_ref().is_none_or(|(b, bp, _)| {
                 est.total_cmp(b).then_with(|| q.cmp(bp)) == std::cmp::Ordering::Less
             }) {
@@ -757,6 +910,7 @@ impl<'a> Engine<'a> {
         exec_op.task = Some(t);
         exec_op.recovery = true;
         exec_op.est_finish = est;
+        self.apply_checkpointing(&mut exec_op);
         self.ops.push(exec_op);
         self.recovery_exec[t.index()].push(ex);
         self.recovery_replicas += 1;
@@ -790,6 +944,73 @@ impl<'a> Engine<'a> {
             acts.push(Act::TrySchedule(mid));
         }
         acts.push(Act::TrySchedule(ex));
+        self.drain(&mut acts);
+    }
+
+    /// Candidate hosts for a replacement or resumed replica of `t`:
+    /// survivors, excluding hosts of live copies of `t` (space exclusion)
+    /// when possible. `None` marks the task unrecoverable (no survivor
+    /// left at all).
+    fn replacement_candidates(&mut self, t: TaskId) -> Option<Vec<ProcId>> {
+        let hosting: Vec<usize> = self
+            .surviving_copies(t.index())
+            .iter()
+            .map(|&(_, p, _)| p.index())
+            .collect();
+        let mut candidates: Vec<ProcId> = (0..self.inst.num_procs())
+            .filter(|&p| !self.known_dead[p] && !hosting.contains(&p))
+            .map(ProcId::from_index)
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..self.inst.num_procs())
+                .filter(|&p| !self.known_dead[p])
+                .map(ProcId::from_index)
+                .collect();
+        }
+        if candidates.is_empty() {
+            self.unrecoverable[t.index()] = true;
+            return None;
+        }
+        Some(candidates)
+    }
+
+    /// `Checkpoint` resume: one replacement replica of `t` restored from
+    /// the task's best checkpointed fraction. The checkpoint lives on
+    /// stable storage, so the replica needs **no** input transfers: it
+    /// pays one `overhead` to read the state, then recomputes only the
+    /// remaining `1 − frac` of the task. Host choice minimizes the
+    /// estimated finish (ties to the smallest processor id).
+    fn spawn_resume(&mut self, t: TaskId, now: f64) {
+        let frac = self.task_ck_frac[t.index()];
+        debug_assert!(frac > 0.0, "resume without a checkpoint");
+        let (interval, overhead) = self.ck.expect("resume only under Checkpoint");
+        let Some(candidates) = self.replacement_candidates(t) else {
+            return;
+        };
+        let mut best: Option<(f64, ProcId)> = None;
+        for &q in &candidates {
+            let w = self.inst.exec_time(t, q) * (1.0 - frac);
+            let est = now + overhead + w + checkpoints_for(w, interval) as f64 * overhead;
+            if best.as_ref().is_none_or(|&(b, bp)| {
+                est.total_cmp(&b).then_with(|| q.cmp(&bp)) == std::cmp::Ordering::Less
+            }) {
+                best = Some((est, q));
+            }
+        }
+        let (est, q) = best.expect("candidate list non-empty");
+        let full = self.inst.exec_time(t, q);
+        let ex = self.ops.len() as u32;
+        let mut op = Op::new(full * (1.0 - frac), now, self.deadline(q), q);
+        op.task = Some(t);
+        op.recovery = true;
+        op.full = full;
+        op.done_frac = frac;
+        op.est_finish = est;
+        self.apply_checkpointing(&mut op);
+        self.ops.push(op);
+        self.recovery_exec[t.index()].push(ex);
+        self.recovery_replicas += 1;
+        let mut acts = vec![Act::TrySchedule(ex)];
         self.drain(&mut acts);
     }
 
@@ -958,6 +1179,8 @@ impl<'a> Engine<'a> {
             recovery_replicas: self.recovery_replicas,
             recovery_messages: self.recovery_messages,
             unrecoverable,
+            checkpoint_overhead: self.checkpoint_overhead,
+            work_saved: self.work_saved,
         }
     }
 }
@@ -1222,6 +1445,127 @@ mod tests {
                 "{policy} not deterministic"
             );
         }
+    }
+
+    #[test]
+    fn checkpoints_for_counts_segments() {
+        assert_eq!(checkpoints_for(10.0, f64::INFINITY), 0);
+        assert_eq!(checkpoints_for(2.0, 3.0), 0, "shorter than one interval");
+        assert_eq!(checkpoints_for(3.0, 3.0), 0, "exactly one segment");
+        assert_eq!(
+            checkpoints_for(9.0, 3.0),
+            2,
+            "no write after the last segment"
+        );
+        assert_eq!(checkpoints_for(10.0, 3.0), 3);
+    }
+
+    #[test]
+    fn checkpoint_interval_infinity_is_re_replicate() {
+        // The third pinned identity: with interval = ∞ no checkpoint is
+        // ever written, so the policy must be byte-identical to
+        // ReReplicate — same replicas, same transfers, same times.
+        let inst = setup(21, 40, 1.0);
+        let sched = caft(&inst, 1, CommModel::OnePort, 3);
+        let nominal = sched.latency();
+        for crashes in [
+            vec![(ProcId(0), nominal * 0.1)],
+            vec![(ProcId(0), nominal * 0.1), (ProcId(1), nominal * 0.2)],
+            vec![(ProcId(3), 0.0), (ProcId(5), nominal * 0.6)],
+        ] {
+            let scenario = FaultScenario::timed(&crashes);
+            let mk = |policy| EngineConfig {
+                policy,
+                detection_latency: 0.2,
+                seed: 0,
+            };
+            let ck = execute(
+                &inst,
+                &sched,
+                &scenario,
+                &mk(RecoveryPolicy::checkpoint(f64::INFINITY, 0.7)),
+            );
+            let rr = execute(&inst, &sched, &scenario, &mk(RecoveryPolicy::ReReplicate));
+            assert_eq!(
+                serde_json::to_string(&ck).unwrap(),
+                serde_json::to_string(&rr).unwrap(),
+                "interval = ∞ must degenerate to ReReplicate"
+            );
+            assert_eq!(ck.checkpoint_overhead, 0.0, "nothing written, nothing paid");
+            assert_eq!(ck.work_saved, 0.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_saves_recomputation() {
+        // A mid-run crash under a fine checkpoint interval: some lost
+        // replica had completed checkpoints, so the replacement resumes
+        // (work_saved > 0) instead of recomputing from zero.
+        let inst = setup(21, 40, 1.0);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 3);
+        let nominal = sched.latency();
+        let interval = inst.mean_task_cost() * 0.25;
+        let scenario =
+            FaultScenario::timed(&[(ProcId(0), nominal * 0.3), (ProcId(1), nominal * 0.4)]);
+        let out = execute(
+            &inst,
+            &sched,
+            &scenario,
+            &EngineConfig {
+                policy: RecoveryPolicy::checkpoint(interval, 0.01),
+                detection_latency: 0.2,
+                seed: 0,
+            },
+        );
+        assert!(out.completed(), "double crash must be repaired by resumes");
+        assert!(out.work_saved > 0.0, "some replacement must resume");
+        assert!(out.checkpoint_overhead > 0.0);
+    }
+
+    #[test]
+    fn zero_overhead_checkpoint_beyond_makespan_matches_replay() {
+        // The crash-beyond-makespan identity extends to Checkpoint when
+        // overhead = 0: the stretch vanishes, so the failure-free timeline
+        // is untouched.
+        let inst = setup(4, 35, 0.7);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 4);
+        let after = sched.full_makespan();
+        let scenario = FaultScenario::timed(&[(ProcId(0), after), (ProcId(3), after + 5.0)]);
+        let out = execute(
+            &inst,
+            &sched,
+            &scenario,
+            &EngineConfig::with_policy(RecoveryPolicy::checkpoint(2.0, 0.0)),
+        );
+        let rep = replay(&inst, &sched, &FaultScenario::none());
+        assert_matches_replay(&out, &rep);
+        assert_eq!(out.recovery_replicas, 0);
+    }
+
+    #[test]
+    fn checkpoint_overhead_stretches_failure_free_runs() {
+        // With overhead > 0 the failure-free run pays for its insurance:
+        // latency is strictly above nominal, and exactly nominal plus the
+        // critical path's checkpoint writes for a chain-free comparison.
+        let inst = setup(4, 35, 0.7);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 4);
+        let run = |ov: f64| {
+            execute(
+                &inst,
+                &sched,
+                &FaultScenario::none(),
+                &EngineConfig::with_policy(RecoveryPolicy::checkpoint(
+                    inst.mean_task_cost() * 0.5,
+                    ov,
+                )),
+            )
+        };
+        let free = run(0.0);
+        let paid = run(0.2);
+        assert!((free.latency().unwrap() - sched.latency()).abs() < 1e-9);
+        assert!(paid.latency().unwrap() > sched.latency());
+        assert!(paid.checkpoint_overhead > 0.0);
+        assert_eq!(paid.work_saved, 0.0, "no crash, nothing to resume");
     }
 
     #[test]

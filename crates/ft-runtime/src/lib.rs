@@ -15,23 +15,33 @@
 //! * [`RecoveryPolicy`] — [`Absorb`](RecoveryPolicy::Absorb) (paper
 //!   baseline: static replicas only),
 //!   [`ReReplicate`](RecoveryPolicy::ReReplicate) (eager replacement
-//!   copies) and [`Reschedule`](RecoveryPolicy::Reschedule) (CAFT repair
+//!   copies), [`Reschedule`](RecoveryPolicy::Reschedule) (CAFT repair
 //!   plan on the not-yet-started sub-DAG via
-//!   [`ft_algos::caft_on_subdag`]);
+//!   [`ft_algos::caft_on_subdag`]) and
+//!   [`Checkpoint`](RecoveryPolicy::Checkpoint) (periodic checkpoint
+//!   writes; replacements *resume* from the last completed checkpoint
+//!   instead of recomputing — see DESIGN.md §5);
 //! * [`simulate_many`] — rayon-parallel Monte-Carlo batches with a
 //!   deterministic [`BatchSummary`];
 //! * [`report`] — one run against the §6 latency bounds.
 //!
 //! ## Consistency with the static stack
 //!
-//! Two pinned properties tie the online engine to the replay semantics
-//! (enforced by the `timed_model` integration tests):
+//! Three pinned properties tie the online engine to the replay semantics
+//! and anchor the checkpoint model (enforced by the `timed_model`
+//! integration tests):
 //!
 //! * crash times at or beyond the schedule's makespan reproduce the
-//!   no-failure static replay **exactly**;
+//!   no-failure static replay **exactly** (and, for
+//!   [`Checkpoint`](RecoveryPolicy::Checkpoint), whenever the
+//!   per-checkpoint overhead is 0);
 //! * crash time 0 under [`RecoveryPolicy::Absorb`] reproduces the
 //!   adversarial [`FaultScenario::procs`](ft_sim::FaultScenario::procs)
-//!   strict replay **exactly**.
+//!   strict replay **exactly**;
+//! * [`Checkpoint`](RecoveryPolicy::Checkpoint) with `interval = ∞`
+//!   reproduces [`ReReplicate`](RecoveryPolicy::ReReplicate) **exactly**
+//!   — no checkpoint is ever written, so nothing is paid and nothing can
+//!   be resumed.
 //!
 //! ## Example
 //!
@@ -58,7 +68,8 @@
 //! assert!(out.completed());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod batch;
 pub mod engine;

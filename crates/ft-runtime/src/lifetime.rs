@@ -6,7 +6,21 @@
 //! (aging / infant-mortality hazards) are the standard choices. A
 //! [`LifetimeDist`] turns a seeded RNG into per-processor crash times, and
 //! [`draw_scenario`] packages a platform-wide draw as a
-//! [`FaultScenario`](ft_sim::FaultScenario).
+//! [`FaultScenario`].
+//!
+//! # Example
+//!
+//! ```
+//! use ft_runtime::{draw_scenario, LifetimeDist};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let dist = LifetimeDist::Weibull { shape: 1.5, scale: 40.0 };
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let scenario = draw_scenario(10, &dist, &mut rng);
+//! // Every drawn crash is timed and finite; a fresh rng reproduces it.
+//! assert!(scenario.crashes().all(|(_, t)| t.is_finite() && t >= 0.0));
+//! assert_eq!(scenario, draw_scenario(10, &dist, &mut StdRng::seed_from_u64(7)));
+//! ```
 
 use ft_platform::ProcId;
 use ft_sim::FaultScenario;

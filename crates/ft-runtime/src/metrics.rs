@@ -1,4 +1,30 @@
 //! Per-run and aggregate metrics of online executions.
+//!
+//! A [`RunOutcome`] is what [`crate::execute`] returns: per-task first
+//! completion times plus recovery and checkpoint accounting. [`report`]
+//! puts one run in context of the §6 static latency bounds;
+//! [`BatchSummary`] is the deterministic Monte-Carlo aggregate of
+//! [`crate::simulate_many`].
+//!
+//! # Example
+//!
+//! ```
+//! use ft_runtime::{execute, report, EngineConfig};
+//! use ft_algos::{caft, CommModel};
+//! use ft_graph::gen::{random_layered, RandomDagParams};
+//! use ft_platform::{random_instance, PlatformParams};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let g = random_layered(&RandomDagParams::default().with_tasks(20), &mut rng);
+//! let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+//! let sched = caft(&inst, 1, CommModel::OnePort, 2);
+//!
+//! let out = execute(&inst, &sched, &ft_sim::FaultScenario::none(), &EngineConfig::default());
+//! assert!(out.completed());
+//! let rpt = report(&inst, &sched, &out);
+//! assert!(rpt.within_bound && (rpt.slowdown - 1.0).abs() < 1e-9);
+//! ```
 
 use crate::policy::RecoveryPolicy;
 use ft_model::FtSchedule;
@@ -28,6 +54,14 @@ pub struct RunOutcome {
     /// Distinct tasks a recovery pass flagged as unrepairable (data lost
     /// on every survivor) and that indeed never completed.
     pub unrecoverable: usize,
+    /// Total time spent writing and reading checkpoints in completed
+    /// computations (0 outside the `Checkpoint` policy, and 0 under
+    /// `Checkpoint` with `interval = ∞` — nothing is ever written).
+    pub checkpoint_overhead: f64,
+    /// Total recomputation avoided by resuming from checkpoints (work
+    /// units on the resuming hosts, over completed resumed replicas);
+    /// the benefit side of the `checkpoint_overhead` cost.
+    pub work_saved: f64,
 }
 
 impl RunOutcome {
@@ -107,6 +141,12 @@ pub struct BatchSummary {
     pub recovery_replicas: usize,
     /// Total remote recovery transfers, across runs.
     pub recovery_messages: usize,
+    /// Total checkpoint write/read time paid, across runs (the cost side
+    /// of checkpoint/restart; 0 for the other policies).
+    pub checkpoint_overhead: f64,
+    /// Total recomputation avoided by checkpoint resumes, across runs
+    /// (the benefit side; 0 for the other policies).
+    pub work_saved: f64,
 }
 
 impl BatchSummary {
@@ -118,14 +158,24 @@ impl BatchSummary {
         self.completed as f64 / self.runs as f64
     }
 
+    /// Mean checkpoint overhead paid per run.
+    pub fn mean_checkpoint_overhead(&self) -> f64 {
+        self.checkpoint_overhead / self.runs.max(1) as f64
+    }
+
+    /// Mean recomputation avoided per run.
+    pub fn mean_work_saved(&self) -> f64 {
+        self.work_saved / self.runs.max(1) as f64
+    }
+
     /// One-line human-readable summary (stable format; the acceptance
     /// example diffs two of these for determinism).
     pub fn one_line(&self) -> String {
         format!(
-            "{:<12} runs {:>5}  completed {:>5} ({:>5.1}%)  disturbed {:>5}  \
+            "{:<20} runs {:>5}  completed {:>5} ({:>5.1}%)  disturbed {:>5}  \
              mean latency {:>8.2}  mean slowdown {:>5.2}x  recovered {:>4}  \
-             spawned {:>4} (+{} msgs)",
-            self.policy.name(),
+             spawned {:>4} (+{} msgs)  ck-paid/run {:>6.2}  saved/run {:>6.2}",
+            self.policy.label(),
             self.runs,
             self.completed,
             self.completion_rate() * 100.0,
@@ -135,6 +185,8 @@ impl BatchSummary {
             self.tasks_recovered,
             self.recovery_replicas,
             self.recovery_messages,
+            self.mean_checkpoint_overhead(),
+            self.mean_work_saved(),
         )
     }
 }
@@ -154,6 +206,8 @@ mod tests {
             recovery_replicas: 1,
             recovery_messages: 2,
             unrecoverable: 0,
+            checkpoint_overhead: 0.0,
+            work_saved: 0.0,
         };
         assert!(out.completed());
         assert_eq!(out.latency(), Some(5.0));

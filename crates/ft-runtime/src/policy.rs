@@ -1,9 +1,37 @@
 //! Recovery policies and engine configuration.
+//!
+//! A [`RecoveryPolicy`] tells the online engine what to do when a
+//! processor failure is *detected* (crash time + detection latency).
+//! Policies range from doing nothing ([`Absorb`](RecoveryPolicy::Absorb))
+//! to full sub-DAG rescheduling
+//! ([`Reschedule`](RecoveryPolicy::Reschedule)); the
+//! [`Checkpoint`](RecoveryPolicy::Checkpoint) policy is the only one that
+//! changes *failure-free* execution too, trading periodic checkpoint
+//! overhead for the right to resume lost work instead of recomputing it.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_runtime::RecoveryPolicy;
+//!
+//! // The three parameterless baselines, in presentation order.
+//! assert_eq!(RecoveryPolicy::ALL.len(), 3);
+//!
+//! // Checkpoint every 2.5 time units of work, paying 0.1 per write.
+//! let ck = RecoveryPolicy::checkpoint(2.5, 0.1);
+//! assert_eq!(ck.name(), "checkpoint");
+//! assert_eq!(ck.label(), "ckpt τ=2.50 c=0.10");
+//!
+//! // interval = ∞ never writes a checkpoint: the policy degenerates to
+//! // `ReReplicate` exactly (pinned by `tests/timed_model.rs`).
+//! let degenerate = RecoveryPolicy::checkpoint(f64::INFINITY, 0.1);
+//! assert_eq!(degenerate.name(), "checkpoint");
+//! ```
 
 use serde::{Deserialize, Serialize};
 
 /// What the runtime does when a processor failure is detected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum RecoveryPolicy {
     /// Do nothing: rely on the static replicas the scheduler placed (the
     /// paper's baseline — an ε-resilient schedule absorbs up to ε
@@ -14,29 +42,90 @@ pub enum RecoveryPolicy {
     /// spawn one replacement replica on the surviving processor with the
     /// earliest estimated finish, fed by the earliest surviving copy of
     /// each input (contention-free emergency transfers, like the replay
-    /// engine's fail-over reroute).
+    /// engine's fail-over reroute). Replacements recompute lost tasks
+    /// **from scratch**.
     ReReplicate,
     /// Re-run CAFT on the not-yet-started sub-DAG against the surviving
     /// platform (`ft_algos::caft_on_subdag`), superseding any previous
     /// repair plan. In-flight work continues under the static schedule's
     /// orders; the repair plan executes at its own planned times.
     Reschedule,
+    /// Checkpoint/restart: every computation persists its partial result
+    /// to stable storage after each `interval` time units of work, paying
+    /// `overhead` per write (and no write after the final segment, so a
+    /// task shorter than `interval` pays nothing). On a detected crash,
+    /// a replacement replica *resumes* from the last completed checkpoint
+    /// — paying `overhead` once to read it, fetching **no** inputs (the
+    /// checkpointed state subsumes them) — instead of recomputing from
+    /// zero. When no checkpoint of the lost task ever completed, the
+    /// replacement falls back to the exact [`ReReplicate`] spawn, which
+    /// makes `interval = ∞` behaviorally identical to [`ReReplicate`]
+    /// (the third pinned identity; see DESIGN.md §5).
+    ///
+    /// This is the only policy that perturbs failure-free execution: a
+    /// computation of duration `w` stretches to
+    /// `w + (⌈w / interval⌉ − 1) · overhead`. With `overhead = 0` the
+    /// stretch vanishes and the crash-beyond-makespan identity holds for
+    /// this policy too.
+    ///
+    /// [`ReReplicate`]: RecoveryPolicy::ReReplicate
+    Checkpoint {
+        /// Work units between consecutive checkpoint writes (positive;
+        /// `f64::INFINITY` disables checkpointing).
+        interval: f64,
+        /// Time cost of one checkpoint write, and of the single read a
+        /// resumed replica performs (non-negative, finite).
+        overhead: f64,
+    },
 }
 
 impl RecoveryPolicy {
-    /// All policies, in presentation order.
+    /// The parameterless baseline policies, in presentation order.
+    /// [`Checkpoint`](RecoveryPolicy::Checkpoint) carries parameters and
+    /// is constructed explicitly via [`RecoveryPolicy::checkpoint`].
     pub const ALL: [RecoveryPolicy; 3] = [
         RecoveryPolicy::Absorb,
         RecoveryPolicy::ReReplicate,
         RecoveryPolicy::Reschedule,
     ];
 
-    /// Short lowercase name for tables and reports.
+    /// Checkpoint/restart with the given interval and per-checkpoint
+    /// overhead (both in time units).
+    ///
+    /// # Panics
+    /// Panics if `interval` is not positive or `overhead` is negative or
+    /// non-finite (`interval = ∞` is allowed and disables checkpointing).
+    pub fn checkpoint(interval: f64, overhead: f64) -> Self {
+        assert!(
+            interval > 0.0 && !interval.is_nan(),
+            "bad checkpoint interval {interval}"
+        );
+        assert!(
+            overhead.is_finite() && overhead >= 0.0,
+            "bad checkpoint overhead {overhead}"
+        );
+        RecoveryPolicy::Checkpoint { interval, overhead }
+    }
+
+    /// Short lowercase name for tables and reports (parameter-free; see
+    /// [`label`](RecoveryPolicy::label) for the parameterized form).
     pub fn name(&self) -> &'static str {
         match self {
             RecoveryPolicy::Absorb => "absorb",
             RecoveryPolicy::ReReplicate => "re-replicate",
             RecoveryPolicy::Reschedule => "reschedule",
+            RecoveryPolicy::Checkpoint { .. } => "checkpoint",
+        }
+    }
+
+    /// Table label including the checkpoint parameters, e.g.
+    /// `ckpt τ=2.5 c=0.1` (τ = interval, c = per-checkpoint overhead).
+    pub fn label(&self) -> String {
+        match self {
+            RecoveryPolicy::Checkpoint { interval, overhead } => {
+                format!("ckpt τ={interval:.2} c={overhead:.2}")
+            }
+            other => other.name().to_string(),
         }
     }
 }
@@ -89,6 +178,15 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(RecoveryPolicy::Absorb.to_string(), "absorb");
         assert_eq!(RecoveryPolicy::ALL.len(), 3);
+        assert_eq!(
+            RecoveryPolicy::checkpoint(2.0, 0.5).to_string(),
+            "checkpoint"
+        );
+        assert_eq!(
+            RecoveryPolicy::checkpoint(2.0, 0.5).label(),
+            "ckpt τ=2.00 c=0.50"
+        );
+        assert_eq!(RecoveryPolicy::Reschedule.label(), "reschedule");
     }
 
     #[test]
@@ -97,5 +195,25 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: EngineConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn checkpoint_config_serializes() {
+        let c = EngineConfig::with_policy(RecoveryPolicy::checkpoint(3.5, 0.25));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_positive_interval() {
+        RecoveryPolicy::checkpoint(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_infinite_overhead() {
+        RecoveryPolicy::checkpoint(1.0, f64::INFINITY);
     }
 }

@@ -4,7 +4,7 @@
 //! processor computes nothing and sends nothing, and failures are
 //! permanent. Two views of the same [`FaultScenario`] coexist:
 //!
-//! * the **static adversarial view** used by [`replay`](crate::replay):
+//! * the **static adversarial view** used by [`replay`](crate::replay()):
 //!   every listed processor is treated as dead from time 0, so every
 //!   replica and every message of a dead processor is lost (DESIGN.md §2).
 //!   This is the worst case for a static schedule and the view under which

@@ -1,5 +1,5 @@
 //! Online failure injection end-to-end: a CAFT ε = 1 schedule survives a
-//! mid-execution processor crash under all three recovery policies, then a
+//! mid-execution processor crash under all four recovery policies, then a
 //! 1000-run Monte-Carlo sweep with exponential lifetimes compares the
 //! policies and demonstrates that the summary is deterministic (same seed
 //! ⇒ byte-identical output).
@@ -24,7 +24,18 @@ fn main() {
         inst.num_procs()
     );
 
-    // --- One mid-execution crash, all three policies. -------------------
+    // The four policies: the three baselines plus checkpoint/restart with
+    // a fine interval (a quarter of the mean task cost) and a cheap write.
+    let mean_cost = inst.mean_task_cost();
+    let policies: Vec<RecoveryPolicy> = RecoveryPolicy::ALL
+        .into_iter()
+        .chain([RecoveryPolicy::checkpoint(
+            mean_cost * 0.25,
+            mean_cost * 0.005,
+        )])
+        .collect();
+
+    // --- One mid-execution crash, all four policies. --------------------
     // Pick the crash that hurts most: a processor whose loss at t = 0
     // starves the strict replay, if one exists (the Proposition 5.2 gap),
     // otherwise the busiest processor. Crash it mid-run.
@@ -36,7 +47,7 @@ fn main() {
     let crash_at = nominal * 0.45;
     let scenario = FaultScenario::timed(&[(victim, crash_at)]);
     println!("crashing {victim} at t = {crash_at:.2} (45% of nominal), detected 1.0 later:");
-    for policy in RecoveryPolicy::ALL {
+    for &policy in &policies {
         let cfg = EngineConfig {
             policy,
             detection_latency: 1.0,
@@ -44,14 +55,16 @@ fn main() {
         };
         let out = execute(&inst, &sched, &scenario, &cfg);
         println!(
-            "  {:<12} completed = {:<5} latency = {:<8} recovered tasks = {:<3} \
-             replicas spawned = {:<3} extra msgs = {}",
-            policy.name(),
+            "  {:<20} completed = {:<5} latency = {:<8} recovered tasks = {:<3} \
+             replicas spawned = {:<3} extra msgs = {:<3} ck paid = {:<7.2} saved = {:.2}",
+            policy.label(),
             out.completed(),
             out.latency().map_or("-".into(), |l| format!("{l:.2}")),
             out.tasks_recovered(),
             out.recovery_replicas,
             out.recovery_messages,
+            out.checkpoint_overhead,
+            out.work_saved,
         );
         assert!(
             out.completed(),
@@ -62,7 +75,7 @@ fn main() {
     // --- Monte-Carlo: 1000 timed scenarios per policy. ------------------
     println!("\nMonte-Carlo: 1000 runs/policy, exponential lifetimes (MTTF = 5x nominal):");
     let mut lines = Vec::new();
-    for policy in RecoveryPolicy::ALL {
+    for &policy in &policies {
         let cfg = MonteCarloConfig {
             runs: 1000,
             lifetime: LifetimeDist::Exponential {
@@ -87,16 +100,25 @@ fn main() {
         );
         lines.push(summary);
     }
-    let [absorb, rerep, resched] = &lines[..] else {
+    let [absorb, rerep, resched, ckpt] = &lines[..] else {
         unreachable!()
     };
     assert!(rerep.completed >= absorb.completed);
     assert!(resched.completed >= absorb.completed);
+    assert!(ckpt.completed >= absorb.completed);
+    assert!(
+        ckpt.work_saved > 0.0,
+        "1000 runs at this failure rate must resume something"
+    );
     println!(
-        "\nrecovery lifts completion from {:.1}% (absorb) to {:.1}% (re-replicate) \
-         and {:.1}% (reschedule)",
+        "\nrecovery lifts completion from {:.1}% (absorb) to {:.1}% (re-replicate), \
+         {:.1}% (reschedule) and {:.1}% (checkpoint — saving {:.1} recomputation \
+         units/run for {:.1} paid)",
         absorb.completion_rate() * 100.0,
         rerep.completion_rate() * 100.0,
         resched.completion_rate() * 100.0,
+        ckpt.completion_rate() * 100.0,
+        ckpt.mean_work_saved(),
+        ckpt.mean_checkpoint_overhead(),
     );
 }

@@ -1,13 +1,17 @@
 //! Property tests pinning the timed fault model to the static stack.
 //!
-//! Two consistency guarantees tie `ft-runtime`'s online engine to
-//! `ft-sim`'s replay semantics:
+//! Three consistency guarantees tie `ft-runtime`'s online engine to
+//! `ft-sim`'s replay semantics and anchor the checkpoint model:
 //!
 //! * crash times at or beyond the schedule's makespan change nothing: the
-//!   online run reproduces the no-failure static replay exactly;
+//!   online run reproduces the no-failure static replay exactly (for the
+//!   `Checkpoint` policy: whenever its per-checkpoint overhead is 0);
 //! * crash time 0 under the `Absorb` policy is the adversarial special
 //!   case: the online run reproduces the strict dead-from-start replay of
-//!   `FaultScenario::procs` exactly.
+//!   `FaultScenario::procs` exactly;
+//! * `Checkpoint` with `interval = ∞` never writes a checkpoint and
+//!   degenerates to `ReReplicate` exactly — same replicas, same
+//!   transfers, same times, zero overhead paid and zero work saved.
 
 use ftsched::prelude::*;
 use ftsched::runtime::report;
@@ -150,6 +154,59 @@ proptest! {
             prop_assert!(rpt.latency == lat);
             prop_assert!(lat > 0.0 && lat.is_finite());
         }
+    }
+
+    /// The third pinned identity: `Checkpoint` with `interval = ∞` is
+    /// `ReReplicate` under any timed scenario — byte-identical outcomes,
+    /// nothing paid, nothing saved.
+    #[test]
+    fn checkpoint_interval_infinity_is_re_replicate(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        overhead in 0.0f64..2.0,
+    ) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let scenario = ftsched::runtime::draw_scenario(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() * 1.5 },
+            &mut rng,
+        );
+        let mk = |policy| EngineConfig { policy, detection_latency: 0.5, seed: 1 };
+        let ck = execute(&inst, &sched, &scenario,
+                         &mk(RecoveryPolicy::checkpoint(f64::INFINITY, overhead)));
+        let rr = execute(&inst, &sched, &scenario, &mk(RecoveryPolicy::ReReplicate));
+        prop_assert_eq!(
+            serde_json::to_string(&ck).unwrap(),
+            serde_json::to_string(&rr).unwrap()
+        );
+        prop_assert_eq!(ck.checkpoint_overhead, 0.0);
+        prop_assert_eq!(ck.work_saved, 0.0);
+    }
+
+    /// The crash-beyond-makespan identity extends to `Checkpoint` when the
+    /// per-checkpoint overhead is 0 (the failure-free timeline is then
+    /// untouched at any interval).
+    #[test]
+    fn free_checkpoints_beyond_makespan_change_nothing(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        interval in 0.5f64..20.0,
+    ) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let after = sched.full_makespan();
+        let crashes: Vec<_> = inst.platform.procs().map(|p| (p, after)).collect();
+        let scenario = FaultScenario::timed(&crashes);
+        let out = execute(&inst, &sched, &scenario,
+                          &EngineConfig::with_policy(RecoveryPolicy::checkpoint(interval, 0.0)));
+        let rep = replay(&inst, &sched, &FaultScenario::none());
+        if let Err(e) = same_results(&out, &rep) {
+            prop_assert!(false, "{e}");
+        }
+        prop_assert_eq!(out.recovery_replicas, 0);
+        prop_assert_eq!(out.work_saved, 0.0);
     }
 
     /// Recovery policies never complete fewer tasks than Absorb on the
