@@ -8,6 +8,8 @@
 //! paper-figures resilience          # Prop. 5.2 failure injection
 //! paper-figures degradation         # online runtime: completion vs MTTF
 //! paper-figures degradation --policy checkpoint   # one policy only
+//! paper-figures degradation --detection gossip    # detection-model axis
+//!                                   # (uniform | per-proc | gossip)
 //! paper-figures degradation --ck-interval 0.25 --ck-interval 1 \
 //!               --ck-overhead 0.005 # checkpoint sweep knobs (× mean task cost)
 //! paper-figures fig1 --quick        # thinned sweep, 10 graphs/point
@@ -15,7 +17,9 @@
 //! paper-figures all --json out.json # machine-readable dump
 //! ```
 
-use ft_experiments::degradation::{render_degradation, run_degradation, DegradationConfig};
+use ft_experiments::degradation::{
+    render_degradation, run_degradation, DegradationConfig, DetectionKind,
+};
 use ft_experiments::figures::{by_id, figure_configs};
 use ft_experiments::messages::run_messages;
 use ft_experiments::resilience_exp::run_resilience;
@@ -59,6 +63,13 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let detection: Option<DetectionKind> = args.iter().position(|a| a == "--detection").map(|i| {
+        let raw = args.get(i + 1).map(String::as_str).unwrap_or("");
+        DetectionKind::parse(raw).unwrap_or_else(|| {
+            eprintln!("unknown detection model '{raw}' — expected uniform, per-proc or gossip");
+            std::process::exit(2);
+        })
+    });
     let parse_positive = |flag: &str, s: Option<&String>, allow_zero: bool| -> f64 {
         let raw = s.unwrap_or_else(|| {
             eprintln!("{flag} needs a value");
@@ -113,6 +124,9 @@ fn main() {
     if let Some(ov) = ck_overhead {
         deg_cfg.checkpoint_overhead = ov;
     }
+    if let Some(kind) = detection {
+        deg_cfg.detection = kind;
+    }
 
     match what.as_str() {
         "all" => {
@@ -126,7 +140,7 @@ fn main() {
             dump.resilience = run_resilience(res_graphs, 0x5EED);
             println!("{}", render_resilience(&dump.resilience));
             dump.degradation = run_degradation(&deg_cfg);
-            println!("{}", render_degradation(&dump.degradation));
+            println!("{}", render_degradation(&deg_cfg, &dump.degradation));
         }
         "messages" => {
             dump.messages = run_messages(msg_graphs, 0x5EED);
@@ -138,7 +152,7 @@ fn main() {
         }
         "degradation" => {
             dump.degradation = run_degradation(&deg_cfg);
-            println!("{}", render_degradation(&dump.degradation));
+            println!("{}", render_degradation(&deg_cfg, &dump.degradation));
         }
         id => match by_id(id) {
             Some(cfg) => {

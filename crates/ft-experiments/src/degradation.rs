@@ -17,13 +17,19 @@
 //! so they track the workload's scale). `only_policy` restricts the
 //! sweep to a single policy name — the `paper-figures degradation
 //! --policy checkpoint` path.
+//!
+//! Since the runtime-front-door PR the sweep also has a **detection
+//! axis** ([`DetectionKind`], the `paper-figures degradation --detection
+//! uniform|per-proc|gossip` path): the same policies and fault draws can
+//! be re-run under uniform detection, per-processor heartbeat spreads, or
+//! gossip propagation, isolating how much of a policy's payout survives
+//! imperfect failure detectors (repair is only placed on survivors that
+//! already know about the crash — see DESIGN.md §6).
 
 use ft_algos::{caft, CommModel};
 use ft_graph::gen::{random_layered, RandomDagParams};
 use ft_platform::{random_instance, PlatformParams};
-use ft_runtime::{
-    simulate_many, BatchSummary, EngineConfig, LifetimeDist, MonteCarloConfig, RecoveryPolicy,
-};
+use ft_runtime::{BatchSummary, DetectionModel, LifetimeDist, RecoveryPolicy, Simulation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -53,10 +59,52 @@ pub struct DegradationConfig {
     pub only_policy: Option<String>,
     /// Monte-Carlo runs per (factor, policy) cell.
     pub runs: usize,
-    /// Detection latency of the runtime.
+    /// Detection latency of the runtime (the scale knob of every
+    /// [`DetectionKind`]: the uniform delay, the centre of the
+    /// per-processor spread, twice the gossip period).
     pub detection_latency: f64,
+    /// Which detection model the runtime uses (the `--detection` axis).
+    pub detection: DetectionKind,
     /// Base RNG seed.
     pub seed: u64,
+}
+
+/// The detection-model axis of the sweep: a parameter-free selector that
+/// [`DegradationConfig::detection_model`] turns into a concrete
+/// [`DetectionModel`] scaled by `detection_latency`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectionKind {
+    /// Every survivor detects `detection_latency` after the crash.
+    Uniform,
+    /// Heterogeneous heartbeats: survivor delays evenly spread over
+    /// `[0.5, 1.5] · detection_latency` (same mean as `Uniform`).
+    PerProcessor,
+    /// Seeded gossip rounds of period `detection_latency / 2`, fanout 2:
+    /// the first observer notices after one period (i.e. at *half* the
+    /// uniform delay — earlier, but alone), and platform-wide knowledge
+    /// takes several rounds more.
+    Gossip,
+}
+
+impl DetectionKind {
+    /// Parses a `--detection` CLI value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uniform" => Some(DetectionKind::Uniform),
+            "per-proc" | "per-processor" => Some(DetectionKind::PerProcessor),
+            "gossip" => Some(DetectionKind::Gossip),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectionKind::Uniform => "uniform",
+            DetectionKind::PerProcessor => "per-proc",
+            DetectionKind::Gossip => "gossip",
+        }
+    }
 }
 
 impl Default for DegradationConfig {
@@ -72,6 +120,7 @@ impl Default for DegradationConfig {
             only_policy: None,
             runs: 400,
             detection_latency: 1.0,
+            detection: DetectionKind::Uniform,
             seed: 0x5EED,
         }
     }
@@ -94,6 +143,22 @@ impl DegradationConfig {
         }
         all
     }
+
+    /// The concrete [`DetectionModel`] of the sweep on an `m`-processor
+    /// platform (see [`DetectionKind`] for the scaling conventions).
+    pub fn detection_model(&self, m: usize) -> DetectionModel {
+        match self.detection {
+            DetectionKind::Uniform => DetectionModel::uniform(self.detection_latency),
+            DetectionKind::PerProcessor => {
+                DetectionModel::per_processor_spread(m, self.detection_latency)
+            }
+            DetectionKind::Gossip => DetectionModel::Gossip {
+                period: self.detection_latency / 2.0,
+                fanout: 2,
+                seed: self.seed,
+            },
+        }
+    }
 }
 
 /// One cell of the sweep: a policy at a failure rate.
@@ -106,9 +171,10 @@ pub struct DegradationRow {
 }
 
 /// Runs the sweep: one CAFT schedule, `|mttf_factors| × |policies|`
-/// Monte-Carlo batches. Deterministic in the configuration; every policy
-/// sees the **same** fault draws at a given rate (batch seeds depend only
-/// on the rate), so cells in one rate group are run-for-run comparable.
+/// Monte-Carlo batches through the [`Simulation`] front door.
+/// Deterministic in the configuration; every policy sees the **same**
+/// fault draws at a given rate (the simulation seed depends only on the
+/// rate), so cells in one rate group are run-for-run comparable.
 pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let graph = random_layered(&RandomDagParams::default().with_tasks(cfg.tasks), &mut rng);
@@ -120,25 +186,24 @@ pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
     );
     let sched = caft(&inst, cfg.eps, CommModel::OnePort, cfg.seed);
     let nominal = sched.latency();
+    let detection = cfg.detection_model(inst.num_procs());
     let policies = cfg.policies(inst.mean_task_cost());
     let mut rows = Vec::new();
     for &factor in &cfg.mttf_factors {
         for &policy in &policies {
-            let mc = MonteCarloConfig {
-                runs: cfg.runs,
-                lifetime: LifetimeDist::Exponential {
-                    mean: nominal * factor,
-                },
-                engine: EngineConfig {
-                    policy,
-                    detection_latency: cfg.detection_latency,
-                    seed: cfg.seed,
-                },
-                seed: cfg.seed ^ factor.to_bits(),
-            };
+            let summary = Simulation::of(&inst, &sched)
+                .policy(policy)
+                .detection(detection.clone())
+                .seed(cfg.seed ^ factor.to_bits())
+                .monte_carlo(
+                    cfg.runs,
+                    LifetimeDist::Exponential {
+                        mean: nominal * factor,
+                    },
+                );
             rows.push(DegradationRow {
                 mttf_factor: factor,
-                summary: simulate_many(&inst, &sched, &mc),
+                summary,
             });
         }
     }
@@ -146,12 +211,13 @@ pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
 }
 
 /// ASCII table of the sweep.
-pub fn render_degradation(rows: &[DegradationRow]) -> String {
+pub fn render_degradation(cfg: &DegradationConfig, rows: &[DegradationRow]) -> String {
     let mut out = String::new();
-    out.push_str(
+    out.push_str(&format!(
         "degradation vs. failure rate (exponential lifetimes; MTTF in units of the \
-         nominal latency)\n",
-    );
+         nominal latency; detection: {})\n",
+        cfg.detection_model(cfg.procs).label(),
+    ));
     out.push_str(
         "  MTTF   policy                completion   mean slowdown   recovered/run   \
          replicas/run   msgs/run   ck-paid/run   saved/run\n",
@@ -217,10 +283,63 @@ mod tests {
             serde_json::to_string(&rows).unwrap(),
             serde_json::to_string(&again).unwrap()
         );
-        let table = render_degradation(&rows);
+        let table = render_degradation(&cfg, &rows);
         assert!(table.contains("re-replicate"));
         assert!(table.contains("ckpt τ="));
         assert!(table.contains("8.0"));
+        assert!(table.contains("uniform δ=1.00"));
+    }
+
+    #[test]
+    fn detection_axis_changes_the_model_not_the_roster() {
+        for kind in [
+            DetectionKind::Uniform,
+            DetectionKind::PerProcessor,
+            DetectionKind::Gossip,
+        ] {
+            let cfg = DegradationConfig {
+                detection: kind,
+                mttf_factors: vec![2.0],
+                runs: 30,
+                ..quick()
+            };
+            let rows = run_degradation(&cfg);
+            assert_eq!(rows.len(), 3 + cfg.checkpoint_intervals.len());
+            let table = render_degradation(&cfg, &rows);
+            assert!(table.contains(cfg.detection_model(cfg.procs).label().as_str()));
+            // Recovery only ever adds replicas, so the dominance over
+            // Absorb survives any detection model.
+            let absorb = by_policy(&rows, 2.0, |p| *p == RecoveryPolicy::Absorb)
+                .next()
+                .unwrap();
+            for r in by_policy(&rows, 2.0, |p| *p != RecoveryPolicy::Absorb) {
+                assert!(
+                    r.summary.completed >= absorb.summary.completed,
+                    "{} under {} completed {} < absorb {}",
+                    r.summary.policy.label(),
+                    kind.name(),
+                    r.summary.completed,
+                    absorb.summary.completed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_processor_spread_has_one_delay_per_processor() {
+        let cfg = DegradationConfig {
+            detection: DetectionKind::PerProcessor,
+            ..quick()
+        };
+        let DetectionModel::PerProcessor(delays) = cfg.detection_model(cfg.procs) else {
+            panic!("expected a per-processor model");
+        };
+        assert_eq!(delays.len(), cfg.procs);
+        assert!((delays[0] - 0.5 * cfg.detection_latency).abs() < 1e-12);
+        assert!(
+            (delays[cfg.procs - 1] - 1.5 * cfg.detection_latency).abs() < 1e-12,
+            "spread must top out at 1.5x the latency knob"
+        );
     }
 
     #[test]
@@ -272,7 +391,8 @@ mod tests {
         // from checkpoints yields a better expected makespan than
         // recomputing from scratch — completing at least as many runs
         // with a strictly lower mean latency.
-        let rows = run_degradation(&quick());
+        let cfg = quick();
+        let rows = run_degradation(&cfg);
         let mut found = false;
         for &factor in &QUICK_FACTORS {
             let rerep = by_policy(&rows, factor, |p| *p == RecoveryPolicy::ReReplicate)
@@ -291,7 +411,7 @@ mod tests {
         assert!(
             found,
             "no (rate, interval) cell where checkpoint beats re-replicate:\n{}",
-            render_degradation(&rows)
+            render_degradation(&cfg, &rows)
         );
     }
 }

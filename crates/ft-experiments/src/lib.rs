@@ -40,6 +40,8 @@ pub mod stats;
 pub mod table;
 
 pub use config::FigureConfig;
-pub use degradation::{render_degradation, run_degradation, DegradationConfig, DegradationRow};
+pub use degradation::{
+    render_degradation, run_degradation, DegradationConfig, DegradationRow, DetectionKind,
+};
 pub use runner::{run_figure, FigureResult, PointResult};
 pub use stats::Accumulator;

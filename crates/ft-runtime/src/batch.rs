@@ -1,11 +1,25 @@
-//! Monte-Carlo driver: thousands of timed-failure runs in parallel.
+//! Monte-Carlo driver: a streaming, mergeable aggregation of timed-failure
+//! runs.
 //!
 //! [`simulate_many`] draws one timed [`FaultScenario`] per run from a
 //! [`LifetimeDist`], executes each under the configured recovery policy
-//! (rayon-parallel), and folds the outcomes into a deterministic
-//! [`BatchSummary`]: run `i`'s generator is seeded from `(seed, i)`, and
-//! aggregation happens in run order, so the summary is independent of
-//! thread count.
+//! (rayon-parallel), and **streams** the outcomes into a
+//! [`BatchAccumulator`] via `fold` + `reduce`: each worker folds its runs
+//! into one constant-size accumulator, and the per-chunk accumulators are
+//! merged in a deterministic order. Memory is O(threads), not O(runs) —
+//! a 10⁶-run batch holds a handful of ~1 KB accumulators instead of 10⁶
+//! [`RunOutcome`]s (hundreds of MB at paper scale).
+//!
+//! Two properties are pinned by `tests/timed_model.rs`:
+//!
+//! * run `i`'s scenario depends only on `(seed, i)` (SplitMix-mixed), so
+//!   the batch is reproducible run-for-run;
+//! * the accumulator's floating-point sums are kept in an **exact**
+//!   fixed-point form ([`ExactSum`]), so merging is associative *to the
+//!   bit*: the [`BatchSummary`] is byte-identical regardless of thread
+//!   count, chunk boundaries or merge tree — and identical to feeding the
+//!   collected outcomes through one accumulator sequentially (the old
+//!   collect-then-summarize path).
 //!
 //! # Example
 //!
@@ -39,117 +53,337 @@
 use crate::engine::execute;
 use crate::lifetime::{draw_scenario, LifetimeDist};
 use crate::metrics::{BatchSummary, RunOutcome};
-use crate::policy::EngineConfig;
+use crate::policy::{EngineConfig, RecoveryPolicy};
 use ft_model::FtSchedule;
 use ft_platform::Instance;
 use ft_sim::FaultScenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a Monte-Carlo batch.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// This is the **legacy positional surface**, kept as a thin layer under
+/// [`Simulation::monte_carlo`](crate::Simulation::monte_carlo): the
+/// builder collapses the historical `engine.seed` / `seed` duplication
+/// into its single seed knob, while this struct still exposes both fields
+/// so pre-builder experiments replay byte-for-byte.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MonteCarloConfig {
     /// Number of independent runs.
     pub runs: usize,
     /// Lifetime distribution the per-processor crash times are drawn from.
     pub lifetime: LifetimeDist,
-    /// Engine configuration (recovery policy, detection latency, seed).
+    /// Engine configuration (recovery policy, detection model, seed).
     pub engine: EngineConfig,
-    /// Base seed; run `i` uses a generator seeded from `(seed, i)`, so the
-    /// batch is reproducible and order-independent.
+    /// Base seed of the scenario stream; run `i` uses a generator seeded
+    /// from `(seed, i)`, so the batch is reproducible and
+    /// order-independent.
     pub seed: u64,
+}
+
+/// The scenario of run `i` of a batch seeded with `seed`: a SplitMix-style
+/// mix of `(seed, i)` keeps per-run streams decorrelated.
+pub(crate) fn scenario_of_run(
+    seed: u64,
+    lifetime: &LifetimeDist,
+    m: usize,
+    i: usize,
+) -> FaultScenario {
+    let mixed = seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng = StdRng::seed_from_u64(mixed);
+    draw_scenario(m, lifetime, &mut rng)
 }
 
 impl MonteCarloConfig {
     /// The scenario of run `i` (exposed so callers can replay a run of
     /// interest in isolation).
     pub fn scenario_of_run(&self, m: usize, i: usize) -> FaultScenario {
-        // SplitMix-style mix keeps per-run streams decorrelated.
-        let mixed = self
-            .seed
-            .wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        let mut rng = StdRng::seed_from_u64(mixed);
-        draw_scenario(m, &self.lifetime, &mut rng)
+        scenario_of_run(self.seed, &self.lifetime, m, i)
     }
 }
 
 /// Runs `cfg.runs` independent timed-failure simulations of the schedule
-/// (in parallel via rayon) and aggregates them deterministically: the same
-/// configuration always produces the same [`BatchSummary`], regardless of
-/// thread count.
+/// (in parallel via rayon) and aggregates them deterministically in O(1)
+/// memory per worker: the same configuration always produces the same
+/// [`BatchSummary`], regardless of thread count (see the module docs for
+/// why the merge is bit-exact).
 pub fn simulate_many(inst: &Instance, sched: &FtSchedule, cfg: &MonteCarloConfig) -> BatchSummary {
     let m = inst.num_procs();
-    let outcomes: Vec<(Option<f64>, RunOutcome)> = (0..cfg.runs)
+    let nominal = sched.latency();
+    (0..cfg.runs)
         .into_par_iter()
-        .map(|i| {
-            let scenario = cfg.scenario_of_run(m, i);
-            let earliest = scenario.earliest_crash();
-            (earliest, execute(inst, sched, &scenario, &cfg.engine))
-        })
-        .collect();
-    summarize(sched, cfg, &outcomes)
+        .fold(
+            || BatchAccumulator::new(nominal),
+            |mut acc, i| {
+                let scenario = scenario_of_run(cfg.seed, &cfg.lifetime, m, i);
+                let out = execute(inst, sched, &scenario, &cfg.engine);
+                acc.record(scenario.earliest_crash(), &out);
+                acc
+            },
+        )
+        .reduce(|| BatchAccumulator::new(nominal), BatchAccumulator::merge)
+        .finish(cfg.engine.policy)
 }
 
-/// Sequential aggregation of `(earliest crash, outcome)` per run, in run
-/// order.
-fn summarize(
-    sched: &FtSchedule,
-    cfg: &MonteCarloConfig,
-    outcomes: &[(Option<f64>, RunOutcome)],
-) -> BatchSummary {
-    let nominal = sched.latency();
-    let mut completed = 0usize;
-    let mut disturbed = 0usize;
-    let mut lat_sum = 0.0f64;
-    let mut lat_max = 0.0f64;
-    let mut slow_sum = 0.0f64;
-    let mut failures = 0usize;
-    let mut tasks_recovered = 0usize;
-    let mut recovery_replicas = 0usize;
-    let mut recovery_messages = 0usize;
-    let mut checkpoint_overhead = 0.0f64;
-    let mut work_saved = 0.0f64;
-    for (earliest_crash, out) in outcomes {
-        failures += out.num_failures;
-        tasks_recovered += out.tasks_recovered();
-        recovery_replicas += out.recovery_replicas;
-        recovery_messages += out.recovery_messages;
-        checkpoint_overhead += out.checkpoint_overhead;
-        work_saved += out.work_saved;
-        if earliest_crash.is_some_and(|t| t < nominal) {
-            disturbed += 1;
+/// Streaming aggregate of run outcomes: constant-size, mergeable, and
+/// bit-exact under any merge tree.
+///
+/// Feed outcomes with [`record`](BatchAccumulator::record) (in any
+/// grouping), combine partial accumulators with
+/// [`merge`](BatchAccumulator::merge), and close with
+/// [`finish`](BatchAccumulator::finish). All floating-point totals are
+/// held as [`ExactSum`]s, so the final [`BatchSummary`] does not depend
+/// on how the runs were partitioned — the property that lets
+/// [`simulate_many`] parallelize without giving up byte-identical output.
+#[derive(Clone, Debug)]
+pub struct BatchAccumulator {
+    /// The schedule's nominal latency (slowdown denominator).
+    nominal: f64,
+    runs: usize,
+    completed: usize,
+    disturbed: usize,
+    lat_sum: ExactSum,
+    lat_max: f64,
+    slow_sum: ExactSum,
+    failures: usize,
+    tasks_recovered: usize,
+    recovery_replicas: usize,
+    recovery_messages: usize,
+    checkpoint_overhead: ExactSum,
+    work_saved: ExactSum,
+}
+
+impl BatchAccumulator {
+    /// An empty accumulator for a schedule of the given nominal (0-crash)
+    /// latency.
+    pub fn new(nominal: f64) -> Self {
+        BatchAccumulator {
+            nominal,
+            runs: 0,
+            completed: 0,
+            disturbed: 0,
+            lat_sum: ExactSum::new(),
+            lat_max: 0.0,
+            slow_sum: ExactSum::new(),
+            failures: 0,
+            tasks_recovered: 0,
+            recovery_replicas: 0,
+            recovery_messages: 0,
+            checkpoint_overhead: ExactSum::new(),
+            work_saved: ExactSum::new(),
+        }
+    }
+
+    /// Folds one run into the aggregate. `earliest_crash` is the run's
+    /// earliest scenario crash time (`None` = failure-free), used for the
+    /// `disturbed` count.
+    pub fn record(&mut self, earliest_crash: Option<f64>, out: &RunOutcome) {
+        self.runs += 1;
+        self.failures += out.num_failures;
+        self.tasks_recovered += out.tasks_recovered();
+        self.recovery_replicas += out.recovery_replicas;
+        self.recovery_messages += out.recovery_messages;
+        self.checkpoint_overhead.add(out.checkpoint_overhead);
+        self.work_saved.add(out.work_saved);
+        if earliest_crash.is_some_and(|t| t < self.nominal) {
+            self.disturbed += 1;
         }
         if let Some(lat) = out.latency() {
-            completed += 1;
-            lat_sum += lat;
-            lat_max = lat_max.max(lat);
-            slow_sum += lat / nominal;
+            self.completed += 1;
+            self.lat_sum.add(lat);
+            self.lat_max = self.lat_max.max(lat);
+            self.slow_sum.add(lat / self.nominal);
         }
     }
-    let denom = completed.max(1) as f64;
-    BatchSummary {
-        policy: cfg.engine.policy,
-        runs: outcomes.len(),
-        completed,
-        disturbed,
-        mean_latency: lat_sum / denom,
-        max_latency: lat_max,
-        mean_slowdown: slow_sum / denom,
-        mean_failures: failures as f64 / (outcomes.len().max(1)) as f64,
-        tasks_recovered,
-        recovery_replicas,
-        recovery_messages,
-        checkpoint_overhead,
-        work_saved,
+
+    /// Combines two partial aggregates. Associative and commutative to
+    /// the bit (integer counters, max, and exact sums), so any merge tree
+    /// over the same runs produces the same final summary.
+    pub fn merge(mut self, other: Self) -> Self {
+        debug_assert!(
+            other.runs == 0 || self.runs == 0 || self.nominal == other.nominal,
+            "merging accumulators of different schedules"
+        );
+        if self.runs == 0 {
+            self.nominal = other.nominal;
+        }
+        self.runs += other.runs;
+        self.completed += other.completed;
+        self.disturbed += other.disturbed;
+        self.lat_sum.merge(&other.lat_sum);
+        self.lat_max = self.lat_max.max(other.lat_max);
+        self.slow_sum.merge(&other.slow_sum);
+        self.failures += other.failures;
+        self.tasks_recovered += other.tasks_recovered;
+        self.recovery_replicas += other.recovery_replicas;
+        self.recovery_messages += other.recovery_messages;
+        self.checkpoint_overhead.merge(&other.checkpoint_overhead);
+        self.work_saved.merge(&other.work_saved);
+        self
     }
+
+    /// Closes the aggregate into a [`BatchSummary`] for runs executed
+    /// under `policy`.
+    pub fn finish(self, policy: RecoveryPolicy) -> BatchSummary {
+        let denom = self.completed.max(1) as f64;
+        BatchSummary {
+            policy,
+            runs: self.runs,
+            completed: self.completed,
+            disturbed: self.disturbed,
+            mean_latency: self.lat_sum.value() / denom,
+            max_latency: self.lat_max,
+            mean_slowdown: self.slow_sum.value() / denom,
+            mean_failures: self.failures as f64 / (self.runs.max(1)) as f64,
+            tasks_recovered: self.tasks_recovered,
+            recovery_replicas: self.recovery_replicas,
+            recovery_messages: self.recovery_messages,
+            checkpoint_overhead: self.checkpoint_overhead.value(),
+            work_saved: self.work_saved.value(),
+        }
+    }
+}
+
+/// Span of the fixed-point window in 32-bit limbs: bit `0` of limb `0` is
+/// 2⁻¹⁰⁷⁴ (the smallest subnormal), the top limb covers past 2¹⁰²⁴, so
+/// every finite non-negative `f64` lands fully inside the window.
+const LIMBS: usize = (1074 + 1024 + 63) / 32 + 2;
+
+/// How many [`ExactSum::add`]s may elapse between carry normalizations:
+/// each add deposits < 2³³ per limb, so 2²⁹ adds stay clear of `i64`
+/// overflow with a wide margin.
+const NORMALIZE_EVERY: u32 = 1 << 29;
+
+/// An exact accumulator of non-negative `f64`s: a 2098-bit fixed-point
+/// integer stored as 32-bit limbs in `i64` slots (carries are absorbed
+/// lazily). Integer addition is associative and commutative, so the
+/// represented value — and therefore [`value`](ExactSum::value) — is
+/// independent of insertion order *and* of how partial sums are
+/// [`merge`](ExactSum::merge)d, which is what makes
+/// [`BatchAccumulator::merge`] bit-exact.
+///
+/// # Example
+///
+/// ```
+/// use ft_runtime::batch::ExactSum;
+///
+/// // 0.1 ten times: naive f64 summation gives 0.9999999999999999.
+/// let mut s = ExactSum::new();
+/// for _ in 0..10 {
+///     s.add(0.1);
+/// }
+/// // The exact sum of ten copies of the double nearest 0.1 rounds to 1.0.
+/// assert_eq!(s.value(), 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExactSum {
+    limbs: [i64; LIMBS],
+    pending: u32,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactSum {
+    /// The zero sum.
+    pub fn new() -> Self {
+        ExactSum {
+            limbs: [0; LIMBS],
+            pending: 0,
+        }
+    }
+
+    /// Adds a finite non-negative `f64` exactly.
+    ///
+    /// # Panics
+    /// Panics on negative, NaN or infinite input (the engine's aggregated
+    /// metrics — latencies, slowdowns, overheads — are all finite and
+    /// non-negative by construction).
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite() && x >= 0.0, "ExactSum::add({x})");
+        if x == 0.0 {
+            return;
+        }
+        let bits = x.to_bits();
+        let raw_exp = ((bits >> 52) & 0x7FF) as i64;
+        let mantissa = if raw_exp == 0 {
+            bits & ((1 << 52) - 1) // subnormal: no implicit leading 1
+        } else {
+            (bits & ((1 << 52) - 1)) | (1 << 52)
+        };
+        // Offset of the mantissa's bit 0 from 2^-1074.
+        let pos = if raw_exp == 0 { 0 } else { raw_exp - 1 } as u64;
+        let (limb, shift) = ((pos / 32) as usize, pos % 32);
+        let wide = (mantissa as u128) << shift; // ≤ 53 + 31 = 84 bits
+        self.limbs[limb] += (wide & 0xFFFF_FFFF) as i64;
+        self.limbs[limb + 1] += ((wide >> 32) & 0xFFFF_FFFF) as i64;
+        self.limbs[limb + 2] += ((wide >> 64) & 0xFFFF_FFFF) as i64;
+        self.pending += 1;
+        if self.pending >= NORMALIZE_EVERY {
+            self.normalize();
+        }
+    }
+
+    /// Adds another exact sum (exactly).
+    pub fn merge(&mut self, other: &ExactSum) {
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a += b;
+        }
+        // Both sides carry < 2^33 per limb pre-normalization headroom;
+        // normalizing after every merge keeps the invariant simple.
+        self.normalize();
+    }
+
+    /// Propagates carries so every limb is a canonical 32-bit digit.
+    fn normalize(&mut self) {
+        let mut carry = 0i64;
+        for l in &mut self.limbs {
+            let v = *l + carry;
+            *l = v & 0xFFFF_FFFF;
+            carry = v >> 32;
+        }
+        debug_assert_eq!(carry, 0, "ExactSum window overflow");
+        self.pending = 0;
+    }
+
+    /// Rounds the exact value to the nearest `f64` representable from the
+    /// top 96 significant bits (ample for a 53-bit mantissa; deterministic
+    /// because the canonical limb form is unique).
+    pub fn value(&self) -> f64 {
+        let mut canon = self.clone();
+        canon.normalize();
+        let Some(top) = canon.limbs.iter().rposition(|&l| l != 0) else {
+            return 0.0;
+        };
+        let lo = top.saturating_sub(2);
+        let mut word: u128 = 0;
+        for i in (lo..=top).rev() {
+            word = (word << 32) | canon.limbs[i] as u128;
+        }
+        // Sticky bit: any nonzero limb below the 96-bit window nudges the
+        // value off an exact halfway case before the final rounding.
+        if canon.limbs[..lo].iter().any(|&l| l != 0) {
+            word |= 1;
+        }
+        (word as f64) * exp2i(32 * lo as i32 - 1074)
+    }
+}
+
+/// `2^e` for the limb scale (exact: splits the exponent so each factor is
+/// a normal power of two).
+fn exp2i(e: i32) -> f64 {
+    let half = e / 2;
+    f64::powi(2.0, half) * f64::powi(2.0, e - half)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::RecoveryPolicy;
+    use crate::detection::DetectionModel;
     use ft_algos::{caft, CommModel};
     use ft_graph::gen::{random_layered, RandomDagParams};
     use ft_platform::{random_instance, PlatformParams};
@@ -160,6 +394,51 @@ mod tests {
         let inst = random_instance(g, &PlatformParams::default().with_procs(6), 1.0, &mut rng);
         let sched = caft(&inst, 1, CommModel::OnePort, 0);
         (inst, sched)
+    }
+
+    #[test]
+    fn exact_sum_is_grouping_independent() {
+        let values: Vec<f64> = (0..2000)
+            .map(|i| ((i as f64) * 0.7618).sin().abs() * 1e3 + 1e-12)
+            .collect();
+        let mut seq = ExactSum::new();
+        for &v in &values {
+            seq.add(v);
+        }
+        // Adversarial grouping: tiny chunks merged in a skewed tree, in
+        // reversed order.
+        let mut chunks: Vec<ExactSum> = values
+            .chunks(7)
+            .map(|c| {
+                let mut s = ExactSum::new();
+                for &v in c {
+                    s.add(v);
+                }
+                s
+            })
+            .collect();
+        chunks.reverse();
+        let mut merged = ExactSum::new();
+        for c in &chunks {
+            merged.merge(c);
+        }
+        assert_eq!(seq.value().to_bits(), merged.value().to_bits());
+    }
+
+    #[test]
+    fn exact_sum_handles_extreme_scales() {
+        let mut s = ExactSum::new();
+        s.add(f64::MIN_POSITIVE / 4.0); // subnormal
+        s.add(1e300);
+        s.add(1e-300);
+        s.add(0.0);
+        assert_eq!(s.value(), 1e300);
+        let mut t = ExactSum::new();
+        t.add(1.0);
+        for _ in 0..1000 {
+            t.add(f64::EPSILON / 2.0); // each individually rounds away
+        }
+        assert!(t.value() > 1.0, "exact accumulation keeps the tail");
     }
 
     #[test]
@@ -180,6 +459,36 @@ mod tests {
             serde_json::to_string(&b).unwrap()
         );
         assert_eq!(a.runs, 64);
+    }
+
+    #[test]
+    fn streaming_matches_sequential_accumulation() {
+        // The collect-then-summarize reference path, one run at a time
+        // through a single accumulator, must reproduce the parallel
+        // fold/reduce byte-for-byte (also pinned as a property in
+        // tests/timed_model.rs).
+        let (inst, sched) = setup();
+        let cfg = MonteCarloConfig {
+            runs: 100,
+            lifetime: LifetimeDist::Exponential {
+                mean: sched.latency(),
+            },
+            engine: EngineConfig::with_policy(RecoveryPolicy::ReReplicate),
+            seed: 13,
+        };
+        let streamed = simulate_many(&inst, &sched, &cfg);
+        let m = inst.num_procs();
+        let mut acc = BatchAccumulator::new(sched.latency());
+        for i in 0..cfg.runs {
+            let scenario = cfg.scenario_of_run(m, i);
+            let out = execute(&inst, &sched, &scenario, &cfg.engine);
+            acc.record(scenario.earliest_crash(), &out);
+        }
+        let sequential = acc.finish(cfg.engine.policy);
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&sequential).unwrap()
+        );
     }
 
     #[test]
@@ -213,7 +522,7 @@ mod tests {
             },
             engine: EngineConfig {
                 policy: RecoveryPolicy::checkpoint(interval, 0.02),
-                detection_latency: 0.5,
+                detection: DetectionModel::Uniform(0.5),
                 seed: 3,
             },
             seed: 23,
@@ -239,7 +548,7 @@ mod tests {
             },
             engine: EngineConfig {
                 policy,
-                detection_latency: 0.5,
+                detection: DetectionModel::Uniform(0.5),
                 seed: 3,
             },
             seed: 29,
@@ -268,7 +577,7 @@ mod tests {
             },
             engine: EngineConfig {
                 policy,
-                detection_latency: 0.5,
+                detection: DetectionModel::Uniform(0.5),
                 seed: 3,
             },
             seed: 11,

@@ -20,19 +20,26 @@
 //!    occupy its port. With every crash at time 0 this reproduces the
 //!    fail-silent pruning of `ft_sim::replay` exactly, a property pinned
 //!    by the `timed_model` test-suite.
-//! 3. **Detection and recovery** — each crash is detected
-//!    `detection_latency` later, at which point the configured
-//!    [`RecoveryPolicy`] may inject repair work: replacement replicas fed
-//!    by surviving copies (`ReReplicate`), resumed replicas restored from
-//!    the last completed checkpoint (`Checkpoint`), or a full CAFT repair
-//!    plan on the not-yet-started sub-DAG (`Reschedule`, via
+//! 3. **Detection and recovery** — each crash is detected per survivor
+//!    at the instants the configured [`DetectionModel`] yields (a uniform
+//!    latency, per-processor delays, or seeded gossip rounds). The
+//!    configured [`RecoveryPolicy`] may inject repair work whenever the
+//!    knowledge of a crash spreads: replacement replicas fed by surviving
+//!    copies (`ReReplicate`), resumed replicas restored from the last
+//!    completed checkpoint (`Checkpoint`), or a full CAFT repair plan on
+//!    the not-yet-started sub-DAG (`Reschedule`, via
 //!    [`ft_algos::caft_on_subdag`]). Repair traffic is modeled
 //!    contention-free with respect to the in-flight static traffic (the
 //!    same emergency-traffic simplification the replay engine makes for
-//!    its fail-over reroute; see DESIGN.md §4). Knowledge honesty: policies
-//!    only act on *detected* crashes — work scheduled onto a processor
-//!    that has crashed but whose failure is still undetected is trusted,
-//!    fails, and is repaired at the next detection.
+//!    its fail-over reroute; see DESIGN.md §4). Knowledge honesty cuts
+//!    both ways: work scheduled onto a processor that has crashed but
+//!    whose failure is still undetected is trusted, fails, and is
+//!    repaired at a later detection — and repair work is placed **only on
+//!    survivors that have already detected every known crash** (the
+//!    survivor-knowledge rule; under
+//!    [`DetectionModel::Uniform`] every survivor qualifies at the single
+//!    detection instant, which reproduces the historical scalar-latency
+//!    engine exactly).
 //! 4. **Resumable partial progress** (`Checkpoint` only) — every
 //!    computation stretches by one `overhead` per completed `interval` of
 //!    work (checkpoint writes; none after the final segment). When a
@@ -51,7 +58,7 @@
 //! # Example
 //!
 //! ```
-//! use ft_runtime::{execute, EngineConfig, RecoveryPolicy};
+//! use ft_runtime::{execute, DetectionModel, EngineConfig, RecoveryPolicy};
 //! use ft_algos::{caft, CommModel};
 //! use ft_graph::gen::{random_layered, RandomDagParams};
 //! use ft_platform::{random_instance, PlatformParams, ProcId};
@@ -67,7 +74,7 @@
 //! let scenario = ft_sim::FaultScenario::timed(&[(ProcId(2), sched.latency() * 0.5)]);
 //! let cfg = EngineConfig {
 //!     policy: RecoveryPolicy::checkpoint(2.0, 0.05),
-//!     detection_latency: 1.0,
+//!     detection: DetectionModel::uniform(1.0),
 //!     seed: 0,
 //! };
 //! let out = execute(&inst, &sched, &scenario, &cfg);
@@ -78,6 +85,8 @@
 //! assert!(out.work_saved >= 0.0);
 //! ```
 
+#[cfg(doc)]
+use crate::detection::DetectionModel;
 use crate::metrics::RunOutcome;
 use crate::policy::{EngineConfig, RecoveryPolicy};
 use ft_algos::{caft_on_subdag, CaftOptions, SubDagSpec};
@@ -229,6 +238,10 @@ struct Engine<'a> {
     recovery_exec: Vec<Vec<u32>>,
     topo_position: Vec<usize>,
     known_dead: Vec<bool>,
+    /// `detect[p][q]`: the instant at which processor `q` learns of the
+    /// crash of processor `p` (`INFINITY` = never / `p` never crashes);
+    /// precomputed from the [`DetectionModel`] at construction.
+    detect: Vec<Vec<f64>>,
 
     first_finish: Vec<Option<f64>>,
     recovered: Vec<bool>,
@@ -239,6 +252,12 @@ struct Engine<'a> {
     /// Per-task flag: a recovery pass found the task's data gone on
     /// every survivor (deduplicated across detections).
     unrecoverable: Vec<bool>,
+    /// Per-task flag: a `ReReplicate`/`Checkpoint` spawn was skipped
+    /// because survivors existed but none was repair-eligible yet
+    /// (survivor-knowledge rule); retried at every later detection
+    /// event. Never set under [`DetectionModel::Uniform`], where
+    /// eligibility and survival coincide.
+    deferred: Vec<bool>,
 
     /// `(interval, overhead)` when the policy is `Checkpoint`.
     ck: Option<(f64, f64)>,
@@ -271,11 +290,7 @@ impl<'a> Engine<'a> {
         scenario: &'a FaultScenario,
         cfg: &'a EngineConfig,
     ) -> Self {
-        assert!(
-            cfg.detection_latency.is_finite() && cfg.detection_latency >= 0.0,
-            "bad detection latency {}",
-            cfg.detection_latency
-        );
+        cfg.detection.validate(inst.num_procs());
         let ck = match cfg.policy {
             RecoveryPolicy::Checkpoint { interval, overhead } => {
                 assert!(
@@ -298,6 +313,11 @@ impl<'a> Engine<'a> {
         {
             topo_position[t.index()] = i;
         }
+        let m = inst.num_procs();
+        let mut detect = vec![Vec::new(); m];
+        for (p, t) in scenario.crashes() {
+            detect[p.index()] = cfg.detection.instants(m, p, t, scenario);
+        }
         Engine {
             inst,
             sched,
@@ -311,6 +331,7 @@ impl<'a> Engine<'a> {
             recovery_exec: vec![Vec::new(); v],
             topo_position,
             known_dead: vec![false; inst.num_procs()],
+            detect,
             first_finish: vec![None; v],
             recovered: vec![false; v],
             detections: 0,
@@ -318,6 +339,7 @@ impl<'a> Engine<'a> {
             recovery_replicas: 0,
             recovery_messages: 0,
             unrecoverable: vec![false; v],
+            deferred: vec![false; v],
             ck,
             task_ck_frac: vec![0.0; v],
             checkpoint_overhead: 0.0,
@@ -494,14 +516,39 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Queues the initial completions and the detection events.
+    /// Queues the initial completions and the detection events: one event
+    /// per crash per **distinct** observer detection instant (the crashed
+    /// processor's own entry excluded), so the recovery policy fires when
+    /// the crash is first detected and again whenever knowledge of it
+    /// reaches more survivors (a single event under
+    /// [`DetectionModel::Uniform`]). A crash with no *other* observer —
+    /// the single-processor platform — falls back to the crashed
+    /// processor's own instant, so every timeout-model crash still enters
+    /// the coordinator view exactly as in the pre-redesign engine; only a
+    /// gossip rumor with nobody to start it is never detected.
     fn seed_events(&mut self) {
-        for (p, t) in self.scenario.crashes() {
-            self.heap.push(Reverse((
-                OrdF64(t + self.cfg.detection_latency),
-                1,
-                p.index() as u32,
-            )));
+        for (p, _) in self.scenario.crashes() {
+            let others = |q: usize| q != p.index();
+            let own = |q: usize| q == p.index();
+            let mut instants: Vec<f64> = self.detect[p.index()]
+                .iter()
+                .enumerate()
+                .filter(|&(q, w)| others(q) && w.is_finite())
+                .map(|(_, &w)| w)
+                .collect();
+            if instants.is_empty() {
+                instants = self.detect[p.index()]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(q, w)| own(q) && w.is_finite())
+                    .map(|(_, &w)| w)
+                    .collect();
+            }
+            instants.sort_by(f64::total_cmp);
+            instants.dedup();
+            for w in instants {
+                self.heap.push(Reverse((OrdF64(w), 1, p.index() as u32)));
+            }
         }
         let mut acts: Vec<Act> = (0..self.ops.len() as u32).map(Act::TrySchedule).collect();
         self.drain(&mut acts);
@@ -738,9 +785,16 @@ impl<'a> Engine<'a> {
 
     // --- failure detection & recovery -----------------------------------
 
+    /// Processes one detection event of the crash of `p`: the first event
+    /// per crash (its earliest survivor detection instant) brings the
+    /// crash into the coordinator view; later events mark knowledge of it
+    /// reaching more survivors, widening the repair-eligible set, and give
+    /// the policy another chance at tasks it could not repair before.
     fn on_detection(&mut self, p: ProcId, time: f64) {
-        self.known_dead[p.index()] = true;
-        self.detections += 1;
+        if !self.known_dead[p.index()] {
+            self.known_dead[p.index()] = true;
+            self.detections += 1;
+        }
         match self.cfg.policy {
             RecoveryPolicy::Absorb => {}
             // Checkpoint shares ReReplicate's lost-task selection; the
@@ -750,6 +804,21 @@ impl<'a> Engine<'a> {
             }
             RecoveryPolicy::Reschedule => self.reschedule(time),
         }
+    }
+
+    /// The survivor-knowledge rule: `q` may host repair work at time
+    /// `now` iff it is alive (as far as the coordinator knows) and has
+    /// detected **every** crash the coordinator knows about. Under
+    /// [`DetectionModel::Uniform`] every survivor qualifies at the single
+    /// per-crash detection instant, reproducing the historical engine.
+    fn repair_eligible(&self, q: usize, now: f64) -> bool {
+        !self.known_dead[q]
+            && self
+                .known_dead
+                .iter()
+                .enumerate()
+                .filter(|&(_, &dead)| dead)
+                .all(|(p, _)| self.detect[p][q] <= now)
     }
 
     /// True if some replica of `t` is completed, or is scheduled on a
@@ -798,9 +867,12 @@ impl<'a> Engine<'a> {
         out
     }
 
-    /// `ReReplicate`: one replacement replica per task that lost a copy on
-    /// `p` and is not believed safe, in topological order (so replacements
-    /// can feed later replacements).
+    /// `ReReplicate`: one replacement replica per task that lost a copy
+    /// on `p` and is not believed safe, in topological order (so
+    /// replacements can feed later replacements). Tasks whose spawn was
+    /// deferred at an earlier event for lack of repair-eligible
+    /// survivors are retried first — a knowledge-growth event may not
+    /// name them in its own lost set.
     fn re_replicate(&mut self, p: ProcId, time: f64) {
         let g = &self.inst.graph;
         let mut lost: Vec<usize> = Vec::new();
@@ -809,7 +881,8 @@ impl<'a> Engine<'a> {
                 let op = &self.ops[id as usize];
                 op.proc as usize == p.index() && op.state != OpState::Done
             };
-            if (self.static_exec[t].iter().flatten().any(on_p_not_done)
+            if (self.deferred[t]
+                || self.static_exec[t].iter().flatten().any(on_p_not_done)
                 || self.recovery_exec[t].iter().any(on_p_not_done)
                 // A replica pruned at build time (its static host crashed
                 // pre-start, or statically starved) also counts as lost.
@@ -823,6 +896,7 @@ impl<'a> Engine<'a> {
 
         for t in lost {
             if self.task_believed_safe(t) {
+                self.deferred[t] = false;
                 continue; // an earlier replacement this round covered it
             }
             // A still-live pending replacement from an earlier detection?
@@ -831,8 +905,12 @@ impl<'a> Engine<'a> {
                 op.state == OpState::Pending && !self.known_dead[op.proc as usize]
             });
             if pending_recovery {
+                self.deferred[t] = false;
                 continue;
             }
+            self.deferred[t] = false;
+            // …and may re-mark the task deferred if no survivor is
+            // repair-eligible yet.
             self.spawn_replacement(TaskId::from_index(t), time);
         }
     }
@@ -872,7 +950,7 @@ impl<'a> Engine<'a> {
             }
             edge_sources.push(copies);
         }
-        let Some(candidates) = self.replacement_candidates(t) else {
+        let Some(candidates) = self.replacement_candidates(t, now) else {
             return;
         };
         // Pick the host minimizing the estimated finish.
@@ -948,27 +1026,35 @@ impl<'a> Engine<'a> {
     }
 
     /// Candidate hosts for a replacement or resumed replica of `t`:
-    /// survivors, excluding hosts of live copies of `t` (space exclusion)
-    /// when possible. `None` marks the task unrecoverable (no survivor
-    /// left at all).
-    fn replacement_candidates(&mut self, t: TaskId) -> Option<Vec<ProcId>> {
+    /// repair-eligible survivors (the survivor-knowledge rule — see
+    /// [`Engine::repair_eligible`]), excluding hosts of live copies of
+    /// `t` (space exclusion) when possible. `None` with the task flagged
+    /// unrecoverable when no survivor is left at all; `None` with the
+    /// task marked *deferred* when survivors exist but none has detected
+    /// every known crash yet — the next detection event retries deferred
+    /// tasks (see [`Engine::re_replicate`]).
+    fn replacement_candidates(&mut self, t: TaskId, now: f64) -> Option<Vec<ProcId>> {
         let hosting: Vec<usize> = self
             .surviving_copies(t.index())
             .iter()
             .map(|&(_, p, _)| p.index())
             .collect();
         let mut candidates: Vec<ProcId> = (0..self.inst.num_procs())
-            .filter(|&p| !self.known_dead[p] && !hosting.contains(&p))
+            .filter(|&p| self.repair_eligible(p, now) && !hosting.contains(&p))
             .map(ProcId::from_index)
             .collect();
         if candidates.is_empty() {
             candidates = (0..self.inst.num_procs())
-                .filter(|&p| !self.known_dead[p])
+                .filter(|&p| self.repair_eligible(p, now))
                 .map(ProcId::from_index)
                 .collect();
         }
         if candidates.is_empty() {
-            self.unrecoverable[t.index()] = true;
+            if (0..self.inst.num_procs()).all(|p| self.known_dead[p]) {
+                self.unrecoverable[t.index()] = true;
+            } else {
+                self.deferred[t.index()] = true;
+            }
             return None;
         }
         Some(candidates)
@@ -984,7 +1070,7 @@ impl<'a> Engine<'a> {
         let frac = self.task_ck_frac[t.index()];
         debug_assert!(frac > 0.0, "resume without a checkpoint");
         let (interval, overhead) = self.ck.expect("resume only under Checkpoint");
-        let Some(candidates) = self.replacement_candidates(t) else {
+        let Some(candidates) = self.replacement_candidates(t, now) else {
             return;
         };
         let mut best: Option<(f64, ProcId)> = None;
@@ -1014,9 +1100,26 @@ impl<'a> Engine<'a> {
         self.drain(&mut acts);
     }
 
-    /// `Reschedule`: cancel any previous repair plan and re-run CAFT on the
-    /// not-yet-started sub-DAG over the surviving processors.
+    /// `Reschedule`: cancel any previous repair plan and re-run CAFT on
+    /// the not-yet-started sub-DAG over the repair-eligible survivors
+    /// (the survivor-knowledge rule: the plan can only use processors
+    /// that know the platform shrank — under non-uniform detection the
+    /// plan improves as knowledge spreads, one event at a time).
     fn reschedule(&mut self, now: f64) {
+        let alive: Vec<ProcId> = (0..self.inst.num_procs())
+            .filter(|&p| self.repair_eligible(p, now))
+            .map(ProcId::from_index)
+            .collect();
+        if alive.is_empty() {
+            // Knowledge lag (live survivors, none informed yet) is not a
+            // replan — a later event will produce one; a platform with no
+            // survivors at all still counts the vacuous attempt, matching
+            // the historical accounting.
+            if (0..self.inst.num_procs()).all(|p| self.known_dead[p]) {
+                self.reschedules += 1;
+            }
+            return;
+        }
         self.reschedules += 1;
         // Cancel superseded repair work.
         for op in &mut self.ops {
@@ -1031,13 +1134,6 @@ impl<'a> Engine<'a> {
         self.recovery_exec = recovery_exec;
 
         let v = self.inst.num_tasks();
-        let alive: Vec<ProcId> = (0..self.inst.num_procs())
-            .filter(|&p| !self.known_dead[p])
-            .map(ProcId::from_index)
-            .collect();
-        if alive.is_empty() {
-            return;
-        }
         let eps = self.sched.epsilon().min(alive.len() - 1);
 
         // Remnant = not completed and not safely in flight.
@@ -1188,6 +1284,7 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detection::DetectionModel;
     use ft_algos::{caft, ftsa, CommModel};
     use ft_graph::gen::{random_layered, RandomDagParams};
     use ft_platform::PlatformParams;
@@ -1338,7 +1435,7 @@ mod tests {
                 let scenario = FaultScenario::timed(&[(p, crash_at)]);
                 let cfg = EngineConfig {
                     policy: RecoveryPolicy::Reschedule,
-                    detection_latency: 0.5,
+                    detection: DetectionModel::uniform(0.5),
                     seed: 0,
                 };
                 let out = execute(&inst, &sched, &scenario, &cfg);
@@ -1367,7 +1464,7 @@ mod tests {
             &scenario,
             &EngineConfig {
                 policy: RecoveryPolicy::Absorb,
-                detection_latency: 0.2,
+                detection: DetectionModel::uniform(0.2),
                 seed: 0,
             },
         );
@@ -1377,7 +1474,7 @@ mod tests {
             &scenario,
             &EngineConfig {
                 policy: RecoveryPolicy::ReReplicate,
-                detection_latency: 0.2,
+                detection: DetectionModel::uniform(0.2),
                 seed: 0,
             },
         );
@@ -1395,6 +1492,77 @@ mod tests {
     }
 
     #[test]
+    fn deferred_repairs_are_retried_when_knowledge_spreads() {
+        // Staggered per-processor detection with the fast monitor itself
+        // crashed: the second crash becomes known through the dead
+        // observer's (phantom) heartbeat instant, at which point no live
+        // survivor is repair-eligible yet. The spawns skipped there must
+        // be retried at the later knowledge-growth events — without the
+        // deferral list, tasks that lost replicas on the first victim
+        // were stranded forever (their doomed replacements sat on the
+        // dead fast observer, and later events only rescanned the
+        // *other* crash's losses).
+        let inst = setup(21, 40, 1.0);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 3);
+        let nominal = sched.latency();
+        let m = inst.num_procs();
+        let mut delays = vec![nominal * 0.3; m];
+        delays[0] = nominal * 0.01; // the fast monitor…
+        let scenario =
+            FaultScenario::timed(&[(ProcId(0), nominal * 0.05), (ProcId(1), nominal * 0.1)]);
+        let cfg = EngineConfig {
+            policy: RecoveryPolicy::ReReplicate,
+            detection: DetectionModel::PerProcessor(delays),
+            seed: 0,
+        };
+        let out = execute(&inst, &sched, &scenario, &cfg);
+        assert!(
+            out.completed(),
+            "deferred spawns must be retried once survivors become eligible"
+        );
+        assert!(out.recovery_replicas > 0);
+        // Deterministic, like every engine entry point.
+        let again = execute(&inst, &sched, &scenario, &cfg);
+        assert_eq!(
+            serde_json::to_string(&out).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn knowledge_lag_does_not_count_phantom_replans() {
+        // Under staggered detection a Reschedule event can fire while no
+        // survivor is repair-eligible; such events must not inflate the
+        // replan counter (they produce no plan and cancel nothing).
+        let inst = setup(21, 40, 1.0);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 3);
+        let nominal = sched.latency();
+        let m = inst.num_procs();
+        let mut delays = vec![nominal * 0.3; m];
+        delays[0] = nominal * 0.01;
+        let scenario =
+            FaultScenario::timed(&[(ProcId(0), nominal * 0.05), (ProcId(1), nominal * 0.1)]);
+        let cfg = EngineConfig {
+            policy: RecoveryPolicy::Reschedule,
+            detection: DetectionModel::PerProcessor(delays),
+            seed: 0,
+        };
+        let out = execute(&inst, &sched, &scenario, &cfg);
+        // Three detection events fire: crash 1 via the dead fast monitor
+        // (replans onto the not-yet-known-dead ProcId(0) — knowledge
+        // honesty), crash 0 via the slow monitors (no survivor has
+        // detected *both* crashes yet: no replan), and crash 1 again once
+        // the slow monitors learn of it (the real repair). Counting the
+        // middle no-op would report 3.
+        assert_eq!(out.detections, 2);
+        assert_eq!(
+            out.reschedules, 2,
+            "knowledge-lag events with no eligible survivor must not count as replans"
+        );
+        assert!(out.completed());
+    }
+
+    #[test]
     fn detection_latency_delays_recovery() {
         let inst = setup(25, 40, 1.0);
         let sched = caft(&inst, 1, CommModel::OnePort, 5);
@@ -1408,7 +1576,7 @@ mod tests {
                 &scenario,
                 &EngineConfig {
                     policy: RecoveryPolicy::ReReplicate,
-                    detection_latency: delta,
+                    detection: DetectionModel::uniform(delta),
                     seed: 0,
                 },
             )
@@ -1434,7 +1602,7 @@ mod tests {
         for policy in RecoveryPolicy::ALL {
             let cfg = EngineConfig {
                 policy,
-                detection_latency: 0.3,
+                detection: DetectionModel::uniform(0.3),
                 seed: 4,
             };
             let a = execute(&inst, &sched, &scenario, &cfg);
@@ -1476,7 +1644,7 @@ mod tests {
             let scenario = FaultScenario::timed(&crashes);
             let mk = |policy| EngineConfig {
                 policy,
-                detection_latency: 0.2,
+                detection: DetectionModel::uniform(0.2),
                 seed: 0,
             };
             let ck = execute(
@@ -1513,7 +1681,7 @@ mod tests {
             &scenario,
             &EngineConfig {
                 policy: RecoveryPolicy::checkpoint(interval, 0.01),
-                detection_latency: 0.2,
+                detection: DetectionModel::uniform(0.2),
                 seed: 0,
             },
         );
@@ -1566,6 +1734,51 @@ mod tests {
         assert!(paid.latency().unwrap() > sched.latency());
         assert!(paid.checkpoint_overhead > 0.0);
         assert_eq!(paid.work_saved, 0.0, "no crash, nothing to resume");
+    }
+
+    #[test]
+    fn single_processor_crash_is_still_detected() {
+        // A 1-processor platform has no other observer; the timeout
+        // models fall back to the crashed processor's own instant, so the
+        // crash still enters the coordinator view (detections = 1, lost
+        // tasks flagged unrecoverable) exactly as in the pre-redesign
+        // engine. Only gossip — a rumor with nobody to start it — never
+        // detects.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_layered(&RandomDagParams::default().with_tasks(12), &mut rng);
+        let inst = ft_platform::random_instance(
+            g,
+            &ft_platform::PlatformParams::default().with_procs(1),
+            1.0,
+            &mut rng,
+        );
+        let sched = caft(&inst, 0, CommModel::OnePort, 2);
+        let scenario = FaultScenario::timed(&[(ProcId(0), sched.latency() * 0.5)]);
+        for detection in [
+            DetectionModel::uniform(0.5),
+            DetectionModel::PerProcessor(vec![0.5]),
+        ] {
+            let cfg = EngineConfig {
+                policy: RecoveryPolicy::ReReplicate,
+                detection,
+                seed: 0,
+            };
+            let out = execute(&inst, &sched, &scenario, &cfg);
+            assert_eq!(out.detections, 1, "the lone crash must be detected");
+            assert!(!out.completed());
+            assert!(out.unrecoverable > 0, "lost tasks must be flagged");
+        }
+        let gossip = EngineConfig {
+            policy: RecoveryPolicy::ReReplicate,
+            detection: DetectionModel::Gossip {
+                period: 0.5,
+                fanout: 1,
+                seed: 0,
+            },
+            seed: 0,
+        };
+        let out = execute(&inst, &sched, &scenario, &gossip);
+        assert_eq!(out.detections, 0, "no observer, no rumor, no detection");
     }
 
     #[test]

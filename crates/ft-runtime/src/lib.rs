@@ -6,12 +6,23 @@
 //! (§1–§2) actually poses: processors crash **during** execution, failures
 //! are *detected* after a latency, and the runtime may *react*.
 //!
+//! * [`Simulation`] — the fluent front door:
+//!   `Simulation::of(&inst, &sched).policy(…).detection(…).seed(…)` with
+//!   [`run`](Simulation::run) for one scenario and
+//!   [`monte_carlo`](Simulation::monte_carlo) for streaming batches (the
+//!   positional [`execute`] / [`simulate_many`] calls remain as thin
+//!   wrappers);
 //! * [`LifetimeDist`] — exponential / Weibull / trace lifetimes, drawn into
 //!   timed [`FaultScenario`](ft_sim::FaultScenario)s ([`draw_scenario`]);
 //! * [`execute`] — the discrete-event online engine: replays the static
 //!   schedule's inherited orders (first-surviving-copy input policy, as in
 //!   `ft_sim::replay`), kills work at crash times, and repairs at
 //!   detections;
+//! * [`DetectionModel`] — when each survivor learns of a crash:
+//!   [`Uniform`](DetectionModel::Uniform) latency (the historical knob),
+//!   [`PerProcessor`](DetectionModel::PerProcessor) delays, or seeded
+//!   [`Gossip`](DetectionModel::Gossip) rounds; repair work is placed
+//!   only on survivors that have already detected every known crash;
 //! * [`RecoveryPolicy`] — [`Absorb`](RecoveryPolicy::Absorb) (paper
 //!   baseline: static replicas only),
 //!   [`ReReplicate`](RecoveryPolicy::ReReplicate) (eager replacement
@@ -21,8 +32,9 @@
 //!   [`Checkpoint`](RecoveryPolicy::Checkpoint) (periodic checkpoint
 //!   writes; replacements *resume* from the last completed checkpoint
 //!   instead of recomputing — see DESIGN.md §5);
-//! * [`simulate_many`] — rayon-parallel Monte-Carlo batches with a
-//!   deterministic [`BatchSummary`];
+//! * [`simulate_many`] — rayon-parallel Monte-Carlo batches streamed
+//!   through a mergeable [`BatchAccumulator`] (O(threads) memory, byte-
+//!   identical [`BatchSummary`] at any thread count);
 //! * [`report`] — one run against the §6 latency bounds.
 //!
 //! ## Consistency with the static stack
@@ -60,11 +72,10 @@
 //! // One mid-execution crash, detected 1 time-unit later, repaired by
 //! // rescheduling the remaining sub-DAG.
 //! let scenario = ft_sim::FaultScenario::timed(&[(ft_platform::ProcId(0), sched.latency() / 2.0)]);
-//! let out = execute(&inst, &sched, &scenario, &EngineConfig {
-//!     policy: RecoveryPolicy::Reschedule,
-//!     detection_latency: 1.0,
-//!     seed: 0,
-//! });
+//! let out = Simulation::of(&inst, &sched)
+//!     .policy(RecoveryPolicy::Reschedule)
+//!     .detection(DetectionModel::uniform(1.0))
+//!     .run(&scenario);
 //! assert!(out.completed());
 //! ```
 
@@ -72,21 +83,26 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod batch;
+pub mod detection;
 pub mod engine;
 pub mod lifetime;
 pub mod metrics;
 pub mod policy;
+pub mod simulation;
 
-pub use batch::{simulate_many, MonteCarloConfig};
+pub use batch::{simulate_many, BatchAccumulator, ExactSum, MonteCarloConfig};
+pub use detection::DetectionModel;
 pub use engine::execute;
 pub use lifetime::{draw_scenario, LifetimeDist};
 pub use metrics::{report, BatchSummary, RunOutcome, RunReport};
 pub use policy::{EngineConfig, RecoveryPolicy};
+pub use simulation::Simulation;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use crate::{
-        draw_scenario, execute, report, simulate_many, BatchSummary, EngineConfig, LifetimeDist,
-        MonteCarloConfig, RecoveryPolicy, RunOutcome, RunReport,
+        draw_scenario, execute, report, simulate_many, BatchAccumulator, BatchSummary,
+        DetectionModel, EngineConfig, LifetimeDist, MonteCarloConfig, RecoveryPolicy, RunOutcome,
+        RunReport, Simulation,
     };
 }

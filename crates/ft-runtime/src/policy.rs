@@ -28,6 +28,7 @@
 //! assert_eq!(degenerate.name(), "checkpoint");
 //! ```
 
+use crate::detection::DetectionModel;
 use serde::{Deserialize, Serialize};
 
 /// What the runtime does when a processor failure is detected.
@@ -137,15 +138,27 @@ impl std::fmt::Display for RecoveryPolicy {
 }
 
 /// Configuration of one online execution.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Usually built through the [`Simulation`](crate::Simulation) front door
+/// rather than by hand; the struct stays public so configs remain plain
+/// serializable data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Recovery policy applied at each failure detection.
     pub policy: RecoveryPolicy,
-    /// Time between a crash and every survivor learning about it (a
-    /// heartbeat timeout; uniform across processors for now — see
-    /// ROADMAP for heterogeneous detection latencies).
-    pub detection_latency: f64,
-    /// Seed for the repair runs (tie-breaking inside `caft_on_subdag`).
+    /// When each survivor learns of a crash (uniform latency,
+    /// per-processor delays, or gossip propagation — see
+    /// [`DetectionModel`]).
+    pub detection: DetectionModel,
+    /// The run's **single** seed stream. Directly: tie-breaking of the
+    /// repair runs inside `caft_on_subdag` (plan `k` uses
+    /// `seed + k`). Through
+    /// [`Simulation::monte_carlo`](crate::Simulation::monte_carlo): run
+    /// `i` of a batch draws its
+    /// fault scenario from the SplitMix-decorrelated stream `(seed, i)`.
+    /// The legacy [`MonteCarloConfig`](crate::MonteCarloConfig) wrapper
+    /// still carries a second seed field for byte-compatible replays of
+    /// pre-builder experiments.
     pub seed: u64,
 }
 
@@ -153,7 +166,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             policy: RecoveryPolicy::Absorb,
-            detection_latency: 1.0,
+            detection: DetectionModel::DEFAULT_UNIFORM,
             seed: 0,
         }
     }
@@ -195,6 +208,28 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: EngineConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn detection_configs_serialize() {
+        for detection in [
+            DetectionModel::Uniform(0.5),
+            DetectionModel::PerProcessor(vec![0.5, 1.0, 1.5]),
+            DetectionModel::Gossip {
+                period: 0.25,
+                fanout: 2,
+                seed: 5,
+            },
+        ] {
+            let c = EngineConfig {
+                policy: RecoveryPolicy::ReReplicate,
+                detection,
+                seed: 9,
+            };
+            let json = serde_json::to_string(&c).unwrap();
+            let back: EngineConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c);
+        }
     }
 
     #[test]

@@ -2,13 +2,42 @@
 //! mid-execution processor crash under all four recovery policies, then a
 //! 1000-run Monte-Carlo sweep with exponential lifetimes compares the
 //! policies and demonstrates that the summary is deterministic (same seed
-//! ⇒ byte-identical output).
+//! ⇒ byte-identical output). Everything goes through the `Simulation`
+//! front door; pass `--detection uniform|per-proc|gossip` to swap the
+//! failure-detection model (default: uniform, 1 time unit).
 //!
 //! Run with: `cargo run --release --example online_recovery`
+//! or:       `cargo run --release --example online_recovery -- --detection gossip`
 
 use ftsched::prelude::*;
 use ftsched::sim::replay;
 use rand::{rngs::StdRng, SeedableRng};
+
+/// The detection model selected on the command line, scaled to a
+/// reference delay of 1 time unit on `m` processors.
+fn detection_from_args(m: usize) -> DetectionModel {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw = args
+        .iter()
+        .position(|a| a == "--detection")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("uniform");
+    match raw {
+        "uniform" => DetectionModel::uniform(1.0),
+        // Heartbeat spread around the same 1.0 mean as the uniform model.
+        "per-proc" | "per-processor" => DetectionModel::per_processor_spread(m, 1.0),
+        "gossip" => DetectionModel::Gossip {
+            period: 0.5,
+            fanout: 2,
+            seed: 7,
+        },
+        other => {
+            eprintln!("unknown detection model '{other}' — expected uniform, per-proc or gossip");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     // A paper-style workload: 60 tasks, 10 heterogeneous processors.
@@ -18,10 +47,13 @@ fn main() {
     let sched = caft(&inst, 1, CommModel::OnePort, 42);
     assert!(validate_schedule(&inst, &sched).is_empty());
     let nominal = sched.latency();
+    let detection = detection_from_args(inst.num_procs());
     println!(
-        "workload: {} tasks on {} processors — CAFT ε = 1, nominal latency {nominal:.2}\n",
+        "workload: {} tasks on {} processors — CAFT ε = 1, nominal latency {nominal:.2}, \
+         detection: {}\n",
         inst.num_tasks(),
-        inst.num_procs()
+        inst.num_procs(),
+        detection.label(),
     );
 
     // The four policies: the three baselines plus checkpoint/restart with
@@ -46,14 +78,13 @@ fn main() {
         .unwrap_or(ProcId(0));
     let crash_at = nominal * 0.45;
     let scenario = FaultScenario::timed(&[(victim, crash_at)]);
-    println!("crashing {victim} at t = {crash_at:.2} (45% of nominal), detected 1.0 later:");
+    println!("crashing {victim} at t = {crash_at:.2} (45% of nominal):");
     for &policy in &policies {
-        let cfg = EngineConfig {
-            policy,
-            detection_latency: 1.0,
-            seed: 7,
-        };
-        let out = execute(&inst, &sched, &scenario, &cfg);
+        let out = Simulation::of(&inst, &sched)
+            .policy(policy)
+            .detection(detection.clone())
+            .seed(7)
+            .run(&scenario);
         println!(
             "  {:<20} completed = {:<5} latency = {:<8} recovered tasks = {:<3} \
              replicas spawned = {:<3} extra msgs = {:<3} ck paid = {:<7.2} saved = {:.2}",
@@ -76,23 +107,18 @@ fn main() {
     println!("\nMonte-Carlo: 1000 runs/policy, exponential lifetimes (MTTF = 5x nominal):");
     let mut lines = Vec::new();
     for &policy in &policies {
-        let cfg = MonteCarloConfig {
-            runs: 1000,
-            lifetime: LifetimeDist::Exponential {
-                mean: 5.0 * nominal,
-            },
-            engine: EngineConfig {
-                policy,
-                detection_latency: 1.0,
-                seed: 7,
-            },
-            seed: 2024,
+        let sim = Simulation::of(&inst, &sched)
+            .policy(policy)
+            .detection(detection.clone())
+            .seed(2024);
+        let lifetime = LifetimeDist::Exponential {
+            mean: 5.0 * nominal,
         };
-        let summary = simulate_many(&inst, &sched, &cfg);
+        let summary = sim.monte_carlo(1000, lifetime.clone());
         let line = summary.one_line();
         println!("  {line}");
         // Same seed ⇒ same summary, run-for-run.
-        let again = simulate_many(&inst, &sched, &cfg);
+        let again = sim.monte_carlo(1000, lifetime);
         assert_eq!(
             line,
             again.one_line(),

@@ -184,12 +184,23 @@ macro_rules! prop_assert {
     };
 }
 
-/// Equality property assertion.
+/// Equality property assertion (optionally with a formatted context
+/// message, as upstream allows).
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($a:expr, $b:expr) => {{
         let (a, b) = (&$a, &$b);
         $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {:?} != {:?}: {}",
+            a,
+            b,
+            format!($($fmt)*)
+        );
     }};
 }
 

@@ -1,6 +1,6 @@
 //! Offline stand-in for the parts of `rayon` 1.x this workspace uses:
 //! `into_par_iter()` / `par_iter()` on ranges, vectors and slices, with
-//! `map`, `collect`, `sum` and `for_each`.
+//! `map`, `collect`, `sum`, `for_each`, `fold` and `reduce`.
 //!
 //! Execution model: the items are materialized, split into one contiguous
 //! chunk per available core, and processed on scoped `std::thread`s.
@@ -101,6 +101,67 @@ pub trait ParallelIterator: Sized {
         Self::Item: Send,
     {
         let _ = parallel_map(self.run(), f);
+    }
+
+    /// Folds contiguous chunks of the input in parallel, yielding one
+    /// accumulator per chunk **in input order** (as in rayon, the number
+    /// of chunks is an execution detail; consumers must combine the
+    /// accumulators with an operation whose result is independent of the
+    /// chunk boundaries).
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        let items = self.run();
+        let threads = num_threads().min(items.len().max(1));
+        if threads <= 1 || items.len() < SEQ_CUTOFF {
+            let acc = items.into_iter().fold(identity(), &fold_op);
+            return ParIter { items: vec![acc] };
+        }
+        let n = items.len();
+        let chunk_len = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<Self::Item>> = Vec::with_capacity(threads);
+        {
+            let mut it = items.into_iter();
+            loop {
+                let c: Vec<Self::Item> = it.by_ref().take(chunk_len).collect();
+                if c.is_empty() {
+                    break;
+                }
+                chunks.push(c);
+            }
+        }
+        let mut slots: Vec<Option<A>> = Vec::new();
+        slots.resize_with(chunks.len(), || None);
+        let (identity, fold_op) = (&identity, &fold_op);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (slot, c) in slots.iter_mut().zip(chunks) {
+                handles.push(scope.spawn(move || {
+                    *slot = Some(c.into_iter().fold(identity(), fold_op));
+                }));
+            }
+            for h in handles {
+                h.join().expect("rayon shim worker panicked");
+            }
+        });
+        ParIter {
+            items: slots.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Reduces the elements to one value by a **left fold in input order**
+    /// starting from `identity()` (deterministic; rayon only guarantees an
+    /// unspecified reduction tree, so portable callers must pass an
+    /// associative `op`).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        self.run().into_iter().fold(identity(), op)
     }
 }
 
@@ -227,5 +288,39 @@ mod tests {
     fn empty_input() {
         let v: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let total: u64 = (0u64..10_000)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, (0u64..10_000).sum::<u64>());
+    }
+
+    #[test]
+    fn fold_chunks_cover_input_in_order() {
+        // Each chunk accumulator collects its items; concatenating the
+        // chunks in yielded order must reproduce the input exactly.
+        let chunks: Vec<Vec<u64>> = (0u64..1000)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, x| {
+                acc.push(x);
+                acc
+            })
+            .collect();
+        let flat: Vec<u64> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0u64..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fold_reduce_empty_is_identity() {
+        let total: u64 = Vec::<u64>::new()
+            .into_par_iter()
+            .fold(|| 7u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        // One chunk accumulator (the identity) is still produced.
+        assert_eq!(total, 7);
     }
 }

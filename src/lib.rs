@@ -65,8 +65,8 @@ pub mod prelude {
         Topology,
     };
     pub use ft_runtime::{
-        draw_scenario, execute, simulate_many, BatchSummary, EngineConfig, LifetimeDist,
-        MonteCarloConfig, RecoveryPolicy, RunOutcome,
+        draw_scenario, execute, simulate_many, BatchAccumulator, BatchSummary, DetectionModel,
+        EngineConfig, LifetimeDist, MonteCarloConfig, RecoveryPolicy, RunOutcome, Simulation,
     };
     pub use ft_sim::{replay, FaultScenario, ReplayOutcome, ReplayPolicy};
 }

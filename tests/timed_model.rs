@@ -1,7 +1,8 @@
 //! Property tests pinning the timed fault model to the static stack.
 //!
-//! Three consistency guarantees tie `ft-runtime`'s online engine to
-//! `ft-sim`'s replay semantics and anchor the checkpoint model:
+//! Five consistency guarantees tie `ft-runtime`'s online engine to
+//! `ft-sim`'s replay semantics and anchor the checkpoint, detection and
+//! aggregation models:
 //!
 //! * crash times at or beyond the schedule's makespan change nothing: the
 //!   online run reproduces the no-failure static replay exactly (for the
@@ -11,7 +12,15 @@
 //!   `FaultScenario::procs` exactly;
 //! * `Checkpoint` with `interval = ∞` never writes a checkpoint and
 //!   degenerates to `ReReplicate` exactly — same replicas, same
-//!   transfers, same times, zero overhead paid and zero work saved.
+//!   transfers, same times, zero overhead paid and zero work saved;
+//! * `DetectionModel::PerProcessor` with one constant delay degenerates
+//!   to `DetectionModel::Uniform` exactly (byte-identical `RunOutcome`:
+//!   a single detection instant at which every survivor is
+//!   repair-eligible);
+//! * the streaming `simulate_many` aggregation reproduces the old
+//!   collect-then-summarize path byte-for-byte, under any chunking or
+//!   merge tree of the per-run outcomes (the `BatchAccumulator`'s sums
+//!   are exact, so the merge is associative to the bit).
 
 use ftsched::prelude::*;
 use ftsched::runtime::report;
@@ -173,10 +182,15 @@ proptest! {
             &LifetimeDist::Exponential { mean: sched.latency() * 1.5 },
             &mut rng,
         );
-        let mk = |policy| EngineConfig { policy, detection_latency: 0.5, seed: 1 };
-        let ck = execute(&inst, &sched, &scenario,
-                         &mk(RecoveryPolicy::checkpoint(f64::INFINITY, overhead)));
-        let rr = execute(&inst, &sched, &scenario, &mk(RecoveryPolicy::ReReplicate));
+        let sim = |policy| {
+            Simulation::of(&inst, &sched)
+                .policy(policy)
+                .detection(DetectionModel::uniform(0.5))
+                .seed(1)
+                .run(&scenario)
+        };
+        let ck = sim(RecoveryPolicy::checkpoint(f64::INFINITY, overhead));
+        let rr = sim(RecoveryPolicy::ReReplicate);
         prop_assert_eq!(
             serde_json::to_string(&ck).unwrap(),
             serde_json::to_string(&rr).unwrap()
@@ -223,8 +237,11 @@ proptest! {
             &mut rng,
         );
         let count = |policy| {
-            let cfg = EngineConfig { policy, detection_latency: 0.5, seed: 1 };
-            execute(&inst, &sched, &scenario, &cfg)
+            Simulation::of(&inst, &sched)
+                .policy(policy)
+                .detection(DetectionModel::uniform(0.5))
+                .seed(1)
+                .run(&scenario)
                 .first_finish
                 .iter()
                 .flatten()
@@ -233,5 +250,114 @@ proptest! {
         let absorb = count(RecoveryPolicy::Absorb);
         prop_assert!(count(RecoveryPolicy::ReReplicate) >= absorb);
         prop_assert!(count(RecoveryPolicy::Reschedule) >= absorb);
+    }
+
+    /// The fourth pinned identity: `PerProcessor` detection with one
+    /// constant delay is `Uniform` with that delay — byte-identical
+    /// `RunOutcome` under every policy (a single detection instant per
+    /// crash at which every survivor is repair-eligible).
+    #[test]
+    fn constant_per_processor_detection_is_uniform(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        delay in 0.0f64..3.0,
+    ) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD37EC7);
+        let scenario = ftsched::runtime::draw_scenario(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() * 1.5 },
+            &mut rng,
+        );
+        let policies = RecoveryPolicy::ALL
+            .into_iter()
+            .chain([RecoveryPolicy::checkpoint(inst.mean_task_cost() * 0.5, 0.05)]);
+        for policy in policies {
+            let run = |detection: DetectionModel| {
+                Simulation::of(&inst, &sched)
+                    .policy(policy)
+                    .detection(detection)
+                    .seed(1)
+                    .run(&scenario)
+            };
+            let pp = run(DetectionModel::PerProcessor(vec![delay; procs]));
+            let uni = run(DetectionModel::Uniform(delay));
+            prop_assert_eq!(
+                serde_json::to_string(&pp).unwrap(),
+                serde_json::to_string(&uni).unwrap(),
+                "{} under constant per-processor delays must be uniform", policy
+            );
+        }
+    }
+
+    /// The fifth pinned identity: the streaming `simulate_many`
+    /// aggregation is byte-identical to the old collect-then-summarize
+    /// path — and to any other partition of the runs into mergeable
+    /// accumulators, which is what makes the summary independent of the
+    /// rayon thread count.
+    #[test]
+    fn streaming_batches_match_collect_then_summarize(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        runs in 16usize..64,
+        chunk in 1usize..13,
+    ) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let lifetime = LifetimeDist::Exponential { mean: sched.latency() };
+        let sim = Simulation::of(&inst, &sched)
+            .policy(RecoveryPolicy::ReReplicate)
+            .detection(DetectionModel::uniform(0.5))
+            .seed(seed);
+        let streamed = sim.monte_carlo(runs, lifetime.clone());
+
+        // The old path: collect every outcome, then summarize in run
+        // order through one accumulator.
+        let mc = MonteCarloConfig {
+            runs,
+            lifetime,
+            engine: sim.config().clone(),
+            seed,
+        };
+        let outcomes: Vec<_> = (0..runs)
+            .map(|i| {
+                let scenario = mc.scenario_of_run(procs, i);
+                (scenario.earliest_crash(), sim.run(&scenario))
+            })
+            .collect();
+        let mut seq = BatchAccumulator::new(sched.latency());
+        for (earliest, out) in &outcomes {
+            seq.record(*earliest, out);
+        }
+        let collected = seq.finish(RecoveryPolicy::ReReplicate);
+        prop_assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&collected).unwrap(),
+            "streaming != collect-then-summarize"
+        );
+
+        // An adversarial re-chunking (arbitrary chunk size, merged right
+        // to left) must still agree byte-for-byte.
+        let mut parts: Vec<BatchAccumulator> = outcomes
+            .chunks(chunk)
+            .map(|c| {
+                let mut acc = BatchAccumulator::new(sched.latency());
+                for (earliest, out) in c {
+                    acc.record(*earliest, out);
+                }
+                acc
+            })
+            .collect();
+        parts.reverse();
+        let merged = parts
+            .into_iter()
+            .fold(BatchAccumulator::new(sched.latency()), BatchAccumulator::merge)
+            .finish(RecoveryPolicy::ReReplicate);
+        prop_assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&merged).unwrap(),
+            "merge tree changed the summary"
+        );
     }
 }
