@@ -1,4 +1,4 @@
-//! Ablations of CAFT's design choices (DESIGN.md §9):
+//! Ablations of CAFT's design choices (DESIGN.md §10):
 //!
 //! * one-to-one mapping on/off — off reduces CAFT to FTSA-style fan-in;
 //! * sender locking on/off — off reproduces the deadlock-prone pairing of

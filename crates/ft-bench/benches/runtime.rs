@@ -6,6 +6,14 @@
 //!   static replay it must reproduce;
 //! * `runtime/detection` — one `ReReplicate` run per detection model
 //!   (uniform / per-processor / gossip) on the same crash pair;
+//! * `runtime/transient` — the availability machine: the same crash pair
+//!   under permanent fail-stop vs. transient failures (the first victim
+//!   reboots mid-run and crashes again later — two extra availability
+//!   events, rejoin-knowledge propagation, and the rejoined processor
+//!   re-enlisted by the policy). The permanent cell doubles as the
+//!   engine-loop cost baseline: its numbers track `runtime/execute`
+//!   (within noise) because the per-epoch availability tables collapse
+//!   to the historical single-crash path when every repair is ∞;
 //! * `runtime/simulate_many` — Monte-Carlo batch throughput (rayon), now
 //!   including a 100 000-run case that only the streaming aggregator makes
 //!   practical: the pre-redesign collect-then-summarize path materialized
@@ -101,6 +109,43 @@ fn bench_detection_models(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_transient(c: &mut Criterion) {
+    let inst = paper_instance(5, 100, 10, 1.0);
+    let sched = caft(&inst, 1, CommModel::OnePort, 0);
+    let nominal = sched.latency();
+    // Permanent baseline vs. the same first crashes with the first victim
+    // rebooting mid-run and relapsing later.
+    let permanent = FaultScenario::timed(&[(ProcId(2), nominal * 0.3), (ProcId(7), nominal * 0.6)]);
+    let transient = FaultScenario::transient(&[
+        (ProcId(2), nominal * 0.3, nominal * 0.2),
+        (ProcId(2), nominal * 0.8, f64::INFINITY),
+        (ProcId(7), nominal * 0.6, nominal * 0.25),
+    ]);
+    let mut group = c.benchmark_group("runtime/transient");
+    for policy in [RecoveryPolicy::ReReplicate, RecoveryPolicy::Reschedule] {
+        let sim = Simulation::of(&inst, &sched).policy(policy);
+        // Headline semantics: reboots only ever help.
+        let perm_done = sim.run(&permanent).first_finish.iter().flatten().count();
+        let tra = sim.run(&transient);
+        assert!(tra.rejoins > 0, "{policy}: the reboots must be observed");
+        assert!(
+            tra.first_finish.iter().flatten().count() >= perm_done,
+            "{policy}: rebooting processors must not complete less"
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("permanent-{}", policy.name())),
+            &sim,
+            |b, sim| b.iter(|| black_box(sim.run(&permanent))),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("transient-{}", policy.name())),
+            &sim,
+            |b, sim| b.iter(|| black_box(sim.run(&transient))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_simulate_many(c: &mut Criterion) {
     let inst = paper_instance(3, 60, 10, 1.0);
     let sched = caft(&inst, 1, CommModel::OnePort, 0);
@@ -135,6 +180,7 @@ fn bench_simulate_many(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_execute, bench_no_failure_overhead, bench_detection_models, bench_simulate_many
+    targets = bench_execute, bench_no_failure_overhead, bench_detection_models, bench_transient,
+        bench_simulate_many
 }
 criterion_main!(benches);

@@ -12,6 +12,10 @@
 //!                                   # (uniform | per-proc | gossip)
 //! paper-figures degradation --ck-interval 0.25 --ck-interval 1 \
 //!               --ck-overhead 0.005 # checkpoint sweep knobs (× mean task cost)
+//! paper-figures degradation --transient            # rebooting processors
+//!                                   # (exp repairs, MTTR 0.25 × nominal)
+//! paper-figures degradation --mttr 0.5             # …with an explicit MTTR
+//!                                   # (× nominal latency; implies --transient)
 //! paper-figures fig1 --quick        # thinned sweep, 10 graphs/point
 //! paper-figures fig1 --graphs 20    # override graphs per point
 //! paper-figures all --json out.json # machine-readable dump
@@ -94,6 +98,11 @@ fn main() {
         .iter()
         .position(|a| a == "--ck-overhead")
         .map(|i| parse_positive("--ck-overhead", args.get(i + 1), true));
+    let mttr: Option<f64> = args
+        .iter()
+        .position(|a| a == "--mttr")
+        .map(|i| parse_positive("--mttr", args.get(i + 1), false));
+    let transient = mttr.is_some() || args.iter().any(|a| a == "--transient");
 
     let tune = |mut cfg: ft_experiments::FigureConfig| {
         if quick {
@@ -126,6 +135,9 @@ fn main() {
     }
     if let Some(kind) = detection {
         deg_cfg.detection = kind;
+    }
+    if transient {
+        deg_cfg.mttr_factor = Some(mttr.unwrap_or(0.25));
     }
 
     match what.as_str() {

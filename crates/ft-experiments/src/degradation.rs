@@ -24,12 +24,15 @@
 //! be re-run under uniform detection, per-processor heartbeat spreads, or
 //! gossip propagation, isolating how much of a policy's payout survives
 //! imperfect failure detectors (repair is only placed on survivors that
-//! already know about the crash — see DESIGN.md §6).
+//! already know about the crash — see DESIGN.md §7).
 
 use ft_algos::{caft, CommModel};
 use ft_graph::gen::{random_layered, RandomDagParams};
 use ft_platform::{random_instance, PlatformParams};
-use ft_runtime::{BatchSummary, DetectionModel, LifetimeDist, RecoveryPolicy, Simulation};
+use ft_runtime::{
+    BatchSummary, DetectionModel, FailureKind, LifetimeDist, RecoveryPolicy, RepairModel,
+    Simulation,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -65,6 +68,12 @@ pub struct DegradationConfig {
     pub detection_latency: f64,
     /// Which detection model the runtime uses (the `--detection` axis).
     pub detection: DetectionKind,
+    /// Mean time to repair as a multiple of the nominal latency (the
+    /// `--transient`/`--mttr` axis): `Some(f)` draws transient failures
+    /// with exponential repairs of mean `f × nominal` (crashed
+    /// processors reboot and may crash again — the rejuvenation
+    /// experiments); `None` keeps the paper's permanent fail-stop model.
+    pub mttr_factor: Option<f64>,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -121,6 +130,7 @@ impl Default for DegradationConfig {
             runs: 400,
             detection_latency: 1.0,
             detection: DetectionKind::Uniform,
+            mttr_factor: None,
             seed: 0x5EED,
         }
     }
@@ -142,6 +152,27 @@ impl DegradationConfig {
             all.retain(|p| p.name() == name.as_str());
         }
         all
+    }
+
+    /// The failure kind of the sweep's Monte-Carlo draws for a schedule
+    /// of the given nominal latency: permanent fail-stop, or — when
+    /// `mttr_factor` is set — transient failures with exponential repairs
+    /// of mean `mttr_factor × nominal` and new epochs drawn up to a
+    /// `4 × nominal` horizon. The horizon keeps the draw finite; it also
+    /// means a run still going past `4 × nominal` faces no *further*
+    /// attrition, while the permanent column draws unbounded crash
+    /// times — so permanent-vs-transient completion is an aggregate
+    /// comparison with a known tail bias toward transient (second-order
+    /// here: completed transient runs finish near `1 × nominal`, far
+    /// inside the horizon; the caveat is spelled out in EXPERIMENTS.md).
+    pub fn failure_kind(&self, nominal: f64) -> FailureKind {
+        match self.mttr_factor {
+            None => FailureKind::Permanent,
+            Some(f) => FailureKind::transient(
+                RepairModel::Exponential { mean: f * nominal },
+                4.0 * nominal,
+            ),
+        }
     }
 
     /// The concrete [`DetectionModel`] of the sweep on an `m`-processor
@@ -194,6 +225,7 @@ pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
             let summary = Simulation::of(&inst, &sched)
                 .policy(policy)
                 .detection(detection.clone())
+                .failure(cfg.failure_kind(nominal))
                 .seed(cfg.seed ^ factor.to_bits())
                 .monte_carlo(
                     cfg.runs,
@@ -213,9 +245,13 @@ pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
 /// ASCII table of the sweep.
 pub fn render_degradation(cfg: &DegradationConfig, rows: &[DegradationRow]) -> String {
     let mut out = String::new();
+    let failures = match cfg.mttr_factor {
+        None => "permanent".to_string(),
+        Some(f) => format!("transient, exp MTTR = {f:.2}x nominal"),
+    };
     out.push_str(&format!(
         "degradation vs. failure rate (exponential lifetimes; MTTF in units of the \
-         nominal latency; detection: {})\n",
+         nominal latency; detection: {}; failures: {failures})\n",
         cfg.detection_model(cfg.procs).label(),
     ));
     out.push_str(
@@ -383,6 +419,57 @@ mod tests {
             .collect();
         assert!(absorb[0].mttf_factor > absorb[1].mttf_factor);
         assert!(absorb[0].summary.completed >= absorb[1].summary.completed);
+    }
+
+    #[test]
+    fn transient_axis_rejuvenates_the_sweep() {
+        // The `--transient/--mttr` axis: crashed processors reboot after
+        // an exponential repair and recovery policies re-enlist them.
+        let perm = quick();
+        let tra = DegradationConfig {
+            mttr_factor: Some(0.25),
+            ..quick()
+        };
+        let rp = run_degradation(&perm);
+        let rt = run_degradation(&tra);
+        assert!(render_degradation(&perm, &rp).contains("failures: permanent"));
+        assert!(
+            render_degradation(&tra, &rt).contains("transient, exp MTTR = 0.25x nominal"),
+            "the rendered header must name the repair model"
+        );
+        assert!(
+            rt.iter().all(|r| r.summary.rejoins > 0),
+            "every transient cell must observe reboots"
+        );
+        assert!(rp.iter().all(|r| r.summary.rejoins == 0));
+        // The rejuvenation finding (EXPERIMENTS.md): at the harshest
+        // rate, re-replication over rebooting processors completes
+        // strictly more runs than under permanent fail-stop — reboots
+        // turn a mostly-lost workload into a mostly-recovered one. (The
+        // two sweeps draw different scenarios from the shared stream —
+        // repair draws shift it — so this is an aggregate, not a
+        // run-for-run, comparison.)
+        let harshest = *QUICK_FACTORS.last().unwrap();
+        let completed = |rows: &[DegradationRow]| {
+            by_policy(rows, harshest, |p| *p == RecoveryPolicy::ReReplicate)
+                .next()
+                .unwrap()
+                .summary
+                .completed
+        };
+        assert!(
+            completed(&rt) > completed(&rp),
+            "reboots must rejuvenate re-replication at MTTF {harshest}: \
+             {} vs {}",
+            completed(&rt),
+            completed(&rp)
+        );
+        // Deterministic like the permanent sweep.
+        let again = run_degradation(&tra);
+        assert_eq!(
+            serde_json::to_string(&rt).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Golden-file regression test for the degradation sweep's rendered
+//! table: uniform detection, fixed seed, quick dimensions. Formatting or
+//! aggregation drift — a changed column, a shifted mean, a renamed label
+//! — fails loudly here instead of silently shifting the EXPERIMENTS.md
+//! numbers.
+//!
+//! To bless an intentional change, regenerate the file:
+//!
+//! ```text
+//! BLESS_DEGRADATION_GOLDEN=1 cargo test -p ft-experiments --test degradation_golden
+//! ```
+
+use ft_experiments::degradation::{render_degradation, run_degradation, DegradationConfig};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/degradation_golden.txt");
+
+/// The pinned configuration: quick dimensions, uniform detection, the
+/// default seed, permanent failures.
+fn golden_config() -> DegradationConfig {
+    DegradationConfig {
+        tasks: 25,
+        procs: 6,
+        runs: 40,
+        mttf_factors: vec![8.0, 2.0, 1.0],
+        ..Default::default()
+    }
+}
+
+#[test]
+fn rendered_table_matches_the_golden_file() {
+    let cfg = golden_config();
+    let rows = run_degradation(&cfg);
+    let table = render_degradation(&cfg, &rows);
+    if std::env::var("BLESS_DEGRADATION_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &table).expect("writable golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("missing golden file — run with BLESS_DEGRADATION_GOLDEN=1 to generate it");
+    assert!(
+        table == golden,
+        "degradation table drifted from the golden file.\n\
+         If the change is intentional, bless it with \
+         BLESS_DEGRADATION_GOLDEN=1.\n\n--- golden ---\n{golden}\n--- rendered ---\n{table}"
+    );
+}

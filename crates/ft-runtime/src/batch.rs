@@ -24,7 +24,9 @@
 //! # Example
 //!
 //! ```
-//! use ft_runtime::{simulate_many, EngineConfig, LifetimeDist, MonteCarloConfig, RecoveryPolicy};
+//! use ft_runtime::{
+//!     simulate_many, EngineConfig, FailureKind, LifetimeDist, MonteCarloConfig, RecoveryPolicy,
+//! };
 //! use ft_algos::{caft, CommModel};
 //! use ft_graph::gen::{random_layered, RandomDagParams};
 //! use ft_platform::{random_instance, PlatformParams};
@@ -38,6 +40,7 @@
 //! let cfg = MonteCarloConfig {
 //!     runs: 100,
 //!     lifetime: LifetimeDist::Exponential { mean: 4.0 * sched.latency() },
+//!     failure: FailureKind::Permanent,
 //!     engine: EngineConfig::with_policy(RecoveryPolicy::checkpoint(2.0, 0.05)),
 //!     seed: 9,
 //! };
@@ -51,7 +54,7 @@
 //! ```
 
 use crate::engine::execute;
-use crate::lifetime::{draw_scenario, LifetimeDist};
+use crate::lifetime::{draw_scenario_with, FailureKind, LifetimeDist};
 use crate::metrics::{BatchSummary, RunOutcome};
 use crate::policy::{EngineConfig, RecoveryPolicy};
 use ft_model::FtSchedule;
@@ -74,6 +77,10 @@ pub struct MonteCarloConfig {
     pub runs: usize,
     /// Lifetime distribution the per-processor crash times are drawn from.
     pub lifetime: LifetimeDist,
+    /// Whether drawn failures are permanent (the paper's fail-stop model
+    /// and the historical batch behavior) or transient with a repair
+    /// model (see [`FailureKind`]).
+    pub failure: FailureKind,
     /// Engine configuration (recovery policy, detection model, seed).
     pub engine: EngineConfig,
     /// Base seed of the scenario stream; run `i` uses a generator seeded
@@ -87,19 +94,20 @@ pub struct MonteCarloConfig {
 pub(crate) fn scenario_of_run(
     seed: u64,
     lifetime: &LifetimeDist,
+    failure: &FailureKind,
     m: usize,
     i: usize,
 ) -> FaultScenario {
     let mixed = seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let mut rng = StdRng::seed_from_u64(mixed);
-    draw_scenario(m, lifetime, &mut rng)
+    draw_scenario_with(m, lifetime, failure, &mut rng)
 }
 
 impl MonteCarloConfig {
     /// The scenario of run `i` (exposed so callers can replay a run of
     /// interest in isolation).
     pub fn scenario_of_run(&self, m: usize, i: usize) -> FaultScenario {
-        scenario_of_run(self.seed, &self.lifetime, m, i)
+        scenario_of_run(self.seed, &self.lifetime, &self.failure, m, i)
     }
 }
 
@@ -116,7 +124,7 @@ pub fn simulate_many(inst: &Instance, sched: &FtSchedule, cfg: &MonteCarloConfig
         .fold(
             || BatchAccumulator::new(nominal),
             |mut acc, i| {
-                let scenario = scenario_of_run(cfg.seed, &cfg.lifetime, m, i);
+                let scenario = scenario_of_run(cfg.seed, &cfg.lifetime, &cfg.failure, m, i);
                 let out = execute(inst, sched, &scenario, &cfg.engine);
                 acc.record(scenario.earliest_crash(), &out);
                 acc
@@ -143,6 +151,7 @@ pub struct BatchAccumulator {
     runs: usize,
     completed: usize,
     disturbed: usize,
+    rejoins: usize,
     lat_sum: ExactSum,
     lat_max: f64,
     slow_sum: ExactSum,
@@ -163,6 +172,7 @@ impl BatchAccumulator {
             runs: 0,
             completed: 0,
             disturbed: 0,
+            rejoins: 0,
             lat_sum: ExactSum::new(),
             lat_max: 0.0,
             slow_sum: ExactSum::new(),
@@ -180,6 +190,7 @@ impl BatchAccumulator {
     /// `disturbed` count.
     pub fn record(&mut self, earliest_crash: Option<f64>, out: &RunOutcome) {
         self.runs += 1;
+        self.rejoins += out.rejoins;
         self.failures += out.num_failures;
         self.tasks_recovered += out.tasks_recovered();
         self.recovery_replicas += out.recovery_replicas;
@@ -211,6 +222,7 @@ impl BatchAccumulator {
         self.runs += other.runs;
         self.completed += other.completed;
         self.disturbed += other.disturbed;
+        self.rejoins += other.rejoins;
         self.lat_sum.merge(&other.lat_sum);
         self.lat_max = self.lat_max.max(other.lat_max);
         self.slow_sum.merge(&other.slow_sum);
@@ -232,6 +244,7 @@ impl BatchAccumulator {
             runs: self.runs,
             completed: self.completed,
             disturbed: self.disturbed,
+            rejoins: self.rejoins,
             mean_latency: self.lat_sum.value() / denom,
             max_latency: self.lat_max,
             mean_slowdown: self.slow_sum.value() / denom,
@@ -449,6 +462,7 @@ mod tests {
             lifetime: LifetimeDist::Exponential {
                 mean: sched.latency() * 2.0,
             },
+            failure: FailureKind::Permanent,
             engine: EngineConfig::with_policy(RecoveryPolicy::ReReplicate),
             seed: 77,
         };
@@ -473,6 +487,7 @@ mod tests {
             lifetime: LifetimeDist::Exponential {
                 mean: sched.latency(),
             },
+            failure: FailureKind::Permanent,
             engine: EngineConfig::with_policy(RecoveryPolicy::ReReplicate),
             seed: 13,
         };
@@ -497,6 +512,7 @@ mod tests {
         let cfg = MonteCarloConfig {
             runs: 16,
             lifetime: LifetimeDist::Never,
+            failure: FailureKind::Permanent,
             engine: EngineConfig::with_policy(RecoveryPolicy::Reschedule),
             seed: 1,
         };
@@ -520,6 +536,7 @@ mod tests {
             lifetime: LifetimeDist::Exponential {
                 mean: sched.latency(),
             },
+            failure: FailureKind::Permanent,
             engine: EngineConfig {
                 policy: RecoveryPolicy::checkpoint(interval, 0.02),
                 detection: DetectionModel::Uniform(0.5),
@@ -546,6 +563,7 @@ mod tests {
             lifetime: LifetimeDist::Exponential {
                 mean: sched.latency() * 1.5,
             },
+            failure: FailureKind::Permanent,
             engine: EngineConfig {
                 policy,
                 detection: DetectionModel::Uniform(0.5),
@@ -575,6 +593,7 @@ mod tests {
             lifetime: LifetimeDist::Exponential {
                 mean: sched.latency(),
             },
+            failure: FailureKind::Permanent,
             engine: EngineConfig {
                 policy,
                 detection: DetectionModel::Uniform(0.5),

@@ -5,7 +5,7 @@
 //! global scalar latency. A [`DetectionModel`] generalizes it to
 //! per-survivor **detection instants**: for a crash of processor `p` at
 //! time `t`, the model answers "when does survivor `q` know?". The
-//! engine uses those instants in two ways (see DESIGN.md §6):
+//! engine uses those instants in two ways (see DESIGN.md §7):
 //!
 //! * a crash enters the runtime's coordinator view (and triggers the
 //!   recovery policy) at the *earliest* detection instant, and again at
@@ -21,6 +21,13 @@
 //!   survivors that have already detected every known crash** (the
 //!   survivor-knowledge rule: a processor cannot volunteer for a repair
 //!   it does not know is needed).
+//!
+//! Since the transient-failure PR the same models also answer the dual
+//! question — "when does survivor `q` learn that `p` is *back*?": a
+//! reboot propagates exactly like a crash
+//! ([`instants_at`](DetectionModel::instants_at) salts gossip streams per
+//! availability event), and a rejoined processor only hosts repair work
+//! once its rejoin has entered the coordinator view (DESIGN.md §6).
 //!
 //! [`DetectionModel::Uniform`] reproduces the historical scalar knob
 //! exactly: every survivor detects `delay` after the crash, so there is a
@@ -186,13 +193,36 @@ impl DetectionModel {
     /// `m` processors: entry `q` is the wall-clock instant at which `q`
     /// learns of the crash (`f64::INFINITY` = never). The scenario is
     /// consulted so that propagation cannot route through processors that
-    /// are already dead when they would forward (a processor crashing
-    /// exactly at a round instant still forwards — crashes take effect
-    /// strictly after their time, as everywhere in the engine).
+    /// are down when they would forward (a processor crashing exactly at
+    /// a round instant still forwards, and a transient processor forwards
+    /// again from its reboot instant on — boundaries follow the engine's
+    /// strictly-after crash semantics).
     ///
     /// Pure in all arguments: the same call always returns the same
-    /// instants.
+    /// instants. Equivalent to [`instants_at`](DetectionModel::instants_at)
+    /// with salt 0 — the first-crash event of every processor, which keeps
+    /// gossip streams byte-compatible with the pre-transient engine.
     pub fn instants(&self, m: usize, p: ProcId, t: f64, scenario: &FaultScenario) -> Vec<f64> {
+        self.instants_at(m, p, t, scenario, 0)
+    }
+
+    /// [`instants`](DetectionModel::instants) for the `salt`-th
+    /// availability event of processor `p`. The timeout models ignore the
+    /// salt (their instants are pure delays); [`Gossip`
+    /// ](DetectionModel::Gossip) derives an independent rumor stream per
+    /// `(processor, salt)` pair, so the crashes and rejoins of a
+    /// transient processor's successive epochs propagate along
+    /// decorrelated random paths. The engine salts events in temporal
+    /// order: `2·k` for the crash of epoch `k`, `2·k + 1` for its rejoin
+    /// (salt 0 — the first crash — reproduces the historical stream).
+    pub fn instants_at(
+        &self,
+        m: usize,
+        p: ProcId,
+        t: f64,
+        scenario: &FaultScenario,
+        salt: u64,
+    ) -> Vec<f64> {
         match self {
             DetectionModel::Uniform(d) => vec![t + d; m],
             DetectionModel::PerProcessor(delays) => delays.iter().map(|d| t + d).collect(),
@@ -200,7 +230,7 @@ impl DetectionModel {
                 period,
                 fanout,
                 seed,
-            } => gossip_instants(m, p, t, scenario, *period, *fanout, *seed),
+            } => gossip_instants(m, p, t, scenario, *period, *fanout, *seed, salt),
         }
     }
 }
@@ -218,8 +248,10 @@ fn gossip_round_cap(m: usize) -> usize {
     16 * m.max(4)
 }
 
-/// Seeded push-gossip propagation of the crash of `p` at `t`; see
-/// [`DetectionModel::Gossip`] for the model.
+/// Seeded push-gossip propagation of one availability event (crash or
+/// rejoin) of `p` at `t`; see [`DetectionModel::Gossip`] for the model
+/// and [`DetectionModel::instants_at`] for the salt convention.
+#[allow(clippy::too_many_arguments)]
 fn gossip_instants(
     m: usize,
     p: ProcId,
@@ -228,16 +260,20 @@ fn gossip_instants(
     period: f64,
     fanout: usize,
     seed: u64,
+    salt: u64,
 ) -> Vec<f64> {
     let mut when = vec![f64::INFINITY; m];
     if m == 0 {
         return when;
     }
-    // Per-crash stream: independent of the other crashes' streams.
-    let mut rng = StdRng::seed_from_u64(seed ^ splitmix(p.index() as u64));
-    // A processor can forward at instant τ iff it has not crashed strictly
-    // before τ (finishing work at the crash instant still counts).
-    let alive_at = |q: usize, tau: f64| scenario.deadline(ProcId::from_index(q)) >= tau;
+    // Per-event stream: independent across crashes, epochs and rejoins
+    // (processor indices fit in 32 bits, so `(p, salt)` packs injectively;
+    // salt 0 reproduces the pre-transient per-crash stream exactly).
+    let mut rng = StdRng::seed_from_u64(seed ^ splitmix(p.index() as u64 | (salt << 32)));
+    // A processor can forward at instant τ iff it is not inside a down
+    // window at τ (finishing work at a crash instant still counts, and a
+    // transient processor forwards again from its reboot instant on).
+    let alive_at = |q: usize, tau: f64| !scenario.is_dead_at(ProcId::from_index(q), tau);
 
     // Round 1: one live processor notices the missed heartbeat.
     let first = t + period;

@@ -51,6 +51,23 @@
 //!    written and the policy degenerates to `ReReplicate` exactly (pinned
 //!    by `tests/timed_model.rs`); see DESIGN.md §5 for the full state
 //!    machine.
+//! 5. **Availability: transient failures and rejoins** — a scenario may
+//!    attach a repair time to each failure epoch
+//!    ([`FaultScenario::transient`]): the processor is down during
+//!    `(crash, crash + repair)`, reboots at the end of the window, and
+//!    may crash again. Every operation is bound to the epoch it was
+//!    placed in (its deadline is the host's next crash after its
+//!    release); rejoin knowledge spreads through the same
+//!    [`DetectionModel`] as crash knowledge, the rejoined processor is
+//!    believed up (and repair-eligible) once its rejoin enters the
+//!    coordinator view, and every rejoin-knowledge event is a
+//!    rejuvenation chance — deferred and previously unrepairable tasks
+//!    are retried, `Reschedule` replans on the grown platform, and the
+//!    rebooted processor's completed results are reachable again (local
+//!    data persists across reboots). With `repair = ∞` everywhere this
+//!    machinery collapses to the historical permanent-crash engine
+//!    byte-for-byte (the availability identity, pinned by
+//!    `tests/timed_model.rs`); see DESIGN.md §6.
 //!
 //! Determinism: `execute` is a pure function of
 //! `(instance, schedule, scenario, config)`.
@@ -109,6 +126,88 @@ pub fn execute(
     engine.seed_events();
     engine.run();
     engine.into_outcome()
+}
+
+/// [`execute`], additionally returning the full [`EngineTrace`]: every
+/// operation the engine materialized (static, ghost-failed and recovery
+/// alike) and the event log in processing order. The outcome is
+/// byte-identical to the untraced run — tracing only records, it never
+/// steers. Intended for audits and invariant suites (the
+/// `engine_invariants` property tests pin, among others, that no traced
+/// operation ever overlaps a down window of its processor); per-run cost
+/// is one extra allocation per op, so prefer [`execute`] in hot loops.
+pub fn execute_traced(
+    inst: &Instance,
+    sched: &FtSchedule,
+    scenario: &FaultScenario,
+    cfg: &EngineConfig,
+) -> (RunOutcome, EngineTrace) {
+    let mut engine = Engine::new(inst, sched, scenario, cfg);
+    engine.tracing = true;
+    engine.build_static_ops();
+    engine.seed_events();
+    engine.run();
+    engine.into_outcome_and_trace()
+}
+
+/// Kind of one recorded engine event (see [`EngineTrace::events`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An operation completed.
+    Completion,
+    /// Knowledge of a crash reached one more set of survivors.
+    Detection,
+    /// Knowledge of a reboot reached one more set of survivors.
+    Rejoin,
+}
+
+/// One engine event, in the order the event loop processed it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Wall-clock instant of the event.
+    pub time: f64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// One operation of a finished execution (computation or transfer).
+#[derive(Clone, Debug)]
+pub struct OpTrace {
+    /// Executing (computation) or sending (transfer) processor.
+    pub proc: ProcId,
+    /// `Some(task)` for computations, `None` for transfers.
+    pub task: Option<TaskId>,
+    /// Earliest allowed start (0 for static work, the spawning event's
+    /// instant for recovery work).
+    pub release: f64,
+    /// Scheduled start instant (meaningful only when `completed`).
+    pub start: f64,
+    /// Completion instant (meaningful only when `completed`).
+    pub finish: f64,
+    /// True if the operation actually happened (reached `Done`).
+    pub completed: bool,
+    /// True for repair work injected at a detection or rejoin.
+    pub recovery: bool,
+    /// Nominal work units (re)computed / transferred by this op.
+    pub work: f64,
+    /// Total work of the task on this host (computations; equals `work`
+    /// unless the op resumed from a checkpoint).
+    pub full: f64,
+    /// Fraction restored from a checkpoint before this op started.
+    pub done_frac: f64,
+    /// Checkpoint write/read padding baked into the op's wall-clock time.
+    pub ck_pad: f64,
+}
+
+/// Observability record of one [`execute_traced`] run: the materialized
+/// operations and the processed events in order. Event times are monotone
+/// non-decreasing — one of the engine invariants the property suite pins.
+#[derive(Clone, Debug)]
+pub struct EngineTrace {
+    /// Every operation the engine materialized, in creation order.
+    pub ops: Vec<OpTrace>,
+    /// The event log, in processing order.
+    pub events: Vec<TraceEvent>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -179,6 +278,8 @@ struct Op {
     group_deps: Vec<(u32, u32)>,
 
     state: OpState,
+    /// Scheduled start (set when the op is scheduled; 0 before).
+    start: f64,
     finish: f64,
 }
 
@@ -208,6 +309,7 @@ impl Op {
             fifo_deps: Vec::new(),
             group_deps: Vec::new(),
             state: OpState::Pending,
+            start: 0.0,
             finish: 0.0,
         }
     }
@@ -228,8 +330,10 @@ struct Engine<'a> {
     cfg: &'a EngineConfig,
 
     ops: Vec<Op>,
-    /// `(finish, kind, id)`; kind 0 = op completion, 1 = detection of
-    /// processor `id`. Completions at a given instant precede detections.
+    /// `(finish, kind, id)`; kind 0 = op completion (`id` = op), 1 =
+    /// crash detection, 2 = rejoin knowledge (`id` = `epoch · m + proc`).
+    /// Completions at a given instant precede detections, which precede
+    /// rejoins.
     heap: BinaryHeap<Reverse<(OrdF64, u8, u32)>>,
 
     /// Static exec op per (task, copy); `None` when pruned at build time.
@@ -237,15 +341,37 @@ struct Engine<'a> {
     /// Recovery exec ops per task.
     recovery_exec: Vec<Vec<u32>>,
     topo_position: Vec<usize>,
+    /// The coordinator's current belief: `p` is dead (its latest known
+    /// availability event is a crash). Flips back to `false` when a
+    /// rejoin enters the coordinator view.
     known_dead: Vec<bool>,
-    /// `detect[p][q]`: the instant at which processor `q` learns of the
-    /// crash of processor `p` (`INFINITY` = never / `p` never crashes);
+    /// Physical instant of the latest availability event (crash or
+    /// reboot) brought into the coordinator view per processor; the
+    /// belief follows the event with the latest *physical* time, so
+    /// out-of-order knowledge (a slow crash detection arriving after the
+    /// fast rejoin news) cannot roll the state backwards.
+    believed_instant: Vec<f64>,
+    /// The failure epoch behind the current belief of `p` (meaningful
+    /// while `known_dead[p]`; indexes `crash_detect[p]`).
+    believed_epoch: Vec<usize>,
+    /// Failure epochs `(crash, reboot)` per processor, from the scenario.
+    epochs: Vec<Vec<(f64, f64)>>,
+    /// `crash_detect[p][k][q]`: the instant at which processor `q` learns
+    /// of the epoch-`k` crash of processor `p` (`INFINITY` = never);
     /// precomputed from the [`DetectionModel`] at construction.
-    detect: Vec<Vec<f64>>,
+    crash_detect: Vec<Vec<Vec<f64>>>,
+    /// `rejoin_detect[p][k][q]`: when `q` learns that `p` rebooted from
+    /// its epoch-`k` crash (empty for permanent epochs). Rejoin knowledge
+    /// propagates through the same [`DetectionModel`] as crash knowledge.
+    rejoin_detect: Vec<Vec<Vec<f64>>>,
+    /// First-event-processed flags per `(proc, epoch)` crash / rejoin.
+    crash_seen: Vec<Vec<bool>>,
+    rejoin_seen: Vec<Vec<bool>>,
 
     first_finish: Vec<Option<f64>>,
     recovered: Vec<bool>,
     detections: usize,
+    rejoins: usize,
     reschedules: usize,
     recovery_replicas: usize,
     recovery_messages: usize,
@@ -270,6 +396,10 @@ struct Engine<'a> {
     /// Total recomputation avoided by resuming (work units on the
     /// resuming host), over completed resumed replicas.
     work_saved: f64,
+    /// Event log collected when tracing (empty otherwise).
+    trace_events: Vec<TraceEvent>,
+    /// Whether this run records an [`EngineTrace`].
+    tracing: bool,
 }
 
 /// Checkpoint writes a computation of `work` units performs: one per
@@ -314,10 +444,34 @@ impl<'a> Engine<'a> {
             topo_position[t.index()] = i;
         }
         let m = inst.num_procs();
-        let mut detect = vec![Vec::new(); m];
-        for (p, t) in scenario.crashes() {
-            detect[p.index()] = cfg.detection.instants(m, p, t, scenario);
+        let epochs: Vec<Vec<(f64, f64)>> = (0..m)
+            .map(|p| scenario.epochs_of(ProcId::from_index(p)).collect())
+            .collect();
+        let mut crash_detect = vec![Vec::new(); m];
+        let mut rejoin_detect = vec![Vec::new(); m];
+        for (p, eps) in epochs.iter().enumerate() {
+            let pid = ProcId::from_index(p);
+            for (k, &(crash, up)) in eps.iter().enumerate() {
+                // Salts in temporal order: 2k for the epoch-k crash (0 for
+                // the first crash — the historical gossip stream), 2k + 1
+                // for its rejoin.
+                crash_detect[p].push(cfg.detection.instants_at(
+                    m,
+                    pid,
+                    crash,
+                    scenario,
+                    2 * k as u64,
+                ));
+                rejoin_detect[p].push(if up.is_finite() {
+                    cfg.detection
+                        .instants_at(m, pid, up, scenario, 2 * k as u64 + 1)
+                } else {
+                    Vec::new()
+                });
+            }
         }
+        let crash_seen: Vec<Vec<bool>> = epochs.iter().map(|e| vec![false; e.len()]).collect();
+        let rejoin_seen = crash_seen.clone();
         Engine {
             inst,
             sched,
@@ -331,10 +485,17 @@ impl<'a> Engine<'a> {
             recovery_exec: vec![Vec::new(); v],
             topo_position,
             known_dead: vec![false; inst.num_procs()],
-            detect,
+            believed_instant: vec![f64::NEG_INFINITY; m],
+            believed_epoch: vec![0; m],
+            epochs,
+            crash_detect,
+            rejoin_detect,
+            crash_seen,
+            rejoin_seen,
             first_finish: vec![None; v],
             recovered: vec![false; v],
             detections: 0,
+            rejoins: 0,
             reschedules: 0,
             recovery_replicas: 0,
             recovery_messages: 0,
@@ -344,6 +505,8 @@ impl<'a> Engine<'a> {
             task_ck_frac: vec![0.0; v],
             checkpoint_overhead: 0.0,
             work_saved: 0.0,
+            trace_events: Vec::new(),
+            tracing: false,
         }
     }
 
@@ -368,9 +531,15 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Crash deadline of work placed on `p` at time `t`: the crash
+    /// instant of `p`'s first failure epoch not already over by `t` (see
+    /// [`FaultScenario::deadline_after`]). Static work uses `t = 0` (the
+    /// first crash, as in the permanent engine); recovery work placed at
+    /// a detection or rejoin instant is bound to the epoch it was placed
+    /// in — an op never survives a down window of its host.
     #[inline]
-    fn deadline(&self, p: ProcId) -> f64 {
-        self.scenario.deadline(p)
+    fn deadline_after(&self, p: ProcId, t: f64) -> f64 {
+        self.scenario.deadline_after(p, t)
     }
 
     /// Mirrors `ft_sim::replay` passes 1–2: prunes replicas dead or
@@ -382,7 +551,7 @@ impl<'a> Engine<'a> {
         let v = g.num_tasks();
         let m = self.inst.num_procs();
         let dead0: Vec<bool> = (0..m)
-            .map(|p| self.deadline(ProcId::from_index(p)) <= 0.0)
+            .map(|p| self.deadline_after(ProcId::from_index(p), 0.0) <= 0.0)
             .collect();
 
         // Pass 1: static liveness (crash-at-0 processors only).
@@ -431,7 +600,7 @@ impl<'a> Engine<'a> {
                 let mut op = Op::new(
                     self.inst.exec_time(r.of.task, r.proc),
                     0.0,
-                    self.deadline(r.proc),
+                    self.deadline_after(r.proc, 0.0),
                     r.proc,
                 );
                 op.task = Some(r.of.task);
@@ -451,7 +620,7 @@ impl<'a> Engine<'a> {
             self.ops.push(Op::new(
                 msg.finish - msg.start,
                 0.0,
-                self.deadline(msg.from),
+                self.deadline_after(msg.from, 0.0),
                 msg.from,
             ));
             msg_op[mi] = Some(id);
@@ -516,51 +685,78 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Queues the initial completions and the detection events: one event
-    /// per crash per **distinct** observer detection instant (the crashed
-    /// processor's own entry excluded), so the recovery policy fires when
-    /// the crash is first detected and again whenever knowledge of it
-    /// reaches more survivors (a single event under
-    /// [`DetectionModel::Uniform`]). A crash with no *other* observer —
-    /// the single-processor platform — falls back to the crashed
-    /// processor's own instant, so every timeout-model crash still enters
+    /// Queues the initial completions and the availability events: one
+    /// event per crash (and, for transient epochs, per rejoin) per
+    /// **distinct** observer knowledge instant (the affected processor's
+    /// own entry excluded), so the recovery policy fires when the event
+    /// first enters the coordinator view and again whenever knowledge of
+    /// it reaches more survivors (a single event under
+    /// [`DetectionModel::Uniform`]). An event with no *other* observer —
+    /// the single-processor platform — falls back to the processor's own
+    /// instant, so every timeout-model crash (and rejoin) still enters
     /// the coordinator view exactly as in the pre-redesign engine; only a
     /// gossip rumor with nobody to start it is never detected.
     fn seed_events(&mut self) {
-        for (p, _) in self.scenario.crashes() {
-            let others = |q: usize| q != p.index();
-            let own = |q: usize| q == p.index();
-            let mut instants: Vec<f64> = self.detect[p.index()]
-                .iter()
-                .enumerate()
-                .filter(|&(q, w)| others(q) && w.is_finite())
-                .map(|(_, &w)| w)
-                .collect();
-            if instants.is_empty() {
-                instants = self.detect[p.index()]
-                    .iter()
-                    .enumerate()
-                    .filter(|&(q, w)| own(q) && w.is_finite())
-                    .map(|(_, &w)| w)
-                    .collect();
-            }
-            instants.sort_by(f64::total_cmp);
-            instants.dedup();
-            for w in instants {
-                self.heap.push(Reverse((OrdF64(w), 1, p.index() as u32)));
+        let m = self.inst.num_procs();
+        for p in 0..m {
+            for k in 0..self.epochs[p].len() {
+                let id = (k * m + p) as u32;
+                for w in Self::event_instants(&self.crash_detect[p][k], p) {
+                    self.heap.push(Reverse((OrdF64(w), 1, id)));
+                }
+                for w in Self::event_instants(&self.rejoin_detect[p][k], p) {
+                    self.heap.push(Reverse((OrdF64(w), 2, id)));
+                }
             }
         }
         let mut acts: Vec<Act> = (0..self.ops.len() as u32).map(Act::TrySchedule).collect();
         self.drain(&mut acts);
     }
 
+    /// The distinct finite knowledge instants of one availability event
+    /// of processor `p` over the given per-observer instants, with the
+    /// own-instant fallback when no other observer ever learns.
+    fn event_instants(detect: &[f64], p: usize) -> Vec<f64> {
+        let mut instants: Vec<f64> = detect
+            .iter()
+            .enumerate()
+            .filter(|&(q, w)| q != p && w.is_finite())
+            .map(|(_, &w)| w)
+            .collect();
+        if instants.is_empty() {
+            instants = detect
+                .iter()
+                .enumerate()
+                .filter(|&(q, w)| q == p && w.is_finite())
+                .map(|(_, &w)| w)
+                .collect();
+        }
+        instants.sort_by(f64::total_cmp);
+        instants.dedup();
+        instants
+    }
+
     /// The main event loop.
     fn run(&mut self) {
+        let m = self.inst.num_procs();
         while let Some(Reverse((OrdF64(time), kind, id))) = self.heap.pop() {
-            if kind == 0 {
-                self.on_completion(id, time);
-            } else {
-                self.on_detection(ProcId::from_index(id as usize), time);
+            if self.tracing {
+                let kind = match kind {
+                    // A popped entry of a cancelled op is a stale heap
+                    // slot, not an event: nothing completes.
+                    0 if self.ops[id as usize].state == OpState::Cancelled => None,
+                    0 => Some(TraceEventKind::Completion),
+                    1 => Some(TraceEventKind::Detection),
+                    _ => Some(TraceEventKind::Rejoin),
+                };
+                if let Some(kind) = kind {
+                    self.trace_events.push(TraceEvent { time, kind });
+                }
+            }
+            match kind {
+                0 => self.on_completion(id, time),
+                1 => self.on_detection(ProcId::from_index(id as usize % m), id as usize / m, time),
+                _ => self.on_rejoin(ProcId::from_index(id as usize % m), id as usize / m, time),
             }
         }
     }
@@ -656,6 +852,7 @@ impl<'a> Engine<'a> {
         };
         if finish <= op.deadline {
             op.state = OpState::Scheduled;
+            op.start = start;
             op.finish = finish;
             op.est_finish = finish;
             self.heap.push(Reverse((OrdF64(finish), 0, i)));
@@ -785,15 +982,26 @@ impl<'a> Engine<'a> {
 
     // --- failure detection & recovery -----------------------------------
 
-    /// Processes one detection event of the crash of `p`: the first event
-    /// per crash (its earliest survivor detection instant) brings the
-    /// crash into the coordinator view; later events mark knowledge of it
-    /// reaching more survivors, widening the repair-eligible set, and give
-    /// the policy another chance at tasks it could not repair before.
-    fn on_detection(&mut self, p: ProcId, time: f64) {
-        if !self.known_dead[p.index()] {
-            self.known_dead[p.index()] = true;
+    /// Processes one detection event of the epoch-`k` crash of `p`: the
+    /// first event per crash (its earliest survivor detection instant)
+    /// brings the crash into the coordinator view; later events mark
+    /// knowledge of it reaching more survivors, widening the
+    /// repair-eligible set, and give the policy another chance at tasks
+    /// it could not repair before.
+    fn on_detection(&mut self, p: ProcId, k: usize, time: f64) {
+        let pi = p.index();
+        if !self.crash_seen[pi][k] {
+            self.crash_seen[pi][k] = true;
             self.detections += 1;
+            // The belief follows the latest *physical* event: a crash
+            // detected only after its own repair was already reported
+            // (slow detector, fast reboot) must not re-kill the view.
+            let crash = self.epochs[pi][k].0;
+            if crash >= self.believed_instant[pi] {
+                self.believed_instant[pi] = crash;
+                self.believed_epoch[pi] = k;
+                self.known_dead[pi] = true;
+            }
         }
         match self.cfg.policy {
             RecoveryPolicy::Absorb => {}
@@ -806,11 +1014,49 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Processes one rejoin-knowledge event of the epoch-`k` reboot of
+    /// `p`: the first event per reboot brings the rejoin into the
+    /// coordinator view (the processor is believed up again and may host
+    /// repair work — survivors learn a processor is back *before* work is
+    /// placed on it); every event, first or later, is a rejuvenation
+    /// chance for the policy: deferred and previously unrepairable tasks
+    /// are retried on the grown platform.
+    fn on_rejoin(&mut self, p: ProcId, k: usize, time: f64) {
+        let pi = p.index();
+        if !self.rejoin_seen[pi][k] {
+            self.rejoin_seen[pi][k] = true;
+            self.rejoins += 1;
+            let up = self.epochs[pi][k].1;
+            // Strictly-later only: a crash at the exact reboot instant
+            // (`crash_{k+1} = up_k`, allowed by the scenario) supersedes
+            // the rejoin whichever knowledge event is processed first —
+            // crashes win physical-time ties (compare the `>=` in
+            // `on_detection`).
+            if up > self.believed_instant[pi] {
+                self.believed_instant[pi] = up;
+                self.known_dead[pi] = false;
+            }
+        }
+        if (0..self.inst.num_tasks()).all(|t| self.task_believed_safe(t)) {
+            return; // nothing broken: no policy action, no replan churn
+        }
+        match self.cfg.policy {
+            RecoveryPolicy::Absorb => {}
+            RecoveryPolicy::ReReplicate | RecoveryPolicy::Checkpoint { .. } => {
+                self.retry_lost(time)
+            }
+            RecoveryPolicy::Reschedule => self.reschedule(time),
+        }
+    }
+
     /// The survivor-knowledge rule: `q` may host repair work at time
     /// `now` iff it is alive (as far as the coordinator knows) and has
-    /// detected **every** crash the coordinator knows about. Under
+    /// detected **every** crash the coordinator currently knows about
+    /// (each believed-dead processor's current epoch). Under
     /// [`DetectionModel::Uniform`] every survivor qualifies at the single
-    /// per-crash detection instant, reproducing the historical engine.
+    /// per-crash detection instant, reproducing the historical engine. A
+    /// rejoined processor re-enters this set as soon as its rejoin is in
+    /// the coordinator view (`known_dead` false again).
     fn repair_eligible(&self, q: usize, now: f64) -> bool {
         !self.known_dead[q]
             && self
@@ -818,7 +1064,7 @@ impl<'a> Engine<'a> {
                 .iter()
                 .enumerate()
                 .filter(|&(_, &dead)| dead)
-                .all(|(p, _)| self.detect[p][q] <= now)
+                .all(|(p, _)| self.crash_detect[p][self.believed_epoch[p]][q] <= now)
     }
 
     /// True if some replica of `t` is completed, or is scheduled on a
@@ -892,8 +1138,43 @@ impl<'a> Engine<'a> {
                 lost.push(t);
             }
         }
-        lost.sort_by_key(|&t| self.topo_position[t]);
+        self.retry_tasks(lost, time);
+    }
 
+    /// Rejuvenation pass fired at rejoin-knowledge events: retries every
+    /// task that suffered a loss anywhere — a failed, cancelled or
+    /// believed-dead-hosted replica, a build-time pruning, or an earlier
+    /// deferral — and is not believed safe. The rejoined processor (and
+    /// its persisted data) widens both the candidate hosts and the
+    /// surviving input copies, so tasks flagged unrecoverable at an
+    /// earlier detection can become repairable here.
+    fn retry_lost(&mut self, time: f64) {
+        let mut lost: Vec<usize> = Vec::new();
+        for t in 0..self.inst.num_tasks() {
+            let lost_replica = |&id: &u32| {
+                let op = &self.ops[id as usize];
+                op.state != OpState::Done
+                    && (matches!(
+                        op.state,
+                        OpState::Failed | OpState::GhostDone | OpState::Cancelled
+                    ) || self.known_dead[op.proc as usize])
+            };
+            if (self.deferred[t]
+                || self.static_exec[t].iter().any(|o| o.is_none())
+                || self.static_exec[t].iter().flatten().any(lost_replica)
+                || self.recovery_exec[t].iter().any(lost_replica))
+                && !self.task_believed_safe(t)
+            {
+                lost.push(t);
+            }
+        }
+        self.retry_tasks(lost, time);
+    }
+
+    /// Spawns one replacement (or checkpoint resume) per lost task, in
+    /// topological order so replacements can feed later replacements.
+    fn retry_tasks(&mut self, mut lost: Vec<usize>, time: f64) {
+        lost.sort_by_key(|&t| self.topo_position[t]);
         for t in lost {
             if self.task_believed_safe(t) {
                 self.deferred[t] = false;
@@ -984,7 +1265,12 @@ impl<'a> Engine<'a> {
         // Materialize: one contention-free transfer per remote input, then
         // the replacement computation.
         let ex = self.ops.len() as u32;
-        let mut exec_op = Op::new(self.inst.exec_time(t, q), now, self.deadline(q), q);
+        let mut exec_op = Op::new(
+            self.inst.exec_time(t, q),
+            now,
+            self.deadline_after(q, now),
+            q,
+        );
         exec_op.task = Some(t);
         exec_op.recovery = true;
         exec_op.est_finish = est;
@@ -1008,8 +1294,12 @@ impl<'a> Engine<'a> {
             }
             let w = self.inst.comm_time(e, src_proc, q);
             let mid = self.ops.len() as u32;
-            self.ops
-                .push(Op::new(w, now, self.deadline(src_proc), src_proc));
+            self.ops.push(Op::new(
+                w,
+                now,
+                self.deadline_after(src_proc, now),
+                src_proc,
+            ));
             self.recovery_messages += 1;
             match src_op {
                 Some(s) => self.add_hard_dep(s, mid),
@@ -1086,7 +1376,7 @@ impl<'a> Engine<'a> {
         let (est, q) = best.expect("candidate list non-empty");
         let full = self.inst.exec_time(t, q);
         let ex = self.ops.len() as u32;
-        let mut op = Op::new(full * (1.0 - frac), now, self.deadline(q), q);
+        let mut op = Op::new(full * (1.0 - frac), now, self.deadline_after(q, now), q);
         op.task = Some(t);
         op.recovery = true;
         op.full = full;
@@ -1186,7 +1476,12 @@ impl<'a> Engine<'a> {
             }
             for r in plan.replicas_of(TaskId::from_index(t)) {
                 let id = self.ops.len() as u32;
-                let mut op = Op::new(r.finish - r.start, now, self.deadline(r.proc), r.proc);
+                let mut op = Op::new(
+                    r.finish - r.start,
+                    now,
+                    self.deadline_after(r.proc, now),
+                    r.proc,
+                );
                 op.task = Some(r.of.task);
                 op.recovery = true;
                 op.fixed_finish = Some(r.finish);
@@ -1230,7 +1525,7 @@ impl<'a> Engine<'a> {
                         let mut mop = Op::new(
                             msg.finish - msg.start,
                             now,
-                            self.deadline(msg.from),
+                            self.deadline_after(msg.from, now),
                             msg.from,
                         );
                         mop.fixed_finish = Some(msg.finish);
@@ -1271,6 +1566,7 @@ impl<'a> Engine<'a> {
             recovered: self.recovered,
             num_failures: self.scenario.num_failures(),
             detections: self.detections,
+            rejoins: self.rejoins,
             reschedules: self.reschedules,
             recovery_replicas: self.recovery_replicas,
             recovery_messages: self.recovery_messages,
@@ -1278,6 +1574,28 @@ impl<'a> Engine<'a> {
             checkpoint_overhead: self.checkpoint_overhead,
             work_saved: self.work_saved,
         }
+    }
+
+    fn into_outcome_and_trace(mut self) -> (RunOutcome, EngineTrace) {
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| OpTrace {
+                proc: ProcId::from_index(op.proc as usize),
+                task: op.task,
+                release: op.release,
+                start: op.start,
+                finish: op.finish,
+                completed: op.state == OpState::Done,
+                recovery: op.recovery,
+                work: op.work,
+                full: op.full,
+                done_frac: op.done_frac,
+                ck_pad: op.ck_pad,
+            })
+            .collect();
+        let events = std::mem::take(&mut self.trace_events);
+        (self.into_outcome(), EngineTrace { ops, events })
     }
 }
 
@@ -1779,6 +2097,212 @@ mod tests {
         };
         let out = execute(&inst, &sched, &scenario, &gossip);
         assert_eq!(out.detections, 0, "no observer, no rumor, no detection");
+    }
+
+    #[test]
+    fn repair_infinity_is_byte_identical_to_permanent() {
+        // The availability identity at unit scale (the full property lives
+        // in tests/timed_model.rs): a transient scenario whose every
+        // repair is ∞ runs the permanent engine byte-for-byte.
+        let inst = setup(21, 40, 1.0);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 3);
+        let nominal = sched.latency();
+        let crashes = [(ProcId(0), nominal * 0.1), (ProcId(1), nominal * 0.25)];
+        let transient: Vec<_> = crashes
+            .iter()
+            .map(|&(p, t)| (p, t, f64::INFINITY))
+            .collect();
+        for policy in RecoveryPolicy::ALL {
+            let cfg = EngineConfig {
+                policy,
+                detection: DetectionModel::uniform(0.3),
+                seed: 0,
+            };
+            let perm = execute(&inst, &sched, &FaultScenario::timed(&crashes), &cfg);
+            let tra = execute(&inst, &sched, &FaultScenario::transient(&transient), &cfg);
+            assert_eq!(
+                serde_json::to_string(&perm).unwrap(),
+                serde_json::to_string(&tra).unwrap(),
+                "{policy}: repair = ∞ must be permanent fail-stop"
+            );
+            assert_eq!(tra.rejoins, 0);
+        }
+    }
+
+    #[test]
+    fn rejoined_processor_hosts_replacements() {
+        // Single-processor rejuvenation: the lone processor crashes
+        // mid-run and reboots. Under permanent fail-stop the run is lost;
+        // with a repair window, the rejoin enters the coordinator view
+        // (own-timeout fallback) and re-replication replays the lost work
+        // on the rebooted processor — data computed before the crash
+        // persisted across the reboot.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_layered(&RandomDagParams::default().with_tasks(12), &mut rng);
+        let inst = ft_platform::random_instance(
+            g,
+            &ft_platform::PlatformParams::default().with_procs(1),
+            1.0,
+            &mut rng,
+        );
+        let sched = caft(&inst, 0, CommModel::OnePort, 2);
+        let crash = sched.latency() * 0.5;
+        let cfg = EngineConfig {
+            policy: RecoveryPolicy::ReReplicate,
+            detection: DetectionModel::uniform(0.5),
+            seed: 0,
+        };
+        let perm = execute(
+            &inst,
+            &sched,
+            &FaultScenario::timed(&[(ProcId(0), crash)]),
+            &cfg,
+        );
+        assert!(!perm.completed(), "no reboot, no second chance");
+        let tra = execute(
+            &inst,
+            &sched,
+            &FaultScenario::transient(&[(ProcId(0), crash, 2.0)]),
+            &cfg,
+        );
+        assert!(
+            tra.completed(),
+            "the rebooted processor must finish the job"
+        );
+        assert_eq!(tra.rejoins, 1);
+        assert!(tra.recovery_replicas > 0);
+        assert!(tra.tasks_recovered() > 0);
+        // Deterministic, like every engine entry point.
+        let again = execute(
+            &inst,
+            &sched,
+            &FaultScenario::transient(&[(ProcId(0), crash, 2.0)]),
+            &cfg,
+        );
+        assert_eq!(
+            serde_json::to_string(&tra).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn multiple_epochs_are_each_detected() {
+        // A processor that crashes, reboots and crashes again produces
+        // two detections and one rejoin in the coordinator view, and the
+        // platform still completes under recovery.
+        let inst = setup(21, 40, 1.0);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 3);
+        let nominal = sched.latency();
+        let scenario = FaultScenario::transient(&[
+            (ProcId(0), nominal * 0.2, nominal * 0.2),
+            (ProcId(0), nominal * 0.6, f64::INFINITY),
+        ]);
+        for policy in [RecoveryPolicy::ReReplicate, RecoveryPolicy::Reschedule] {
+            let cfg = EngineConfig {
+                policy,
+                detection: DetectionModel::uniform(0.3),
+                seed: 0,
+            };
+            let out = execute(&inst, &sched, &scenario, &cfg);
+            assert_eq!(out.detections, 2, "{policy}: both epochs detected");
+            assert_eq!(out.rejoins, 1, "{policy}: one reboot known");
+            assert_eq!(out.num_failures, 1, "one distinct processor failed");
+            assert!(out.completed(), "{policy}: ε = 1 platform must survive");
+        }
+    }
+
+    #[test]
+    fn crash_at_the_reboot_instant_wins_the_tie() {
+        // `crash_{k+1} = up_k` is a legal scenario: the processor comes
+        // back and dies in the same instant. Under uniform detection both
+        // knowledge events land at the same wall-clock instant (crash
+        // detections are processed first), so the rejoin must *not*
+        // revive the belief on the physical-time tie — a revived zombie
+        // would attract doomed repair work. On a single-processor
+        // platform the zombie is the only candidate host, which makes
+        // the bug directly observable: with the tie mishandled, the
+        // rejuvenation pass spawns replacements on the dead processor.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_layered(&RandomDagParams::default().with_tasks(12), &mut rng);
+        let inst = ft_platform::random_instance(
+            g,
+            &ft_platform::PlatformParams::default().with_procs(1),
+            1.0,
+            &mut rng,
+        );
+        let sched = caft(&inst, 0, CommModel::OnePort, 2);
+        let nominal = sched.latency();
+        let (crash, repair) = (nominal * 0.2, nominal * 0.1);
+        let scenario = FaultScenario::transient(&[
+            (ProcId(0), crash, repair),
+            (ProcId(0), crash + repair, f64::INFINITY),
+        ]);
+        let cfg = EngineConfig {
+            policy: RecoveryPolicy::ReReplicate,
+            detection: DetectionModel::uniform(0.3),
+            seed: 0,
+        };
+        let (out, trace) = execute_traced(&inst, &sched, &scenario, &cfg);
+        assert_eq!(out.detections, 2);
+        assert_eq!(out.rejoins, 1);
+        for (i, op) in trace.ops.iter().enumerate() {
+            assert!(
+                op.release == 0.0,
+                "op {i} placed on the zombie processor at release {}",
+                op.release
+            );
+        }
+        assert!(!out.completed(), "the platform is gone for good");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let inst = setup(21, 40, 1.0);
+        let sched = ftsa(&inst, 1, CommModel::OnePort, 3);
+        let nominal = sched.latency();
+        let scenario = FaultScenario::transient(&[
+            (ProcId(0), nominal * 0.2, nominal * 0.3),
+            (ProcId(1), nominal * 0.35, f64::INFINITY),
+        ]);
+        let cfg = EngineConfig {
+            policy: RecoveryPolicy::checkpoint(inst.mean_task_cost() * 0.5, 0.02),
+            detection: DetectionModel::uniform(0.3),
+            seed: 0,
+        };
+        let plain = execute(&inst, &sched, &scenario, &cfg);
+        let (traced, trace) = execute_traced(&inst, &sched, &scenario, &cfg);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap(),
+            "tracing must not steer the engine"
+        );
+        assert!(!trace.ops.is_empty());
+        assert!(!trace.events.is_empty());
+        // Availability events are processed in time order (completion
+        // events may lag behind — the documented ghost-pass-through
+        // frontier lag; see the engine_invariants suite).
+        let avail: Vec<f64> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind != TraceEventKind::Completion)
+            .map(|e| e.time)
+            .collect();
+        for w in avail.windows(2) {
+            assert!(w[0] <= w[1], "availability events out of order");
+        }
+        let completions = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Completion)
+            .count();
+        assert_eq!(
+            completions,
+            trace.ops.iter().filter(|o| o.completed).count()
+        );
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.kind == TraceEventKind::Rejoin));
     }
 
     #[test]

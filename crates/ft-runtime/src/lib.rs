@@ -13,7 +13,12 @@
 //!   positional [`execute`] / [`simulate_many`] calls remain as thin
 //!   wrappers);
 //! * [`LifetimeDist`] — exponential / Weibull / trace lifetimes, drawn into
-//!   timed [`FaultScenario`](ft_sim::FaultScenario)s ([`draw_scenario`]);
+//!   timed [`FaultScenario`](ft_sim::FaultScenario)s ([`draw_scenario`]) —
+//!   permanently fail-stop, or transient ([`FailureKind`], [`RepairModel`],
+//!   [`draw_scenario_with`]): crashed processors reboot after a repair
+//!   time, rejoin knowledge spreads through the [`DetectionModel`], and
+//!   rejoined processors are re-enlisted by every recovery policy (the
+//!   availability machine Up → Down → Rejoined; DESIGN.md §6);
 //! * [`execute`] — the discrete-event online engine: replays the static
 //!   schedule's inherited orders (first-surviving-copy input policy, as in
 //!   `ft_sim::replay`), kills work at crash times, and repairs at
@@ -35,13 +40,17 @@
 //! * [`simulate_many`] — rayon-parallel Monte-Carlo batches streamed
 //!   through a mergeable [`BatchAccumulator`] (O(threads) memory, byte-
 //!   identical [`BatchSummary`] at any thread count);
+//! * [`execute_traced`] — the engine with its observability record
+//!   ([`EngineTrace`]): every materialized operation and the processed
+//!   event log, the substrate of the `tests/engine_invariants.rs`
+//!   property suite;
 //! * [`report`] — one run against the §6 latency bounds.
 //!
 //! ## Consistency with the static stack
 //!
-//! Three pinned properties tie the online engine to the replay semantics
-//! and anchor the checkpoint model (enforced by the `timed_model`
-//! integration tests):
+//! Four pinned properties tie the online engine to the replay semantics
+//! and anchor the checkpoint and availability models (enforced by the
+//! `timed_model` integration tests):
 //!
 //! * crash times at or beyond the schedule's makespan reproduce the
 //!   no-failure static replay **exactly** (and, for
@@ -53,7 +62,10 @@
 //! * [`Checkpoint`](RecoveryPolicy::Checkpoint) with `interval = ∞`
 //!   reproduces [`ReReplicate`](RecoveryPolicy::ReReplicate) **exactly**
 //!   — no checkpoint is ever written, so nothing is paid and nothing can
-//!   be resumed.
+//!   be resumed;
+//! * a transient scenario whose every repair is `∞` reproduces the
+//!   permanent-crash engine **exactly** (the availability identity) —
+//!   the reboot machine only ever acts through finite repair windows.
 //!
 //! ## Example
 //!
@@ -92,8 +104,8 @@ pub mod simulation;
 
 pub use batch::{simulate_many, BatchAccumulator, ExactSum, MonteCarloConfig};
 pub use detection::DetectionModel;
-pub use engine::execute;
-pub use lifetime::{draw_scenario, LifetimeDist};
+pub use engine::{execute, execute_traced, EngineTrace, OpTrace, TraceEvent, TraceEventKind};
+pub use lifetime::{draw_scenario, draw_scenario_with, FailureKind, LifetimeDist, RepairModel};
 pub use metrics::{report, BatchSummary, RunOutcome, RunReport};
 pub use policy::{EngineConfig, RecoveryPolicy};
 pub use simulation::Simulation;
@@ -101,8 +113,9 @@ pub use simulation::Simulation;
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use crate::{
-        draw_scenario, execute, report, simulate_many, BatchAccumulator, BatchSummary,
-        DetectionModel, EngineConfig, LifetimeDist, MonteCarloConfig, RecoveryPolicy, RunOutcome,
-        RunReport, Simulation,
+        draw_scenario, draw_scenario_with, execute, execute_traced, report, simulate_many,
+        BatchAccumulator, BatchSummary, DetectionModel, EngineConfig, EngineTrace, FailureKind,
+        LifetimeDist, MonteCarloConfig, RecoveryPolicy, RepairModel, RunOutcome, RunReport,
+        Simulation,
     };
 }

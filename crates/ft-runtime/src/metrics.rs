@@ -43,8 +43,12 @@ pub struct RunOutcome {
     pub recovered: Vec<bool>,
     /// Number of processors that crash in the scenario (at any time).
     pub num_failures: usize,
-    /// Failure detections processed.
+    /// Failure detections processed (first knowledge event per crash
+    /// epoch).
     pub detections: usize,
+    /// Rejoins brought into the coordinator view (first knowledge event
+    /// per reboot; 0 for permanent-only scenarios).
+    pub rejoins: usize,
     /// Repair plans computed (`Reschedule` invocations).
     pub reschedules: usize,
     /// Recovery replicas spawned (both policies).
@@ -126,6 +130,9 @@ pub struct BatchSummary {
     pub completed: usize,
     /// Runs with at least one crash before the nominal makespan.
     pub disturbed: usize,
+    /// Total rejoins brought into the coordinator view, across runs (0
+    /// for permanent-only batches).
+    pub rejoins: usize,
     /// Mean achieved latency over completed runs.
     pub mean_latency: f64,
     /// Maximum achieved latency over completed runs.
@@ -202,6 +209,7 @@ mod tests {
             recovered: vec![false, true],
             num_failures: 1,
             detections: 1,
+            rejoins: 0,
             reschedules: 0,
             recovery_replicas: 1,
             recovery_messages: 2,

@@ -66,7 +66,7 @@
 use crate::batch::{simulate_many, MonteCarloConfig};
 use crate::detection::DetectionModel;
 use crate::engine::execute;
-use crate::lifetime::LifetimeDist;
+use crate::lifetime::{FailureKind, LifetimeDist};
 use crate::metrics::{BatchSummary, RunOutcome};
 use crate::policy::{EngineConfig, RecoveryPolicy};
 use ft_model::FtSchedule;
@@ -83,6 +83,7 @@ pub struct Simulation<'a> {
     inst: &'a Instance,
     sched: &'a FtSchedule,
     cfg: EngineConfig,
+    failure: FailureKind,
 }
 
 impl<'a> Simulation<'a> {
@@ -94,6 +95,7 @@ impl<'a> Simulation<'a> {
             inst,
             sched,
             cfg: EngineConfig::default(),
+            failure: FailureKind::Permanent,
         }
     }
 
@@ -117,6 +119,22 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Sets the failure kind the Monte-Carlo scenario draws use:
+    /// [`FailureKind::Permanent`] (the default and the paper's fail-stop
+    /// model) or [`FailureKind::Transient`] with a repair model, under
+    /// which crashed processors reboot and may crash again. Explicit
+    /// [`run`](Simulation::run) scenarios are unaffected — they carry
+    /// their own repair windows.
+    pub fn failure(mut self, failure: FailureKind) -> Self {
+        self.failure = failure;
+        self
+    }
+
+    /// The failure kind of this simulation's Monte-Carlo draws.
+    pub fn failure_kind(&self) -> &FailureKind {
+        &self.failure
+    }
+
     /// The engine configuration this builder resolves to (serializable —
     /// log it next to results for reproducibility).
     pub fn config(&self) -> &EngineConfig {
@@ -138,6 +156,7 @@ impl<'a> Simulation<'a> {
         let cfg = MonteCarloConfig {
             runs,
             lifetime,
+            failure: self.failure.clone(),
             engine: self.cfg.clone(),
             seed: self.cfg.seed,
         };
@@ -198,6 +217,7 @@ mod tests {
                 lifetime: LifetimeDist::Exponential {
                     mean: sched.latency() * 2.0,
                 },
+                failure: FailureKind::Permanent,
                 engine: sim.config().clone(),
                 seed: 21,
             },

@@ -8,6 +8,13 @@
 //!
 //! Run with: `cargo run --release --example online_recovery`
 //! or:       `cargo run --release --example online_recovery -- --detection gossip`
+//! or:       `cargo run --release --example online_recovery -- --transient --mttr 0.25`
+//!
+//! With `--transient` (optionally `--mttr <factor of nominal>`, default
+//! 0.25) crashed processors reboot after exponential repairs: the demo
+//! first shows a single crash-and-reboot repaired *on the rebooted
+//! processor*, then runs the Monte-Carlo sweep with transient draws —
+//! the rejuvenation regime the permanent model cannot express.
 
 use ftsched::prelude::*;
 use ftsched::sim::replay;
@@ -39,6 +46,29 @@ fn detection_from_args(m: usize) -> DetectionModel {
     }
 }
 
+/// The `--transient` / `--mttr` axis: `Some(mttr_factor)` when enabled.
+fn transient_from_args() -> Option<f64> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mttr = args
+        .iter()
+        .position(|a| a == "--mttr")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .unwrap_or_else(|| {
+                    eprintln!("bad --mttr value '{s}' — expected a finite factor > 0");
+                    std::process::exit(2);
+                })
+        });
+    if mttr.is_some() || args.iter().any(|a| a == "--transient") {
+        Some(mttr.unwrap_or(0.25))
+    } else {
+        None
+    }
+}
+
 fn main() {
     // A paper-style workload: 60 tasks, 10 heterogeneous processors.
     let mut rng = StdRng::seed_from_u64(42);
@@ -48,12 +78,21 @@ fn main() {
     assert!(validate_schedule(&inst, &sched).is_empty());
     let nominal = sched.latency();
     let detection = detection_from_args(inst.num_procs());
+    let mttr_factor = transient_from_args();
+    let failure = match mttr_factor {
+        None => FailureKind::Permanent,
+        Some(f) => FailureKind::transient(
+            RepairModel::Exponential { mean: f * nominal },
+            4.0 * nominal,
+        ),
+    };
     println!(
         "workload: {} tasks on {} processors — CAFT ε = 1, nominal latency {nominal:.2}, \
-         detection: {}\n",
+         detection: {}, failures: {}\n",
         inst.num_tasks(),
         inst.num_procs(),
         detection.label(),
+        failure.name(),
     );
 
     // The four policies: the three baselines plus checkpoint/restart with
@@ -103,6 +142,35 @@ fn main() {
         );
     }
 
+    // --- Rejuvenation drill (transient mode only): the victim reboots. --
+    if let Some(f) = mttr_factor {
+        let repair = f * nominal;
+        let scenario = FaultScenario::transient(&[(victim, crash_at, repair)]);
+        println!(
+            "\nrebooting drill: {victim} crashes at t = {crash_at:.2} and reboots at \
+             t = {:.2}:",
+            crash_at + repair
+        );
+        for &policy in &policies {
+            let out = Simulation::of(&inst, &sched)
+                .policy(policy)
+                .detection(detection.clone())
+                .seed(7)
+                .run(&scenario);
+            println!(
+                "  {:<20} completed = {:<5} latency = {:<8} rejoins seen = {:<2} \
+                 replicas spawned = {:<3}",
+                policy.label(),
+                out.completed(),
+                out.latency().map_or("-".into(), |l| format!("{l:.2}")),
+                out.rejoins,
+                out.recovery_replicas,
+            );
+            assert!(out.completed(), "{policy}: the reboot must not hurt");
+            assert_eq!(out.rejoins, 1, "{policy}: the reboot must be observed");
+        }
+    }
+
     // --- Monte-Carlo: 1000 timed scenarios per policy. ------------------
     println!("\nMonte-Carlo: 1000 runs/policy, exponential lifetimes (MTTF = 5x nominal):");
     let mut lines = Vec::new();
@@ -110,6 +178,7 @@ fn main() {
         let sim = Simulation::of(&inst, &sched)
             .policy(policy)
             .detection(detection.clone())
+            .failure(failure.clone())
             .seed(2024);
         let lifetime = LifetimeDist::Exponential {
             mean: 5.0 * nominal,

@@ -10,6 +10,15 @@
 const SEQ_CUTOFF: usize = 2;
 
 fn num_threads() -> usize {
+    // Honor upstream rayon's RAYON_NUM_THREADS override (0 or unparsable
+    // values fall back to the detected parallelism, as upstream does).
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

@@ -65,8 +65,9 @@ pub mod prelude {
         Topology,
     };
     pub use ft_runtime::{
-        draw_scenario, execute, simulate_many, BatchAccumulator, BatchSummary, DetectionModel,
-        EngineConfig, LifetimeDist, MonteCarloConfig, RecoveryPolicy, RunOutcome, Simulation,
+        draw_scenario, draw_scenario_with, execute, execute_traced, simulate_many,
+        BatchAccumulator, BatchSummary, DetectionModel, EngineConfig, EngineTrace, FailureKind,
+        LifetimeDist, MonteCarloConfig, RecoveryPolicy, RepairModel, RunOutcome, Simulation,
     };
     pub use ft_sim::{replay, FaultScenario, ReplayOutcome, ReplayPolicy};
 }

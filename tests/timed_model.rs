@@ -1,8 +1,8 @@
 //! Property tests pinning the timed fault model to the static stack.
 //!
-//! Five consistency guarantees tie `ft-runtime`'s online engine to
-//! `ft-sim`'s replay semantics and anchor the checkpoint, detection and
-//! aggregation models:
+//! Six consistency guarantees tie `ft-runtime`'s online engine to
+//! `ft-sim`'s replay semantics and anchor the checkpoint, detection,
+//! availability and aggregation models:
 //!
 //! * crash times at or beyond the schedule's makespan change nothing: the
 //!   online run reproduces the no-failure static replay exactly (for the
@@ -20,7 +20,16 @@
 //! * the streaming `simulate_many` aggregation reproduces the old
 //!   collect-then-summarize path byte-for-byte, under any chunking or
 //!   merge tree of the per-run outcomes (the `BatchAccumulator`'s sums
-//!   are exact, so the merge is associative to the bit).
+//!   are exact, so the merge is associative to the bit);
+//! * **availability**: a transient scenario whose every repair is ∞ is
+//!   permanent fail-stop — byte-identical `RunOutcome` under every
+//!   policy and detection model, with zero rejoins (the reboot machine
+//!   only ever acts through finite repair windows).
+//!
+//! Plus the documented detection edge cases: a crash with no live
+//! observer is never detected under `Gossip` (a rumor with nobody to
+//! start it), while the timeout models fall back to the crashed
+//! processor's own heartbeat instant.
 
 use ftsched::prelude::*;
 use ftsched::runtime::report;
@@ -291,6 +300,60 @@ proptest! {
         }
     }
 
+    /// The sixth pinned identity (availability): `repair = ∞` is
+    /// permanent fail-stop — a transient scenario whose every repair is
+    /// infinite runs today's permanent-crash engine byte-for-byte, under
+    /// every recovery policy and detection model, and the reboot machine
+    /// never fires (zero rejoins).
+    #[test]
+    fn repair_infinity_is_permanent_fail_stop(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        delay in 0.1f64..2.0,
+    ) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x12EB007);
+        let permanent = ftsched::runtime::draw_scenario(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() * 1.5 },
+            &mut rng,
+        );
+        let forever: Vec<_> = permanent
+            .crashes()
+            .map(|(p, t)| (p, t, f64::INFINITY))
+            .collect();
+        let transient = FaultScenario::transient(&forever);
+        prop_assert!(!transient.has_transients());
+        let policies = RecoveryPolicy::ALL
+            .into_iter()
+            .chain([RecoveryPolicy::checkpoint(inst.mean_task_cost() * 0.5, 0.05)]);
+        for policy in policies {
+            for detection in [
+                DetectionModel::uniform(delay),
+                DetectionModel::per_processor_spread(procs, delay),
+                DetectionModel::Gossip { period: delay, fanout: 2, seed },
+            ] {
+                let run = |scenario: &FaultScenario| {
+                    Simulation::of(&inst, &sched)
+                        .policy(policy)
+                        .detection(detection.clone())
+                        .seed(1)
+                        .run(scenario)
+                };
+                let perm = run(&permanent);
+                let tra = run(&transient);
+                prop_assert_eq!(
+                    serde_json::to_string(&perm).unwrap(),
+                    serde_json::to_string(&tra).unwrap(),
+                    "{} under {}: repair = ∞ must be permanent fail-stop",
+                    policy, detection
+                );
+                prop_assert_eq!(tra.rejoins, 0);
+            }
+        }
+    }
+
     /// The fifth pinned identity: the streaming `simulate_many`
     /// aggregation is byte-identical to the old collect-then-summarize
     /// path — and to any other partition of the runs into mergeable
@@ -317,6 +380,7 @@ proptest! {
         let mc = MonteCarloConfig {
             runs,
             lifetime,
+            failure: FailureKind::Permanent,
             engine: sim.config().clone(),
             seed,
         };
@@ -360,4 +424,90 @@ proptest! {
             "merge tree changed the summary"
         );
     }
+}
+
+/// The documented gossip edge case, pinned: a crash with no live observer
+/// is **never** detected under `Gossip` (an epidemic needs a first
+/// witness), while the timeout models still detect every crash through
+/// the crashed processor's own heartbeat instant. Exercised both on a
+/// multi-processor platform whose other processors are already dead and
+/// on the single-processor platform.
+#[test]
+fn gossip_crash_with_no_live_observer_is_never_detected() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let graph = random_layered(&RandomDagParams::default().with_tasks(24), &mut rng);
+    let inst = random_instance(
+        graph,
+        &PlatformParams::default().with_procs(4),
+        1.0,
+        &mut rng,
+    );
+    let sched = caft(&inst, 1, CommModel::OnePort, 4);
+    // Everyone except ProcId(0) dies at t = 0; ProcId(0) dies mid-run
+    // with nobody left to notice.
+    let mut crashes = vec![(ProcId(0), sched.latency() * 0.5)];
+    for p in 1..4 {
+        crashes.push((ProcId(p as u32), 0.0));
+    }
+    let scenario = FaultScenario::timed(&crashes);
+    let run = |detection: DetectionModel| {
+        Simulation::of(&inst, &sched)
+            .policy(RecoveryPolicy::ReReplicate)
+            .detection(detection)
+            .seed(0)
+            .run(&scenario)
+    };
+    let gossip = run(DetectionModel::Gossip {
+        period: 0.5,
+        fanout: 2,
+        seed: 9,
+    });
+    assert_eq!(
+        gossip.detections, 3,
+        "the t = 0 crashes have a witness; the last crash has none and \
+         must never be detected under gossip"
+    );
+    let uniform = run(DetectionModel::uniform(0.5));
+    let per_proc = run(DetectionModel::per_processor_spread(4, 0.5));
+    assert_eq!(uniform.detections, 4, "self-timeout fallback must fire");
+    assert_eq!(per_proc.detections, 4, "self-timeout fallback must fire");
+}
+
+/// The single-processor half of the same edge case: the lone processor's
+/// crash is still detected by the timeout models (its own heartbeat
+/// instant — there is no other observer), and never under gossip.
+#[test]
+fn single_processor_self_timeout_fallback_still_fires() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let graph = random_layered(&RandomDagParams::default().with_tasks(12), &mut rng);
+    let inst = random_instance(
+        graph,
+        &PlatformParams::default().with_procs(1),
+        1.0,
+        &mut rng,
+    );
+    let sched = caft(&inst, 0, CommModel::OnePort, 2);
+    let scenario = FaultScenario::timed(&[(ProcId(0), sched.latency() * 0.5)]);
+    let run = |detection: DetectionModel| {
+        Simulation::of(&inst, &sched)
+            .policy(RecoveryPolicy::ReReplicate)
+            .detection(detection)
+            .seed(0)
+            .run(&scenario)
+    };
+    for detection in [
+        DetectionModel::uniform(0.5),
+        DetectionModel::PerProcessor(vec![0.5]),
+    ] {
+        let out = run(detection);
+        assert_eq!(out.detections, 1, "the lone crash must be detected");
+        assert!(!out.completed());
+        assert!(out.unrecoverable > 0, "lost tasks must be flagged");
+    }
+    let gossip = run(DetectionModel::Gossip {
+        period: 0.5,
+        fanout: 1,
+        seed: 0,
+    });
+    assert_eq!(gossip.detections, 0, "no observer, no rumor, no detection");
 }
