@@ -27,6 +27,19 @@
 //! the bench doubles as a regression harness. Baseline numbers:
 //! `BENCH_runtime.json` at the repo root (regenerate with
 //! `BENCH_JSON=BENCH_runtime.json cargo bench -p ft-bench --bench runtime`).
+//!
+//! Scale note (open-policy PR): the recovery redesign routed every event
+//! through the `Policy` trait *and* replaced the engine's per-completion
+//! `Vec<Act>` allocation (one per completion event, ~V+E per run — the
+//! allocation-heaviest per-op path in a profile of `execute`) with a
+//! reusable scratch buffer, alongside a second reusable buffer for the
+//! per-event policy actions (two buffers — the element types differ).
+//! Net effect on `runtime/execute` at the 100-task paper scale:
+//! absorb ≈ −17%, re-replicate ≈ −39%, reschedule ≈ −16% vs. the PR 4
+//! baseline (same machine; the untouched `static replay` case moved
+//! ±11% between runs, so treat ~±10% as the noise floor). The
+//! `runtime/execute` group now also covers `warm-spare` automatically
+//! via the `RecoveryPolicy::ALL` registry.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ft_algos::{caft, CommModel};

@@ -8,6 +8,9 @@
 //! paper-figures resilience          # Prop. 5.2 failure injection
 //! paper-figures degradation         # online runtime: completion vs MTTF
 //! paper-figures degradation --policy checkpoint   # one policy only
+//! paper-figures degradation --policy adaptive-checkpoint  # Young/Daly
+//!                                   # per-rate intervals (and warm-spare
+//!                                   # via --policy warm-spare)
 //! paper-figures degradation --detection gossip    # detection-model axis
 //!                                   # (uniform | per-proc | gossip)
 //! paper-figures degradation --ck-interval 0.25 --ck-interval 1 \
@@ -58,7 +61,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     if let Some(p) = &only_policy {
-        let known = ["absorb", "re-replicate", "reschedule", "checkpoint"];
+        let known = [
+            "absorb",
+            "re-replicate",
+            "reschedule",
+            "warm-spare",
+            "checkpoint",
+            "adaptive-checkpoint",
+        ];
         if !known.contains(&p.as_str()) {
             eprintln!(
                 "unknown policy '{p}' — expected one of {}",

@@ -25,6 +25,16 @@
 //! gossip propagation, isolating how much of a policy's payout survives
 //! imperfect failure detectors (repair is only placed on survivors that
 //! already know about the crash — see DESIGN.md §7).
+//!
+//! Since the open-policy PR the roster is drawn from the
+//! [`RecoveryPolicy::ALL`] registry (new parameterless built-ins —
+//! `WarmSpare` today — join the sweep automatically) and every rate row
+//! additionally runs one
+//! [`AdaptiveCheckpoint`](RecoveryPolicy::AdaptiveCheckpoint) policy
+//! tuned to that row's MTTF: the Young/Daly interval
+//! `τ* = √(2 · overhead · MTTF)` tracks the failure pressure, so one
+//! policy spans the whole fixed-interval column family (the comparison
+//! recorded in EXPERIMENTS.md).
 
 use ft_algos::{caft, CommModel};
 use ft_graph::gen::{random_layered, RandomDagParams};
@@ -137,10 +147,13 @@ impl Default for DegradationConfig {
 }
 
 impl DegradationConfig {
-    /// The policy roster of one sweep cell, in presentation order:
-    /// the three parameterless baselines, then one `Checkpoint` per
-    /// configured interval — filtered down when `only_policy` is set.
-    pub fn policies(&self, mean_task_cost: f64) -> Vec<RecoveryPolicy> {
+    /// The policy roster of one sweep cell at the given failure rate, in
+    /// presentation order: the [`RecoveryPolicy::ALL`] registry of
+    /// parameterless built-ins, one `Checkpoint` per configured
+    /// interval, then one `AdaptiveCheckpoint` whose Young/Daly interval
+    /// is tuned to the cell's `mttf` — filtered down when `only_policy`
+    /// is set.
+    pub fn policies(&self, mean_task_cost: f64, mttf: f64) -> Vec<RecoveryPolicy> {
         let mut all: Vec<RecoveryPolicy> = RecoveryPolicy::ALL.to_vec();
         for &iv in &self.checkpoint_intervals {
             all.push(RecoveryPolicy::checkpoint(
@@ -148,6 +161,10 @@ impl DegradationConfig {
                 self.checkpoint_overhead * mean_task_cost,
             ));
         }
+        all.push(RecoveryPolicy::adaptive_checkpoint(
+            mttf,
+            self.checkpoint_overhead * mean_task_cost,
+        ));
         if let Some(name) = &self.only_policy {
             all.retain(|p| p.name() == name.as_str());
         }
@@ -218,9 +235,12 @@ pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
     let sched = caft(&inst, cfg.eps, CommModel::OnePort, cfg.seed);
     let nominal = sched.latency();
     let detection = cfg.detection_model(inst.num_procs());
-    let policies = cfg.policies(inst.mean_task_cost());
     let mut rows = Vec::new();
     for &factor in &cfg.mttf_factors {
+        // The adaptive-checkpoint entry is tuned per rate, so the roster
+        // is rebuilt for each row (the other entries are identical
+        // across rates).
+        let policies = cfg.policies(inst.mean_task_cost(), nominal * factor);
         for &policy in &policies {
             let summary = Simulation::of(&inst, &sched)
                 .policy(policy)
@@ -255,22 +275,22 @@ pub fn render_degradation(cfg: &DegradationConfig, rows: &[DegradationRow]) -> S
         cfg.detection_model(cfg.procs).label(),
     ));
     out.push_str(
-        "  MTTF   policy                completion   mean slowdown   recovered/run   \
+        "  MTTF   policy                    completion   mean slowdown   recovered/run   \
          replicas/run   msgs/run   ck-paid/run   saved/run\n",
     );
     let mut last = f64::NAN;
     for row in rows {
         let s = &row.summary;
         if row.mttf_factor != last {
-            out.push_str(&format!("  {:-<126}\n", ""));
+            out.push_str(&format!("  {:-<130}\n", ""));
             last = row.mttf_factor;
         }
         let runs = s.runs.max(1) as f64;
         out.push_str(&format!(
-            "  {:>5.1}  {:<20}  {:>8.1}%   {:>12.3}   {:>13.2}   {:>12.2}   {:>8.2}   \
+            "  {:>5.1}  {:<24}  {:>8.1}%   {:>12.3}   {:>13.2}   {:>12.2}   {:>8.2}   \
              {:>11.2}   {:>9.2}\n",
             row.mttf_factor,
-            s.policy.label(),
+            s.policy_label.as_str(),
             s.completion_rate() * 100.0,
             s.mean_slowdown,
             s.tasks_recovered as f64 / runs,
@@ -312,8 +332,12 @@ mod tests {
     fn sweep_shape_and_determinism() {
         let cfg = quick();
         let rows = run_degradation(&cfg);
-        // 3 baselines + one checkpoint policy per interval, per rate.
-        assert_eq!(rows.len(), 3 * (3 + cfg.checkpoint_intervals.len()));
+        // The full registry of parameterless built-ins + one checkpoint
+        // policy per interval + the per-rate adaptive policy, per rate.
+        assert_eq!(
+            rows.len(),
+            3 * (RecoveryPolicy::ALL.len() + cfg.checkpoint_intervals.len() + 1)
+        );
         let again = run_degradation(&cfg);
         assert_eq!(
             serde_json::to_string(&rows).unwrap(),
@@ -321,7 +345,9 @@ mod tests {
         );
         let table = render_degradation(&cfg, &rows);
         assert!(table.contains("re-replicate"));
+        assert!(table.contains("warm-spare"));
         assert!(table.contains("ckpt τ="));
+        assert!(table.contains("adapt τ*="));
         assert!(table.contains("8.0"));
         assert!(table.contains("uniform δ=1.00"));
     }
@@ -340,7 +366,10 @@ mod tests {
                 ..quick()
             };
             let rows = run_degradation(&cfg);
-            assert_eq!(rows.len(), 3 + cfg.checkpoint_intervals.len());
+            assert_eq!(
+                rows.len(),
+                RecoveryPolicy::ALL.len() + cfg.checkpoint_intervals.len() + 1
+            );
             let table = render_degradation(&cfg, &rows);
             assert!(table.contains(cfg.detection_model(cfg.procs).label().as_str()));
             // Recovery only ever adds replicas, so the dominance over
@@ -358,6 +387,91 @@ mod tests {
                     absorb.summary.completed
                 );
             }
+        }
+    }
+
+    #[test]
+    fn adaptive_checkpoint_tracks_the_rate() {
+        // The adaptive entry is the only per-rate one: its MTTF — and
+        // therefore its Young/Daly interval — must follow the row.
+        let cfg = quick();
+        let mttfs: Vec<f64> = [8.0, 2.0]
+            .iter()
+            .flat_map(|&f| cfg.policies(1.0, 10.0 * f))
+            .filter_map(|p| match p {
+                RecoveryPolicy::AdaptiveCheckpoint { mttf, .. } => Some(mttf),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(mttfs, vec![80.0, 20.0]);
+        let only = DegradationConfig {
+            only_policy: Some("adaptive-checkpoint".into()),
+            ..quick()
+        };
+        let rows = run_degradation(&only);
+        assert_eq!(rows.len(), 3, "one adaptive row per rate");
+        assert!(rows
+            .iter()
+            .all(|r| matches!(r.summary.policy, RecoveryPolicy::AdaptiveCheckpoint { .. })));
+    }
+
+    #[test]
+    fn adaptive_beats_every_fixed_checkpoint_somewhere() {
+        // The redesign's acceptance cell (EXPERIMENTS.md): at some
+        // failure rate, the per-rate Young/Daly interval beats *every*
+        // fixed-interval column — per column, completing more runs, or
+        // at least as many with a strictly better mean slowdown. The
+        // regime that separates the policies is a non-trivial checkpoint
+        // premium (0.1 × mean task cost): Young/Daly then prices the
+        // insurance per rate — opting out entirely when the MTTF is long
+        // enough that no fixed column's premium ever pays for itself.
+        let cfg = DegradationConfig {
+            checkpoint_overhead: 0.1,
+            ..quick()
+        };
+        let rows = run_degradation(&cfg);
+        let beats = |a: &BatchSummary, b: &BatchSummary| {
+            a.completed > b.completed
+                || (a.completed >= b.completed && a.mean_slowdown < b.mean_slowdown)
+        };
+        let cell = QUICK_FACTORS.iter().find(|&&factor| {
+            let adaptive = by_policy(&rows, factor, |p| {
+                matches!(p, RecoveryPolicy::AdaptiveCheckpoint { .. })
+            })
+            .next()
+            .unwrap();
+            by_policy(&rows, factor, |p| {
+                matches!(p, RecoveryPolicy::Checkpoint { .. })
+            })
+            .all(|fixed| beats(&adaptive.summary, &fixed.summary))
+        });
+        assert!(
+            cell.is_some(),
+            "no rate where adaptive beats every fixed checkpoint column:\n{}",
+            render_degradation(&cfg, &rows)
+        );
+    }
+
+    #[test]
+    fn warm_spare_matches_re_replicate_under_permanent_failures() {
+        // Pre-staging only fires at rejoin events: with permanent
+        // failures the two policies must aggregate identically (label
+        // aside) — the warm-spare payout is a transient-regime effect.
+        let rows = run_degradation(&quick());
+        for &factor in &QUICK_FACTORS {
+            let rr = by_policy(&rows, factor, |p| *p == RecoveryPolicy::ReReplicate)
+                .next()
+                .unwrap();
+            let ws = by_policy(&rows, factor, |p| *p == RecoveryPolicy::WarmSpare)
+                .next()
+                .unwrap();
+            assert_eq!(rr.summary.completed, ws.summary.completed);
+            assert_eq!(rr.summary.recovery_replicas, ws.summary.recovery_replicas);
+            assert_eq!(rr.summary.recovery_messages, ws.summary.recovery_messages);
+            assert_eq!(
+                rr.summary.mean_latency.to_bits(),
+                ws.summary.mean_latency.to_bits()
+            );
         }
     }
 
@@ -386,9 +500,11 @@ mod tests {
         };
         let rows = run_degradation(&cfg);
         assert_eq!(rows.len(), 3 * cfg.checkpoint_intervals.len());
-        assert!(rows
-            .iter()
-            .all(|r| matches!(r.summary.policy, RecoveryPolicy::Checkpoint { .. })));
+        assert!(
+            rows.iter()
+                .all(|r| matches!(r.summary.policy, RecoveryPolicy::Checkpoint { .. })),
+            "adaptive-checkpoint has its own name and must not leak into --policy checkpoint"
+        );
     }
 
     #[test]

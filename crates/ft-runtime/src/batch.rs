@@ -53,10 +53,10 @@
 //! );
 //! ```
 
-use crate::engine::execute;
+use crate::engine::execute_with;
 use crate::lifetime::{draw_scenario_with, FailureKind, LifetimeDist};
 use crate::metrics::{BatchSummary, RunOutcome};
-use crate::policy::{EngineConfig, RecoveryPolicy};
+use crate::policy::{EngineConfig, Policy, RecoveryPolicy};
 use ft_model::FtSchedule;
 use ft_platform::Instance;
 use ft_sim::FaultScenario;
@@ -117,6 +117,24 @@ impl MonteCarloConfig {
 /// [`BatchSummary`], regardless of thread count (see the module docs for
 /// why the merge is bit-exact).
 pub fn simulate_many(inst: &Instance, sched: &FtSchedule, cfg: &MonteCarloConfig) -> BatchSummary {
+    // One batch loop for both dispatch forms: execute_with(&cfg.policy)
+    // is execute(cfg) and the built-in label is the policy's own.
+    simulate_many_with(inst, sched, cfg, &cfg.engine.policy)
+}
+
+/// [`simulate_many`] with an explicit [`Policy`] implementation: every
+/// run dispatches `policy` through the open action path (see
+/// [`execute_with`]); `cfg.engine.policy` only fills the summary's
+/// serializable `policy` field, while
+/// [`policy_label`](BatchSummary::policy_label) reports the label of the
+/// policy that actually ran. Determinism and the streaming aggregation
+/// guarantees are identical to [`simulate_many`]'s.
+pub fn simulate_many_with(
+    inst: &Instance,
+    sched: &FtSchedule,
+    cfg: &MonteCarloConfig,
+    policy: &dyn Policy,
+) -> BatchSummary {
     let m = inst.num_procs();
     let nominal = sched.latency();
     (0..cfg.runs)
@@ -125,13 +143,13 @@ pub fn simulate_many(inst: &Instance, sched: &FtSchedule, cfg: &MonteCarloConfig
             || BatchAccumulator::new(nominal),
             |mut acc, i| {
                 let scenario = scenario_of_run(cfg.seed, &cfg.lifetime, &cfg.failure, m, i);
-                let out = execute(inst, sched, &scenario, &cfg.engine);
+                let out = execute_with(inst, sched, &scenario, &cfg.engine, policy);
                 acc.record(scenario.earliest_crash(), &out);
                 acc
             },
         )
         .reduce(|| BatchAccumulator::new(nominal), BatchAccumulator::merge)
-        .finish(cfg.engine.policy)
+        .finish_labeled(cfg.engine.policy, policy.label())
 }
 
 /// Streaming aggregate of run outcomes: constant-size, mergeable, and
@@ -236,11 +254,21 @@ impl BatchAccumulator {
     }
 
     /// Closes the aggregate into a [`BatchSummary`] for runs executed
-    /// under `policy`.
+    /// under the built-in `policy`.
     pub fn finish(self, policy: RecoveryPolicy) -> BatchSummary {
+        let label = policy.label();
+        self.finish_labeled(policy, label)
+    }
+
+    /// [`finish`](BatchAccumulator::finish) with an explicit label for
+    /// the policy that actually ran — the custom-[`Policy`] batch path,
+    /// where `policy` is only the serializable placeholder from the
+    /// engine config.
+    pub fn finish_labeled(self, policy: RecoveryPolicy, policy_label: String) -> BatchSummary {
         let denom = self.completed.max(1) as f64;
         BatchSummary {
             policy,
+            policy_label,
             runs: self.runs,
             completed: self.completed,
             disturbed: self.disturbed,
@@ -397,6 +425,7 @@ fn exp2i(e: i32) -> f64 {
 mod tests {
     use super::*;
     use crate::detection::DetectionModel;
+    use crate::engine::execute;
     use ft_algos::{caft, CommModel};
     use ft_graph::gen::{random_layered, RandomDagParams};
     use ft_platform::{random_instance, PlatformParams};

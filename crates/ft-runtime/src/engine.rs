@@ -105,7 +105,9 @@
 #[cfg(doc)]
 use crate::detection::DetectionModel;
 use crate::metrics::RunOutcome;
-use crate::policy::{EngineConfig, RecoveryPolicy};
+#[cfg(doc)]
+use crate::policy::{CheckpointPlan, RecoveryPolicy};
+use crate::policy::{EngineConfig, Policy, PolicyEvent, RecoveryAction, TaskInfo};
 use ft_algos::{caft_on_subdag, CaftOptions, SubDagSpec};
 use ft_graph::TaskId;
 use ft_model::{FtSchedule, Replica, ReplicaRef};
@@ -115,13 +117,31 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Runs the schedule online under the timed scenario and recovery policy.
+/// Dispatches `cfg.policy` through the open [`Policy`] trait — the same
+/// path [`execute_with`] exposes for custom policies.
 pub fn execute(
     inst: &Instance,
     sched: &FtSchedule,
     scenario: &FaultScenario,
     cfg: &EngineConfig,
 ) -> RunOutcome {
-    let mut engine = Engine::new(inst, sched, scenario, cfg);
+    execute_with(inst, sched, scenario, cfg, &cfg.policy)
+}
+
+/// [`execute`] with an explicit [`Policy`] implementation: the open half
+/// of the recovery dispatch path. `policy` supersedes `cfg.policy`
+/// (which only matters for serialization); everything else in `cfg`
+/// (detection model, seed) applies as usual. The built-in policies pass
+/// through this exact function, so a custom policy that mirrors a
+/// built-in's actions reproduces its runs byte-for-byte.
+pub fn execute_with(
+    inst: &Instance,
+    sched: &FtSchedule,
+    scenario: &FaultScenario,
+    cfg: &EngineConfig,
+    policy: &dyn Policy,
+) -> RunOutcome {
+    let mut engine = Engine::new(inst, sched, scenario, cfg, policy);
     engine.build_static_ops();
     engine.seed_events();
     engine.run();
@@ -142,12 +162,125 @@ pub fn execute_traced(
     scenario: &FaultScenario,
     cfg: &EngineConfig,
 ) -> (RunOutcome, EngineTrace) {
-    let mut engine = Engine::new(inst, sched, scenario, cfg);
+    execute_traced_with(inst, sched, scenario, cfg, &cfg.policy)
+}
+
+/// [`execute_traced`] with an explicit [`Policy`] implementation (see
+/// [`execute_with`]); the substrate of the custom-policy properties in
+/// the `engine_invariants` suite.
+pub fn execute_traced_with(
+    inst: &Instance,
+    sched: &FtSchedule,
+    scenario: &FaultScenario,
+    cfg: &EngineConfig,
+    policy: &dyn Policy,
+) -> (RunOutcome, EngineTrace) {
+    let mut engine = Engine::new(inst, sched, scenario, cfg, policy);
     engine.tracing = true;
     engine.build_static_ops();
     engine.seed_events();
     engine.run();
     engine.into_outcome_and_trace()
+}
+
+/// Read-only view of the engine's belief and progress state, handed to
+/// the [`Policy`] hooks at each event. The view exposes the engine's own
+/// loss analytics — [`crash_lost_tasks`](PolicyView::crash_lost_tasks)
+/// and [`lost_tasks`](PolicyView::lost_tasks) are exactly the selections
+/// the built-in `ReReplicate` family repairs — so custom policies can
+/// compose them instead of re-deriving engine internals. All queries are
+/// evaluated at the event instant the view was built for.
+pub struct PolicyView<'a> {
+    engine: &'a Engine<'a>,
+    now: f64,
+}
+
+impl<'a> PolicyView<'a> {
+    /// The event instant the view is evaluated at.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The platform size `m`.
+    pub fn num_procs(&self) -> usize {
+        self.engine.inst.num_procs()
+    }
+
+    /// The workload size (task count).
+    pub fn num_tasks(&self) -> usize {
+        self.engine.inst.num_tasks()
+    }
+
+    /// The instance under execution (task costs, comm times, graph).
+    pub fn instance(&self) -> &Instance {
+        self.engine.inst
+    }
+
+    /// True if the coordinator currently believes `p` is dead (its
+    /// latest known availability event is a crash).
+    pub fn is_believed_dead(&self, p: ProcId) -> bool {
+        self.engine.known_dead[p.index()]
+    }
+
+    /// The survivor-knowledge rule: true iff `p` is believed up **and**
+    /// has detected every crash the coordinator currently knows about —
+    /// the processors repair work (and pre-staged data) may land on.
+    pub fn is_repair_eligible(&self, p: ProcId) -> bool {
+        self.engine.repair_eligible(p.index(), self.now)
+    }
+
+    /// True if some replica of `t` completed, or is scheduled on a
+    /// processor not believed dead (the runtime thinks the task needs no
+    /// intervention).
+    pub fn task_believed_safe(&self, t: TaskId) -> bool {
+        self.engine.task_believed_safe(t.index())
+    }
+
+    /// True if some replica of `t` has completed.
+    pub fn task_completed(&self, t: TaskId) -> bool {
+        self.engine.first_finish[t.index()].is_some()
+    }
+
+    /// True if an earlier repair attempt of `t` was deferred for lack of
+    /// repair-eligible survivors (the engine rescans deferred tasks at
+    /// every knowledge event).
+    pub fn is_deferred(&self, t: TaskId) -> bool {
+        self.engine.deferred[t.index()]
+    }
+
+    /// The best checkpointed fraction of `t` on stable storage (0 when
+    /// the task never completed a checkpoint — a
+    /// [`RecoveryAction::ResumeFromCheckpoint`] then falls back to the
+    /// from-scratch spawn).
+    pub fn checkpoint_credit(&self, t: TaskId) -> f64 {
+        self.engine.task_ck_frac[t.index()]
+    }
+
+    /// The tasks a crash-knowledge event about `p` puts at risk: every
+    /// task that lost a not-yet-completed replica on `p` (or was pruned
+    /// at build time, or sits on the deferred-retry list) and is not
+    /// believed safe — the selection the built-in `ReReplicate` family
+    /// repairs, in task-index order.
+    pub fn crash_lost_tasks(&self, p: ProcId) -> Vec<TaskId> {
+        self.engine
+            .crash_lost(p)
+            .into_iter()
+            .map(TaskId::from_index)
+            .collect()
+    }
+
+    /// Every task that suffered a loss anywhere — a failed, cancelled or
+    /// believed-dead-hosted replica, a build-time pruning, or an earlier
+    /// deferral — and is not believed safe: the rejuvenation selection
+    /// the built-ins repair at rejoin-knowledge events, in task-index
+    /// order.
+    pub fn lost_tasks(&self) -> Vec<TaskId> {
+        self.engine
+            .all_lost()
+            .into_iter()
+            .map(TaskId::from_index)
+            .collect()
+    }
 }
 
 /// Kind of one recorded engine event (see [`EngineTrace::events`]).
@@ -328,6 +461,9 @@ struct Engine<'a> {
     sched: &'a FtSchedule,
     scenario: &'a FaultScenario,
     cfg: &'a EngineConfig,
+    /// The recovery policy, behind the open trait (built-ins and custom
+    /// implementations share this one dispatch path).
+    policy: &'a dyn Policy,
 
     ops: Vec<Op>,
     /// `(finish, kind, id)`; kind 0 = op completion (`id` = op), 1 =
@@ -385,8 +521,26 @@ struct Engine<'a> {
     /// eligibility and survival coincide.
     deferred: Vec<bool>,
 
-    /// `(interval, overhead)` when the policy is `Checkpoint`.
-    ck: Option<(f64, f64)>,
+    /// Per-task `(interval, overhead)` checkpoint plans, from
+    /// [`Policy::checkpoint_plan`] (validated at construction); `None`
+    /// disables checkpointing for the task.
+    plans: Vec<Option<(f64, f64)>>,
+    /// Pre-staged data copies per task: `(destination proc, transfer
+    /// op)` pairs created by applied [`RecoveryAction::PreStage`]s. A
+    /// staged copy feeds later repairs exactly like a surviving replica
+    /// output (see [`Engine::surviving_copies`]).
+    staged: Vec<Vec<(u32, u32)>>,
+    /// Policy actions the engine's validation refused (always 0 for the
+    /// built-in policies).
+    rejected_actions: usize,
+    /// Distinct `PreStage` applications that scheduled at least one
+    /// transfer.
+    prestaged: usize,
+    /// Reusable dependency-propagation buffer (the event loop's hottest
+    /// allocation before the scratch: one `Vec<Act>` per completion).
+    act_scratch: Vec<Act>,
+    /// Reusable policy-action buffer, cleared before each hook call.
+    action_scratch: Vec<RecoveryAction>,
     /// Best checkpointed fraction of each task (stable storage: survives
     /// any crash; monotone under the max over crashed replicas).
     task_ck_frac: Vec<f64>,
@@ -419,23 +573,31 @@ impl<'a> Engine<'a> {
         sched: &'a FtSchedule,
         scenario: &'a FaultScenario,
         cfg: &'a EngineConfig,
+        policy: &'a dyn Policy,
     ) -> Self {
         cfg.detection.validate(inst.num_procs());
-        let ck = match cfg.policy {
-            RecoveryPolicy::Checkpoint { interval, overhead } => {
-                assert!(
-                    interval > 0.0 && !interval.is_nan(),
-                    "bad checkpoint interval {interval}"
-                );
-                assert!(
-                    overhead.is_finite() && overhead >= 0.0,
-                    "bad checkpoint overhead {overhead}"
-                );
-                Some((interval, overhead))
-            }
-            _ => None,
-        };
         let v = inst.num_tasks();
+        // One checkpoint_plan query per task, validated here so a
+        // misbehaving plan fails loudly before any op is built (the same
+        // checks the pre-redesign engine ran on the global knobs).
+        let plans: Vec<Option<(f64, f64)>> = (0..v)
+            .map(|t| {
+                let info = TaskInfo::new(inst, TaskId::from_index(t));
+                policy.checkpoint_plan(&info).map(|p| {
+                    assert!(
+                        p.interval > 0.0 && !p.interval.is_nan(),
+                        "bad checkpoint interval {}",
+                        p.interval
+                    );
+                    assert!(
+                        p.overhead.is_finite() && p.overhead >= 0.0,
+                        "bad checkpoint overhead {}",
+                        p.overhead
+                    );
+                    (p.interval, p.overhead)
+                })
+            })
+            .collect();
         let mut topo_position = vec![0usize; v];
         for (i, t) in ft_graph::topological_order(&inst.graph)
             .into_iter()
@@ -477,6 +639,7 @@ impl<'a> Engine<'a> {
             sched,
             scenario,
             cfg,
+            policy,
             ops: Vec::new(),
             heap: BinaryHeap::new(),
             static_exec: (0..v)
@@ -501,7 +664,12 @@ impl<'a> Engine<'a> {
             recovery_messages: 0,
             unrecoverable: vec![false; v],
             deferred: vec![false; v],
-            ck,
+            plans,
+            staged: vec![Vec::new(); v],
+            rejected_actions: 0,
+            prestaged: 0,
+            act_scratch: Vec::new(),
+            action_scratch: Vec::new(),
             task_ck_frac: vec![0.0; v],
             checkpoint_overhead: 0.0,
             work_saved: 0.0,
@@ -510,10 +678,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Stretches a computation op's wall-clock duration by its checkpoint
-    /// writes (and one read when resuming); no-op outside `Checkpoint`.
+    /// Stretches a computation op's wall-clock duration by its task's
+    /// checkpoint writes (and one read when resuming); no-op for tasks
+    /// without a checkpoint plan.
     fn apply_checkpointing(&self, op: &mut Op) {
-        let Some((interval, overhead)) = self.ck else {
+        let Some((interval, overhead)) = op.task.and_then(|t| self.plans[t.index()]) else {
             return;
         };
         let writes = checkpoints_for(op.work, interval) as f64 * overhead;
@@ -522,10 +691,10 @@ impl<'a> Engine<'a> {
         op.duration = op.work + op.ck_pad;
     }
 
-    /// Wall-clock duration of a fresh computation of `w` work units under
-    /// the active policy (checkpoint writes included).
-    fn comp_wall(&self, w: f64) -> f64 {
-        match self.ck {
+    /// Wall-clock duration of a fresh computation of `w` work units of
+    /// task `t` (checkpoint writes of `t`'s plan included).
+    fn comp_wall(&self, t: TaskId, w: f64) -> f64 {
+        match self.plans[t.index()] {
             Some((interval, overhead)) => w + checkpoints_for(w, interval) as f64 * overhead,
             None => w,
         }
@@ -709,8 +878,10 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        let mut acts: Vec<Act> = (0..self.ops.len() as u32).map(Act::TrySchedule).collect();
+        let mut acts = std::mem::take(&mut self.act_scratch);
+        acts.extend((0..self.ops.len() as u32).map(Act::TrySchedule));
         self.drain(&mut acts);
+        self.act_scratch = acts;
     }
 
     /// The distinct finite knowledge instants of one availability event
@@ -769,17 +940,28 @@ impl<'a> Engine<'a> {
         debug_assert_eq!(op.state, OpState::Scheduled);
         op.state = OpState::Done;
         let (ck_pad, saved) = (op.ck_pad, op.full * op.done_frac);
+        let mut first_done = None;
         if let Some(t) = op.task {
             let ti = t.index();
             if self.first_finish[ti].is_none() {
                 self.first_finish[ti] = Some(time);
                 self.recovered[ti] = op.recovery;
+                first_done = Some(t);
             }
         }
         self.checkpoint_overhead += ck_pad;
         self.work_saved += saved;
-        let mut acts = vec![Act::RealDone(id, time)];
+        // Scratch reuse: this is the per-event allocation the profile
+        // flagged — one Vec per completion, ~V+E times per run.
+        let mut acts = std::mem::take(&mut self.act_scratch);
+        acts.push(Act::RealDone(id, time));
         self.drain(&mut acts);
+        self.act_scratch = acts;
+        if let Some(t) = first_done {
+            self.policy_hook(time, |policy, view, actions| {
+                policy.on_completion(view, t, time, actions)
+            });
+        }
     }
 
     /// Drains dependency-propagation actions to a fixpoint.
@@ -867,12 +1049,12 @@ impl<'a> Engine<'a> {
     /// completed by that instant are credited to the task's resumable
     /// fraction (stable storage — they survive the host).
     fn record_crash_progress(&mut self, i: u32, start: f64) {
-        let Some((interval, overhead)) = self.ck else {
-            return;
-        };
         let op = &self.ops[i as usize];
         let Some(t) = op.task else {
             return; // transfers don't checkpoint
+        };
+        let Some((interval, overhead)) = self.plans[t.index()] else {
+            return;
         };
         if op.fixed_finish.is_some() {
             return;
@@ -990,7 +1172,8 @@ impl<'a> Engine<'a> {
     /// it could not repair before.
     fn on_detection(&mut self, p: ProcId, k: usize, time: f64) {
         let pi = p.index();
-        if !self.crash_seen[pi][k] {
+        let first = !self.crash_seen[pi][k];
+        if first {
             self.crash_seen[pi][k] = true;
             self.detections += 1;
             // The belief follows the latest *physical* event: a crash
@@ -1003,15 +1186,15 @@ impl<'a> Engine<'a> {
                 self.known_dead[pi] = true;
             }
         }
-        match self.cfg.policy {
-            RecoveryPolicy::Absorb => {}
-            // Checkpoint shares ReReplicate's lost-task selection; the
-            // spawn resumes from a checkpoint whenever one exists.
-            RecoveryPolicy::ReReplicate | RecoveryPolicy::Checkpoint { .. } => {
-                self.re_replicate(p, time)
-            }
-            RecoveryPolicy::Reschedule => self.reschedule(time),
-        }
+        let event = PolicyEvent {
+            proc: p,
+            epoch: k,
+            time,
+            first,
+        };
+        self.policy_hook(time, |policy, view, actions| {
+            policy.on_crash(view, &event, actions)
+        });
     }
 
     /// Processes one rejoin-knowledge event of the epoch-`k` reboot of
@@ -1023,7 +1206,8 @@ impl<'a> Engine<'a> {
     /// are retried on the grown platform.
     fn on_rejoin(&mut self, p: ProcId, k: usize, time: f64) {
         let pi = p.index();
-        if !self.rejoin_seen[pi][k] {
+        let first = !self.rejoin_seen[pi][k];
+        if first {
             self.rejoin_seen[pi][k] = true;
             self.rejoins += 1;
             let up = self.epochs[pi][k].1;
@@ -1040,12 +1224,104 @@ impl<'a> Engine<'a> {
         if (0..self.inst.num_tasks()).all(|t| self.task_believed_safe(t)) {
             return; // nothing broken: no policy action, no replan churn
         }
-        match self.cfg.policy {
-            RecoveryPolicy::Absorb => {}
-            RecoveryPolicy::ReReplicate | RecoveryPolicy::Checkpoint { .. } => {
-                self.retry_lost(time)
+        let event = PolicyEvent {
+            proc: p,
+            epoch: k,
+            time,
+            first,
+        };
+        self.policy_hook(time, |policy, view, actions| {
+            policy.on_rejoin(view, &event, actions)
+        });
+    }
+
+    /// Runs one policy hook over a read-only [`PolicyView`] and applies
+    /// the returned actions, through the reusable action buffer — no
+    /// per-event allocation once the buffer warmed up.
+    fn policy_hook(
+        &mut self,
+        now: f64,
+        call: impl FnOnce(&dyn Policy, &PolicyView<'_>, &mut Vec<RecoveryAction>),
+    ) {
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        actions.clear();
+        let policy = self.policy;
+        call(policy, &PolicyView { engine: self, now }, &mut actions);
+        self.apply_actions(&actions, now);
+        self.action_scratch = actions;
+    }
+
+    /// Validates and applies one batch of policy actions at `now`, in
+    /// the documented order: defers first, then the spawn/resume
+    /// proposals in topological order (so replacements can feed later
+    /// replacements — the first proposal per task wins), then replans,
+    /// then pre-stages (so pre-staging skips whatever the spawns just
+    /// fixed). Invalid proposals — out-of-range ids, pre-staging onto a
+    /// processor that is down, believed down, or has not detected every
+    /// known crash — are rejected and counted, never executed.
+    fn apply_actions(&mut self, actions: &[RecoveryAction], now: f64) {
+        if actions.is_empty() {
+            return;
+        }
+        let v = self.inst.num_tasks();
+        let m = self.inst.num_procs();
+        let mut spawns: Vec<(usize, bool)> = Vec::new();
+        let mut replans = 0usize;
+        let mut prestages: Vec<(usize, usize)> = Vec::new();
+        for &action in actions {
+            match action {
+                RecoveryAction::Defer(t) if t.index() < v => {
+                    if !self.task_believed_safe(t.index()) {
+                        self.deferred[t.index()] = true;
+                    }
+                }
+                RecoveryAction::SpawnReplica(t) if t.index() < v => {
+                    spawns.push((t.index(), false));
+                }
+                RecoveryAction::ResumeFromCheckpoint(t) if t.index() < v => {
+                    spawns.push((t.index(), true));
+                }
+                RecoveryAction::Replan => replans += 1,
+                RecoveryAction::PreStage { task, on }
+                    if task.index() < v
+                        && on.index() < m
+                        && self.repair_eligible(on.index(), now) =>
+                {
+                    prestages.push((task.index(), on.index()));
+                }
+                // Out-of-range ids, and pre-stage targets that violate
+                // the survivor-knowledge rule.
+                _ => self.rejected_actions += 1,
             }
-            RecoveryPolicy::Reschedule => self.reschedule(time),
+        }
+        // Topological order, first proposal per task winning (the stable
+        // sort keeps push order within a task's duplicates).
+        spawns.sort_by_key(|&(t, _)| self.topo_position[t]);
+        spawns.dedup_by_key(|&mut (t, _)| t);
+        for (t, allow_resume) in spawns {
+            if self.task_believed_safe(t) {
+                self.deferred[t] = false;
+                continue; // an earlier replacement this round covered it
+            }
+            // A still-live pending replacement from an earlier detection?
+            let pending_recovery = self.recovery_exec[t].iter().any(|&id| {
+                let op = &self.ops[id as usize];
+                op.state == OpState::Pending && !self.known_dead[op.proc as usize]
+            });
+            if pending_recovery {
+                self.deferred[t] = false;
+                continue;
+            }
+            self.deferred[t] = false;
+            // …and may re-mark the task deferred if no survivor is
+            // repair-eligible yet.
+            self.spawn_replacement(TaskId::from_index(t), now, allow_resume);
+        }
+        for _ in 0..replans {
+            self.reschedule(now);
+        }
+        for (t, q) in prestages {
+            self.prestage_inputs(t, q, now);
         }
     }
 
@@ -1109,17 +1385,35 @@ impl<'a> Engine<'a> {
         for id in &self.recovery_exec[t] {
             push(*id, &self.ops, &self.known_dead, &mut out);
         }
+        // Pre-staged copies (warm-spare `PreStage`): data transferred to
+        // another processor counts exactly like a replica output there —
+        // local data persists across reboots, so only the belief filter
+        // applies.
+        for &(proc, id) in &self.staged[t] {
+            if self.known_dead[proc as usize] {
+                continue;
+            }
+            let pid = ProcId::from_index(proc as usize);
+            let op = &self.ops[id as usize];
+            match op.state {
+                OpState::Done => out.push((None, pid, op.finish)),
+                OpState::Scheduled => out.push((Some(id), pid, op.finish)),
+                OpState::Pending => out.push((Some(id), pid, op.est_finish)),
+                _ => {}
+            }
+        }
         out.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.1.cmp(&b.1)));
         out
     }
 
-    /// `ReReplicate`: one replacement replica per task that lost a copy
-    /// on `p` and is not believed safe, in topological order (so
-    /// replacements can feed later replacements). Tasks whose spawn was
-    /// deferred at an earlier event for lack of repair-eligible
-    /// survivors are retried first — a knowledge-growth event may not
-    /// name them in its own lost set.
-    fn re_replicate(&mut self, p: ProcId, time: f64) {
+    /// The crash-event loss selection (the built-in `ReReplicate`
+    /// family's repair list, exposed as
+    /// [`PolicyView::crash_lost_tasks`]): every task that lost a
+    /// not-yet-completed copy on `p` and is not believed safe, plus the
+    /// deferred-retry list — tasks whose spawn was skipped at an earlier
+    /// event for lack of repair-eligible survivors; a knowledge-growth
+    /// event may not name them in its own lost set.
+    fn crash_lost(&self, p: ProcId) -> Vec<usize> {
         let g = &self.inst.graph;
         let mut lost: Vec<usize> = Vec::new();
         for t in 0..g.num_tasks() {
@@ -1138,17 +1432,18 @@ impl<'a> Engine<'a> {
                 lost.push(t);
             }
         }
-        self.retry_tasks(lost, time);
+        lost
     }
 
-    /// Rejuvenation pass fired at rejoin-knowledge events: retries every
-    /// task that suffered a loss anywhere — a failed, cancelled or
-    /// believed-dead-hosted replica, a build-time pruning, or an earlier
-    /// deferral — and is not believed safe. The rejoined processor (and
-    /// its persisted data) widens both the candidate hosts and the
-    /// surviving input copies, so tasks flagged unrecoverable at an
-    /// earlier detection can become repairable here.
-    fn retry_lost(&mut self, time: f64) {
+    /// The rejuvenation loss selection fired at rejoin-knowledge events
+    /// (exposed as [`PolicyView::lost_tasks`]): every task that suffered
+    /// a loss anywhere — a failed, cancelled or believed-dead-hosted
+    /// replica, a build-time pruning, or an earlier deferral — and is
+    /// not believed safe. The rejoined processor (and its persisted
+    /// data) widens both the candidate hosts and the surviving input
+    /// copies, so tasks flagged unrecoverable at an earlier detection
+    /// can become repairable here.
+    fn all_lost(&self) -> Vec<usize> {
         let mut lost: Vec<usize> = Vec::new();
         for t in 0..self.inst.num_tasks() {
             let lost_replica = |&id: &u32| {
@@ -1168,39 +1463,74 @@ impl<'a> Engine<'a> {
                 lost.push(t);
             }
         }
-        self.retry_tasks(lost, time);
+        lost
     }
 
-    /// Spawns one replacement (or checkpoint resume) per lost task, in
-    /// topological order so replacements can feed later replacements.
-    fn retry_tasks(&mut self, mut lost: Vec<usize>, time: f64) {
-        lost.sort_by_key(|&t| self.topo_position[t]);
-        for t in lost {
-            if self.task_believed_safe(t) {
-                self.deferred[t] = false;
-                continue; // an earlier replacement this round covered it
-            }
-            // A still-live pending replacement from an earlier detection?
-            let pending_recovery = self.recovery_exec[t].iter().any(|&id| {
-                let op = &self.ops[id as usize];
-                op.state == OpState::Pending && !self.known_dead[op.proc as usize]
-            });
-            if pending_recovery {
-                self.deferred[t] = false;
-                continue;
-            }
-            self.deferred[t] = false;
-            // …and may re-mark the task deferred if no survivor is
-            // repair-eligible yet.
-            self.spawn_replacement(TaskId::from_index(t), time);
+    /// Applies a validated [`RecoveryAction::PreStage`]: one
+    /// contention-free transfer per input edge of `t` from the earliest
+    /// surviving copy of the predecessor's data to `on`, skipping inputs
+    /// already present there (a surviving replica output or an earlier
+    /// staged copy). Each transfer is bound to **both** endpoints'
+    /// current epochs — its deadline is the earlier of the sender's and
+    /// the receiver's next crash — so data never counts as staged on a
+    /// processor that was down when it arrived. Predecessors with no
+    /// surviving copy are skipped (nothing to stage); the staged copies
+    /// then feed later repairs exactly like replica outputs.
+    fn prestage_inputs(&mut self, t: usize, on: usize, now: f64) {
+        if self.task_believed_safe(t) {
+            return; // a spawn this round (or earlier) already covered it
         }
+        let on_pid = ProcId::from_index(on);
+        let in_edges: Vec<_> = self.inst.graph.in_edges(TaskId::from_index(t)).to_vec();
+        let mut staged_any = false;
+        let mut acts = Vec::new();
+        for &e in &in_edges {
+            let pred = self.inst.graph.edge(e).src;
+            let copies = self.surviving_copies(pred.index());
+            if copies.is_empty() || copies.iter().any(|&(_, p, _)| p == on_pid) {
+                continue; // nothing to stage, or already warm on `on`
+            }
+            let (src_op, src_proc, src_est) = *copies
+                .iter()
+                .min_by(|a, b| {
+                    let fa = a.2 + self.inst.comm_time(e, a.1, on_pid);
+                    let fb = b.2 + self.inst.comm_time(e, b.1, on_pid);
+                    fa.total_cmp(&fb).then_with(|| a.1.cmp(&b.1))
+                })
+                .expect("non-empty copy list");
+            let w = self.inst.comm_time(e, src_proc, on_pid);
+            let mid = self.ops.len() as u32;
+            let deadline = self
+                .deadline_after(src_proc, now)
+                .min(self.deadline_after(on_pid, now));
+            let mut mop = Op::new(w, now, deadline, src_proc);
+            mop.recovery = true;
+            mop.est_finish = src_est.max(now) + w;
+            self.ops.push(mop);
+            self.recovery_messages += 1;
+            match src_op {
+                Some(s) => self.add_hard_dep(s, mid),
+                None => {
+                    let dep = &mut self.ops[mid as usize];
+                    dep.data_ready = dep.data_ready.max(src_est);
+                }
+            }
+            self.staged[pred.index()].push((on as u32, mid));
+            staged_any = true;
+            acts.push(Act::TrySchedule(mid));
+        }
+        if staged_any {
+            self.prestaged += 1;
+        }
+        self.drain(&mut acts);
     }
 
     /// Greedy single replacement replica for `t` at detection time `T`.
-    /// Under `Checkpoint`, a task with a completed checkpoint is resumed
-    /// from it instead of replaced from scratch.
-    fn spawn_replacement(&mut self, t: TaskId, now: f64) {
-        if self.ck.is_some() && self.task_ck_frac[t.index()] > 0.0 {
+    /// With `allow_resume` (a [`RecoveryAction::ResumeFromCheckpoint`]),
+    /// a task with a checkpoint plan and a completed checkpoint is
+    /// resumed from it instead of replaced from scratch.
+    fn spawn_replacement(&mut self, t: TaskId, now: f64, allow_resume: bool) {
+        if allow_resume && self.plans[t.index()].is_some() && self.task_ck_frac[t.index()] > 0.0 {
             self.spawn_resume(t, now);
             return;
         }
@@ -1253,7 +1583,7 @@ impl<'a> Engine<'a> {
                 start = start.max(pick.2 + self.inst.comm_time(e, pick.1, q));
                 picks.push(pick);
             }
-            let est = start + self.comp_wall(self.inst.exec_time(t, q));
+            let est = start + self.comp_wall(t, self.inst.exec_time(t, q));
             if best.as_ref().is_none_or(|(b, bp, _)| {
                 est.total_cmp(b).then_with(|| q.cmp(bp)) == std::cmp::Ordering::Less
             }) {
@@ -1322,7 +1652,8 @@ impl<'a> Engine<'a> {
     /// unrecoverable when no survivor is left at all; `None` with the
     /// task marked *deferred* when survivors exist but none has detected
     /// every known crash yet — the next detection event retries deferred
-    /// tasks (see [`Engine::re_replicate`]).
+    /// tasks (the deferred rescan in [`Engine::apply_actions`], fed by
+    /// the `deferred` term of [`Engine::crash_lost`]).
     fn replacement_candidates(&mut self, t: TaskId, now: f64) -> Option<Vec<ProcId>> {
         let hosting: Vec<usize> = self
             .surviving_copies(t.index())
@@ -1359,7 +1690,7 @@ impl<'a> Engine<'a> {
     fn spawn_resume(&mut self, t: TaskId, now: f64) {
         let frac = self.task_ck_frac[t.index()];
         debug_assert!(frac > 0.0, "resume without a checkpoint");
-        let (interval, overhead) = self.ck.expect("resume only under Checkpoint");
+        let (interval, overhead) = self.plans[t.index()].expect("resume without a plan");
         let Some(candidates) = self.replacement_candidates(t, now) else {
             return;
         };
@@ -1571,6 +1902,8 @@ impl<'a> Engine<'a> {
             recovery_replicas: self.recovery_replicas,
             recovery_messages: self.recovery_messages,
             unrecoverable,
+            prestaged: self.prestaged,
+            rejected_actions: self.rejected_actions,
             checkpoint_overhead: self.checkpoint_overhead,
             work_saved: self.work_saved,
         }
@@ -1603,6 +1936,7 @@ impl<'a> Engine<'a> {
 mod tests {
     use super::*;
     use crate::detection::DetectionModel;
+    use crate::policy::RecoveryPolicy;
     use ft_algos::{caft, ftsa, CommModel};
     use ft_graph::gen::{random_layered, RandomDagParams};
     use ft_platform::PlatformParams;

@@ -28,15 +28,24 @@
 //!   [`PerProcessor`](DetectionModel::PerProcessor) delays, or seeded
 //!   [`Gossip`](DetectionModel::Gossip) rounds; repair work is placed
 //!   only on survivors that have already detected every known crash;
-//! * [`RecoveryPolicy`] — [`Absorb`](RecoveryPolicy::Absorb) (paper
-//!   baseline: static replicas only),
-//!   [`ReReplicate`](RecoveryPolicy::ReReplicate) (eager replacement
-//!   copies), [`Reschedule`](RecoveryPolicy::Reschedule) (CAFT repair
-//!   plan on the not-yet-started sub-DAG via
-//!   [`ft_algos::caft_on_subdag`]) and
+//! * [`Policy`] — the **open** recovery layer: an object-safe trait
+//!   consulted at every availability event with a read-only
+//!   [`PolicyView`], answering with typed [`RecoveryAction`]s the engine
+//!   validates and applies (DESIGN.md §11; custom implementations attach
+//!   via [`Simulation::policy_impl`] or [`execute_with`]);
+//! * [`RecoveryPolicy`] — the serializable built-ins implementing the
+//!   trait: [`Absorb`](RecoveryPolicy::Absorb) (paper baseline: static
+//!   replicas only), [`ReReplicate`](RecoveryPolicy::ReReplicate) (eager
+//!   replacement copies), [`Reschedule`](RecoveryPolicy::Reschedule)
+//!   (CAFT repair plan on the not-yet-started sub-DAG via
+//!   [`ft_algos::caft_on_subdag`]),
 //!   [`Checkpoint`](RecoveryPolicy::Checkpoint) (periodic checkpoint
 //!   writes; replacements *resume* from the last completed checkpoint
-//!   instead of recomputing — see DESIGN.md §5);
+//!   instead of recomputing — see DESIGN.md §5),
+//!   [`AdaptiveCheckpoint`](RecoveryPolicy::AdaptiveCheckpoint)
+//!   (per-task Young/Daly intervals derived from the lifetime hazard
+//!   rate) and [`WarmSpare`](RecoveryPolicy::WarmSpare) (re-replication
+//!   that pre-stages inputs of broken tasks onto rejoined processors);
 //! * [`simulate_many`] — rayon-parallel Monte-Carlo batches streamed
 //!   through a mergeable [`BatchAccumulator`] (O(threads) memory, byte-
 //!   identical [`BatchSummary`] at any thread count);
@@ -102,20 +111,26 @@ pub mod metrics;
 pub mod policy;
 pub mod simulation;
 
-pub use batch::{simulate_many, BatchAccumulator, ExactSum, MonteCarloConfig};
+pub use batch::{simulate_many, simulate_many_with, BatchAccumulator, ExactSum, MonteCarloConfig};
 pub use detection::DetectionModel;
-pub use engine::{execute, execute_traced, EngineTrace, OpTrace, TraceEvent, TraceEventKind};
+pub use engine::{
+    execute, execute_traced, execute_traced_with, execute_with, EngineTrace, OpTrace, PolicyView,
+    TraceEvent, TraceEventKind,
+};
 pub use lifetime::{draw_scenario, draw_scenario_with, FailureKind, LifetimeDist, RepairModel};
 pub use metrics::{report, BatchSummary, RunOutcome, RunReport};
-pub use policy::{EngineConfig, RecoveryPolicy};
+pub use policy::{
+    CheckpointPlan, EngineConfig, Policy, PolicyEvent, RecoveryAction, RecoveryPolicy, TaskInfo,
+};
 pub use simulation::Simulation;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use crate::{
-        draw_scenario, draw_scenario_with, execute, execute_traced, report, simulate_many,
-        BatchAccumulator, BatchSummary, DetectionModel, EngineConfig, EngineTrace, FailureKind,
-        LifetimeDist, MonteCarloConfig, RecoveryPolicy, RepairModel, RunOutcome, RunReport,
-        Simulation,
+        draw_scenario, draw_scenario_with, execute, execute_traced, execute_traced_with,
+        execute_with, report, simulate_many, simulate_many_with, BatchAccumulator, BatchSummary,
+        CheckpointPlan, DetectionModel, EngineConfig, EngineTrace, FailureKind, LifetimeDist,
+        MonteCarloConfig, Policy, PolicyEvent, PolicyView, RecoveryAction, RecoveryPolicy,
+        RepairModel, RunOutcome, RunReport, Simulation, TaskInfo,
     };
 }

@@ -58,6 +58,16 @@ pub struct RunOutcome {
     /// Distinct tasks a recovery pass flagged as unrepairable (data lost
     /// on every survivor) and that indeed never completed.
     pub unrecoverable: usize,
+    /// Applied `PreStage` actions that scheduled at least one input
+    /// transfer (warm-spare pre-staging; the transfers themselves are
+    /// counted in `recovery_messages`). 0 outside
+    /// [`RecoveryPolicy::WarmSpare`] and pre-staging custom policies.
+    pub prestaged: usize,
+    /// Policy actions the engine's validation refused to apply
+    /// (survivor-knowledge rule, out-of-range ids). Always 0 for the
+    /// built-in policies — they only propose what the engine's own
+    /// analytics selected.
+    pub rejected_actions: usize,
     /// Total time spent writing and reading checkpoints in completed
     /// computations (0 outside the `Checkpoint` policy, and 0 under
     /// `Checkpoint` with `interval = ∞` — nothing is ever written).
@@ -122,8 +132,16 @@ pub fn report(inst: &Instance, sched: &FtSchedule, out: &RunOutcome) -> RunRepor
 /// ([`crate::simulate_many`]).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BatchSummary {
-    /// Recovery policy the batch ran under.
+    /// Recovery policy the batch ran under (the serializable built-in
+    /// form; for a custom [`Policy`](crate::Policy) batch this is the
+    /// engine config's placeholder and
+    /// [`policy_label`](BatchSummary::policy_label) names the policy
+    /// that actually dispatched).
     pub policy: RecoveryPolicy,
+    /// Table label of the dispatched policy ([`label`](RecoveryPolicy::label)
+    /// of `policy` for built-in batches, [`Policy::label`](crate::Policy::label)
+    /// of the custom implementation otherwise).
+    pub policy_label: String,
     /// Runs simulated.
     pub runs: usize,
     /// Runs in which every task completed.
@@ -179,10 +197,10 @@ impl BatchSummary {
     /// example diffs two of these for determinism).
     pub fn one_line(&self) -> String {
         format!(
-            "{:<20} runs {:>5}  completed {:>5} ({:>5.1}%)  disturbed {:>5}  \
+            "{:<24} runs {:>5}  completed {:>5} ({:>5.1}%)  disturbed {:>5}  \
              mean latency {:>8.2}  mean slowdown {:>5.2}x  recovered {:>4}  \
              spawned {:>4} (+{} msgs)  ck-paid/run {:>6.2}  saved/run {:>6.2}",
-            self.policy.label(),
+            self.policy_label,
             self.runs,
             self.completed,
             self.completion_rate() * 100.0,
@@ -214,6 +232,8 @@ mod tests {
             recovery_replicas: 1,
             recovery_messages: 2,
             unrecoverable: 0,
+            prestaged: 0,
+            rejected_actions: 0,
             checkpoint_overhead: 0.0,
             work_saved: 0.0,
         };

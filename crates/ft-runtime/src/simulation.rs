@@ -63,27 +63,41 @@
 //! assert_eq!(batch.runs, 200);
 //! ```
 
-use crate::batch::{simulate_many, MonteCarloConfig};
+use crate::batch::{simulate_many, simulate_many_with, MonteCarloConfig};
 use crate::detection::DetectionModel;
-use crate::engine::execute;
+use crate::engine::{execute, execute_with};
 use crate::lifetime::{FailureKind, LifetimeDist};
 use crate::metrics::{BatchSummary, RunOutcome};
-use crate::policy::{EngineConfig, RecoveryPolicy};
+use crate::policy::{EngineConfig, Policy, RecoveryPolicy};
 use ft_model::FtSchedule;
 use ft_platform::Instance;
 use ft_sim::FaultScenario;
+use std::sync::Arc;
 
 /// A configured online simulation of one `(instance, schedule)` pair:
 /// build it fluently, then [`run`](Simulation::run) single scenarios or
 /// [`monte_carlo`](Simulation::monte_carlo) batches from it. The builder
 /// is cheap to clone and immutable after construction, so one `Simulation`
 /// can drive many runs.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Simulation<'a> {
     inst: &'a Instance,
     sched: &'a FtSchedule,
     cfg: EngineConfig,
     failure: FailureKind,
+    /// A custom [`Policy`] implementation superseding `cfg.policy` for
+    /// dispatch (set by [`policy_impl`](Simulation::policy_impl)).
+    custom: Option<Arc<dyn Policy>>,
+}
+
+impl std::fmt::Debug for Simulation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("cfg", &self.cfg)
+            .field("failure", &self.failure)
+            .field("policy", &self.policy_label())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> Simulation<'a> {
@@ -96,13 +110,40 @@ impl<'a> Simulation<'a> {
             sched,
             cfg: EngineConfig::default(),
             failure: FailureKind::Permanent,
+            custom: None,
         }
     }
 
-    /// Sets the recovery policy applied at failure detections.
+    /// Sets the recovery policy applied at failure detections (a
+    /// serializable built-in; clears any custom implementation set with
+    /// [`policy_impl`](Simulation::policy_impl)).
     pub fn policy(mut self, policy: RecoveryPolicy) -> Self {
         self.cfg.policy = policy;
+        self.custom = None;
         self
+    }
+
+    /// Sets a **custom** recovery policy: any [`Policy`] implementation,
+    /// dispatched through the same action path as the built-ins (a
+    /// built-in passed here behaves byte-for-byte like
+    /// [`policy`](Simulation::policy) — pinned by `tests/timed_model.rs`).
+    /// The serializable `config().policy` field keeps its previous value
+    /// and no longer drives dispatch; batches report the custom policy's
+    /// label. See the `ft_runtime::policy` module docs for a worked
+    /// custom policy.
+    pub fn policy_impl(mut self, policy: Arc<dyn Policy>) -> Self {
+        self.custom = Some(policy);
+        self
+    }
+
+    /// The label of the policy that actually dispatches:
+    /// [`Policy::label`] of the custom implementation when one is set,
+    /// the built-in's label otherwise.
+    pub fn policy_label(&self) -> String {
+        match &self.custom {
+            Some(p) => p.label(),
+            None => self.cfg.policy.label(),
+        }
     }
 
     /// Sets the detection model (validated against the platform size when
@@ -142,9 +183,13 @@ impl<'a> Simulation<'a> {
     }
 
     /// Executes the schedule once against an explicit timed scenario.
-    /// Equivalent to [`execute`]`(inst, sched, scenario, self.config())`.
+    /// Equivalent to [`execute`]`(inst, sched, scenario, self.config())`
+    /// — or to [`execute_with`] when a custom policy is attached.
     pub fn run(&self, scenario: &FaultScenario) -> RunOutcome {
-        execute(self.inst, self.sched, scenario, &self.cfg)
+        match &self.custom {
+            Some(p) => execute_with(self.inst, self.sched, scenario, &self.cfg, p.as_ref()),
+            None => execute(self.inst, self.sched, scenario, &self.cfg),
+        }
     }
 
     /// Runs a deterministic Monte-Carlo batch: `runs` independent
@@ -160,7 +205,10 @@ impl<'a> Simulation<'a> {
             engine: self.cfg.clone(),
             seed: self.cfg.seed,
         };
-        simulate_many(self.inst, self.sched, &cfg)
+        match &self.custom {
+            Some(p) => simulate_many_with(self.inst, self.sched, &cfg, p.as_ref()),
+            None => simulate_many(self.inst, self.sched, &cfg),
+        }
     }
 }
 

@@ -1,8 +1,10 @@
 //! Online failure injection end-to-end: a CAFT ε = 1 schedule survives a
-//! mid-execution processor crash under all four recovery policies, then a
-//! 1000-run Monte-Carlo sweep with exponential lifetimes compares the
-//! policies and demonstrates that the summary is deterministic (same seed
-//! ⇒ byte-identical output). Everything goes through the `Simulation`
+//! mid-execution processor crash under every built-in recovery policy
+//! (the `RecoveryPolicy::ALL` registry plus both checkpoint variants —
+//! fixed-interval and Young/Daly adaptive), then a 1000-run Monte-Carlo
+//! sweep with exponential lifetimes compares the policies and
+//! demonstrates that the summary is deterministic (same seed ⇒
+//! byte-identical output). Everything goes through the `Simulation`
 //! front door; pass `--detection uniform|per-proc|gossip` to swap the
 //! failure-detection model (default: uniform, 1 time unit).
 //!
@@ -95,18 +97,21 @@ fn main() {
         failure.name(),
     );
 
-    // The four policies: the three baselines plus checkpoint/restart with
-    // a fine interval (a quarter of the mean task cost) and a cheap write.
+    // The policy roster: the registry of parameterless built-ins
+    // (absorb / re-replicate / reschedule / warm-spare) plus
+    // checkpoint/restart with a fine interval (a quarter of the mean
+    // task cost, cheap writes) and Young/Daly adaptive checkpointing
+    // tuned to the Monte-Carlo failure rate below (MTTF = 5x nominal).
     let mean_cost = inst.mean_task_cost();
     let policies: Vec<RecoveryPolicy> = RecoveryPolicy::ALL
         .into_iter()
-        .chain([RecoveryPolicy::checkpoint(
-            mean_cost * 0.25,
-            mean_cost * 0.005,
-        )])
+        .chain([
+            RecoveryPolicy::checkpoint(mean_cost * 0.25, mean_cost * 0.005),
+            RecoveryPolicy::adaptive_checkpoint(5.0 * nominal, mean_cost * 0.005),
+        ])
         .collect();
 
-    // --- One mid-execution crash, all four policies. --------------------
+    // --- One mid-execution crash, every policy in the roster. -----------
     // Pick the crash that hurts most: a processor whose loss at t = 0
     // starves the strict replay, if one exists (the Proposition 5.2 gap),
     // otherwise the busiest processor. Crash it mid-run.
@@ -125,7 +130,7 @@ fn main() {
             .seed(7)
             .run(&scenario);
         println!(
-            "  {:<20} completed = {:<5} latency = {:<8} recovered tasks = {:<3} \
+            "  {:<24} completed = {:<5} latency = {:<8} recovered tasks = {:<3} \
              replicas spawned = {:<3} extra msgs = {:<3} ck paid = {:<7.2} saved = {:.2}",
             policy.label(),
             out.completed(),
@@ -158,7 +163,7 @@ fn main() {
                 .seed(7)
                 .run(&scenario);
             println!(
-                "  {:<20} completed = {:<5} latency = {:<8} rejoins seen = {:<2} \
+                "  {:<24} completed = {:<5} latency = {:<8} rejoins seen = {:<2} \
                  replicas spawned = {:<3}",
                 policy.label(),
                 out.completed(),
@@ -195,25 +200,39 @@ fn main() {
         );
         lines.push(summary);
     }
-    let [absorb, rerep, resched, ckpt] = &lines[..] else {
+    let [absorb, rerep, resched, warm, ckpt, adapt] = &lines[..] else {
         unreachable!()
     };
-    assert!(rerep.completed >= absorb.completed);
-    assert!(resched.completed >= absorb.completed);
-    assert!(ckpt.completed >= absorb.completed);
+    for recovering in [rerep, resched, warm, ckpt, adapt] {
+        assert!(
+            recovering.completed >= absorb.completed,
+            "{} completed less than absorb",
+            recovering.policy_label
+        );
+    }
     assert!(
         ckpt.work_saved > 0.0,
         "1000 runs at this failure rate must resume something"
     );
+    if mttr_factor.is_none() {
+        // Pre-staging is a rejoin behavior: under permanent failures the
+        // warm-spare column is re-replication exactly.
+        assert_eq!(warm.completed, rerep.completed);
+        assert_eq!(warm.recovery_replicas, rerep.recovery_replicas);
+    }
     println!(
         "\nrecovery lifts completion from {:.1}% (absorb) to {:.1}% (re-replicate), \
-         {:.1}% (reschedule) and {:.1}% (checkpoint — saving {:.1} recomputation \
-         units/run for {:.1} paid)",
+         {:.1}% (reschedule), {:.1}% (warm-spare) and {:.1}% (checkpoint — saving \
+         {:.1} recomputation units/run for {:.1} paid; Young/Daly adaptive: {:.1}% \
+         for {:.1} paid)",
         absorb.completion_rate() * 100.0,
         rerep.completion_rate() * 100.0,
         resched.completion_rate() * 100.0,
+        warm.completion_rate() * 100.0,
         ckpt.completion_rate() * 100.0,
         ckpt.mean_work_saved(),
         ckpt.mean_checkpoint_overhead(),
+        adapt.completion_rate() * 100.0,
+        adapt.mean_checkpoint_overhead(),
     );
 }

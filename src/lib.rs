@@ -65,9 +65,11 @@ pub mod prelude {
         Topology,
     };
     pub use ft_runtime::{
-        draw_scenario, draw_scenario_with, execute, execute_traced, simulate_many,
-        BatchAccumulator, BatchSummary, DetectionModel, EngineConfig, EngineTrace, FailureKind,
-        LifetimeDist, MonteCarloConfig, RecoveryPolicy, RepairModel, RunOutcome, Simulation,
+        draw_scenario, draw_scenario_with, execute, execute_traced, execute_traced_with,
+        execute_with, simulate_many, simulate_many_with, BatchAccumulator, BatchSummary,
+        CheckpointPlan, DetectionModel, EngineConfig, EngineTrace, FailureKind, LifetimeDist,
+        MonteCarloConfig, Policy, PolicyEvent, PolicyView, RecoveryAction, RecoveryPolicy,
+        RepairModel, RunOutcome, Simulation, TaskInfo,
     };
     pub use ft_sim::{replay, FaultScenario, ReplayOutcome, ReplayPolicy};
 }

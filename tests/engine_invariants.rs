@@ -2,8 +2,8 @@
 //! detection models, pinning the *whole* event loop rather than endpoint
 //! identities (those live in `tests/timed_model.rs`).
 //!
-//! Five invariants, each over the [`execute_traced`] observability record
-//! or the streaming batch aggregation:
+//! Seven invariants, each over the [`execute_traced`] observability
+//! record or the streaming batch aggregation:
 //!
 //! 1. **No operation ever executes on a Down processor** — a completed
 //!    op's `[start, finish]` window never overlaps a down window
@@ -31,6 +31,15 @@
 //!    fold/reduce streaming aggregation equals the sequential
 //!    one-accumulator path byte-for-byte (CI runs this suite under both
 //!    `RAYON_NUM_THREADS=1` and the default thread count).
+//! 6. **A no-op custom `Policy` is `Absorb`** — all-default trait hooks
+//!    produce a trace-identical run (outcome bytes, ops, event log) to
+//!    the built-in baseline: the open dispatch path adds nothing of its
+//!    own.
+//! 7. **Invalid actions are rejected, never executed** — a hostile
+//!    policy pre-staging onto crashed and knowledge-lagged processors
+//!    has those proposals counted in `rejected_actions`, the down-window
+//!    invariant still holds over the full trace, and the run stays
+//!    deterministic.
 
 use ftsched::prelude::*;
 use ftsched::runtime::TraceEventKind;
@@ -53,7 +62,7 @@ fn arb_workload() -> impl Strategy<Value = (u64, usize, usize, usize, f64)> {
 /// transient failures (selector drawn by the strategy).
 fn arb_mix() -> impl Strategy<Value = (usize, usize, usize)> {
     // (failure kind, policy, detection model)
-    (0usize..3, 0usize..4, 0usize..3)
+    (0usize..3, 0usize..6, 0usize..3)
 }
 
 fn make_instance(seed: u64, tasks: usize, procs: usize, gran: f64) -> Instance {
@@ -90,6 +99,8 @@ fn policy(ix: usize, mean_cost: f64) -> RecoveryPolicy {
         0 => RecoveryPolicy::Absorb,
         1 => RecoveryPolicy::ReReplicate,
         2 => RecoveryPolicy::Reschedule,
+        3 => RecoveryPolicy::WarmSpare,
+        4 => RecoveryPolicy::adaptive_checkpoint(mean_cost * 24.0, mean_cost * 0.01),
         _ => RecoveryPolicy::checkpoint(mean_cost * 0.4, mean_cost * 0.01),
     }
 }
@@ -205,7 +216,10 @@ proptest! {
             );
             saved += op.full * op.done_frac;
             paid += op.ck_pad;
-            if !matches!(pol, RecoveryPolicy::Checkpoint { .. }) {
+            if !matches!(
+                pol,
+                RecoveryPolicy::Checkpoint { .. } | RecoveryPolicy::AdaptiveCheckpoint { .. }
+            ) {
                 prop_assert_eq!(op.done_frac, 0.0, "resume outside Checkpoint");
                 prop_assert_eq!(op.ck_pad, 0.0, "padding outside Checkpoint");
             }
@@ -296,6 +310,142 @@ proptest! {
             serde_json::to_string(&streamed).unwrap(),
             serde_json::to_string(&sequential).unwrap(),
             "streaming aggregation depends on the partitioning"
+        );
+    }
+
+    /// Invariant 6 (open policy API): a custom policy whose every hook is
+    /// the default no-op is **trace-identical** to the `Absorb` built-in
+    /// — same outcome bytes, same materialized operations, same event
+    /// log. Doing nothing through the trait is exactly the baseline.
+    #[test]
+    fn no_op_custom_policy_is_trace_identical_to_absorb(
+        w in arb_workload(),
+        mix in arb_mix(),
+    ) {
+        struct Inert;
+        impl Policy for Inert {}
+
+        let (seed, tasks, procs, eps, gran) = w;
+        let (kind_ix, _, det_ix) = mix;
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let kind = failure_kind(kind_ix, sched.latency());
+        let scenario = draw_scenario_with(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() },
+            &kind,
+            &mut StdRng::seed_from_u64(seed ^ 0x1A7E),
+        );
+        let cfg = EngineConfig {
+            policy: RecoveryPolicy::Absorb,
+            detection: detection(det_ix, procs, seed),
+            seed: seed ^ 0xE21,
+        };
+        let (absorb, absorb_trace) = execute_traced(&inst, &sched, &scenario, &cfg);
+        let (noop, noop_trace) = execute_traced_with(&inst, &sched, &scenario, &cfg, &Inert);
+        prop_assert_eq!(
+            serde_json::to_string(&absorb).unwrap(),
+            serde_json::to_string(&noop).unwrap(),
+            "a no-op custom policy must be Absorb"
+        );
+        prop_assert_eq!(noop.rejected_actions, 0);
+        prop_assert_eq!(
+            format!("{:?}", absorb_trace.ops),
+            format!("{:?}", noop_trace.ops),
+            "op traces diverge"
+        );
+        prop_assert_eq!(absorb_trace.events, noop_trace.events, "event logs diverge");
+    }
+
+    /// Invariant 7 (action validation): whatever a hostile custom policy
+    /// proposes, nothing lands on a non-eligible processor. A policy
+    /// that pre-stages every task onto every processor — including
+    /// crashed and knowledge-lagged ones — has its invalid proposals
+    /// rejected and counted, and every operation the run does
+    /// materialize still respects the down windows (invariant 1) and the
+    /// spawn guards; the run stays deterministic.
+    #[test]
+    fn ineligible_actions_are_rejected_never_executed(
+        w in arb_workload(),
+        mix in arb_mix(),
+    ) {
+        /// Spawns every lost task and pre-stages every task everywhere.
+        struct Mischief;
+        impl Policy for Mischief {
+            fn on_crash(
+                &self,
+                view: &PolicyView<'_>,
+                event: &PolicyEvent,
+                actions: &mut Vec<RecoveryAction>,
+            ) {
+                for t in view.crash_lost_tasks(event.proc) {
+                    actions.push(RecoveryAction::SpawnReplica(t));
+                }
+                for t in 0..view.num_tasks() {
+                    for p in 0..view.num_procs() {
+                        actions.push(RecoveryAction::PreStage {
+                            task: TaskId::from_index(t),
+                            on: ProcId::from_index(p),
+                        });
+                    }
+                }
+            }
+            fn on_rejoin(
+                &self,
+                view: &PolicyView<'_>,
+                _event: &PolicyEvent,
+                actions: &mut Vec<RecoveryAction>,
+            ) {
+                for t in view.lost_tasks() {
+                    actions.push(RecoveryAction::SpawnReplica(t));
+                }
+            }
+        }
+
+        let (seed, tasks, procs, eps, gran) = w;
+        let (kind_ix, _, det_ix) = mix;
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let kind = failure_kind(kind_ix, sched.latency());
+        let scenario = draw_scenario_with(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() },
+            &kind,
+            &mut StdRng::seed_from_u64(seed ^ 0x1A7E),
+        );
+        let cfg = EngineConfig {
+            policy: RecoveryPolicy::Absorb,
+            detection: detection(det_ix, procs, seed),
+            seed: seed ^ 0xE21,
+        };
+        let (out, trace) = execute_traced_with(&inst, &sched, &scenario, &cfg, &Mischief);
+        // Every crash-knowledge event proposed pre-stages onto the
+        // believed-dead processor itself: with any detection at all,
+        // some proposal must have been rejected.
+        if out.detections > 0 && procs > 1 {
+            prop_assert!(
+                out.rejected_actions > 0,
+                "pre-staging onto crashed processors must be rejected"
+            );
+        }
+        // Nothing rejected ever ran: the down-window invariant holds on
+        // the full trace, pre-stage transfers included.
+        for (i, op) in trace.ops.iter().enumerate().filter(|(_, o)| o.completed) {
+            for (crash, up) in scenario.epochs_of(op.proc) {
+                prop_assert!(
+                    !(op.finish > crash + 1e-9 && op.start < up - 1e-9),
+                    "op {i} on {} runs [{}, {}] across down window ({crash}, {up})",
+                    op.proc, op.start, op.finish
+                );
+            }
+        }
+        // Determinism survives hostile action streams.
+        let again = execute_with(&inst, &sched, &scenario, &cfg, &Mischief);
+        prop_assert_eq!(
+            serde_json::to_string(&out).unwrap(),
+            serde_json::to_string(&again).unwrap()
         );
     }
 }

@@ -1,8 +1,8 @@
 //! Property tests pinning the timed fault model to the static stack.
 //!
-//! Six consistency guarantees tie `ft-runtime`'s online engine to
+//! Seven consistency guarantees tie `ft-runtime`'s online engine to
 //! `ft-sim`'s replay semantics and anchor the checkpoint, detection,
-//! availability and aggregation models:
+//! availability, aggregation and policy-dispatch models:
 //!
 //! * crash times at or beyond the schedule's makespan change nothing: the
 //!   online run reproduces the no-failure static replay exactly (for the
@@ -24,7 +24,11 @@
 //! * **availability**: a transient scenario whose every repair is ∞ is
 //!   permanent fail-stop — byte-identical `RunOutcome` under every
 //!   policy and detection model, with zero rejoins (the reboot machine
-//!   only ever acts through finite repair windows).
+//!   only ever acts through finite repair windows);
+//! * **open dispatch**: every built-in policy runs byte-identically as
+//!   the serializable enum and as an `Arc<dyn Policy>` trait object —
+//!   the recovery redesign replaced the engine's enum match with the
+//!   open action path without changing any built-in's behavior.
 //!
 //! Plus the documented detection edge cases: a crash with no live
 //! observer is never detected under `Gossip` (a rumor with nobody to
@@ -259,6 +263,57 @@ proptest! {
         let absorb = count(RecoveryPolicy::Absorb);
         prop_assert!(count(RecoveryPolicy::ReReplicate) >= absorb);
         prop_assert!(count(RecoveryPolicy::Reschedule) >= absorb);
+    }
+
+    /// The open-policy identity: every built-in policy produces a
+    /// byte-identical `RunOutcome` whether dispatched as the
+    /// serializable enum (`.policy(…)`) or as a trait object through the
+    /// open action path (`.policy_impl(Arc::new(…))`), across detection
+    /// models and timed scenarios — the enum match was replaced by
+    /// `Policy` trait dispatch without changing a single bit of any
+    /// built-in's behavior.
+    #[test]
+    fn builtins_are_identical_through_trait_dispatch(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        delay in 0.1f64..2.0,
+    ) {
+        use std::sync::Arc;
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD15);
+        let scenario = ftsched::runtime::draw_scenario(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() * 1.5 },
+            &mut rng,
+        );
+        let policies = RecoveryPolicy::ALL.into_iter().chain([
+            RecoveryPolicy::checkpoint(inst.mean_task_cost() * 0.5, 0.05),
+            RecoveryPolicy::adaptive_checkpoint(sched.latency() * 1.5, 0.05),
+        ]);
+        for policy in policies {
+            for detection in [
+                DetectionModel::uniform(delay),
+                DetectionModel::per_processor_spread(procs, delay),
+                DetectionModel::Gossip { period: delay, fanout: 2, seed },
+            ] {
+                let base = Simulation::of(&inst, &sched)
+                    .detection(detection.clone())
+                    .seed(1);
+                let via_enum = base.clone().policy(policy).run(&scenario);
+                let via_trait = base
+                    .clone()
+                    .policy(policy) // keeps cfg.policy equal for serde
+                    .policy_impl(Arc::new(policy))
+                    .run(&scenario);
+                prop_assert_eq!(
+                    serde_json::to_string(&via_enum).unwrap(),
+                    serde_json::to_string(&via_trait).unwrap(),
+                    "{} under {}: trait dispatch drifted from the enum path",
+                    policy, detection
+                );
+            }
+        }
     }
 
     /// The fourth pinned identity: `PerProcessor` detection with one
