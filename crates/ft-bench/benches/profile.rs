@@ -1,0 +1,91 @@
+//! Phase-attribution benchmark of the online engine (`phase-profile`).
+//!
+//! Two cells compare the engine with and without the profiling
+//! scaffolding on the standard two-crash paper-scale run:
+//!
+//! * `runtime/profile/execute` — the plain engine (the baseline);
+//! * `runtime/profile/execute_profiled` — the same run through
+//!   [`execute_profiled`]; without the `phase-profile` cargo feature the
+//!   timers are compiled out and the two cells must agree within noise,
+//!   with it the gap *is* the measurement overhead.
+//!
+//! With the feature enabled the bench also aggregates a [`PhaseProfile`]
+//! over a batch of runs and reports the per-phase wall-clock attribution
+//! (queue pop / completion drain / detection fan-out / policy dispatch /
+//! action validation / spawn-replan). Set `PHASE_JSON=<path>` to dump the
+//! aggregate as JSON; the committed attribution baseline lives in
+//! `BENCH_phases.json` at the repo root, regenerated with
+//!
+//! ```text
+//! PHASE_JSON=BENCH_phases.json \
+//!   cargo bench -p ft-bench --features phase-profile --bench profile
+//! ```
+//!
+//! Either way the bench pins the invariant that profiling only measures:
+//! the profiled outcome is byte-identical to the plain one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_algos::{caft, CommModel};
+use ft_bench::paper_instance;
+use ft_platform::ProcId;
+use ft_runtime::{execute_profiled, EngineConfig, PhaseProfile, RecoveryPolicy, Simulation};
+use ft_sim::FaultScenario;
+use std::hint::black_box;
+
+fn bench_profile(c: &mut Criterion) {
+    let inst = paper_instance(6, 100, 10, 1.0);
+    let sched = caft(&inst, 1, CommModel::OnePort, 0);
+    let nominal = sched.latency();
+    let scenario = FaultScenario::timed(&[(ProcId(2), nominal * 0.3), (ProcId(7), nominal * 0.6)]);
+    let sim = Simulation::of(&inst, &sched).policy(RecoveryPolicy::ReReplicate);
+    let cfg = EngineConfig {
+        policy: RecoveryPolicy::ReReplicate,
+        ..EngineConfig::default()
+    };
+
+    // Profiling only measures: the outcome is byte-identical either way.
+    let plain = sim.run(&scenario);
+    let (profiled, _) = sim.run_profiled(&scenario);
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&profiled).unwrap(),
+        "execute_profiled must not steer the run"
+    );
+
+    let mut group = c.benchmark_group("runtime/profile");
+    group.bench_function("execute", |b| b.iter(|| black_box(sim.run(&scenario))));
+    group.bench_function("execute_profiled", |b| {
+        b.iter(|| black_box(execute_profiled(&inst, &sched, &scenario, &cfg)))
+    });
+    group.finish();
+
+    // Attribution baseline: aggregate the per-phase wall clock over a
+    // batch of identical runs so one-off scheduling noise averages out.
+    let mut total = PhaseProfile::new();
+    for _ in 0..100 {
+        let (_, profile) = sim.run_profiled(&scenario);
+        total.merge(&profile);
+    }
+    if cfg!(feature = "phase-profile") {
+        let json = serde_json::to_string_pretty(&total).unwrap();
+        eprintln!("phase attribution over 100 runs:\n{json}");
+        if let Ok(path) = std::env::var("PHASE_JSON") {
+            std::fs::write(&path, json + "\n").expect("writing PHASE_JSON");
+            eprintln!("phase attribution written to {path}");
+        }
+    } else {
+        assert_eq!(
+            total.total_nanos(),
+            0,
+            "timers must be compiled out without the phase-profile feature"
+        );
+        eprintln!("phase-profile feature disabled: timers compiled out, attribution all-zero");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_profile
+}
+criterion_main!(benches);

@@ -22,6 +22,10 @@
 //! paper-figures fig1 --quick        # thinned sweep, 10 graphs/point
 //! paper-figures fig1 --graphs 20    # override graphs per point
 //! paper-figures all --json out.json # machine-readable dump
+//! paper-figures degradation --metrics-json metrics.json
+//!                                   # per-cell mergeable metric histograms
+//!                                   # (latency / slowdown / work lost &
+//!                                   # saved / detection lag + counters)
 //! ```
 
 use ft_experiments::degradation::{
@@ -53,6 +57,11 @@ fn main() {
     let json_path: Option<String> = args
         .iter()
         .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let metrics_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--metrics-json")
         .and_then(|i| args.get(i + 1))
         .cloned();
     let only_policy: Option<String> = args
@@ -195,6 +204,33 @@ fn main() {
     if let Some(path) = json_path {
         let txt = serde_json::to_string_pretty(&dump).expect("serializable results");
         std::fs::write(&path, txt).expect("writable json path");
+        eprintln!("wrote {path}");
+    }
+
+    // The observability dump: one record per Monte-Carlo cell with the
+    // mergeable metric histograms (byte-identical at any thread count).
+    if let Some(path) = metrics_path {
+        use serde::{Serialize, Value};
+        if dump.degradation.is_empty() {
+            eprintln!("--metrics-json: no Monte-Carlo cells were run (use `degradation` or `all`)");
+        }
+        let records: Vec<Value> = dump
+            .degradation
+            .iter()
+            .map(|row| {
+                Value::Map(vec![
+                    (
+                        "policy".to_string(),
+                        Value::Str(row.summary.policy_label.clone()),
+                    ),
+                    ("mttf_factor".to_string(), Value::Float(row.mttf_factor)),
+                    ("runs".to_string(), Value::UInt(row.summary.runs as u64)),
+                    ("metrics".to_string(), row.summary.metrics.to_value()),
+                ])
+            })
+            .collect();
+        let txt = serde_json::to_string_pretty(&Value::Seq(records)).expect("serializable metrics");
+        std::fs::write(&path, txt).expect("writable metrics path");
         eprintln!("wrote {path}");
     }
 }

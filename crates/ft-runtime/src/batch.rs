@@ -55,7 +55,7 @@
 
 use crate::engine::execute_with;
 use crate::lifetime::{draw_scenario_with, FailureKind, LifetimeDist};
-use crate::metrics::{BatchSummary, RunOutcome};
+use crate::metrics::{BatchSummary, MetricSet, RunOutcome};
 use crate::policy::{EngineConfig, Policy, RecoveryPolicy};
 use ft_model::FtSchedule;
 use ft_platform::Instance;
@@ -63,6 +63,8 @@ use ft_sim::FaultScenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Configuration of a Monte-Carlo batch.
 ///
@@ -135,8 +137,63 @@ pub fn simulate_many_with(
     cfg: &MonteCarloConfig,
     policy: &dyn Policy,
 ) -> BatchSummary {
+    simulate_many_inner(inst, sched, cfg, policy, None)
+}
+
+/// A streaming Monte-Carlo progress snapshot, handed to the callback of
+/// [`simulate_many_with_progress`] after each finished run.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Runs finished so far, across all workers (1-based: the callback
+    /// fires after a run completes).
+    pub completed_runs: usize,
+    /// Total runs of the batch.
+    pub total_runs: usize,
+    /// Wall-clock time since the batch started.
+    pub elapsed: Duration,
+    /// Naive remaining-wall-clock estimate: elapsed scaled by the runs
+    /// still outstanding (assumes a uniform per-run cost).
+    pub eta: Duration,
+}
+
+impl Progress {
+    /// Completed fraction of the batch, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total_runs == 0 {
+            return 1.0;
+        }
+        self.completed_runs as f64 / self.total_runs as f64
+    }
+}
+
+/// [`simulate_many_with`] with a streaming progress callback: `progress`
+/// fires once per finished run with a [`Progress`] snapshot (runs
+/// completed, elapsed, ETA). The callback observes completions in
+/// whatever order the rayon workers finish — nondeterministic — but it
+/// cannot influence the aggregation, so the returned [`BatchSummary`] is
+/// byte-identical to [`simulate_many_with`]'s.
+pub fn simulate_many_with_progress(
+    inst: &Instance,
+    sched: &FtSchedule,
+    cfg: &MonteCarloConfig,
+    policy: &dyn Policy,
+    progress: &(dyn Fn(Progress) + Sync),
+) -> BatchSummary {
+    simulate_many_inner(inst, sched, cfg, policy, Some(progress))
+}
+
+/// The one batch loop behind every `simulate_many*` form.
+fn simulate_many_inner(
+    inst: &Instance,
+    sched: &FtSchedule,
+    cfg: &MonteCarloConfig,
+    policy: &dyn Policy,
+    progress: Option<&(dyn Fn(Progress) + Sync)>,
+) -> BatchSummary {
     let m = inst.num_procs();
     let nominal = sched.latency();
+    let started = Instant::now();
+    let done = AtomicUsize::new(0);
     (0..cfg.runs)
         .into_par_iter()
         .fold(
@@ -145,6 +202,17 @@ pub fn simulate_many_with(
                 let scenario = scenario_of_run(cfg.seed, &cfg.lifetime, &cfg.failure, m, i);
                 let out = execute_with(inst, sched, &scenario, &cfg.engine, policy);
                 acc.record(scenario.earliest_crash(), &out);
+                if let Some(cb) = progress {
+                    let completed_runs = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let elapsed = started.elapsed();
+                    let remaining = cfg.runs.saturating_sub(completed_runs);
+                    cb(Progress {
+                        completed_runs,
+                        total_runs: cfg.runs,
+                        elapsed,
+                        eta: elapsed.mul_f64(remaining as f64 / completed_runs as f64),
+                    });
+                }
                 acc
             },
         )
@@ -179,6 +247,7 @@ pub struct BatchAccumulator {
     recovery_messages: usize,
     checkpoint_overhead: ExactSum,
     work_saved: ExactSum,
+    metrics: MetricSet,
 }
 
 impl BatchAccumulator {
@@ -200,6 +269,7 @@ impl BatchAccumulator {
             recovery_messages: 0,
             checkpoint_overhead: ExactSum::new(),
             work_saved: ExactSum::new(),
+            metrics: MetricSet::for_nominal(nominal),
         }
     }
 
@@ -222,8 +292,12 @@ impl BatchAccumulator {
             self.completed += 1;
             self.lat_sum.add(lat);
             self.lat_max = self.lat_max.max(lat);
-            self.slow_sum.add(lat / self.nominal);
+            // The one slowdown definition (RunOutcome::slowdown) — kept in
+            // lock-step with RunReport.
+            self.slow_sum
+                .add(out.slowdown(self.nominal).unwrap_or(f64::NAN));
         }
+        self.metrics.record(self.nominal, out);
     }
 
     /// Combines two partial aggregates. Associative and commutative to
@@ -235,7 +309,13 @@ impl BatchAccumulator {
             "merging accumulators of different schedules"
         );
         if self.runs == 0 {
+            // Adopt the non-empty side's shape (the reduce identity is
+            // built with the same nominal in simulate_many, but a generic
+            // caller may merge into a default-shaped empty accumulator).
             self.nominal = other.nominal;
+            self.metrics = other.metrics.clone(); // adopt the bucket shape
+        } else if other.runs > 0 {
+            self.metrics.merge(&other.metrics);
         }
         self.runs += other.runs;
         self.completed += other.completed;
@@ -282,6 +362,7 @@ impl BatchAccumulator {
             recovery_messages: self.recovery_messages,
             checkpoint_overhead: self.checkpoint_overhead.value(),
             work_saved: self.work_saved.value(),
+            metrics: self.metrics,
         }
     }
 }
@@ -414,6 +495,32 @@ impl ExactSum {
     }
 }
 
+/// An `ExactSum` serializes as its rounded [`value`](ExactSum::value) —
+/// the f64 consumers care about. This is intentionally lossy (the limb
+/// form is an implementation detail): a deserialized sum re-seeds a fresh
+/// accumulator with that one rounded value, which round-trips the
+/// serialized form exactly (`to_value ∘ from_value ∘ to_value` is
+/// `to_value`).
+impl serde::Serialize for ExactSum {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Float(self.value())
+    }
+}
+
+impl serde::Deserialize for ExactSum {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let x = <f64 as serde::Deserialize>::from_value(v)?;
+        if !x.is_finite() || x < 0.0 {
+            return Err(serde::Error::msg(format!(
+                "ExactSum must be a finite non-negative number, got {x}"
+            )));
+        }
+        let mut sum = ExactSum::new();
+        sum.add(x);
+        Ok(sum)
+    }
+}
+
 /// `2^e` for the limb scale (exact: splits the exponent so each factor is
 /// a normal power of two).
 fn exp2i(e: i32) -> f64 {
@@ -533,6 +640,64 @@ mod tests {
             serde_json::to_string(&streamed).unwrap(),
             serde_json::to_string(&sequential).unwrap()
         );
+    }
+
+    #[test]
+    fn progress_callback_fires_without_changing_the_summary() {
+        let (inst, sched) = setup();
+        let cfg = MonteCarloConfig {
+            runs: 48,
+            lifetime: LifetimeDist::Exponential {
+                mean: sched.latency() * 2.0,
+            },
+            failure: FailureKind::Permanent,
+            engine: EngineConfig::with_policy(RecoveryPolicy::ReReplicate),
+            seed: 41,
+        };
+        let fired = AtomicUsize::new(0);
+        let with =
+            simulate_many_with_progress(&inst, &sched, &cfg, &cfg.engine.policy, &|p: Progress| {
+                fired.fetch_add(1, Ordering::Relaxed);
+                assert!(p.completed_runs >= 1 && p.completed_runs <= p.total_runs);
+                assert!(p.fraction() > 0.0 && p.fraction() <= 1.0);
+                assert!(p.elapsed >= Duration::ZERO);
+            });
+        assert_eq!(fired.load(Ordering::Relaxed), cfg.runs);
+        let without = simulate_many(&inst, &sched, &cfg);
+        assert_eq!(
+            serde_json::to_string(&with).unwrap(),
+            serde_json::to_string(&without).unwrap(),
+            "the progress channel must not influence the aggregate"
+        );
+    }
+
+    #[test]
+    fn batch_metrics_are_consistent_with_the_headline_fields() {
+        let (inst, sched) = setup();
+        let cfg = MonteCarloConfig {
+            runs: 64,
+            lifetime: LifetimeDist::Exponential {
+                mean: sched.latency(),
+            },
+            failure: FailureKind::Permanent,
+            engine: EngineConfig::with_policy(RecoveryPolicy::ReReplicate),
+            seed: 7,
+        };
+        let s = simulate_many(&inst, &sched, &cfg);
+        let m = &s.metrics;
+        assert_eq!(m.latency.count as usize, s.completed);
+        assert_eq!(m.slowdown.count as usize, s.completed);
+        assert_eq!(m.incomplete_runs as usize, s.runs - s.completed);
+        assert_eq!(m.spawned_replicas as usize, s.recovery_replicas);
+        assert_eq!(m.recovery_messages as usize, s.recovery_messages);
+        assert_eq!(m.rejoins as usize, s.rejoins);
+        // Histogram mean of latency = batch mean (same ExactSum machinery).
+        if s.completed > 0 {
+            assert!((m.latency.mean() - s.mean_latency).abs() < 1e-9);
+            assert!((m.slowdown.mean() - s.mean_slowdown).abs() < 1e-12);
+            assert_eq!(m.latency.max, s.max_latency);
+        }
+        assert!(m.detections > 0, "the batch should see some crashes");
     }
 
     #[test]

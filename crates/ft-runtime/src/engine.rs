@@ -105,6 +105,7 @@
 #[cfg(doc)]
 use crate::detection::DetectionModel;
 use crate::metrics::RunOutcome;
+use crate::observe::{Observer, PhaseProfile, TraceObserver};
 #[cfg(doc)]
 use crate::policy::{CheckpointPlan, RecoveryPolicy};
 use crate::policy::{EngineConfig, Policy, PolicyEvent, RecoveryAction, TaskInfo};
@@ -144,7 +145,7 @@ pub fn execute_with(
     let mut engine = Engine::new(inst, sched, scenario, cfg, policy);
     engine.build_static_ops();
     engine.seed_events();
-    engine.run();
+    engine.run(None);
     engine.into_outcome()
 }
 
@@ -175,12 +176,81 @@ pub fn execute_traced_with(
     cfg: &EngineConfig,
     policy: &dyn Policy,
 ) -> (RunOutcome, EngineTrace) {
+    let mut observer = TraceObserver::new();
+    let out = execute_observed_with(inst, sched, scenario, cfg, policy, &mut observer);
+    (out, observer.into_trace())
+}
+
+/// [`execute`] with a streaming [`Observer`] attached: the engine pushes
+/// every processed event, every materialized operation and the final
+/// outcome into `observer` as they happen (see [`Observer`] for ordering
+/// guarantees). The outcome is byte-identical to the unobserved run —
+/// observers only listen, they never steer. [`execute_traced`] is this
+/// function with a [`TraceObserver`]; a [`crate::NoopObserver`] reproduces
+/// plain [`execute`] at one extra branch per event (both identities pinned
+/// by `tests/timed_model.rs`).
+pub fn execute_observed(
+    inst: &Instance,
+    sched: &FtSchedule,
+    scenario: &FaultScenario,
+    cfg: &EngineConfig,
+    observer: &mut dyn Observer,
+) -> RunOutcome {
+    execute_observed_with(inst, sched, scenario, cfg, &cfg.policy, observer)
+}
+
+/// [`execute_observed`] with an explicit [`Policy`] implementation (see
+/// [`execute_with`]).
+pub fn execute_observed_with(
+    inst: &Instance,
+    sched: &FtSchedule,
+    scenario: &FaultScenario,
+    cfg: &EngineConfig,
+    policy: &dyn Policy,
+    observer: &mut dyn Observer,
+) -> RunOutcome {
     let mut engine = Engine::new(inst, sched, scenario, cfg, policy);
-    engine.tracing = true;
     engine.build_static_ops();
     engine.seed_events();
-    engine.run();
-    engine.into_outcome_and_trace()
+    engine.run(Some(&mut *observer));
+    engine.emit_ops(&mut *observer);
+    let out = engine.into_outcome();
+    observer.on_run_end(&out);
+    out
+}
+
+/// [`execute`], additionally collecting a [`PhaseProfile`]: wall-clock
+/// attribution of the run across the engine's hot-loop phases. The
+/// timers are compiled in only under the `phase-profile` cargo feature —
+/// without it this still runs (and the outcome is identical) but every
+/// phase aggregate stays zero. The outcome is byte-identical to
+/// [`execute`] in both configurations; profiling only measures.
+pub fn execute_profiled(
+    inst: &Instance,
+    sched: &FtSchedule,
+    scenario: &FaultScenario,
+    cfg: &EngineConfig,
+) -> (RunOutcome, PhaseProfile) {
+    execute_profiled_with(inst, sched, scenario, cfg, &cfg.policy)
+}
+
+/// [`execute_profiled`] with an explicit [`Policy`] implementation (see
+/// [`execute_with`]).
+pub fn execute_profiled_with(
+    inst: &Instance,
+    sched: &FtSchedule,
+    scenario: &FaultScenario,
+    cfg: &EngineConfig,
+    policy: &dyn Policy,
+) -> (RunOutcome, PhaseProfile) {
+    let mut profile = PhaseProfile::new();
+    let mut engine = Engine::new(inst, sched, scenario, cfg, policy);
+    engine.profile = Some(&mut profile);
+    engine.build_static_ops();
+    engine.seed_events();
+    engine.run(None);
+    let out = engine.into_outcome();
+    (out, profile)
 }
 
 /// Read-only view of the engine's belief and progress state, handed to
@@ -284,7 +354,7 @@ impl<'a> PolicyView<'a> {
 }
 
 /// Kind of one recorded engine event (see [`EngineTrace::events`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum TraceEventKind {
     /// An operation completed.
     Completion,
@@ -295,7 +365,7 @@ pub enum TraceEventKind {
 }
 
 /// One engine event, in the order the event loop processed it.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TraceEvent {
     /// Wall-clock instant of the event.
     pub time: f64,
@@ -304,7 +374,7 @@ pub struct TraceEvent {
 }
 
 /// One operation of a finished execution (computation or transfer).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct OpTrace {
     /// Executing (computation) or sending (transfer) processor.
     pub proc: ProcId,
@@ -317,6 +387,13 @@ pub struct OpTrace {
     pub start: f64,
     /// Completion instant (meaningful only when `completed`).
     pub finish: f64,
+    /// The instant the event loop *discovered* the completion — the time
+    /// of the event being processed when the op resolved (meaningful only
+    /// when `completed`). Ghost pass-through (DESIGN.md §4) can resolve an
+    /// op behind a later event, so `discovered ≥ finish` with equality on
+    /// the direct path; the gap is the op's discovery lag. Pinned ≥
+    /// `finish` by the `engine_invariants` ordering property.
+    pub discovered: f64,
     /// True if the operation actually happened (reached `Done`).
     pub completed: bool,
     /// True for repair work injected at a detection or rejoin.
@@ -335,7 +412,7 @@ pub struct OpTrace {
 /// Observability record of one [`execute_traced`] run: the materialized
 /// operations and the processed events in order. Event times are monotone
 /// non-decreasing — one of the engine invariants the property suite pins.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct EngineTrace {
     /// Every operation the engine materialized, in creation order.
     pub ops: Vec<OpTrace>,
@@ -414,6 +491,9 @@ struct Op {
     /// Scheduled start (set when the op is scheduled; 0 before).
     start: f64,
     finish: f64,
+    /// Event-loop instant the completion was discovered (set on `Done`;
+    /// ≥ `finish`, with the gap being ghost pass-through discovery lag).
+    discovered: f64,
 }
 
 impl Op {
@@ -444,8 +524,30 @@ impl Op {
             state: OpState::Pending,
             start: 0.0,
             finish: 0.0,
+            discovered: 0.0,
         }
     }
+}
+
+/// Times `$body` into the engine's attached [`PhaseProfile`] under the
+/// `phase-profile` feature; expands to `$body` alone without it, keeping
+/// the default build on the untraced fast path.
+#[cfg(feature = "phase-profile")]
+macro_rules! phase {
+    ($self:ident, $ph:ident, $body:expr) => {{
+        let timer = $self.profile.is_some().then(std::time::Instant::now);
+        let out = $body;
+        if let (Some(profile), Some(start)) = ($self.profile.as_deref_mut(), timer) {
+            profile.record(crate::observe::Phase::$ph, start.elapsed());
+        }
+        out
+    }};
+}
+#[cfg(not(feature = "phase-profile"))]
+macro_rules! phase {
+    ($self:ident, $ph:ident, $body:expr) => {
+        $body
+    };
 }
 
 /// Local propagation actions, drained to a fixpoint between events.
@@ -550,10 +652,23 @@ struct Engine<'a> {
     /// Total recomputation avoided by resuming (work units on the
     /// resuming host), over completed resumed replicas.
     work_saved: f64,
-    /// Event log collected when tracing (empty otherwise).
-    trace_events: Vec<TraceEvent>,
-    /// Whether this run records an [`EngineTrace`].
-    tracing: bool,
+    /// Total wall-clock execution time destroyed by crashes: progress of
+    /// computations that were running when their host died.
+    work_lost: f64,
+    /// Summed first-knowledge detection lag over all crash epochs
+    /// (detection instant − crash instant).
+    detection_lag: f64,
+    /// Event-loop frontier: the maximum event time popped so far; the
+    /// completion-discovery instant of ops resolved behind later events
+    /// (ghost pass-through, DESIGN.md §4).
+    frontier: f64,
+    /// Phase timers, attached by [`execute_profiled`]; only read with the
+    /// `phase-profile` feature. (`PhaseProfile` is a concrete type, so
+    /// this keeps `Engine<'a>` covariant — a `&mut dyn` observer field
+    /// would not, which is why the observer travels through
+    /// [`Engine::run`] as an argument instead.)
+    #[cfg_attr(not(feature = "phase-profile"), allow(dead_code))]
+    profile: Option<&'a mut PhaseProfile>,
 }
 
 /// Checkpoint writes a computation of `work` units performs: one per
@@ -673,8 +788,10 @@ impl<'a> Engine<'a> {
             task_ck_frac: vec![0.0; v],
             checkpoint_overhead: 0.0,
             work_saved: 0.0,
-            trace_events: Vec::new(),
-            tracing: false,
+            work_lost: 0.0,
+            detection_lag: 0.0,
+            frontier: 0.0,
+            profile: None,
         }
     }
 
@@ -907,11 +1024,19 @@ impl<'a> Engine<'a> {
         instants
     }
 
-    /// The main event loop.
-    fn run(&mut self) {
+    /// The main event loop. With an observer attached, every processed
+    /// event is streamed to it ([`Observer::on_event`]) before its
+    /// handler runs; `None` is the unobserved fast path (one predictable
+    /// branch per event).
+    fn run(&mut self, mut observer: Option<&mut dyn Observer>) {
         let m = self.inst.num_procs();
-        while let Some(Reverse((OrdF64(time), kind, id))) = self.heap.pop() {
-            if self.tracing {
+        loop {
+            let popped = phase!(self, QueuePop, self.heap.pop());
+            let Some(Reverse((OrdF64(time), kind, id))) = popped else {
+                break;
+            };
+            self.frontier = self.frontier.max(time);
+            if let Some(obs) = observer.as_deref_mut() {
                 let kind = match kind {
                     // A popped entry of a cancelled op is a stale heap
                     // slot, not an event: nothing completes.
@@ -921,7 +1046,7 @@ impl<'a> Engine<'a> {
                     _ => Some(TraceEventKind::Rejoin),
                 };
                 if let Some(kind) = kind {
-                    self.trace_events.push(TraceEvent { time, kind });
+                    obs.on_event(&TraceEvent { time, kind });
                 }
             }
             match kind {
@@ -933,12 +1058,17 @@ impl<'a> Engine<'a> {
     }
 
     fn on_completion(&mut self, id: u32, time: f64) {
+        let frontier = self.frontier;
         let op = &mut self.ops[id as usize];
         if op.state == OpState::Cancelled {
             return;
         }
         debug_assert_eq!(op.state, OpState::Scheduled);
         op.state = OpState::Done;
+        // Ghost pass-through can schedule an op with `finish` behind the
+        // loop frontier; the frontier is then when the completion became
+        // knowable (DESIGN.md §4).
+        op.discovered = frontier.max(op.finish);
         let (ck_pad, saved) = (op.ck_pad, op.full * op.done_frac);
         let mut first_done = None;
         if let Some(t) = op.task {
@@ -953,10 +1083,12 @@ impl<'a> Engine<'a> {
         self.work_saved += saved;
         // Scratch reuse: this is the per-event allocation the profile
         // flagged — one Vec per completion, ~V+E times per run.
-        let mut acts = std::mem::take(&mut self.act_scratch);
-        acts.push(Act::RealDone(id, time));
-        self.drain(&mut acts);
-        self.act_scratch = acts;
+        phase!(self, Completion, {
+            let mut acts = std::mem::take(&mut self.act_scratch);
+            acts.push(Act::RealDone(id, time));
+            self.drain(&mut acts);
+            self.act_scratch = acts;
+        });
         if let Some(t) = first_done {
             self.policy_hook(time, |policy, view, actions| {
                 policy.on_completion(view, t, time, actions)
@@ -1039,6 +1171,16 @@ impl<'a> Engine<'a> {
             op.est_finish = finish;
             self.heap.push(Reverse((OrdF64(finish), 0, i)));
         } else {
+            // The computation still ran from `start` until the crash;
+            // that progress is destroyed (checkpointed fractions are
+            // credited back by `record_crash_progress`). Transfers carry
+            // no progress of their own.
+            let lost = if op.task.is_some() && op.fixed_finish.is_none() {
+                (op.deadline - start).clamp(0.0, op.duration)
+            } else {
+                0.0
+            };
+            self.work_lost += lost;
             self.record_crash_progress(i, start);
             acts.push(Act::Fail(i));
         }
@@ -1171,21 +1313,25 @@ impl<'a> Engine<'a> {
     /// repair-eligible set, and give the policy another chance at tasks
     /// it could not repair before.
     fn on_detection(&mut self, p: ProcId, k: usize, time: f64) {
-        let pi = p.index();
-        let first = !self.crash_seen[pi][k];
-        if first {
-            self.crash_seen[pi][k] = true;
-            self.detections += 1;
-            // The belief follows the latest *physical* event: a crash
-            // detected only after its own repair was already reported
-            // (slow detector, fast reboot) must not re-kill the view.
-            let crash = self.epochs[pi][k].0;
-            if crash >= self.believed_instant[pi] {
-                self.believed_instant[pi] = crash;
-                self.believed_epoch[pi] = k;
-                self.known_dead[pi] = true;
+        let first = phase!(self, DetectionFanout, {
+            let pi = p.index();
+            let first = !self.crash_seen[pi][k];
+            if first {
+                self.crash_seen[pi][k] = true;
+                self.detections += 1;
+                // The belief follows the latest *physical* event: a crash
+                // detected only after its own repair was already reported
+                // (slow detector, fast reboot) must not re-kill the view.
+                let crash = self.epochs[pi][k].0;
+                self.detection_lag += time - crash;
+                if crash >= self.believed_instant[pi] {
+                    self.believed_instant[pi] = crash;
+                    self.believed_epoch[pi] = k;
+                    self.known_dead[pi] = true;
+                }
             }
-        }
+            first
+        });
         let event = PolicyEvent {
             proc: p,
             epoch: k,
@@ -1205,23 +1351,27 @@ impl<'a> Engine<'a> {
     /// chance for the policy: deferred and previously unrepairable tasks
     /// are retried on the grown platform.
     fn on_rejoin(&mut self, p: ProcId, k: usize, time: f64) {
-        let pi = p.index();
-        let first = !self.rejoin_seen[pi][k];
-        if first {
-            self.rejoin_seen[pi][k] = true;
-            self.rejoins += 1;
-            let up = self.epochs[pi][k].1;
-            // Strictly-later only: a crash at the exact reboot instant
-            // (`crash_{k+1} = up_k`, allowed by the scenario) supersedes
-            // the rejoin whichever knowledge event is processed first —
-            // crashes win physical-time ties (compare the `>=` in
-            // `on_detection`).
-            if up > self.believed_instant[pi] {
-                self.believed_instant[pi] = up;
-                self.known_dead[pi] = false;
+        let (first, all_safe) = phase!(self, DetectionFanout, {
+            let pi = p.index();
+            let first = !self.rejoin_seen[pi][k];
+            if first {
+                self.rejoin_seen[pi][k] = true;
+                self.rejoins += 1;
+                let up = self.epochs[pi][k].1;
+                // Strictly-later only: a crash at the exact reboot instant
+                // (`crash_{k+1} = up_k`, allowed by the scenario) supersedes
+                // the rejoin whichever knowledge event is processed first —
+                // crashes win physical-time ties (compare the `>=` in
+                // `on_detection`).
+                if up > self.believed_instant[pi] {
+                    self.believed_instant[pi] = up;
+                    self.known_dead[pi] = false;
+                }
             }
-        }
-        if (0..self.inst.num_tasks()).all(|t| self.task_believed_safe(t)) {
+            let all_safe = (0..self.inst.num_tasks()).all(|t| self.task_believed_safe(t));
+            (first, all_safe)
+        });
+        if all_safe {
             return; // nothing broken: no policy action, no replan churn
         }
         let event = PolicyEvent {
@@ -1246,7 +1396,9 @@ impl<'a> Engine<'a> {
         let mut actions = std::mem::take(&mut self.action_scratch);
         actions.clear();
         let policy = self.policy;
-        call(policy, &PolicyView { engine: self, now }, &mut actions);
+        phase!(self, PolicyDispatch, {
+            call(policy, &PolicyView { engine: self, now }, &mut actions);
+        });
         self.apply_actions(&actions, now);
         self.action_scratch = actions;
     }
@@ -1268,61 +1420,65 @@ impl<'a> Engine<'a> {
         let mut spawns: Vec<(usize, bool)> = Vec::new();
         let mut replans = 0usize;
         let mut prestages: Vec<(usize, usize)> = Vec::new();
-        for &action in actions {
-            match action {
-                RecoveryAction::Defer(t) if t.index() < v => {
-                    if !self.task_believed_safe(t.index()) {
-                        self.deferred[t.index()] = true;
+        phase!(self, ActionValidation, {
+            for &action in actions {
+                match action {
+                    RecoveryAction::Defer(t) if t.index() < v => {
+                        if !self.task_believed_safe(t.index()) {
+                            self.deferred[t.index()] = true;
+                        }
                     }
+                    RecoveryAction::SpawnReplica(t) if t.index() < v => {
+                        spawns.push((t.index(), false));
+                    }
+                    RecoveryAction::ResumeFromCheckpoint(t) if t.index() < v => {
+                        spawns.push((t.index(), true));
+                    }
+                    RecoveryAction::Replan => replans += 1,
+                    RecoveryAction::PreStage { task, on }
+                        if task.index() < v
+                            && on.index() < m
+                            && self.repair_eligible(on.index(), now) =>
+                    {
+                        prestages.push((task.index(), on.index()));
+                    }
+                    // Out-of-range ids, and pre-stage targets that violate
+                    // the survivor-knowledge rule.
+                    _ => self.rejected_actions += 1,
                 }
-                RecoveryAction::SpawnReplica(t) if t.index() < v => {
-                    spawns.push((t.index(), false));
-                }
-                RecoveryAction::ResumeFromCheckpoint(t) if t.index() < v => {
-                    spawns.push((t.index(), true));
-                }
-                RecoveryAction::Replan => replans += 1,
-                RecoveryAction::PreStage { task, on }
-                    if task.index() < v
-                        && on.index() < m
-                        && self.repair_eligible(on.index(), now) =>
-                {
-                    prestages.push((task.index(), on.index()));
-                }
-                // Out-of-range ids, and pre-stage targets that violate
-                // the survivor-knowledge rule.
-                _ => self.rejected_actions += 1,
             }
-        }
-        // Topological order, first proposal per task winning (the stable
-        // sort keeps push order within a task's duplicates).
-        spawns.sort_by_key(|&(t, _)| self.topo_position[t]);
-        spawns.dedup_by_key(|&mut (t, _)| t);
-        for (t, allow_resume) in spawns {
-            if self.task_believed_safe(t) {
+        });
+        phase!(self, SpawnReplan, {
+            // Topological order, first proposal per task winning (the stable
+            // sort keeps push order within a task's duplicates).
+            spawns.sort_by_key(|&(t, _)| self.topo_position[t]);
+            spawns.dedup_by_key(|&mut (t, _)| t);
+            for (t, allow_resume) in spawns {
+                if self.task_believed_safe(t) {
+                    self.deferred[t] = false;
+                    continue; // an earlier replacement this round covered it
+                }
+                // A still-live pending replacement from an earlier detection?
+                let pending_recovery = self.recovery_exec[t].iter().any(|&id| {
+                    let op = &self.ops[id as usize];
+                    op.state == OpState::Pending && !self.known_dead[op.proc as usize]
+                });
+                if pending_recovery {
+                    self.deferred[t] = false;
+                    continue;
+                }
                 self.deferred[t] = false;
-                continue; // an earlier replacement this round covered it
+                // …and may re-mark the task deferred if no survivor is
+                // repair-eligible yet.
+                self.spawn_replacement(TaskId::from_index(t), now, allow_resume);
             }
-            // A still-live pending replacement from an earlier detection?
-            let pending_recovery = self.recovery_exec[t].iter().any(|&id| {
-                let op = &self.ops[id as usize];
-                op.state == OpState::Pending && !self.known_dead[op.proc as usize]
-            });
-            if pending_recovery {
-                self.deferred[t] = false;
-                continue;
+            for _ in 0..replans {
+                self.reschedule(now);
             }
-            self.deferred[t] = false;
-            // …and may re-mark the task deferred if no survivor is
-            // repair-eligible yet.
-            self.spawn_replacement(TaskId::from_index(t), now, allow_resume);
-        }
-        for _ in 0..replans {
-            self.reschedule(now);
-        }
-        for (t, q) in prestages {
-            self.prestage_inputs(t, q, now);
-        }
+            for (t, q) in prestages {
+                self.prestage_inputs(t, q, now);
+            }
+        });
     }
 
     /// The survivor-knowledge rule: `q` may host repair work at time
@@ -1906,29 +2062,30 @@ impl<'a> Engine<'a> {
             rejected_actions: self.rejected_actions,
             checkpoint_overhead: self.checkpoint_overhead,
             work_saved: self.work_saved,
+            work_lost: self.work_lost,
+            detection_lag: self.detection_lag,
         }
     }
 
-    fn into_outcome_and_trace(mut self) -> (RunOutcome, EngineTrace) {
-        let ops = self
-            .ops
-            .iter()
-            .map(|op| OpTrace {
+    /// Streams every materialized operation to `obs` in creation order —
+    /// the [`Observer::on_op`] pass after the event loop drains.
+    fn emit_ops(&self, obs: &mut dyn Observer) {
+        for op in &self.ops {
+            obs.on_op(&OpTrace {
                 proc: ProcId::from_index(op.proc as usize),
                 task: op.task,
                 release: op.release,
                 start: op.start,
                 finish: op.finish,
+                discovered: op.discovered,
                 completed: op.state == OpState::Done,
                 recovery: op.recovery,
                 work: op.work,
                 full: op.full,
                 done_frac: op.done_frac,
                 ck_pad: op.ck_pad,
-            })
-            .collect();
-        let events = std::mem::take(&mut self.trace_events);
-        (self.into_outcome(), EngineTrace { ops, events })
+            });
+        }
     }
 }
 

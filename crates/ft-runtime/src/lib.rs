@@ -49,10 +49,15 @@
 //! * [`simulate_many`] — rayon-parallel Monte-Carlo batches streamed
 //!   through a mergeable [`BatchAccumulator`] (O(threads) memory, byte-
 //!   identical [`BatchSummary`] at any thread count);
-//! * [`execute_traced`] — the engine with its observability record
-//!   ([`EngineTrace`]): every materialized operation and the processed
-//!   event log, the substrate of the `tests/engine_invariants.rs`
-//!   property suite;
+//! * [`Observer`] — streaming observability (DESIGN.md §12): the engine
+//!   pushes every event, op and outcome into an attached observer
+//!   ([`execute_observed`], [`Simulation::observe`]); [`execute_traced`]
+//!   is the buffered special case returning an [`EngineTrace`] (the
+//!   substrate of the `tests/engine_invariants.rs` property suite), and
+//!   batches carry exact mergeable [`MetricSet`] histograms on
+//!   [`BatchSummary::metrics`];
+//! * [`execute_profiled`] — feature-gated (`phase-profile`) wall-clock
+//!   attribution of the engine's hot-loop phases into a [`PhaseProfile`];
 //! * [`report`] — one run against the §6 latency bounds.
 //!
 //! ## Consistency with the static stack
@@ -108,29 +113,38 @@ pub mod detection;
 pub mod engine;
 pub mod lifetime;
 pub mod metrics;
+pub mod observe;
 pub mod policy;
 pub mod simulation;
 
-pub use batch::{simulate_many, simulate_many_with, BatchAccumulator, ExactSum, MonteCarloConfig};
+pub use batch::{
+    simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator, ExactSum,
+    MonteCarloConfig, Progress,
+};
 pub use detection::DetectionModel;
 pub use engine::{
-    execute, execute_traced, execute_traced_with, execute_with, EngineTrace, OpTrace, PolicyView,
+    execute, execute_observed, execute_observed_with, execute_profiled, execute_profiled_with,
+    execute_traced, execute_traced_with, execute_with, EngineTrace, OpTrace, PolicyView,
     TraceEvent, TraceEventKind,
 };
 pub use lifetime::{draw_scenario, draw_scenario_with, FailureKind, LifetimeDist, RepairModel};
-pub use metrics::{report, BatchSummary, RunOutcome, RunReport};
+pub use metrics::{report, BatchSummary, Histogram, MetricSet, RunOutcome, RunReport};
+pub use observe::{NoopObserver, Observer, Phase, PhaseProfile, PhaseStat, TraceObserver};
 pub use policy::{
     CheckpointPlan, EngineConfig, Policy, PolicyEvent, RecoveryAction, RecoveryPolicy, TaskInfo,
 };
-pub use simulation::Simulation;
+pub use simulation::{ObservedSimulation, Simulation};
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use crate::{
-        draw_scenario, draw_scenario_with, execute, execute_traced, execute_traced_with,
-        execute_with, report, simulate_many, simulate_many_with, BatchAccumulator, BatchSummary,
-        CheckpointPlan, DetectionModel, EngineConfig, EngineTrace, FailureKind, LifetimeDist,
-        MonteCarloConfig, Policy, PolicyEvent, PolicyView, RecoveryAction, RecoveryPolicy,
-        RepairModel, RunOutcome, RunReport, Simulation, TaskInfo,
+        draw_scenario, draw_scenario_with, execute, execute_observed, execute_observed_with,
+        execute_profiled, execute_profiled_with, execute_traced, execute_traced_with, execute_with,
+        report, simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator,
+        BatchSummary, CheckpointPlan, DetectionModel, EngineConfig, EngineTrace, FailureKind,
+        Histogram, LifetimeDist, MetricSet, MonteCarloConfig, NoopObserver, ObservedSimulation,
+        Observer, Phase, PhaseProfile, PhaseStat, Policy, PolicyEvent, PolicyView, Progress,
+        RecoveryAction, RecoveryPolicy, RepairModel, RunOutcome, RunReport, Simulation, TaskInfo,
+        TraceEvent, TraceEventKind, TraceObserver,
     };
 }

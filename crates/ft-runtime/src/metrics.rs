@@ -26,6 +26,7 @@
 //! assert!(rpt.within_bound && (rpt.slowdown - 1.0).abs() < 1e-9);
 //! ```
 
+use crate::batch::ExactSum;
 use crate::policy::RecoveryPolicy;
 use ft_model::FtSchedule;
 use ft_platform::Instance;
@@ -76,6 +77,15 @@ pub struct RunOutcome {
     /// units on the resuming hosts, over completed resumed replicas);
     /// the benefit side of the `checkpoint_overhead` cost.
     pub work_saved: f64,
+    /// Total wall-clock execution time destroyed by crashes: the progress
+    /// computations had made when their host died under them (checkpointed
+    /// fractions are separately credited back through `work_saved`).
+    pub work_lost: f64,
+    /// Summed first-knowledge detection lag over all crash epochs: for
+    /// each crash, the earliest processed detection instant minus the
+    /// crash instant. 0 when nothing crashed (or crashes were never
+    /// detected within the run).
+    pub detection_lag: f64,
 }
 
 impl RunOutcome {
@@ -92,6 +102,14 @@ impl RunOutcome {
             latency = latency.max((*f)?);
         }
         Some(latency)
+    }
+
+    /// Achieved latency normalized by `nominal` (the schedule's 0-crash
+    /// makespan); `None` if some task never completed. The single
+    /// definition of the headline *slowdown* metric — [`report`] and the
+    /// Monte-Carlo accumulator both call this instead of recomputing it.
+    pub fn slowdown(&self, nominal: f64) -> Option<f64> {
+        self.latency().map(|l| l / nominal)
     }
 
     /// Tasks whose first completion came from a recovery replica.
@@ -123,7 +141,7 @@ pub fn report(inst: &Instance, sched: &FtSchedule, out: &RunOutcome) -> RunRepor
         latency,
         zero_crash: b.zero_crash,
         upper_bound: b.upper,
-        slowdown: latency / b.zero_crash,
+        slowdown: out.slowdown(b.zero_crash).unwrap_or(f64::NAN),
         within_bound: latency <= b.upper + 1e-9,
     }
 }
@@ -172,6 +190,10 @@ pub struct BatchSummary {
     /// Total recomputation avoided by checkpoint resumes, across runs
     /// (the benefit side; 0 for the other policies).
     pub work_saved: f64,
+    /// The batch's full per-run metric distributions and action counters
+    /// (see [`MetricSet`]); merged exactly, so byte-identical across
+    /// thread counts and merge trees like every other field.
+    pub metrics: MetricSet,
 }
 
 impl BatchSummary {
@@ -216,9 +238,294 @@ impl BatchSummary {
     }
 }
 
+/// A fixed-bucket histogram whose aggregates merge *exactly*.
+///
+/// Bucket counts, `count`, `min` and `max` are order-insensitive by
+/// construction, and the running total lives in an [`ExactSum`], so
+/// merging partial histograms yields byte-identical results regardless of
+/// thread count or merge-tree shape — the same determinism contract as
+/// [`crate::BatchAccumulator`], pinned by the `engine_invariants` suite.
+///
+/// The bucket edges are fixed at construction: `counts[i]` counts samples
+/// `x ≤ edges[i]` (first matching edge wins), and one final overflow
+/// bucket counts everything past the last edge. Two histograms merge only
+/// if their edges are identical.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper edges of the finite buckets, strictly increasing.
+    pub edges: Vec<f64>,
+    /// Per-bucket sample counts; `edges.len() + 1` entries, the last one
+    /// being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Exact running total of the recorded samples (serialized as the
+    /// rounded f64 value).
+    pub sum: ExactSum,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest recorded sample (`NaN` — JSON `null` — while empty).
+    pub min: f64,
+    /// Largest recorded sample (`NaN` — JSON `null` — while empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bucket edges (finite, strictly
+    /// increasing).
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]) && edges.iter().all(|e| e.is_finite()),
+            "histogram edges must be finite and strictly increasing"
+        );
+        let counts = vec![0; edges.len() + 1];
+        Histogram {
+            edges,
+            counts,
+            sum: ExactSum::new(),
+            count: 0,
+            min: f64::NAN,
+            max: f64::NAN,
+        }
+    }
+
+    /// Records one sample (finite, non-negative — everything the engine
+    /// emits; the exact accumulator rejects the rest).
+    pub fn record(&mut self, x: f64) {
+        let slot = self
+            .edges
+            .iter()
+            .position(|&e| x <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[slot] += 1;
+        self.sum.add(x);
+        self.count += 1;
+        // NaN-absorbing min/max: the first sample replaces the NaN seeds.
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Folds another histogram (same edges) into this one; exact and
+    /// merge-order-insensitive.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "merging histograms with different edges"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum.merge(&other.sum);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded samples (`NaN` while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        self.sum.value() / self.count as f64
+    }
+}
+
+/// Mergeable per-run metric distributions of a Monte-Carlo batch.
+///
+/// One `MetricSet` travels inside every [`crate::BatchAccumulator`]: each
+/// run feeds the histograms and counters below, partial sets merge
+/// exactly ([`MetricSet::merge`]), and the batch's final set is exposed on
+/// [`BatchSummary::metrics`] (and as `--metrics-json` in the experiment
+/// binaries). All aggregates are integer counts, exact sums or min/max,
+/// so the merged result is byte-identical across thread counts and merge
+/// orders.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricSet {
+    /// Achieved latency over completed runs; edges at `nominal ×
+    /// {1, 1.05, 1.1, 1.25, 1.5, 2, 3, 5}`.
+    pub latency: Histogram,
+    /// Slowdown (latency / nominal) over completed runs; edges at
+    /// `{1, 1.05, 1.1, 1.25, 1.5, 2, 3, 5}`.
+    pub slowdown: Histogram,
+    /// Per-run execution time destroyed by crashes
+    /// ([`RunOutcome::work_lost`]); edges at `nominal ×
+    /// {0, 0.1, 0.25, 0.5, 1, 2, 4}`.
+    pub work_lost: Histogram,
+    /// Per-run recomputation avoided by checkpoint resumes
+    /// ([`RunOutcome::work_saved`]); edges as `work_lost`.
+    pub work_saved: Histogram,
+    /// Per-run mean first-knowledge detection lag, over runs with at
+    /// least one detection; absolute edges `{0, 0.25, 0.5, 1, 2, 4, 8}`.
+    pub detection_lag: Histogram,
+    /// Runs in which some task never completed.
+    pub incomplete_runs: u64,
+    /// Crash detections processed (first knowledge per crash epoch).
+    pub detections: u64,
+    /// Rejoins brought into the coordinator view.
+    pub rejoins: u64,
+    /// Recovery replicas spawned (the `SpawnReplica` / resume family).
+    pub spawned_replicas: u64,
+    /// Repair plans computed (`Replan` actions applied).
+    pub reschedules: u64,
+    /// Applied `PreStage` actions that scheduled at least one transfer.
+    pub prestaged: u64,
+    /// Remote recovery transfers added.
+    pub recovery_messages: u64,
+    /// Policy actions the engine's validation refused.
+    pub rejected_actions: u64,
+}
+
+impl MetricSet {
+    /// An empty set with bucket edges scaled to the schedule's nominal
+    /// (0-crash) latency. A non-positive or non-finite `nominal` (empty
+    /// schedule) falls back to 1 so the edges stay valid.
+    pub fn for_nominal(nominal: f64) -> Self {
+        let nominal = if nominal.is_finite() && nominal > 0.0 {
+            nominal
+        } else {
+            1.0
+        };
+        let ratios = [1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0];
+        let work = [0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0];
+        MetricSet {
+            latency: Histogram::new(ratios.iter().map(|r| r * nominal).collect()),
+            slowdown: Histogram::new(ratios.to_vec()),
+            work_lost: Histogram::new(work.iter().map(|r| r * nominal).collect()),
+            work_saved: Histogram::new(work.iter().map(|r| r * nominal).collect()),
+            detection_lag: Histogram::new(vec![0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]),
+            incomplete_runs: 0,
+            detections: 0,
+            rejoins: 0,
+            spawned_replicas: 0,
+            reschedules: 0,
+            prestaged: 0,
+            recovery_messages: 0,
+            rejected_actions: 0,
+        }
+    }
+
+    /// Feeds one run's outcome into the set. `nominal` must be the value
+    /// the set was built for.
+    pub fn record(&mut self, nominal: f64, out: &RunOutcome) {
+        match out.latency() {
+            Some(lat) => {
+                self.latency.record(lat);
+                // Same definition the accumulator and reports use.
+                self.slowdown
+                    .record(out.slowdown(nominal).unwrap_or(f64::NAN));
+            }
+            None => self.incomplete_runs += 1,
+        }
+        self.work_lost.record(out.work_lost);
+        self.work_saved.record(out.work_saved);
+        if out.detections > 0 {
+            self.detection_lag
+                .record(out.detection_lag / out.detections as f64);
+        }
+        self.detections += out.detections as u64;
+        self.rejoins += out.rejoins as u64;
+        self.spawned_replicas += out.recovery_replicas as u64;
+        self.reschedules += out.reschedules as u64;
+        self.prestaged += out.prestaged as u64;
+        self.recovery_messages += out.recovery_messages as u64;
+        self.rejected_actions += out.rejected_actions as u64;
+    }
+
+    /// Folds another set (same edges) into this one; exact and
+    /// merge-order-insensitive.
+    pub fn merge(&mut self, other: &MetricSet) {
+        self.latency.merge(&other.latency);
+        self.slowdown.merge(&other.slowdown);
+        self.work_lost.merge(&other.work_lost);
+        self.work_saved.merge(&other.work_saved);
+        self.detection_lag.merge(&other.detection_lag);
+        self.incomplete_runs += other.incomplete_runs;
+        self.detections += other.detections;
+        self.rejoins += other.rejoins;
+        self.spawned_replicas += other.spawned_replicas;
+        self.reschedules += other.reschedules;
+        self.prestaged += other.prestaged;
+        self.recovery_messages += other.recovery_messages;
+        self.rejected_actions += other.rejected_actions;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn outcome(first_finish: Vec<Option<f64>>) -> RunOutcome {
+        RunOutcome {
+            first_finish,
+            recovered: vec![false],
+            num_failures: 1,
+            detections: 2,
+            rejoins: 1,
+            reschedules: 1,
+            recovery_replicas: 3,
+            recovery_messages: 4,
+            unrecoverable: 0,
+            prestaged: 1,
+            rejected_actions: 1,
+            checkpoint_overhead: 0.5,
+            work_saved: 1.5,
+            work_lost: 2.5,
+            detection_lag: 3.0,
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_merges_exactly() {
+        let mut a = Histogram::new(vec![1.0, 2.0, 4.0]);
+        a.record(0.5);
+        a.record(2.0); // inclusive upper edge: lands in the ≤2 bucket
+        a.record(9.0); // overflow
+        assert_eq!(a.counts, vec![1, 1, 0, 1]);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 0.5);
+        assert_eq!(a.max, 9.0);
+        assert!((a.sum.value() - 11.5).abs() < 1e-12);
+
+        let mut b = Histogram::new(vec![1.0, 2.0, 4.0]);
+        b.record(3.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(
+            serde_json::to_string(&ab).unwrap(),
+            serde_json::to_string(&ba).unwrap(),
+            "histogram merge must be order-insensitive to the byte"
+        );
+        assert_eq!(ab.counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_histogram_serde_round_trips() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        assert!(h.min.is_nan() && h.max.is_nan() && h.mean().is_nan());
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        // NaN → null → NaN round-trip for the min/max seeds.
+        assert!(back.min.is_nan() && back.max.is_nan());
+        assert_eq!(back.counts, h.counts);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn metric_set_records_runs() {
+        let mut set = MetricSet::for_nominal(10.0);
+        set.record(10.0, &outcome(vec![Some(12.0)]));
+        set.record(10.0, &outcome(vec![None]));
+        assert_eq!(set.latency.count, 1);
+        assert_eq!(set.slowdown.count, 1);
+        assert!((set.slowdown.max - 1.2).abs() < 1e-12);
+        assert_eq!(set.incomplete_runs, 1);
+        assert_eq!(set.detections, 4);
+        assert_eq!(set.spawned_replicas, 6);
+        // Mean per-run detection lag 3.0 / 2 detections = 1.5.
+        assert_eq!(set.detection_lag.count, 2);
+        assert!((set.detection_lag.max - 1.5).abs() < 1e-12);
+        assert_eq!(set.work_lost.count, 2);
+    }
 
     #[test]
     fn outcome_accessors() {
@@ -236,9 +543,12 @@ mod tests {
             rejected_actions: 0,
             checkpoint_overhead: 0.0,
             work_saved: 0.0,
+            work_lost: 0.0,
+            detection_lag: 0.0,
         };
         assert!(out.completed());
         assert_eq!(out.latency(), Some(5.0));
+        assert_eq!(out.slowdown(2.5), Some(2.0));
         assert_eq!(out.tasks_recovered(), 1);
 
         let failed = RunOutcome {

@@ -63,11 +63,16 @@
 //! assert_eq!(batch.runs, 200);
 //! ```
 
-use crate::batch::{simulate_many, simulate_many_with, MonteCarloConfig};
+use crate::batch::{
+    simulate_many, simulate_many_with, simulate_many_with_progress, MonteCarloConfig, Progress,
+};
 use crate::detection::DetectionModel;
-use crate::engine::{execute, execute_with};
+use crate::engine::{
+    execute, execute_observed_with, execute_profiled, execute_profiled_with, execute_with,
+};
 use crate::lifetime::{FailureKind, LifetimeDist};
 use crate::metrics::{BatchSummary, RunOutcome};
+use crate::observe::{Observer, PhaseProfile};
 use crate::policy::{EngineConfig, Policy, RecoveryPolicy};
 use ft_model::FtSchedule;
 use ft_platform::Instance;
@@ -210,6 +215,89 @@ impl<'a> Simulation<'a> {
             None => simulate_many(self.inst, self.sched, &cfg),
         }
     }
+
+    /// [`monte_carlo`](Simulation::monte_carlo) with a streaming progress
+    /// callback: fires once per finished run with a [`Progress`] snapshot
+    /// (runs completed, elapsed, ETA). The callback sees completions in
+    /// worker-finish order but cannot steer the aggregation, so the
+    /// summary is byte-identical to [`monte_carlo`](Simulation::monte_carlo).
+    pub fn monte_carlo_with_progress(
+        &self,
+        runs: usize,
+        lifetime: LifetimeDist,
+        progress: &(dyn Fn(Progress) + Sync),
+    ) -> BatchSummary {
+        let cfg = MonteCarloConfig {
+            runs,
+            lifetime,
+            failure: self.failure.clone(),
+            engine: self.cfg.clone(),
+            seed: self.cfg.seed,
+        };
+        let policy: &dyn Policy = match &self.custom {
+            Some(p) => p.as_ref(),
+            None => &cfg.engine.policy,
+        };
+        simulate_many_with_progress(self.inst, self.sched, &cfg, policy, progress)
+    }
+
+    /// Attaches a streaming [`Observer`] to this simulation: the returned
+    /// handle's [`run`](ObservedSimulation::run) pushes every event, op
+    /// and outcome into the observer (see [`Observer`] for the ordering
+    /// contract) while producing an outcome byte-identical to
+    /// [`run`](Simulation::run). The builder itself is unchanged and can
+    /// keep driving unobserved runs.
+    pub fn observe<'o>(&self, observer: &'o mut dyn Observer) -> ObservedSimulation<'a, 'o> {
+        ObservedSimulation {
+            sim: self.clone(),
+            observer,
+        }
+    }
+
+    /// [`run`](Simulation::run), additionally collecting a
+    /// [`PhaseProfile`]: wall-clock attribution across the engine's
+    /// hot-loop phases. Meaningful numbers require the `phase-profile`
+    /// cargo feature — without it the run still executes identically but
+    /// the profile stays zero.
+    pub fn run_profiled(&self, scenario: &FaultScenario) -> (RunOutcome, PhaseProfile) {
+        match &self.custom {
+            Some(p) => {
+                execute_profiled_with(self.inst, self.sched, scenario, &self.cfg, p.as_ref())
+            }
+            None => execute_profiled(self.inst, self.sched, scenario, &self.cfg),
+        }
+    }
+}
+
+/// A [`Simulation`] with a streaming [`Observer`] attached (built by
+/// [`Simulation::observe`]). Holds the observer mutably for its lifetime;
+/// drop it (or let it fall out of scope) to get the observer's buffers
+/// back.
+pub struct ObservedSimulation<'a, 'o> {
+    sim: Simulation<'a>,
+    observer: &'o mut dyn Observer,
+}
+
+impl ObservedSimulation<'_, '_> {
+    /// Executes the schedule once against an explicit timed scenario,
+    /// streaming into the attached observer. The outcome is byte-identical
+    /// to the unobserved [`Simulation::run`] (pinned by
+    /// `tests/timed_model.rs`).
+    pub fn run(&mut self, scenario: &FaultScenario) -> RunOutcome {
+        let sim = &self.sim;
+        let policy: &dyn Policy = match &sim.custom {
+            Some(p) => p.as_ref(),
+            None => &sim.cfg.policy,
+        };
+        execute_observed_with(
+            sim.inst,
+            sim.sched,
+            scenario,
+            &sim.cfg,
+            policy,
+            &mut *self.observer,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +376,67 @@ mod tests {
         let json = serde_json::to_string(sim.config()).unwrap();
         let back: EngineConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(&back, sim.config());
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let (inst, sched) = setup();
+        let scenario = FaultScenario::timed(&[(ProcId(2), sched.latency() * 0.3)]);
+        let sim = Simulation::of(&inst, &sched)
+            .policy(RecoveryPolicy::ReReplicate)
+            .detection(DetectionModel::uniform(0.5))
+            .seed(4);
+        let mut tracer = crate::TraceObserver::new();
+        let observed = sim.observe(&mut tracer).run(&scenario);
+        let plain = sim.run(&scenario);
+        assert_eq!(
+            serde_json::to_string(&observed).unwrap(),
+            serde_json::to_string(&plain).unwrap()
+        );
+        let trace = tracer.into_trace();
+        assert!(!trace.ops.is_empty() && !trace.events.is_empty());
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run() {
+        let (inst, sched) = setup();
+        let scenario = FaultScenario::timed(&[(ProcId(0), sched.latency() * 0.5)]);
+        let sim = Simulation::of(&inst, &sched).policy(RecoveryPolicy::Reschedule);
+        let (out, profile) = sim.run_profiled(&scenario);
+        let plain = sim.run(&scenario);
+        assert_eq!(
+            serde_json::to_string(&out).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "profiling must not steer the engine"
+        );
+        // Without the phase-profile feature the timers compile out; with
+        // it, a run this size must attribute some time somewhere.
+        if cfg!(feature = "phase-profile") {
+            assert!(profile.phases.iter().any(|s| s.calls > 0));
+        } else {
+            assert_eq!(profile.total_nanos(), 0);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_progress_matches_monte_carlo() {
+        let (inst, sched) = setup();
+        let sim = Simulation::of(&inst, &sched)
+            .policy(RecoveryPolicy::ReReplicate)
+            .seed(17);
+        let lifetime = LifetimeDist::Exponential {
+            mean: sched.latency() * 2.0,
+        };
+        let fired = std::sync::atomic::AtomicUsize::new(0);
+        let with = sim.monte_carlo_with_progress(32, lifetime.clone(), &|_p| {
+            fired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(fired.load(std::sync::atomic::Ordering::Relaxed), 32);
+        let plain = sim.monte_carlo(32, lifetime);
+        assert_eq!(
+            serde_json::to_string(&with).unwrap(),
+            serde_json::to_string(&plain).unwrap()
+        );
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! Run with: `cargo run --release --example online_recovery`
 //! or:       `cargo run --release --example online_recovery -- --detection gossip`
 //! or:       `cargo run --release --example online_recovery -- --transient --mttr 0.25`
+//! or:       `cargo run --release --example online_recovery -- --metrics-json metrics.json`
+//!
+//! With `--metrics-json <path>` the Monte-Carlo sweep additionally dumps
+//! each policy's mergeable metric histograms (latency, slowdown, work
+//! lost/saved, detection lag, action counters) as machine-readable JSON
+//! — the same `MetricSet` carried on every `BatchSummary`, byte-identical
+//! at any rayon thread count.
 //!
 //! With `--transient` (optionally `--mttr <factor of nominal>`, default
 //! 0.25) crashed processors reboot after exponential repairs: the demo
@@ -46,6 +53,16 @@ fn detection_from_args(m: usize) -> DetectionModel {
             std::process::exit(2);
         }
     }
+}
+
+/// The `--metrics-json <path>` flag: where to dump the per-policy
+/// Monte-Carlo metric histograms, if anywhere.
+fn metrics_json_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter()
+        .position(|a| a == "--metrics-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// The `--transient` / `--mttr` axis: `Some(mttr_factor)` when enabled.
@@ -220,6 +237,27 @@ fn main() {
         assert_eq!(warm.completed, rerep.completed);
         assert_eq!(warm.recovery_replicas, rerep.recovery_replicas);
     }
+    if let Some(path) = metrics_json_from_args() {
+        use serde::Serialize;
+        let records: Vec<serde::Value> = lines
+            .iter()
+            .map(|s| {
+                serde::Value::Map(vec![
+                    (
+                        "policy".to_string(),
+                        serde::Value::Str(s.policy_label.clone()),
+                    ),
+                    ("runs".to_string(), serde::Value::UInt(s.runs as u64)),
+                    ("metrics".to_string(), s.metrics.to_value()),
+                ])
+            })
+            .collect();
+        let txt = serde_json::to_string_pretty(&serde::Value::Seq(records))
+            .expect("serializable metrics");
+        std::fs::write(&path, txt).expect("writable metrics path");
+        println!("\nwrote per-policy metric histograms to {path}");
+    }
+
     println!(
         "\nrecovery lifts completion from {:.1}% (absorb) to {:.1}% (re-replicate), \
          {:.1}% (reschedule), {:.1}% (warm-spare) and {:.1}% (checkpoint — saving \

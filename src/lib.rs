@@ -16,6 +16,8 @@
 //! * [`runtime`] — the online failure-injection engine: stochastically
 //!   timed crashes, detection latency, recovery policies, Monte-Carlo
 //!   batches;
+//! * [`obs`] — observability exports: streaming JSONL trace sinks over
+//!   the engine's [`Observer`](ft_runtime::Observer) layer;
 //! * [`experiments`] — the harness regenerating every figure of the paper.
 //!
 //! ## Quickstart
@@ -44,6 +46,7 @@ pub use ft_algos as algos;
 pub use ft_experiments as experiments;
 pub use ft_graph as graph;
 pub use ft_model as model;
+pub use ft_obs as obs;
 pub use ft_platform as platform;
 pub use ft_runtime as runtime;
 pub use ft_sim as sim;
@@ -60,16 +63,20 @@ pub mod prelude {
     };
     pub use ft_graph::{GraphBuilder, TaskGraph, TaskId};
     pub use ft_model::{schedule_stats, validate_schedule, CommModel, FtSchedule, ScheduleStats};
+    pub use ft_obs::JsonlSink;
     pub use ft_platform::{
         random_instance, random_platform, ExecMatrix, Instance, Platform, PlatformParams, ProcId,
         Topology,
     };
     pub use ft_runtime::{
-        draw_scenario, draw_scenario_with, execute, execute_traced, execute_traced_with,
-        execute_with, simulate_many, simulate_many_with, BatchAccumulator, BatchSummary,
-        CheckpointPlan, DetectionModel, EngineConfig, EngineTrace, FailureKind, LifetimeDist,
-        MonteCarloConfig, Policy, PolicyEvent, PolicyView, RecoveryAction, RecoveryPolicy,
-        RepairModel, RunOutcome, Simulation, TaskInfo,
+        draw_scenario, draw_scenario_with, execute, execute_observed, execute_observed_with,
+        execute_profiled, execute_profiled_with, execute_traced, execute_traced_with, execute_with,
+        simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator,
+        BatchSummary, CheckpointPlan, DetectionModel, EngineConfig, EngineTrace, FailureKind,
+        Histogram, LifetimeDist, MetricSet, MonteCarloConfig, NoopObserver, ObservedSimulation,
+        Observer, Phase, PhaseProfile, PhaseStat, Policy, PolicyEvent, PolicyView, Progress,
+        RecoveryAction, RecoveryPolicy, RepairModel, RunOutcome, Simulation, TaskInfo, TraceEvent,
+        TraceEventKind, TraceObserver,
     };
     pub use ft_sim::{replay, FaultScenario, ReplayOutcome, ReplayPolicy};
 }

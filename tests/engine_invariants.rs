@@ -2,7 +2,7 @@
 //! detection models, pinning the *whole* event loop rather than endpoint
 //! identities (those live in `tests/timed_model.rs`).
 //!
-//! Seven invariants, each over the [`execute_traced`] observability
+//! Eight invariants, each over the [`execute_traced`] observability
 //! record or the streaming batch aggregation:
 //!
 //! 1. **No operation ever executes on a Down processor** — a completed
@@ -18,7 +18,9 @@
 //!    failure surfaces, so their (causally consistent) completions enter
 //!    the log behind later events. The per-op and per-dependency orders
 //!    pinned here are the invariants that actually hold — and the reason
-//!    the lag is benign.
+//!    the lag is benign. The lag itself is now observable: every
+//!    completed op's `discovered` instant is at or after its physical
+//!    `finish` (discovery can only be late, never early).
 //! 3. **Useful work is conserved** — every completed computation did
 //!    exactly its task's work minus what a checkpoint restored; the
 //!    run-level `work_saved` / `checkpoint_overhead` totals account for
@@ -40,6 +42,14 @@
 //!    has those proposals counted in `rejected_actions`, the down-window
 //!    invariant still holds over the full trace, and the run stays
 //!    deterministic.
+//! 8. **Metric merges are independent of the merge tree** — the
+//!    `MetricSet` histograms (and the whole `BatchSummary`) come out
+//!    byte-identical whether the runs are aggregated into one
+//!    accumulator, chunked accumulators merged left-to-right, or a
+//!    pairwise merge tree: the totals live in `ExactSum` limbs, so the
+//!    merge is associative to the bit (this is invariant 5's
+//!    thread-count independence, re-pinned at the metrics layer; CI runs
+//!    the suite under both `RAYON_NUM_THREADS=1` and the default).
 
 use ftsched::prelude::*;
 use ftsched::runtime::TraceEventKind;
@@ -194,6 +204,13 @@ proptest! {
             prop_assert!(op.release <= op.start + 1e-9, "op {i} starts before its release");
             prop_assert!(op.start <= op.finish + 1e-9, "op {i} finishes before it starts");
             prop_assert!(op.finish.is_finite() && op.finish >= 0.0);
+            // Discovery can only lag the physical completion, never
+            // precede it (the frontier is a running max of event times).
+            prop_assert!(
+                op.discovered.is_finite() && op.discovered >= op.finish,
+                "op {i} discovered at {} before its physical finish {}",
+                op.discovered, op.finish
+            );
         }
     }
 
@@ -447,5 +464,93 @@ proptest! {
             serde_json::to_string(&out).unwrap(),
             serde_json::to_string(&again).unwrap()
         );
+    }
+
+    /// Invariant 8: the metric histograms are independent of the merge
+    /// tree. One accumulator fed sequentially, uneven chunks merged
+    /// left-to-right, and a pairwise merge tree all produce byte-identical
+    /// `MetricSet`s (and `BatchSummary`s): `ExactSum` limbs make the merge
+    /// associative to the bit.
+    #[test]
+    fn metric_merges_are_independent_of_the_merge_tree(
+        w in arb_workload(),
+        mix in arb_mix(),
+        runs in 12usize..40,
+        chunk in 1usize..7,
+    ) {
+        let (seed, tasks, procs, eps, gran) = w;
+        let (kind_ix, policy_ix, det_ix) = mix;
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let nominal = sched.latency();
+        let cfg = MonteCarloConfig {
+            runs,
+            lifetime: LifetimeDist::Exponential { mean: nominal },
+            failure: failure_kind(kind_ix, nominal),
+            engine: EngineConfig {
+                policy: policy(policy_ix, inst.mean_task_cost()),
+                detection: detection(det_ix, procs, seed),
+                seed: seed ^ 0xE21,
+            },
+            seed: seed ^ 0xBA7C4,
+        };
+        let outcomes: Vec<(Option<f64>, RunOutcome)> = (0..runs)
+            .map(|i| {
+                let scenario = cfg.scenario_of_run(procs, i);
+                let out = execute(&inst, &sched, &scenario, &cfg.engine);
+                (scenario.earliest_crash(), out)
+            })
+            .collect();
+
+        // Shape A: one accumulator, fed sequentially.
+        let mut solo = BatchAccumulator::new(nominal);
+        for (t, out) in &outcomes {
+            solo.record(*t, out);
+        }
+
+        // Uneven chunks (the parallel fold's partial accumulators).
+        let parts: Vec<BatchAccumulator> = outcomes
+            .chunks(chunk)
+            .map(|c| {
+                let mut a = BatchAccumulator::new(nominal);
+                for (t, out) in c {
+                    a.record(*t, out);
+                }
+                a
+            })
+            .collect();
+
+        // Shape B: left-to-right fold over the chunks.
+        let left = parts
+            .iter()
+            .cloned()
+            .fold(BatchAccumulator::new(nominal), BatchAccumulator::merge);
+
+        // Shape C: pairwise merge tree over the chunks.
+        let mut layer = parts;
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| match pair {
+                    [a, b] => a.clone().merge(b.clone()),
+                    [a] => a.clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+        }
+        let tree = layer.pop().unwrap();
+
+        let summarize =
+            |acc: BatchAccumulator| serde_json::to_string(&acc.finish(cfg.engine.policy)).unwrap();
+        let a = summarize(solo);
+        let b = summarize(left);
+        let c = summarize(tree);
+        prop_assert_eq!(&a, &b, "left fold drifted from the sequential accumulator");
+        prop_assert_eq!(&a, &c, "pairwise merge tree drifted from the sequential accumulator");
+        // And the streamed batch (whatever merge tree rayon used today)
+        // agrees too — metrics included.
+        let streamed = serde_json::to_string(&simulate_many(&inst, &sched, &cfg)).unwrap();
+        prop_assert_eq!(&a, &streamed, "rayon's merge tree drifted from the sequential accumulator");
     }
 }

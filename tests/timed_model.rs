@@ -1,8 +1,8 @@
 //! Property tests pinning the timed fault model to the static stack.
 //!
-//! Seven consistency guarantees tie `ft-runtime`'s online engine to
+//! Eight consistency guarantees tie `ft-runtime`'s online engine to
 //! `ft-sim`'s replay semantics and anchor the checkpoint, detection,
-//! availability, aggregation and policy-dispatch models:
+//! availability, aggregation, policy-dispatch and observability models:
 //!
 //! * crash times at or beyond the schedule's makespan change nothing: the
 //!   online run reproduces the no-failure static replay exactly (for the
@@ -28,7 +28,12 @@
 //! * **open dispatch**: every built-in policy runs byte-identically as
 //!   the serializable enum and as an `Arc<dyn Policy>` trait object —
 //!   the recovery redesign replaced the engine's enum match with the
-//!   open action path without changing any built-in's behavior.
+//!   open action path without changing any built-in's behavior;
+//! * **observers listen but never steer**: a run with a `NoopObserver`
+//!   attached is plain `execute` byte-for-byte, and a `TraceObserver`
+//!   pushed through `execute_observed_with` reproduces `execute_traced`
+//!   exactly (same outcome bytes, same ops, same event log) — tracing
+//!   is now just a buffered observer.
 //!
 //! Plus the documented detection edge cases: a crash with no live
 //! observer is never detected under `Gossip` (a rumor with nobody to
@@ -313,6 +318,65 @@ proptest! {
                     policy, detection
                 );
             }
+        }
+    }
+
+    /// The eighth pinned identity (observability): observers listen but
+    /// never steer. A `NoopObserver` reproduces plain `execute`
+    /// byte-for-byte; a `TraceObserver` through `execute_observed_with`
+    /// IS `execute_traced` — same outcome, same ops, same event log.
+    #[test]
+    fn observers_listen_but_never_steer(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        delay in 0.1f64..2.0,
+    ) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5E);
+        let scenario = ftsched::runtime::draw_scenario(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() * 1.5 },
+            &mut rng,
+        );
+        for policy in RecoveryPolicy::ALL {
+            let base = Simulation::of(&inst, &sched)
+                .policy(policy)
+                .detection(DetectionModel::uniform(delay))
+                .seed(1);
+            let cfg = base.config().clone();
+
+            // No-op observer ≡ execute.
+            let plain = execute(&inst, &sched, &scenario, &cfg);
+            let mut noop = NoopObserver;
+            let observed = base.observe(&mut noop).run(&scenario);
+            prop_assert_eq!(
+                serde_json::to_string(&plain).unwrap(),
+                serde_json::to_string(&observed).unwrap(),
+                "{}: a no-op observer changed the run", policy
+            );
+
+            // TraceObserver through the observer path ≡ execute_traced.
+            let (traced_out, trace) = execute_traced(&inst, &sched, &scenario, &cfg);
+            let mut tracer = TraceObserver::new();
+            let via_observer =
+                execute_observed(&inst, &sched, &scenario, &cfg, &mut tracer);
+            prop_assert_eq!(
+                serde_json::to_string(&traced_out).unwrap(),
+                serde_json::to_string(&via_observer).unwrap(),
+                "{}: the observer path drifted from execute_traced", policy
+            );
+            prop_assert_eq!(
+                serde_json::to_string(&trace).unwrap(),
+                serde_json::to_string(&tracer.into_trace()).unwrap(),
+                "{}: the streamed trace drifted from the buffered one", policy
+            );
+            // And both equal the unobserved run.
+            prop_assert_eq!(
+                serde_json::to_string(&plain).unwrap(),
+                serde_json::to_string(&traced_out).unwrap(),
+                "{}: tracing changed the run", policy
+            );
         }
     }
 
