@@ -26,6 +26,13 @@
 //!                                   # per-cell mergeable metric histograms
 //!                                   # (latency / slowdown / work lost &
 //!                                   # saved / detection lag + counters)
+//! paper-figures validate --quick    # evaluate every committed
+//!                                   # VALIDATION_<family>.json (exit 1 on
+//!                                   # any FAILED claim)
+//! paper-figures validate --family grid --quick     # one family
+//! paper-figures validate --quick --bless           # re-target the records
+//! paper-figures validate --quick --out dir/        # write refreshed
+//!                                   # records elsewhere (CI artifacts)
 //! ```
 
 use ft_experiments::degradation::{
@@ -36,6 +43,10 @@ use ft_experiments::messages::run_messages;
 use ft_experiments::resilience_exp::run_resilience;
 use ft_experiments::runner::{run_figure, FigureResult};
 use ft_experiments::table::{render_figure, render_messages, render_resilience};
+use ft_experiments::validate::{
+    self, bless, committed_dir, load_family, render, save_family, validate_family, FAMILIES,
+};
+use ft_experiments::{render_isoclines, run_grid};
 
 #[derive(serde::Serialize)]
 struct Dump {
@@ -43,6 +54,76 @@ struct Dump {
     messages: Vec<ft_experiments::messages::MessageRow>,
     resilience: Vec<ft_experiments::resilience_exp::ResilienceRow>,
     degradation: Vec<ft_experiments::degradation::DegradationRow>,
+}
+
+/// The `validate` subcommand: evaluate each family's committed
+/// `VALIDATION_<family>.json`, print the claim tables (plus the
+/// completion isoclines for the grid), optionally re-target the records
+/// (`--bless`) or write the refreshed records elsewhere (`--out`, the CI
+/// artifact path), and exit 1 when any claim FAILED.
+fn run_validate(args: &[String], quick: bool) {
+    let family_filter: Option<String> = args
+        .iter()
+        .position(|a| a == "--family")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(f) = &family_filter {
+        if !FAMILIES.contains(&f.as_str()) {
+            eprintln!(
+                "unknown validation family '{f}' — expected one of {}",
+                FAMILIES.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let do_bless = args.iter().any(|a| a == "--bless");
+    let out_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let dir = committed_dir();
+    let mut all_passed = true;
+    for fam in FAMILIES
+        .iter()
+        .filter(|f| family_filter.as_deref().is_none_or(|ff| ff == **f))
+    {
+        let committed = load_family(&dir, fam);
+        match &committed {
+            None => eprintln!("note: no committed record for '{fam}' yet (run with --bless)"),
+            Some(c) if c.quick != quick => eprintln!(
+                "warning: committed '{fam}' record holds {} targets but this run uses {} \
+                 dimensions — errors reflect the dimension change, not a regression",
+                if c.quick { "quick" } else { "full" },
+                if quick { "quick" } else { "full" },
+            ),
+            Some(_) => {}
+        }
+        let record = if *fam == "grid" {
+            let res = run_grid(&validate::grid_config(quick));
+            println!("{}", render_isoclines(&res));
+            validate::validate_grid_result(&res, quick, committed.as_ref())
+        } else {
+            validate_family(fam, quick, committed.as_ref())
+        };
+        let record = if do_bless { bless(record) } else { record };
+        println!("{}", render(&record));
+        if do_bless {
+            save_family(&dir, &record).expect("writable validation directory");
+            eprintln!("blessed {}", validate::family_path(&dir, fam).display());
+        }
+        if let Some(out) = &out_dir {
+            let out = std::path::Path::new(out);
+            save_family(out, &record).expect("writable --out directory");
+            eprintln!("wrote {}", validate::family_path(out, fam).display());
+        }
+        all_passed &= record.passed();
+    }
+    if !all_passed {
+        eprintln!("validation FAILED — see the claim tables above");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -185,6 +266,9 @@ fn main() {
             dump.degradation = run_degradation(&deg_cfg);
             println!("{}", render_degradation(&deg_cfg, &dump.degradation));
         }
+        "validate" => {
+            run_validate(&args, quick);
+        }
         id => match by_id(id) {
             Some(cfg) => {
                 let res = run_figure(&tune(cfg));
@@ -194,7 +278,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown experiment '{id}' — expected fig1..fig6, messages, \
-                     resilience, degradation or all"
+                     resilience, degradation, validate or all"
                 );
                 std::process::exit(2);
             }

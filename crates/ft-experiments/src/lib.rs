@@ -17,7 +17,11 @@
 //!   (= HEFT) latency.
 //!
 //! [`run_figure`] computes every series of one figure;
-//! [`figures::figure_configs`] lists the six paper configurations. Three
+//! [`figures::figure_configs`] lists the six paper configurations;
+//! [`grid::run_grid`] sweeps the whole cross product in one call with
+//! the ε-independent setup shared per platform size, and
+//! [`validate`] evaluates the committed per-family claim records
+//! (`validation/VALIDATION_*.json`) over it — the CI science gate. Three
 //! additional experiments go beyond the figures:
 //! [`messages::run_messages`] (Proposition 5.1 message counts),
 //! [`resilience_exp::run_resilience`] (Proposition 5.2, strict vs fail-over
@@ -33,15 +37,19 @@
 pub mod config;
 pub mod degradation;
 pub mod figures;
+pub mod grid;
 pub mod messages;
 pub mod resilience_exp;
 pub mod runner;
 pub mod stats;
 pub mod table;
+pub mod validate;
 
 pub use config::FigureConfig;
 pub use degradation::{
     render_degradation, run_degradation, DegradationConfig, DegradationRow, DetectionKind,
 };
+pub use grid::{render_isoclines, run_grid, GridConfig, GridResult, PlatformSetting};
 pub use runner::{run_figure, FigureResult, PointResult};
 pub use stats::Accumulator;
+pub use validate::{validate_family, Claim, FamilyValidation, FAMILIES};

@@ -91,7 +91,7 @@ impl AlgoAcc {
 }
 
 /// Deterministic per-(point, graph) seed derivation.
-fn derive_seed(base: u64, point: usize, graph: usize) -> u64 {
+pub(crate) fn derive_seed(base: u64, point: usize, graph: usize) -> u64 {
     let mut x = base
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add((point as u64) << 32)
@@ -104,82 +104,144 @@ fn derive_seed(base: u64, point: usize, graph: usize) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Draws one §6 instance at the given granularity.
-pub fn draw_instance(cfg: &FigureConfig, gran: f64, seed: u64) -> Instance {
+/// Draws one §6 instance on an `m`-processor platform at the given
+/// granularity (the ε-independent half of a sweep cell — the grid runner
+/// shares one draw across every ε evaluated on it).
+pub fn draw_instance_on(procs: usize, gran: f64, seed: u64) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
     let graph = random_layered(&RandomDagParams::default(), &mut rng);
-    let params = PlatformParams::default().with_procs(cfg.procs);
+    let params = PlatformParams::default().with_procs(procs);
     random_instance(graph, &params, gran, &mut rng)
+}
+
+/// Draws one §6 instance at the given granularity.
+pub fn draw_instance(cfg: &FigureConfig, gran: f64, seed: u64) -> Instance {
+    draw_instance_on(cfg.procs, gran, seed)
+}
+
+/// The ε-independent setup of one graph draw: the instance plus the
+/// fault-free baselines (`CAFT* = HEFT` anchoring the overheads, and the
+/// fault-free FTBAR), computed once and shared by every ε-cell evaluated
+/// on the draw.
+pub(crate) struct SharedDraw {
+    pub inst: Instance,
+    pub seed: u64,
+    /// Fault-free CAFT (= HEFT) latency, unnormalized.
+    pub ff_caft: f64,
+    /// Fault-free FTBAR latency, unnormalized.
+    pub ff_ftbar: f64,
+}
+
+impl SharedDraw {
+    pub fn new(procs: usize, gran: f64, seed: u64) -> Self {
+        let inst = draw_instance_on(procs, gran, seed);
+        let ff_caft = heft(&inst, CommModel::OnePort, seed).latency();
+        let ff_ftbar = ftbar(&inst, 0, CommModel::OnePort, seed).latency();
+        SharedDraw {
+            inst,
+            seed,
+            ff_caft,
+            ff_ftbar,
+        }
+    }
+}
+
+/// Accumulates every series of one sweep point (one granularity at one
+/// (m, ε) setting) across graph draws; [`PointAcc::finish`] yields the
+/// [`PointResult`] means.
+pub(crate) struct PointAcc {
+    ff_caft: Accumulator,
+    ff_ftbar: Accumulator,
+    caft: AlgoAcc,
+    ftsa: AlgoAcc,
+    ftbar: AlgoAcc,
+    strict_ok: Accumulator,
+}
+
+impl PointAcc {
+    pub fn new() -> Self {
+        PointAcc {
+            ff_caft: Accumulator::new(),
+            ff_ftbar: Accumulator::new(),
+            caft: AlgoAcc::new(),
+            ftsa: AlgoAcc::new(),
+            ftbar: AlgoAcc::new(),
+            strict_ok: Accumulator::new(),
+        }
+    }
+
+    /// Evaluates one ε-cell on a shared draw: schedules the three
+    /// algorithms, replays the crash pattern, records every series.
+    pub fn record(&mut self, draw: &SharedDraw, eps: usize, crashes: usize) {
+        let model = CommModel::OnePort;
+        let inst = &draw.inst;
+        let seed = draw.seed;
+        let norm = inst.mean_task_cost();
+        self.ff_caft.push(draw.ff_caft / norm);
+        self.ff_ftbar.push(draw.ff_ftbar / norm);
+
+        // One crash pattern shared by the three algorithms.
+        let mut crash_rng = StdRng::seed_from_u64(seed ^ 0xC4A5);
+        let scenario = FaultScenario::random(inst.num_procs(), crashes, &mut crash_rng);
+
+        let overhead = |lat: f64| (lat - draw.ff_caft) / draw.ff_caft * 100.0;
+        let run = |sched: ft_model::FtSchedule, acc: &mut AlgoAcc| {
+            let b = latency_bounds(inst, &sched);
+            let crash_out = replay_with(
+                inst,
+                &sched,
+                &scenario,
+                ReplayConfig {
+                    policy: ReplayPolicy::FirstCopy,
+                    reroute: true,
+                },
+            );
+            let crash_lat = crash_out
+                .latency()
+                .expect("fail-over replay always completes with ≤ ε crashes");
+            acc.zero.push(b.zero_crash / norm);
+            acc.upper.push(b.upper / norm);
+            acc.crash.push(crash_lat / norm);
+            acc.ov_zero.push(overhead(b.zero_crash));
+            acc.ov_crash.push(overhead(crash_lat));
+            acc.msgs.push(sched.num_remote_messages() as f64);
+            sched
+        };
+
+        let caft_sched = run(caft(inst, eps, model, seed), &mut self.caft);
+        run(ftsa(inst, eps, model, seed), &mut self.ftsa);
+        run(ftbar(inst, eps, model, seed), &mut self.ftbar);
+
+        // Strict-replay completion of CAFT under the same pattern.
+        let strict = replay(inst, &caft_sched, &scenario);
+        self.strict_ok
+            .push(if strict.completed() { 1.0 } else { 0.0 });
+    }
+
+    pub fn finish(&self, gran: f64) -> PointResult {
+        PointResult {
+            granularity: gran,
+            fault_free_caft: self.ff_caft.mean(),
+            fault_free_ftbar: self.ff_ftbar.mean(),
+            caft: self.caft.finish(),
+            ftsa: self.ftsa.finish(),
+            ftbar: self.ftbar.finish(),
+            caft_strict_completion: self.strict_ok.mean(),
+        }
+    }
 }
 
 /// Runs every series of one figure.
 pub fn run_figure(cfg: &FigureConfig) -> FigureResult {
-    let model = CommModel::OnePort;
     let mut points = Vec::with_capacity(cfg.granularities.len());
     for (pi, &gran) in cfg.granularities.iter().enumerate() {
-        let mut ff_caft_acc = Accumulator::new();
-        let mut ff_ftbar_acc = Accumulator::new();
-        let mut caft_acc = AlgoAcc::new();
-        let mut ftsa_acc = AlgoAcc::new();
-        let mut ftbar_acc = AlgoAcc::new();
-        let mut strict_ok = Accumulator::new();
-
+        let mut acc = PointAcc::new();
         for gi in 0..cfg.graphs_per_point {
             let seed = derive_seed(cfg.seed, pi, gi);
-            let inst = draw_instance(cfg, gran, seed);
-            let norm = inst.mean_task_cost();
-            // Fault-free baselines. CAFT* (= HEFT) anchors the overheads.
-            let ff_caft = heft(&inst, model, seed).latency();
-            let ff_ftbar = ftbar(&inst, 0, model, seed).latency();
-            ff_caft_acc.push(ff_caft / norm);
-            ff_ftbar_acc.push(ff_ftbar / norm);
-
-            // One crash pattern shared by the three algorithms.
-            let mut crash_rng = StdRng::seed_from_u64(seed ^ 0xC4A5);
-            let scenario = FaultScenario::random(cfg.procs, cfg.crashes, &mut crash_rng);
-
-            let overhead = |lat: f64| (lat - ff_caft) / ff_caft * 100.0;
-            let run = |sched: ft_model::FtSchedule, acc: &mut AlgoAcc| {
-                let b = latency_bounds(&inst, &sched);
-                let crash_out = replay_with(
-                    &inst,
-                    &sched,
-                    &scenario,
-                    ReplayConfig {
-                        policy: ReplayPolicy::FirstCopy,
-                        reroute: true,
-                    },
-                );
-                let crash_lat = crash_out
-                    .latency()
-                    .expect("fail-over replay always completes with ≤ ε crashes");
-                acc.zero.push(b.zero_crash / norm);
-                acc.upper.push(b.upper / norm);
-                acc.crash.push(crash_lat / norm);
-                acc.ov_zero.push(overhead(b.zero_crash));
-                acc.ov_crash.push(overhead(crash_lat));
-                acc.msgs.push(sched.num_remote_messages() as f64);
-                sched
-            };
-
-            let caft_sched = run(caft(&inst, cfg.eps, model, seed), &mut caft_acc);
-            run(ftsa(&inst, cfg.eps, model, seed), &mut ftsa_acc);
-            run(ftbar(&inst, cfg.eps, model, seed), &mut ftbar_acc);
-
-            // Strict-replay completion of CAFT under the same pattern.
-            let strict = replay(&inst, &caft_sched, &scenario);
-            strict_ok.push(if strict.completed() { 1.0 } else { 0.0 });
+            let draw = SharedDraw::new(cfg.procs, gran, seed);
+            acc.record(&draw, cfg.eps, cfg.crashes);
         }
-
-        points.push(PointResult {
-            granularity: gran,
-            fault_free_caft: ff_caft_acc.mean(),
-            fault_free_ftbar: ff_ftbar_acc.mean(),
-            caft: caft_acc.finish(),
-            ftsa: ftsa_acc.finish(),
-            ftbar: ftbar_acc.finish(),
-            caft_strict_completion: strict_ok.mean(),
-        });
+        points.push(acc.finish(gran));
     }
     FigureResult {
         config: cfg.clone(),

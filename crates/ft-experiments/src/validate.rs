@@ -1,0 +1,908 @@
+//! The validation harness: every headline claim of EXPERIMENTS.md pinned
+//! by a committed, CI-checked `VALIDATION_<family>.json` record.
+//!
+//! Byte-for-byte golden files guard the *engine*; this module guards the
+//! *conclusions*. Each experiment family — the §6 `grid`, the online
+//! `degradation` sweep, the `transient` rejuvenation sweep, and the
+//! `adaptive` checkpoint comparison — evaluates a list of claims, each a
+//! single scalar distilled from the experiment (a completion rate, an
+//! overhead ratio, a dominance fraction) and compared against a committed
+//! target:
+//!
+//! ```text
+//! claim                         target    predicted   error    tol   status
+//! caft_overhead_below_ftsa      1.0000    1.0000      0.0000   0.00  PASSED
+//! ```
+//!
+//! A claim **PASSES** when `|predicted − target|` (relative to the target
+//! when it is nonzero) is within the claim's tolerance. The committed
+//! records live in `validation/` at the repo root and are evaluated at
+//! the quick dimensions on every CI run (`paper-figures validate
+//! --quick`, `tests/validation.rs`); refreshing them after an intentional
+//! change is `paper-figures validate --quick --bless`, which rewrites
+//! each target to the new prediction while **keeping** the committed
+//! tolerance — a hand-widened tolerance survives a bless.
+//!
+//! Claims read their scalars from [`BatchSummary::metrics`] (the
+//! [`MetricSet`](ft_runtime::MetricSet) histograms) wherever the metric
+//! exists there, exercising the observability substrate end-to-end; one
+//! claim per sweep family pins the histogram-derived values to the legacy
+//! scalar fields so the two paths cannot drift.
+
+use crate::degradation::{run_degradation, DegradationConfig, DegradationRow};
+use crate::grid::{run_grid, GridConfig, GridResult};
+use ft_runtime::{BatchSummary, RecoveryPolicy};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The experiment families with a committed validation record, in
+/// evaluation order.
+pub const FAMILIES: [&str; 4] = ["grid", "degradation", "transient", "adaptive"];
+
+/// One validated claim: a scalar prediction against a committed target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Claim {
+    /// Stable identifier (the join key across blesses).
+    pub id: String,
+    /// What the scalar is, in one sentence.
+    pub description: String,
+    /// The committed expectation.
+    pub target: f64,
+    /// The value this evaluation measured.
+    pub predicted: f64,
+    /// `|predicted − target| / |target|` (absolute when the target is 0).
+    pub error: f64,
+    /// Maximum error that still passes.
+    pub tolerance: f64,
+    /// `"PASSED"` or `"FAILED"`.
+    pub status: String,
+}
+
+impl Claim {
+    /// Whether this claim passed.
+    pub fn passed(&self) -> bool {
+        self.status == "PASSED"
+    }
+}
+
+/// The validation record of one experiment family.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FamilyValidation {
+    /// Family name (an entry of [`FAMILIES`]).
+    pub family: String,
+    /// Whether the record was evaluated at the quick (CI) dimensions.
+    pub quick: bool,
+    /// Every claim of the family.
+    pub claims: Vec<Claim>,
+}
+
+impl FamilyValidation {
+    /// Whether every claim passed.
+    pub fn passed(&self) -> bool {
+        self.claims.iter().all(Claim::passed)
+    }
+
+    /// The committed claim with the given id, if any.
+    pub fn claim(&self, id: &str) -> Option<&Claim> {
+        self.claims.iter().find(|c| c.id == id)
+    }
+
+    /// The PASS bound `target × (1 + tolerance)` of a claim — the upper
+    /// bound consumers like `tests/paper_claims.rs` assert against so
+    /// their thresholds cannot drift from the committed record.
+    pub fn upper_bound(&self, id: &str) -> Option<f64> {
+        self.claim(id).map(|c| c.target * (1.0 + c.tolerance))
+    }
+
+    /// The PASS bound `target × (1 − tolerance)` — the floor consumers
+    /// assert against for minimum-ratio claims.
+    pub fn lower_bound(&self, id: &str) -> Option<f64> {
+        self.claim(id).map(|c| c.target * (1.0 - c.tolerance))
+    }
+}
+
+/// One measured scalar before it is joined with the committed record.
+struct Measurement {
+    id: &'static str,
+    description: &'static str,
+    predicted: f64,
+    /// Target used when the committed record has no claim with this id
+    /// (first evaluation, or a claim added since the last bless).
+    default_target: f64,
+    /// Tolerance used in the same case.
+    default_tolerance: f64,
+}
+
+fn m(
+    id: &'static str,
+    description: &'static str,
+    predicted: f64,
+    default_target: f64,
+    default_tolerance: f64,
+) -> Measurement {
+    Measurement {
+        id,
+        description,
+        predicted,
+        default_target,
+        default_tolerance,
+    }
+}
+
+/// Relative error against a nonzero target, absolute otherwise.
+fn claim_error(predicted: f64, target: f64) -> f64 {
+    let abs = (predicted - target).abs();
+    if target.abs() > 1e-12 {
+        abs / target.abs()
+    } else {
+        abs
+    }
+}
+
+fn evaluate(
+    family: &str,
+    quick: bool,
+    measurements: Vec<Measurement>,
+    committed: Option<&FamilyValidation>,
+) -> FamilyValidation {
+    let claims = measurements
+        .into_iter()
+        .map(|meas| {
+            let committed_claim = committed.and_then(|f| f.claim(meas.id));
+            let target = committed_claim.map_or(meas.default_target, |c| c.target);
+            let tolerance = committed_claim.map_or(meas.default_tolerance, |c| c.tolerance);
+            let error = claim_error(meas.predicted, target);
+            Claim {
+                id: meas.id.to_string(),
+                description: meas.description.to_string(),
+                target,
+                predicted: meas.predicted,
+                error,
+                tolerance,
+                status: if error <= tolerance + 1e-12 {
+                    "PASSED".to_string()
+                } else {
+                    "FAILED".to_string()
+                },
+            }
+        })
+        .collect();
+    FamilyValidation {
+        family: family.to_string(),
+        quick,
+        claims,
+    }
+}
+
+/// Re-targets a freshly evaluated record: every target becomes its
+/// prediction (so every claim passes), while tolerances are kept from
+/// the evaluation — which itself kept any committed tolerance — so a
+/// hand-widened tolerance survives the bless.
+pub fn bless(mut record: FamilyValidation) -> FamilyValidation {
+    for c in &mut record.claims {
+        c.target = c.predicted;
+        c.error = 0.0;
+        c.status = "PASSED".to_string();
+    }
+    record
+}
+
+// ---------------------------------------------------------------------------
+// Family configurations
+
+/// The grid configuration of the `grid` family.
+pub fn grid_config(quick: bool) -> GridConfig {
+    let cfg = GridConfig::paper();
+    if quick {
+        cfg.quick(2)
+    } else {
+        cfg
+    }
+}
+
+/// The sweep configuration of the `degradation` family (the permanent
+/// fail-stop baseline; quick = the golden-file dimensions).
+pub fn degradation_config(quick: bool) -> DegradationConfig {
+    if quick {
+        DegradationConfig {
+            tasks: 25,
+            procs: 6,
+            runs: 40,
+            mttf_factors: vec![8.0, 2.0, 1.0],
+            ..Default::default()
+        }
+    } else {
+        DegradationConfig::default()
+    }
+}
+
+/// The sweep configuration of the `transient` family: the degradation
+/// dimensions with exponential repairs of mean `0.25 ×` nominal — the
+/// rejuvenation experiment.
+pub fn transient_config(quick: bool) -> DegradationConfig {
+    DegradationConfig {
+        mttr_factor: Some(0.25),
+        ..degradation_config(quick)
+    }
+}
+
+/// The sweep configuration of the `adaptive` family: a non-trivial
+/// checkpoint premium (`0.1 ×` mean task cost) and an MTTF axis with the
+/// 8×/4× cells of the headline claim, so the per-rate Young/Daly interval
+/// has something to price against the fixed columns.
+pub fn adaptive_config(quick: bool) -> DegradationConfig {
+    DegradationConfig {
+        checkpoint_overhead: 0.1,
+        mttf_factors: vec![8.0, 4.0, 2.0, 1.0],
+        ..degradation_config(quick)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Family evaluators
+
+/// The claims are means/extrema over cells; completion and slowdown come
+/// from the `MetricSet` histograms (see the module doc).
+fn metric_completion(s: &BatchSummary) -> f64 {
+    s.metrics.completion_rate()
+}
+
+fn metric_slowdown(s: &BatchSummary) -> f64 {
+    s.metrics.mean_slowdown()
+}
+
+fn rows_at<'a>(
+    rows: &'a [DegradationRow],
+    factor: f64,
+    pred: impl Fn(&RecoveryPolicy) -> bool + 'a,
+) -> impl Iterator<Item = &'a DegradationRow> {
+    rows.iter()
+        .filter(move |r| r.mttf_factor == factor && pred(&r.summary.policy))
+}
+
+fn one_at<'a>(
+    rows: &'a [DegradationRow],
+    factor: f64,
+    pred: impl Fn(&RecoveryPolicy) -> bool + 'a,
+) -> &'a DegradationRow {
+    rows_at(rows, factor, pred)
+        .next()
+        .expect("the sweep ran the full policy roster at every rate")
+}
+
+fn fraction(hits: usize, total: usize) -> f64 {
+    hits as f64 / total.max(1) as f64
+}
+
+fn measure_grid(res: &GridResult) -> Vec<Measurement> {
+    let cells = &res.cells;
+    let n = cells.len();
+
+    let below_ftsa = cells
+        .iter()
+        .filter(|c| c.point.caft.overhead_zero < c.point.ftsa.overhead_zero)
+        .count();
+    let below_ftbar = cells
+        .iter()
+        .filter(|c| c.point.caft.overhead_zero < c.point.ftbar.overhead_zero)
+        .count();
+    let proximity = cells
+        .iter()
+        .map(|c| c.point.caft.zero_crash / c.point.fault_free_caft)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let msg_ratio = cells
+        .iter()
+        .map(|c| c.point.ftsa.remote_msgs / c.point.caft.remote_msgs)
+        .fold(f64::INFINITY, f64::min);
+    let strict_floor = cells
+        .iter()
+        .map(|c| c.point.caft_strict_completion)
+        .fold(f64::INFINITY, f64::min);
+
+    // Per platform setting: the FTSA − CAFT overhead gap at the coarsest
+    // granularity over the gap at the finest (the paper's figures show
+    // the gap collapsing as computation starts to dominate).
+    let gap = |c: &crate::grid::GridCell| c.point.ftsa.overhead_zero - c.point.caft.overhead_zero;
+    let mut shrink = 0.0;
+    for &p in &res.config.platforms {
+        let series = res.series(p);
+        let first = gap(series.first().expect("non-empty grid series"));
+        let last = gap(series.last().expect("non-empty grid series"));
+        shrink += last / first;
+    }
+    shrink /= res.config.platforms.len() as f64;
+
+    // ε-cost on the shared m = 10 draws: mean CAFT 0-crash overhead at
+    // ε = 3 minus at ε = 1 (points are draw-for-draw comparable because
+    // the grid shares instances across ε).
+    let platform = |procs: usize, eps: usize| {
+        res.config
+            .platforms
+            .iter()
+            .copied()
+            .find(|p| p.procs == procs && p.eps == eps)
+            .expect("the paper grid has both m = 10 settings")
+    };
+    let eps1 = res.series(platform(10, 1));
+    let eps3 = res.series(platform(10, 3));
+    let eps_cost = eps1
+        .iter()
+        .zip(&eps3)
+        .map(|(a, b)| b.point.caft.overhead_zero - a.point.caft.overhead_zero)
+        .sum::<f64>()
+        / eps1.len() as f64;
+
+    // Platform-scoped extrema over the type-A granularity range
+    // (g ≤ 2.0, the figure 1–3 sweeps): the bounds `tests/paper_claims.rs`
+    // reads (via [`FamilyValidation::upper_bound`]/[`lower_bound`]) for
+    // its figure assertions, so its thresholds track this record. The
+    // coarse type-B cells are excluded — there every series converges and
+    // the extrema would say nothing about the fine-grain regime the
+    // figure claims are about.
+    let in_a = |c: &&&crate::grid::GridCell| c.point.granularity <= 2.0 + 1e-9;
+    let eps1_proximity = eps1
+        .iter()
+        .filter(in_a)
+        .map(|c| c.point.caft.zero_crash / c.point.fault_free_caft)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let ratio_floor = |series: &[&crate::grid::GridCell]| {
+        series
+            .iter()
+            .filter(in_a)
+            .map(|c| c.point.ftsa.remote_msgs / c.point.caft.remote_msgs)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let eps1_msg_floor = ratio_floor(&eps1);
+    let eps3_msg_floor = ratio_floor(&eps3);
+
+    vec![
+        m(
+            "caft_overhead_below_ftsa",
+            "Fraction of grid cells where CAFT's 0-crash overhead is below FTSA's",
+            fraction(below_ftsa, n),
+            1.0,
+            0.0,
+        ),
+        m(
+            "caft_overhead_below_ftbar",
+            "Fraction of grid cells where CAFT's 0-crash overhead is below FTBAR's",
+            fraction(below_ftbar, n),
+            1.0,
+            0.0,
+        ),
+        m(
+            "caft_fault_free_proximity",
+            "Max over cells of CAFT 0-crash latency / fault-free CAFT latency",
+            proximity,
+            proximity,
+            0.05,
+        ),
+        m(
+            "ftsa_msg_ratio_floor",
+            "Min over cells of FTSA remote messages / CAFT remote messages",
+            msg_ratio,
+            msg_ratio,
+            0.05,
+        ),
+        m(
+            "overhead_gap_shrinks_with_granularity",
+            "Mean over platforms of the (FTSA - CAFT) overhead gap at the coarsest \
+             granularity over the gap at the finest (< 1 = the gap collapses)",
+            shrink,
+            shrink,
+            0.10,
+        ),
+        m(
+            "eps_cost_on_shared_draws",
+            "Mean extra CAFT 0-crash overhead (pct points) of eps = 3 over eps = 1 \
+             on the shared m = 10 instance draws",
+            eps_cost,
+            eps_cost,
+            0.05,
+        ),
+        m(
+            "strict_completion_floor",
+            "Min over cells of CAFT strict-replay completion (the Proposition 5.2 gap)",
+            strict_floor,
+            strict_floor,
+            0.10,
+        ),
+        m(
+            "eps1_fault_free_proximity",
+            "Max over the m = 10, eps = 1 cells of CAFT 0-crash latency / fault-free \
+             latency (the figure-1 'close to fault free' bound)",
+            eps1_proximity,
+            eps1_proximity,
+            0.10,
+        ),
+        m(
+            "eps1_msg_ratio_floor",
+            "Min over the m = 10, eps = 1 cells of FTSA / CAFT remote messages (the \
+             figure-1 linear-vs-quadratic message regime)",
+            eps1_msg_floor,
+            eps1_msg_floor,
+            0.10,
+        ),
+        m(
+            "eps3_msg_ratio_floor",
+            "Min over the m = 10, eps = 3 cells of FTSA / CAFT remote messages (the \
+             figure-2 scarce-singleton regime)",
+            eps3_msg_floor,
+            eps3_msg_floor,
+            0.10,
+        ),
+    ]
+}
+
+fn measure_degradation(rows: &[DegradationRow], factors: &[f64]) -> Vec<Measurement> {
+    let is = |p: RecoveryPolicy| move |q: &RecoveryPolicy| *q == p;
+    let resched_mid = metric_completion(&one_at(rows, 2.0, is(RecoveryPolicy::Reschedule)).summary);
+
+    let resched_dominates = fraction(
+        factors
+            .iter()
+            .filter(|&&f| {
+                metric_completion(&one_at(rows, f, is(RecoveryPolicy::Reschedule)).summary)
+                    >= metric_completion(&one_at(rows, f, is(RecoveryPolicy::ReReplicate)).summary)
+            })
+            .count(),
+        factors.len(),
+    );
+
+    let mut never_less = 0;
+    let mut total = 0;
+    for &f in factors {
+        let absorb = metric_completion(&one_at(rows, f, is(RecoveryPolicy::Absorb)).summary);
+        for r in rows_at(rows, f, |p| *p != RecoveryPolicy::Absorb) {
+            total += 1;
+            if metric_completion(&r.summary) >= absorb {
+                never_less += 1;
+            }
+        }
+    }
+
+    let ck_beats = factors.iter().any(|&f| {
+        let rerep = &one_at(rows, f, is(RecoveryPolicy::ReReplicate)).summary;
+        rows_at(rows, f, |p| matches!(p, RecoveryPolicy::Checkpoint { .. })).any(|ck| {
+            metric_completion(&ck.summary) >= metric_completion(rerep)
+                && ck.summary.mean_latency < rerep.mean_latency
+        })
+    });
+
+    let attrition_monotone = factors.windows(2).all(|w| {
+        metric_completion(&one_at(rows, w[0], is(RecoveryPolicy::Absorb)).summary)
+            >= metric_completion(&one_at(rows, w[1], is(RecoveryPolicy::Absorb)).summary)
+    });
+
+    // The plumbing claim: histogram-derived completion and slowdown must
+    // agree with the legacy scalar fields in every cell of the sweep.
+    let plumbing_drift = rows
+        .iter()
+        .map(|r| {
+            let s = &r.summary;
+            let dc = (metric_completion(s) - s.completion_rate()).abs();
+            let ds = if s.completed == 0 {
+                0.0 // both slowdowns are meaningless means over nothing
+            } else {
+                (metric_slowdown(s) - s.mean_slowdown).abs()
+            };
+            dc.max(ds)
+        })
+        .fold(0.0, f64::max);
+
+    vec![
+        m(
+            "reschedule_completion_mttf2",
+            "Completion rate of Reschedule at MTTF 2x nominal (from the MetricSet histograms)",
+            resched_mid,
+            resched_mid,
+            0.10,
+        ),
+        m(
+            "reschedule_dominates_rereplicate",
+            "Fraction of rates where Reschedule completes at least as many runs as ReReplicate",
+            resched_dominates,
+            1.0,
+            0.0,
+        ),
+        m(
+            "recovery_never_completes_less",
+            "Fraction of (rate, policy) cells completing at least as many runs as Absorb",
+            fraction(never_less, total),
+            1.0,
+            0.0,
+        ),
+        m(
+            "checkpoint_beats_rereplicate_somewhere",
+            "Some (rate, interval) cell where checkpoint/restart completes as many runs \
+             as ReReplicate at strictly lower mean latency (1 = yes)",
+            if ck_beats { 1.0 } else { 0.0 },
+            1.0,
+            0.0,
+        ),
+        m(
+            "absorb_attrition_monotone",
+            "Absorb completion is non-increasing as the failure rate rises (1 = yes)",
+            if attrition_monotone { 1.0 } else { 0.0 },
+            1.0,
+            0.0,
+        ),
+        m(
+            "metrics_match_summary",
+            "Max abs drift between histogram-derived completion/slowdown and the \
+             legacy BatchSummary scalars, over every cell",
+            plumbing_drift,
+            0.0,
+            1e-9,
+        ),
+    ]
+}
+
+fn measure_transient(
+    transient: &[DegradationRow],
+    permanent: &[DegradationRow],
+    factors: &[f64],
+) -> Vec<Measurement> {
+    let is = |p: RecoveryPolicy| move |q: &RecoveryPolicy| *q == p;
+    let harshest = factors.iter().copied().fold(f64::INFINITY, f64::min);
+
+    let rr_transient =
+        metric_completion(&one_at(transient, harshest, is(RecoveryPolicy::ReReplicate)).summary);
+    let rr_permanent =
+        metric_completion(&one_at(permanent, harshest, is(RecoveryPolicy::ReReplicate)).summary);
+
+    let ws_parity = fraction(
+        factors
+            .iter()
+            .filter(|&&f| {
+                metric_completion(&one_at(transient, f, is(RecoveryPolicy::WarmSpare)).summary)
+                    >= metric_completion(
+                        &one_at(transient, f, is(RecoveryPolicy::ReReplicate)).summary,
+                    )
+            })
+            .count(),
+        factors.len(),
+    );
+
+    let ws_gain =
+        metric_slowdown(&one_at(transient, harshest, is(RecoveryPolicy::ReReplicate)).summary)
+            - metric_slowdown(&one_at(transient, harshest, is(RecoveryPolicy::WarmSpare)).summary);
+
+    let rejoins_everywhere = fraction(
+        transient.iter().filter(|r| r.summary.rejoins > 0).count(),
+        transient.len(),
+    );
+
+    vec![
+        m(
+            "rejuvenation_completion_mttf1",
+            "ReReplicate completion at MTTF 1x under transient failures (MTTR 0.25x)",
+            rr_transient,
+            rr_transient,
+            0.05,
+        ),
+        m(
+            "rejuvenation_lift_mttf1",
+            "ReReplicate completion at MTTF 1x: transient minus permanent (the \
+             rejuvenation payout, in completion-rate points)",
+            rr_transient - rr_permanent,
+            rr_transient - rr_permanent,
+            0.15,
+        ),
+        m(
+            "warm_spare_completion_parity",
+            "Fraction of rates where WarmSpare completes at least as many runs as ReReplicate",
+            ws_parity,
+            1.0,
+            0.0,
+        ),
+        m(
+            "warm_spare_slowdown_gain_mttf1",
+            "Mean-slowdown gain of WarmSpare over ReReplicate at MTTF 1x transient \
+             (positive = pre-staging pays)",
+            ws_gain,
+            ws_gain,
+            0.25,
+        ),
+        m(
+            "rejoins_every_cell",
+            "Fraction of transient cells observing at least one processor reboot",
+            rejoins_everywhere,
+            1.0,
+            0.0,
+        ),
+    ]
+}
+
+fn measure_adaptive(rows: &[DegradationRow], factors: &[f64]) -> Vec<Measurement> {
+    let adaptive_at = |f: f64| {
+        rows_at(rows, f, |p| {
+            matches!(p, RecoveryPolicy::AdaptiveCheckpoint { .. })
+        })
+        .next()
+        .expect("one adaptive cell per rate")
+    };
+    let fixed_at = |f: f64| rows_at(rows, f, |p| matches!(p, RecoveryPolicy::Checkpoint { .. }));
+
+    // The headline cells: at long MTTFs the per-rate Young/Daly interval
+    // must complete at least as much as every fixed column.
+    let beats_on_completion = |f: f64| {
+        let a = metric_completion(&adaptive_at(f).summary);
+        fixed_at(f).all(|fx| a >= metric_completion(&fx.summary))
+    };
+
+    let beats_both = |f: f64| {
+        let a = &adaptive_at(f).summary;
+        fixed_at(f).all(|fx| {
+            metric_completion(a) > metric_completion(&fx.summary)
+                || (metric_completion(a) >= metric_completion(&fx.summary)
+                    && metric_slowdown(a) < metric_slowdown(&fx.summary))
+        })
+    };
+    let somewhere = factors.iter().any(|&f| beats_both(f));
+
+    // Premium ratio at the longest MTTF: the adaptive interval stretches
+    // with the MTTF, so its per-run checkpoint overhead must undercut the
+    // finest fixed column's.
+    let longest = factors.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let fine = fixed_at(longest)
+        .min_by(|a, b| {
+            let iv = |r: &&DegradationRow| match r.summary.policy {
+                RecoveryPolicy::Checkpoint { interval, .. } => interval,
+                _ => f64::INFINITY,
+            };
+            iv(a).partial_cmp(&iv(b)).expect("finite intervals")
+        })
+        .expect("at least one fixed checkpoint column");
+    let premium_ratio = adaptive_at(longest).summary.mean_checkpoint_overhead()
+        / fine.summary.mean_checkpoint_overhead();
+
+    vec![
+        m(
+            "adaptive_beats_fixed_completion_mttf8",
+            "Adaptive checkpoint completes at least as many runs as every fixed column \
+             at MTTF 8x (1 = yes)",
+            if beats_on_completion(8.0) { 1.0 } else { 0.0 },
+            1.0,
+            0.0,
+        ),
+        m(
+            "adaptive_beats_fixed_completion_mttf4",
+            "Adaptive checkpoint completes at least as many runs as every fixed column \
+             at MTTF 4x (1 = yes)",
+            if beats_on_completion(4.0) { 1.0 } else { 0.0 },
+            1.0,
+            0.0,
+        ),
+        m(
+            "adaptive_beats_every_fixed_somewhere",
+            "Some rate where adaptive beats every fixed column outright — more \
+             completions, or as many at strictly lower slowdown (1 = yes)",
+            if somewhere { 1.0 } else { 0.0 },
+            1.0,
+            0.0,
+        ),
+        m(
+            "adaptive_premium_ratio_mttf8",
+            "Per-run checkpoint overhead of adaptive over the finest fixed column at \
+             the longest MTTF (< 1 = Young/Daly prices the insurance down)",
+            premium_ratio,
+            premium_ratio,
+            0.10,
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+
+/// Evaluates the `grid` family over an already-run grid — the CLI path,
+/// which renders the completion isoclines from the same result instead
+/// of sweeping the grid twice.
+pub fn validate_grid_result(
+    res: &GridResult,
+    quick: bool,
+    committed: Option<&FamilyValidation>,
+) -> FamilyValidation {
+    evaluate("grid", quick, measure_grid(res), committed)
+}
+
+/// Evaluates one family against a committed record (if any): runs the
+/// family's experiment at the quick or full dimensions, measures every
+/// claim, and joins targets/tolerances from `committed` (defaults for
+/// claims the record does not know).
+pub fn validate_family(
+    family: &str,
+    quick: bool,
+    committed: Option<&FamilyValidation>,
+) -> FamilyValidation {
+    let measurements = match family {
+        "grid" => return validate_grid_result(&run_grid(&grid_config(quick)), quick, committed),
+        "degradation" => {
+            let cfg = degradation_config(quick);
+            measure_degradation(&run_degradation(&cfg), &cfg.mttf_factors)
+        }
+        "transient" => {
+            let cfg = transient_config(quick);
+            let permanent = degradation_config(quick);
+            measure_transient(
+                &run_degradation(&cfg),
+                &run_degradation(&permanent),
+                &cfg.mttf_factors,
+            )
+        }
+        "adaptive" => {
+            let cfg = adaptive_config(quick);
+            measure_adaptive(&run_degradation(&cfg), &cfg.mttf_factors)
+        }
+        other => panic!("unknown validation family '{other}' (expected one of {FAMILIES:?})"),
+    };
+    evaluate(family, quick, measurements, committed)
+}
+
+/// The committed records directory: `validation/` at the repo root.
+pub fn committed_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../validation")
+}
+
+/// The record path of one family under a records directory.
+pub fn family_path(dir: &Path, family: &str) -> PathBuf {
+    dir.join(format!("VALIDATION_{family}.json"))
+}
+
+/// Loads a family record; `None` when the file does not exist.
+///
+/// # Panics
+/// On unreadable or malformed JSON — a committed record that stopped
+/// parsing is a failure, not an absence.
+pub fn load_family(dir: &Path, family: &str) -> Option<FamilyValidation> {
+    let path = family_path(dir, family);
+    if !path.exists() {
+        return None;
+    }
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    Some(serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display())))
+}
+
+/// Writes a family record (pretty JSON, trailing newline).
+pub fn save_family(dir: &Path, record: &FamilyValidation) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut text = serde_json::to_string_pretty(record).expect("records always serialize");
+    text.push('\n');
+    std::fs::write(family_path(dir, &record.family), text)
+}
+
+/// Renders one record as the SNIPPETS-style validation table.
+pub fn render(record: &FamilyValidation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "validation — family: {} ({} dimensions)\n",
+        record.family,
+        if record.quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!(
+        "  {:<42} {:>10} {:>10} {:>8} {:>6}   {}\n",
+        "claim", "target", "predicted", "error", "tol", "status"
+    ));
+    for c in &record.claims {
+        out.push_str(&format!(
+            "  {:<42} {:>10.4} {:>10.4} {:>8.4} {:>6.2}   {}\n",
+            c.id, c.target, c.predicted, c.error, c.tolerance, c.status
+        ));
+    }
+    let verdict = if record.passed() { "PASSED" } else { "FAILED" };
+    out.push_str(&format!(
+        "  => {verdict} ({}/{} claims)\n",
+        record.claims.iter().filter(|c| c.passed()).count(),
+        record.claims.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(claims: Vec<Claim>) -> FamilyValidation {
+        FamilyValidation {
+            family: "grid".into(),
+            quick: true,
+            claims,
+        }
+    }
+
+    fn claim(id: &str, target: f64, predicted: f64, tolerance: f64) -> Claim {
+        let error = claim_error(predicted, target);
+        Claim {
+            id: id.into(),
+            description: String::new(),
+            target,
+            predicted,
+            error,
+            tolerance,
+            status: if error <= tolerance + 1e-12 {
+                "PASSED".into()
+            } else {
+                "FAILED".into()
+            },
+        }
+    }
+
+    #[test]
+    fn error_is_relative_with_absolute_fallback() {
+        assert!((claim_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((claim_error(0.9, -1.0) - 1.9).abs() < 1e-12);
+        // Zero target: absolute error.
+        assert!((claim_error(0.25, 0.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_joins_committed_targets_and_keeps_tolerances() {
+        let committed = record(vec![claim("a", 2.0, 2.0, 0.5)]);
+        let out = evaluate(
+            "grid",
+            true,
+            vec![m("a", "", 2.9, 99.0, 0.01), m("b", "", 1.0, 1.0, 0.0)],
+            Some(&committed),
+        );
+        // "a" keeps the committed target (2.0) and tolerance (0.5):
+        // error 0.45 <= 0.5 passes.
+        let a = out.claim("a").unwrap();
+        assert_eq!(a.target, 2.0);
+        assert_eq!(a.tolerance, 0.5);
+        assert!(a.passed());
+        // "b" is new: defaults apply.
+        let b = out.claim("b").unwrap();
+        assert_eq!(b.target, 1.0);
+        assert!(b.passed());
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn failing_claim_fails_the_record() {
+        let out = evaluate("grid", true, vec![m("a", "", 1.2, 1.0, 0.1)], None);
+        assert!(!out.claim("a").unwrap().passed());
+        assert!(!out.passed());
+        assert!(render(&out).contains("FAILED"));
+    }
+
+    #[test]
+    fn bless_re_targets_but_keeps_tolerances() {
+        let failed = evaluate("grid", true, vec![m("a", "", 1.2, 1.0, 0.1)], None);
+        let blessed = bless(failed);
+        let a = blessed.claim("a").unwrap();
+        assert_eq!(a.target, 1.2);
+        assert_eq!(a.tolerance, 0.1);
+        assert!(blessed.passed());
+    }
+
+    #[test]
+    fn upper_bound_derives_from_target_and_tolerance() {
+        let rec = record(vec![claim("a", 2.0, 2.0, 0.1)]);
+        assert!((rec.upper_bound("a").unwrap() - 2.2).abs() < 1e-12);
+        assert!(rec.upper_bound("missing").is_none());
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let rec = record(vec![claim("a", 1.0, 1.05, 0.1), claim("b", 0.0, 0.0, 0.0)]);
+        let text = serde_json::to_string_pretty(&rec).unwrap();
+        let back: FamilyValidation = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            serde_json::to_string(&rec).unwrap(),
+            serde_json::to_string(&back).unwrap()
+        );
+        assert_eq!(back.claims.len(), 2);
+        assert!(back.claim("a").unwrap().passed());
+    }
+
+    #[test]
+    fn family_configs_reduce_under_quick() {
+        assert!(grid_config(true).graphs_per_point < grid_config(false).graphs_per_point);
+        assert!(degradation_config(true).runs < degradation_config(false).runs);
+        assert_eq!(transient_config(true).mttr_factor, Some(0.25));
+        assert_eq!(adaptive_config(true).checkpoint_overhead, 0.1);
+        assert!(adaptive_config(true).mttf_factors.contains(&4.0));
+    }
+}

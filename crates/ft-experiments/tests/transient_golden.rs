@@ -1,0 +1,52 @@
+//! Golden-file regression test for the *transient* degradation table:
+//! the same quick dimensions as `degradation_golden`, with exponential
+//! repairs of mean `0.25 ×` nominal — the rejuvenation sweep. The
+//! permanent golden pins the fail-stop aggregates; this one pins the
+//! reboot path (rejoin counts, warm-spare pre-staging payouts) that the
+//! permanent sweep never exercises.
+//!
+//! To bless an intentional change, regenerate the file:
+//!
+//! ```text
+//! BLESS_TRANSIENT_GOLDEN=1 cargo test -p ft-experiments --test transient_golden
+//! ```
+
+use ft_experiments::degradation::{render_degradation, run_degradation, DegradationConfig};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/transient_golden.txt");
+
+/// The pinned configuration: the permanent golden's dimensions plus the
+/// `--transient` axis (MTTR `0.25 ×` nominal).
+fn golden_config() -> DegradationConfig {
+    DegradationConfig {
+        tasks: 25,
+        procs: 6,
+        runs: 40,
+        mttf_factors: vec![8.0, 2.0, 1.0],
+        mttr_factor: Some(0.25),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn rendered_transient_table_matches_the_golden_file() {
+    let cfg = golden_config();
+    let rows = run_degradation(&cfg);
+    let table = render_degradation(&cfg, &rows);
+    assert!(
+        table.contains("transient, exp MTTR = 0.25x nominal"),
+        "the rendered header must name the repair model"
+    );
+    if std::env::var("BLESS_TRANSIENT_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &table).expect("writable golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("missing golden file — run with BLESS_TRANSIENT_GOLDEN=1 to generate it");
+    assert!(
+        table == golden,
+        "transient degradation table drifted from the golden file.\n\
+         If the change is intentional, bless it with \
+         BLESS_TRANSIENT_GOLDEN=1.\n\n--- golden ---\n{golden}\n--- rendered ---\n{table}"
+    );
+}

@@ -326,6 +326,25 @@ impl Histogram {
         }
         self.sum.value() / self.count as f64
     }
+
+    /// Fraction of recorded samples `≤ x`, read off the bucket counts
+    /// (`x` is rounded *up* to the next bucket edge, so the answer is
+    /// exact when `x` is an edge and conservative otherwise; `NaN` while
+    /// empty). This is the cumulative-distribution accessor the
+    /// validation harness uses to turn a histogram into a claim value.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let below: u64 = self
+            .edges
+            .iter()
+            .zip(&self.counts)
+            .take_while(|(&e, _)| e <= x)
+            .map(|(_, &c)| c)
+            .sum();
+        below as f64 / self.count as f64
+    }
 }
 
 /// Mergeable per-run metric distributions of a Monte-Carlo batch.
@@ -429,6 +448,31 @@ impl MetricSet {
         self.rejected_actions += out.rejected_actions as u64;
     }
 
+    /// Number of runs recorded into the set: every run lands either in
+    /// the latency histogram (completed) or in `incomplete_runs`.
+    pub fn runs(&self) -> u64 {
+        self.latency.count + self.incomplete_runs
+    }
+
+    /// Fraction of recorded runs that completed (1 while empty, matching
+    /// [`BatchSummary::completion_rate`]). The validation harness reads
+    /// completion claims from here — through the histogram counts — so a
+    /// metrics-plumbing regression fails the science gate, not just the
+    /// counter checks.
+    pub fn completion_rate(&self) -> f64 {
+        if self.runs() == 0 {
+            return 1.0;
+        }
+        self.latency.count as f64 / self.runs() as f64
+    }
+
+    /// Mean slowdown over completed runs (`NaN` while empty), straight
+    /// off the slowdown histogram's exact sum — the histogram-backed
+    /// counterpart of [`BatchSummary::mean_slowdown`].
+    pub fn mean_slowdown(&self) -> f64 {
+        self.slowdown.mean()
+    }
+
     /// Folds another set (same edges) into this one; exact and
     /// merge-order-insensitive.
     pub fn merge(&mut self, other: &MetricSet) {
@@ -525,6 +569,34 @@ mod tests {
         assert_eq!(set.detection_lag.count, 2);
         assert!((set.detection_lag.max - 1.5).abs() < 1e-12);
         assert_eq!(set.work_lost.count, 2);
+    }
+
+    #[test]
+    fn histogram_cumulative_fractions() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        assert!(h.fraction_le(2.0).is_nan(), "empty histogram has no CDF");
+        for x in [0.5, 1.5, 2.0, 9.0] {
+            h.record(x);
+        }
+        assert_eq!(h.fraction_le(1.0), 0.25);
+        assert_eq!(h.fraction_le(2.0), 0.75);
+        // Between edges the answer rounds down to the previous edge.
+        assert_eq!(h.fraction_le(3.0), 0.75);
+        assert_eq!(h.fraction_le(4.0), 0.75);
+        assert_eq!(h.fraction_le(0.0), 0.0);
+    }
+
+    #[test]
+    fn metric_set_summary_accessors() {
+        let mut set = MetricSet::for_nominal(10.0);
+        assert_eq!(set.completion_rate(), 1.0, "empty set matches BatchSummary");
+        set.record(10.0, &outcome(vec![Some(12.0)]));
+        set.record(10.0, &outcome(vec![Some(15.0)]));
+        set.record(10.0, &outcome(vec![None]));
+        assert_eq!(set.runs(), 3);
+        assert!((set.completion_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // Exact-sum mean over the two completed slowdowns 1.2 and 1.5.
+        assert!((set.mean_slowdown() - 1.35).abs() < 1e-12);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! detection models, pinning the *whole* event loop rather than endpoint
 //! identities (those live in `tests/timed_model.rs`).
 //!
-//! Eight invariants, each over the [`execute_traced`] observability
+//! Nine invariants, each over the [`execute_traced`] observability
 //! record or the streaming batch aggregation:
 //!
 //! 1. **No operation ever executes on a Down processor** — a completed
@@ -50,6 +50,14 @@
 //!    merge is associative to the bit (this is invariant 5's
 //!    thread-count independence, re-pinned at the metrics layer; CI runs
 //!    the suite under both `RAYON_NUM_THREADS=1` and the default).
+//! 9. **`MetricSet` survives serde byte-identically and its histograms
+//!    account for every run** — the JSON round-trip reproduces the exact
+//!    bytes (`ExactSum` limbs, NaN-seeded extrema and all, so a stored
+//!    metrics dump re-merges exactly), per-bucket counts (overflow
+//!    included) sum to each histogram's count, and the latency
+//!    histogram plus the `incomplete_runs` counter accounts for every
+//!    Monte-Carlo run — the accounting identity the validation harness
+//!    reads completion rates through.
 
 use ftsched::prelude::*;
 use ftsched::runtime::TraceEventKind;
@@ -552,5 +560,75 @@ proptest! {
         // agrees too — metrics included.
         let streamed = serde_json::to_string(&simulate_many(&inst, &sched, &cfg)).unwrap();
         prop_assert_eq!(&a, &streamed, "rayon's merge tree drifted from the sequential accumulator");
+    }
+
+    /// Invariant 9: a `MetricSet` survives a serde round-trip
+    /// byte-identically, and its histograms account for every run —
+    /// per-bucket counts (overflow bucket included) sum to the
+    /// histogram's count, and the latency histogram plus the
+    /// `incomplete_runs` counter covers the whole batch.
+    #[test]
+    fn metric_set_round_trips_and_buckets_account_for_every_run(
+        w in arb_workload(),
+        mix in arb_mix(),
+        runs in 12usize..40,
+    ) {
+        let (seed, tasks, procs, eps, gran) = w;
+        let (kind_ix, policy_ix, det_ix) = mix;
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let nominal = sched.latency();
+        let cfg = MonteCarloConfig {
+            runs,
+            lifetime: LifetimeDist::Exponential { mean: nominal },
+            failure: failure_kind(kind_ix, nominal),
+            engine: EngineConfig {
+                policy: policy(policy_ix, inst.mean_task_cost()),
+                detection: detection(det_ix, procs, seed),
+                seed: seed ^ 0xE21,
+            },
+            seed: seed ^ 0xBA7C4,
+        };
+        let summary = simulate_many(&inst, &sched, &cfg);
+        let metrics = &summary.metrics;
+
+        // Byte-identical serde round-trip: a stored metrics dump
+        // reloads into the exact accumulator state (ExactSum limbs,
+        // NaN-seeded extrema serialized as null, bucket layouts).
+        let text = serde_json::to_string(metrics).unwrap();
+        let back: MetricSet = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(
+            &text,
+            &serde_json::to_string(&back).unwrap(),
+            "MetricSet serde round-trip is not byte-identical"
+        );
+
+        // Every histogram's buckets sum to its count...
+        for (name, h) in [
+            ("latency", &metrics.latency),
+            ("slowdown", &metrics.slowdown),
+            ("work_lost", &metrics.work_lost),
+            ("work_saved", &metrics.work_saved),
+            ("detection_lag", &metrics.detection_lag),
+        ] {
+            let bucketed: u64 = h.counts.iter().sum();
+            prop_assert_eq!(
+                bucketed, h.count,
+                "{} histogram buckets sum to {} but count {} samples",
+                name, bucketed, h.count
+            );
+        }
+        // ...and the latency histogram + incomplete_runs covers the
+        // whole batch: the accounting identity behind
+        // `MetricSet::completion_rate` (what the validation harness
+        // reads) and the legacy scalar counters.
+        prop_assert_eq!(metrics.runs(), runs as u64);
+        prop_assert_eq!(metrics.latency.count, summary.completed as u64);
+        prop_assert_eq!(metrics.incomplete_runs, (runs - summary.completed) as u64);
+        prop_assert!(
+            (metrics.completion_rate() - summary.completion_rate()).abs() < 1e-12,
+            "histogram-derived completion rate drifted from the scalar counters"
+        );
     }
 }

@@ -1,13 +1,41 @@
 //! Figure-level assertions: the qualitative claims of §6, checked on
 //! thinned sweeps (EXPERIMENTS.md records the full-resolution runs).
+//!
+//! Quantitative thresholds are not hardcoded here: they derive from the
+//! committed `validation/VALIDATION_grid.json` record (target × (1 ± tol)
+//! of the matching claim), so this layer cannot drift from the validation
+//! harness — widening a bound is a visible edit to the committed record,
+//! not a silent constant bump in a test.
 
 use ft_experiments::config::FigureConfig;
 use ft_experiments::figures;
 use ft_experiments::runner::run_figure;
+use ft_experiments::validate::{committed_dir, load_family, FamilyValidation};
+
+/// The sweep seed, pinned explicitly: the library default changing must
+/// not silently re-seed these assertions.
+const SEED: u64 = 0x5EED;
 
 fn quick(mut cfg: FigureConfig) -> FigureConfig {
     cfg = cfg.quick(6);
+    cfg.seed = SEED;
     cfg
+}
+
+/// The committed grid validation record (the source of every numeric
+/// bound below).
+fn grid_record() -> FamilyValidation {
+    load_family(&committed_dir(), "grid")
+        .expect("validation/VALIDATION_grid.json is committed at the repo root")
+}
+
+fn bound(kind: &str, id: &str) -> f64 {
+    let rec = grid_record();
+    match kind {
+        "upper" => rec.upper_bound(id),
+        _ => rec.lower_bound(id),
+    }
+    .unwrap_or_else(|| panic!("claim '{id}' missing from the committed grid record"))
 }
 
 #[test]
@@ -34,20 +62,22 @@ fn figure1_caft_dominates_both_competitors() {
 #[test]
 fn figure1_caft_stays_close_to_fault_free() {
     // "CAFT achieves a really good latency (with 0 crash), which is quite
-    // close to the fault free version" — within 2.2x at every point for
-    // ε = 1, where FTSA/FTBAR exceed it substantially at fine grain.
+    // close to the fault free version" — within the committed
+    // eps1_fault_free_proximity bound at every point for ε = 1, where
+    // FTSA/FTBAR exceed it substantially at fine grain.
+    let proximity = bound("upper", "eps1_fault_free_proximity");
     let res = run_figure(&quick(figures::fig1()));
     for p in &res.points {
         assert!(
-            p.caft.zero_crash < 2.2 * p.fault_free_caft,
-            "g {}: CAFT0 {} vs FF {}",
+            p.caft.zero_crash < proximity * p.fault_free_caft,
+            "g {}: CAFT0 {} vs FF {} (bound {proximity:.3})",
             p.granularity,
             p.caft.zero_crash,
             p.fault_free_caft
         );
     }
     let fine = &res.points[0];
-    assert!(fine.ftsa.zero_crash > 2.2 * fine.fault_free_caft);
+    assert!(fine.ftsa.zero_crash > proximity * fine.fault_free_caft);
 }
 
 #[test]
@@ -93,21 +123,23 @@ fn message_counts_linear_vs_quadratic_regimes() {
     // fires for most tasks; at ε = 3 on 10 processors (fig2) singletons
     // get scarce (4 replicas per predecessor) so the reduction shrinks but
     // must remain visible.
+    let floor1 = bound("lower", "eps1_msg_ratio_floor");
     let r1 = run_figure(&quick(figures::fig1()));
     for p in &r1.points {
         assert!(
-            p.caft.remote_msgs * 1.3 < p.ftsa.remote_msgs,
-            "fig1 g {}: CAFT {} should be well below FTSA {}",
+            p.caft.remote_msgs * floor1 < p.ftsa.remote_msgs,
+            "fig1 g {}: CAFT {} should be well below FTSA {} (floor {floor1:.3})",
             p.granularity,
             p.caft.remote_msgs,
             p.ftsa.remote_msgs
         );
     }
+    let floor2 = bound("lower", "eps3_msg_ratio_floor");
     let r2 = run_figure(&quick(figures::fig2()));
     for p in &r2.points {
         assert!(
-            p.caft.remote_msgs * 1.1 < p.ftsa.remote_msgs,
-            "fig2 g {}: CAFT {} vs FTSA {}",
+            p.caft.remote_msgs * floor2 < p.ftsa.remote_msgs,
+            "fig2 g {}: CAFT {} vs FTSA {} (floor {floor2:.3})",
             p.granularity,
             p.caft.remote_msgs,
             p.ftsa.remote_msgs

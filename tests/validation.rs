@@ -1,0 +1,74 @@
+//! The validation gate: every committed `validation/VALIDATION_*.json`
+//! record re-evaluates to PASSED at the quick dimensions.
+//!
+//! This is the CI face of the harness (`paper-figures validate --quick`
+//! is the CLI face): byte-for-byte golden files guard the engine, these
+//! records guard the conclusions. A failure here means a headline claim
+//! of EXPERIMENTS.md regressed — fix the regression, or, when the change
+//! is intentional, rebless with `paper-figures validate --quick --bless`
+//! and review the diff of the committed record.
+
+use ft_experiments::validate::{committed_dir, load_family, render, validate_family, FAMILIES};
+
+/// Every family has a committed record, the committed record itself is
+/// all-PASSED (nobody committed a failing target), and it was evaluated
+/// at the quick dimensions this suite re-runs.
+#[test]
+fn committed_records_exist_and_are_passed() {
+    let dir = committed_dir();
+    for fam in FAMILIES {
+        let rec = load_family(&dir, fam)
+            .unwrap_or_else(|| panic!("validation/VALIDATION_{fam}.json is not committed"));
+        assert_eq!(rec.family, fam);
+        assert!(
+            rec.quick,
+            "committed '{fam}' record must hold quick-dimension targets (CI re-checks them)"
+        );
+        assert!(
+            rec.passed(),
+            "committed '{fam}' record contains FAILED claims:\n{}",
+            render(&rec)
+        );
+        assert!(!rec.claims.is_empty());
+    }
+}
+
+fn assert_family_validates(fam: &str) {
+    let committed = load_family(&committed_dir(), fam)
+        .unwrap_or_else(|| panic!("validation/VALIDATION_{fam}.json is not committed"));
+    let rec = validate_family(fam, true, Some(&committed));
+    assert!(
+        rec.passed(),
+        "family '{fam}' regressed against its committed record:\n{}",
+        render(&rec)
+    );
+    // Every committed claim was re-measured (a renamed claim id would
+    // otherwise silently stop being checked).
+    for c in &committed.claims {
+        assert!(
+            rec.claim(&c.id).is_some(),
+            "committed claim '{}' of family '{fam}' was not re-measured — stale id?",
+            c.id
+        );
+    }
+}
+
+#[test]
+fn grid_claims_pass_at_quick_dimensions() {
+    assert_family_validates("grid");
+}
+
+#[test]
+fn degradation_claims_pass_at_quick_dimensions() {
+    assert_family_validates("degradation");
+}
+
+#[test]
+fn transient_claims_pass_at_quick_dimensions() {
+    assert_family_validates("transient");
+}
+
+#[test]
+fn adaptive_claims_pass_at_quick_dimensions() {
+    assert_family_validates("adaptive");
+}
