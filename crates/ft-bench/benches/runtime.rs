@@ -14,6 +14,10 @@
 //!   engine-loop cost baseline: its numbers track `runtime/execute`
 //!   (within noise) because the per-epoch availability tables collapse
 //!   to the historical single-crash path when every repair is ∞;
+//! * `serve/` — sweep-service job setup (ft-serve's artifact cache):
+//!   cold resolution pays the full instance build plus CAFT scheduling,
+//!   warm resolution is two LRU lookups — the fast path that lets a
+//!   repeat job skip scheduling entirely;
 //! * `runtime/simulate_many` — Monte-Carlo batch throughput (rayon), now
 //!   including a 100 000-run case that only the streaming aggregator makes
 //!   practical: the pre-redesign collect-then-summarize path materialized
@@ -46,6 +50,7 @@ use ft_algos::{caft, CommModel};
 use ft_bench::paper_instance;
 use ft_platform::ProcId;
 use ft_runtime::{execute, DetectionModel, EngineConfig, LifetimeDist, RecoveryPolicy, Simulation};
+use ft_serve::{ArtifactCache, JobSpec};
 use ft_sim::{replay, FaultScenario};
 use std::hint::black_box;
 
@@ -190,10 +195,30 @@ fn bench_simulate_many(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_serve_setup(c: &mut Criterion) {
+    let workload = JobSpec::example("bench").workload;
+    // Semantics check: the warm resolve reports both levels hit and
+    // hands back the very artifacts the cold resolve built.
+    let shared = ArtifactCache::default();
+    let cold = shared.resolve(&workload);
+    let warm = shared.resolve(&workload);
+    assert!(!cold.outcome.schedule_hit && warm.outcome.schedule_hit);
+    assert!(std::sync::Arc::ptr_eq(&cold.sched, &warm.sched));
+
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("cold job setup", |b| {
+        b.iter(|| black_box(ArtifactCache::default().resolve(&workload)))
+    });
+    group.bench_function("warm job setup", |b| {
+        b.iter(|| black_box(shared.resolve(&workload)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_execute, bench_no_failure_overhead, bench_detection_models, bench_transient,
-        bench_simulate_many
+        bench_simulate_many, bench_serve_setup
 }
 criterion_main!(benches);

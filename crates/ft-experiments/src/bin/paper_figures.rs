@@ -33,6 +33,9 @@
 //! paper-figures validate --quick --bless           # re-target the records
 //! paper-figures validate --quick --out dir/        # write refreshed
 //!                                   # records elsewhere (CI artifacts)
+//! paper-figures validate --records validation/full # full-resolution lane:
+//!                                   # load + bless records under a
+//!                                   # different directory
 //! ```
 
 use ft_experiments::degradation::{
@@ -61,6 +64,11 @@ struct Dump {
 /// completion isoclines for the grid), optionally re-target the records
 /// (`--bless`) or write the refreshed records elsewhere (`--out`, the CI
 /// artifact path), and exit 1 when any claim FAILED.
+///
+/// `--records DIR` points both loading and blessing at a different
+/// record set — the full-resolution lane keeps its records under
+/// `validation/full/` so the quick (tier-1) and full (weekly) lanes
+/// never overwrite each other's targets.
 fn run_validate(args: &[String], quick: bool) {
     let family_filter: Option<String> = args
         .iter()
@@ -83,7 +91,12 @@ fn run_validate(args: &[String], quick: bool) {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    let dir = committed_dir();
+    let dir = args
+        .iter()
+        .position(|a| a == "--records")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(committed_dir);
     let mut all_passed = true;
     for fam in FAMILIES
         .iter()

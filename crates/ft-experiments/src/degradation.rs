@@ -36,15 +36,8 @@
 //! policy spans the whole fixed-interval column family (the comparison
 //! recorded in EXPERIMENTS.md).
 
-use ft_algos::{caft, CommModel};
-use ft_graph::gen::{random_layered, RandomDagParams};
-use ft_platform::{random_instance, PlatformParams};
-use ft_runtime::{
-    BatchSummary, DetectionModel, FailureKind, LifetimeDist, RecoveryPolicy, RepairModel,
-    Simulation,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::sweep::{SweepGrid, WorkloadSpec};
+use ft_runtime::{BatchSummary, DetectionModel, FailureKind, RecoveryPolicy, RepairModel};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the degradation sweep.
@@ -124,6 +117,22 @@ impl DetectionKind {
             DetectionKind::Gossip => "gossip",
         }
     }
+
+    /// The concrete [`DetectionModel`] of this selector on an
+    /// `m`-processor platform: `latency` is the scale knob (the uniform
+    /// delay, the centre of the per-processor spread, twice the gossip
+    /// period) and `seed` drives the gossip rounds.
+    pub fn model(self, m: usize, latency: f64, seed: u64) -> DetectionModel {
+        match self {
+            DetectionKind::Uniform => DetectionModel::uniform(latency),
+            DetectionKind::PerProcessor => DetectionModel::per_processor_spread(m, latency),
+            DetectionKind::Gossip => DetectionModel::Gossip {
+                period: latency / 2.0,
+                fanout: 2,
+                seed,
+            },
+        }
+    }
 }
 
 impl Default for DegradationConfig {
@@ -154,21 +163,37 @@ impl DegradationConfig {
     /// is tuned to the cell's `mttf` — filtered down when `only_policy`
     /// is set.
     pub fn policies(&self, mean_task_cost: f64, mttf: f64) -> Vec<RecoveryPolicy> {
-        let mut all: Vec<RecoveryPolicy> = RecoveryPolicy::ALL.to_vec();
-        for &iv in &self.checkpoint_intervals {
-            all.push(RecoveryPolicy::checkpoint(
-                iv * mean_task_cost,
-                self.checkpoint_overhead * mean_task_cost,
-            ));
+        self.grid().roster(mean_task_cost, mttf)
+    }
+
+    /// The workload recipe of the sweep, as a serializable
+    /// [`WorkloadSpec`]: [`build`](WorkloadSpec::build) reproduces the
+    /// sweep's graph → instance → schedule pipeline byte-for-byte.
+    pub fn workload(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            tasks: self.tasks,
+            procs: self.procs,
+            eps: self.eps,
+            granularity: self.granularity,
+            seed: self.seed,
         }
-        all.push(RecoveryPolicy::adaptive_checkpoint(
-            mttf,
-            self.checkpoint_overhead * mean_task_cost,
-        ));
-        if let Some(name) = &self.only_policy {
-            all.retain(|p| p.name() == name.as_str());
+    }
+
+    /// The scenario axes of the sweep, as a serializable [`SweepGrid`]
+    /// (singleton MTTR and detection axes — the degradation sweep varies
+    /// them one config at a time).
+    pub fn grid(&self) -> SweepGrid {
+        SweepGrid {
+            mttf_factors: self.mttf_factors.clone(),
+            mttr_factors: vec![self.mttr_factor],
+            detections: vec![self.detection],
+            checkpoint_intervals: self.checkpoint_intervals.clone(),
+            checkpoint_overhead: self.checkpoint_overhead,
+            only_policy: self.only_policy.clone(),
+            runs: self.runs,
+            detection_latency: self.detection_latency,
+            seed: self.seed,
         }
-        all
     }
 
     /// The failure kind of the sweep's Monte-Carlo draws for a schedule
@@ -195,17 +220,7 @@ impl DegradationConfig {
     /// The concrete [`DetectionModel`] of the sweep on an `m`-processor
     /// platform (see [`DetectionKind`] for the scaling conventions).
     pub fn detection_model(&self, m: usize) -> DetectionModel {
-        match self.detection {
-            DetectionKind::Uniform => DetectionModel::uniform(self.detection_latency),
-            DetectionKind::PerProcessor => {
-                DetectionModel::per_processor_spread(m, self.detection_latency)
-            }
-            DetectionKind::Gossip => DetectionModel::Gossip {
-                period: self.detection_latency / 2.0,
-                fanout: 2,
-                seed: self.seed,
-            },
-        }
+        self.detection.model(m, self.detection_latency, self.seed)
     }
 }
 
@@ -219,47 +234,26 @@ pub struct DegradationRow {
 }
 
 /// Runs the sweep: one CAFT schedule, `|mttf_factors| × |policies|`
-/// Monte-Carlo batches through the [`Simulation`] front door.
-/// Deterministic in the configuration; every policy sees the **same**
-/// fault draws at a given rate (the simulation seed depends only on the
-/// rate), so cells in one rate group are run-for-run comparable.
+/// Monte-Carlo batches. Deterministic in the configuration; every policy
+/// sees the **same** fault draws at a given rate (the simulation seed
+/// depends only on the rate), so cells in one rate group are run-for-run
+/// comparable.
+///
+/// Since the sweep-service PR this is a thin composition of the
+/// job-facing [`sweep`](crate::sweep) types — [`WorkloadSpec::build`]
+/// then [`CellSpec::run`](crate::sweep::CellSpec::run) per grid cell —
+/// byte-identical to the historical fused loop (pinned by the golden
+/// tests and `sweep::tests`).
 pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let graph = random_layered(&RandomDagParams::default().with_tasks(cfg.tasks), &mut rng);
-    let inst = random_instance(
-        graph,
-        &PlatformParams::default().with_procs(cfg.procs),
-        cfg.granularity,
-        &mut rng,
-    );
-    let sched = caft(&inst, cfg.eps, CommModel::OnePort, cfg.seed);
-    let nominal = sched.latency();
-    let detection = cfg.detection_model(inst.num_procs());
-    let mut rows = Vec::new();
-    for &factor in &cfg.mttf_factors {
-        // The adaptive-checkpoint entry is tuned per rate, so the roster
-        // is rebuilt for each row (the other entries are identical
-        // across rates).
-        let policies = cfg.policies(inst.mean_task_cost(), nominal * factor);
-        for &policy in &policies {
-            let summary = Simulation::of(&inst, &sched)
-                .policy(policy)
-                .detection(detection.clone())
-                .failure(cfg.failure_kind(nominal))
-                .seed(cfg.seed ^ factor.to_bits())
-                .monte_carlo(
-                    cfg.runs,
-                    LifetimeDist::Exponential {
-                        mean: nominal * factor,
-                    },
-                );
-            rows.push(DegradationRow {
-                mttf_factor: factor,
-                summary,
-            });
-        }
-    }
-    rows
+    let (inst, sched) = cfg.workload().build();
+    cfg.grid()
+        .cells(inst.mean_task_cost(), sched.latency())
+        .iter()
+        .map(|cell| DegradationRow {
+            mttf_factor: cell.mttf_factor,
+            summary: cell.run(&inst, &sched),
+        })
+        .collect()
 }
 
 /// ASCII table of the sweep.

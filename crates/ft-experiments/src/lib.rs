@@ -42,6 +42,7 @@ pub mod messages;
 pub mod resilience_exp;
 pub mod runner;
 pub mod stats;
+pub mod sweep;
 pub mod table;
 pub mod validate;
 
@@ -52,4 +53,5 @@ pub use degradation::{
 pub use grid::{render_isoclines, run_grid, GridConfig, GridResult, PlatformSetting};
 pub use runner::{run_figure, FigureResult, PointResult};
 pub use stats::Accumulator;
+pub use sweep::{CellSpec, SweepGrid, WorkloadSpec};
 pub use validate::{validate_family, Claim, FamilyValidation, FAMILIES};

@@ -220,6 +220,167 @@ fn simulate_many_inner(
         .finish_labeled(cfg.engine.policy, policy.label())
 }
 
+/// A resumable, chunked form of [`simulate_many_with`]: the batch's runs
+/// are executed in caller-paced chunks, each chunk through the same
+/// rayon fold/reduce as [`simulate_many`], and folded into one held
+/// [`BatchAccumulator`]. Between chunks the caller can take a
+/// [`snapshot`](ChunkedBatch::snapshot) — a well-defined partial
+/// [`BatchSummary`] over the runs executed so far — or abandon the batch
+/// entirely (cancellation).
+///
+/// Because run `i`'s scenario depends only on `(cfg.seed, i)` and the
+/// accumulator merge is bit-exact (see the module docs), the final
+/// summary is **byte-identical** to a direct [`simulate_many_with`] call
+/// regardless of how the runs were chunked — the property `ft-serve`
+/// leans on to stream result deltas without changing the science.
+///
+/// # Example
+///
+/// ```
+/// use ft_runtime::{
+///     simulate_many, ChunkedBatch, EngineConfig, FailureKind, LifetimeDist, MonteCarloConfig,
+///     RecoveryPolicy,
+/// };
+/// use ft_algos::{caft, CommModel};
+/// use ft_graph::gen::{random_layered, RandomDagParams};
+/// use ft_platform::{random_instance, PlatformParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let g = random_layered(&RandomDagParams::default().with_tasks(25), &mut rng);
+/// let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+/// let sched = caft(&inst, 1, CommModel::OnePort, 5);
+/// let cfg = MonteCarloConfig {
+///     runs: 60,
+///     lifetime: LifetimeDist::Exponential { mean: 2.0 * sched.latency() },
+///     failure: FailureKind::Permanent,
+///     engine: EngineConfig::with_policy(RecoveryPolicy::ReReplicate),
+///     seed: 9,
+/// };
+/// let mut chunked = ChunkedBatch::new(&inst, &sched, &cfg, &cfg.engine.policy);
+/// while chunked.run_chunk(17) > 0 {
+///     let partial = chunked.snapshot();
+///     assert_eq!(partial.runs, chunked.completed_runs());
+/// }
+/// // Any chunking yields the same bytes as the one-shot batch.
+/// let direct = simulate_many(&inst, &sched, &cfg);
+/// assert_eq!(
+///     serde_json::to_string(&chunked.finish()).unwrap(),
+///     serde_json::to_string(&direct).unwrap(),
+/// );
+/// ```
+pub struct ChunkedBatch<'a> {
+    inst: &'a Instance,
+    sched: &'a FtSchedule,
+    cfg: &'a MonteCarloConfig,
+    policy: &'a dyn Policy,
+    acc: BatchAccumulator,
+    next_run: usize,
+}
+
+impl<'a> ChunkedBatch<'a> {
+    /// Opens the batch described by `cfg` for chunked execution under an
+    /// explicit [`Policy`] (pass `&cfg.engine.policy` for the built-in
+    /// path, exactly as [`simulate_many`] does). No runs are executed
+    /// yet.
+    pub fn new(
+        inst: &'a Instance,
+        sched: &'a FtSchedule,
+        cfg: &'a MonteCarloConfig,
+        policy: &'a dyn Policy,
+    ) -> Self {
+        ChunkedBatch {
+            inst,
+            sched,
+            cfg,
+            policy,
+            acc: BatchAccumulator::new(sched.latency()),
+            next_run: 0,
+        }
+    }
+
+    /// Runs executed so far.
+    pub fn completed_runs(&self) -> usize {
+        self.next_run
+    }
+
+    /// Runs not yet executed.
+    pub fn remaining_runs(&self) -> usize {
+        self.cfg.runs - self.next_run
+    }
+
+    /// Whether every run of the batch has been executed.
+    pub fn is_done(&self) -> bool {
+        self.next_run >= self.cfg.runs
+    }
+
+    /// Executes the next (up to) `n` runs of the batch — rayon-parallel,
+    /// like [`simulate_many`] — and folds them into the held accumulator.
+    /// Returns the number of runs actually executed (less than `n` only
+    /// at the tail; `0` once the batch is done).
+    pub fn run_chunk(&mut self, n: usize) -> usize {
+        let start = self.next_run;
+        let end = self.cfg.runs.min(start.saturating_add(n));
+        if start >= end {
+            return 0;
+        }
+        let m = self.inst.num_procs();
+        let nominal = self.sched.latency();
+        let chunk = (start..end)
+            .into_par_iter()
+            .fold(
+                || BatchAccumulator::new(nominal),
+                |mut acc, i| {
+                    let scenario =
+                        scenario_of_run(self.cfg.seed, &self.cfg.lifetime, &self.cfg.failure, m, i);
+                    let out = execute_with(
+                        self.inst,
+                        self.sched,
+                        &scenario,
+                        &self.cfg.engine,
+                        self.policy,
+                    );
+                    acc.record(scenario.earliest_crash(), &out);
+                    acc
+                },
+            )
+            .reduce(|| BatchAccumulator::new(nominal), BatchAccumulator::merge);
+        let held = std::mem::replace(&mut self.acc, BatchAccumulator::new(nominal));
+        self.acc = held.merge(chunk);
+        self.next_run = end;
+        end - start
+    }
+
+    /// A partial [`BatchSummary`] over the runs executed so far — the
+    /// exact summary [`simulate_many_with`] would return for a batch of
+    /// [`completed_runs`](ChunkedBatch::completed_runs) runs. Mergeable
+    /// downstream: successive snapshots supersede each other (each covers
+    /// all runs so far, not a delta).
+    pub fn snapshot(&self) -> BatchSummary {
+        self.acc
+            .clone()
+            .finish_labeled(self.cfg.engine.policy, self.policy.label())
+    }
+
+    /// Executes any outstanding runs, then closes the batch. The result
+    /// is byte-identical to [`simulate_many_with`] on the same
+    /// configuration, regardless of prior chunking.
+    pub fn finish(mut self) -> BatchSummary {
+        while self.run_chunk(usize::MAX) > 0 {}
+        self.acc
+            .finish_labeled(self.cfg.engine.policy, self.policy.label())
+    }
+}
+
+impl std::fmt::Debug for ChunkedBatch<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedBatch")
+            .field("next_run", &self.next_run)
+            .field("total_runs", &self.cfg.runs)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Streaming aggregate of run outcomes: constant-size, mergeable, and
 /// bit-exact under any merge tree.
 ///
@@ -668,6 +829,85 @@ mod tests {
             serde_json::to_string(&with).unwrap(),
             serde_json::to_string(&without).unwrap(),
             "the progress channel must not influence the aggregate"
+        );
+    }
+
+    #[test]
+    fn chunked_batch_matches_simulate_many_for_any_chunking() {
+        let (inst, sched) = setup();
+        let cfg = MonteCarloConfig {
+            runs: 100,
+            lifetime: LifetimeDist::Exponential {
+                mean: sched.latency(),
+            },
+            failure: FailureKind::Permanent,
+            engine: EngineConfig::with_policy(RecoveryPolicy::ReReplicate),
+            seed: 13,
+        };
+        let direct = serde_json::to_string(&simulate_many(&inst, &sched, &cfg)).unwrap();
+        // Chunk sizes: single runs, irregular, one-shot, larger-than-batch.
+        for &n in &[1usize, 7, 33, 100, 1000] {
+            let mut chunked = ChunkedBatch::new(&inst, &sched, &cfg, &cfg.engine.policy);
+            while chunked.run_chunk(n) > 0 {}
+            assert!(chunked.is_done());
+            assert_eq!(chunked.remaining_runs(), 0);
+            assert_eq!(
+                serde_json::to_string(&chunked.finish()).unwrap(),
+                direct,
+                "chunk size {n} changed the summary bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_batch_snapshot_is_the_prefix_batch() {
+        // A snapshot after k runs must be byte-identical to a direct
+        // simulate_many over a k-run batch of the same seed: prefixes of
+        // the scenario stream are themselves well-formed batches.
+        let (inst, sched) = setup();
+        let mk = |runs| MonteCarloConfig {
+            runs,
+            lifetime: LifetimeDist::Exponential {
+                mean: sched.latency(),
+            },
+            failure: FailureKind::Permanent,
+            engine: EngineConfig::with_policy(RecoveryPolicy::Reschedule),
+            seed: 99,
+        };
+        let cfg = mk(60);
+        let mut chunked = ChunkedBatch::new(&inst, &sched, &cfg, &cfg.engine.policy);
+        let mut done = 0;
+        while !chunked.is_done() {
+            done += chunked.run_chunk(23);
+            assert_eq!(chunked.completed_runs(), done);
+            let prefix_cfg = mk(done);
+            assert_eq!(
+                serde_json::to_string(&chunked.snapshot()).unwrap(),
+                serde_json::to_string(&simulate_many(&inst, &sched, &prefix_cfg)).unwrap(),
+                "snapshot after {done} runs diverged from the {done}-run batch"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_batch_finish_runs_the_outstanding_tail() {
+        let (inst, sched) = setup();
+        let cfg = MonteCarloConfig {
+            runs: 40,
+            lifetime: LifetimeDist::Exponential {
+                mean: sched.latency() * 2.0,
+            },
+            failure: FailureKind::Permanent,
+            engine: EngineConfig::with_policy(RecoveryPolicy::ReReplicate),
+            seed: 5,
+        };
+        let mut chunked = ChunkedBatch::new(&inst, &sched, &cfg, &cfg.engine.policy);
+        chunked.run_chunk(11); // leave a tail outstanding
+        let finished = chunked.finish();
+        assert_eq!(finished.runs, 40);
+        assert_eq!(
+            serde_json::to_string(&finished).unwrap(),
+            serde_json::to_string(&simulate_many(&inst, &sched, &cfg)).unwrap()
         );
     }
 

@@ -118,8 +118,8 @@ pub mod policy;
 pub mod simulation;
 
 pub use batch::{
-    simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator, ExactSum,
-    MonteCarloConfig, Progress,
+    simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator, ChunkedBatch,
+    ExactSum, MonteCarloConfig, Progress,
 };
 pub use detection::DetectionModel;
 pub use engine::{
@@ -141,10 +141,10 @@ pub mod prelude {
         draw_scenario, draw_scenario_with, execute, execute_observed, execute_observed_with,
         execute_profiled, execute_profiled_with, execute_traced, execute_traced_with, execute_with,
         report, simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator,
-        BatchSummary, CheckpointPlan, DetectionModel, EngineConfig, EngineTrace, FailureKind,
-        Histogram, LifetimeDist, MetricSet, MonteCarloConfig, NoopObserver, ObservedSimulation,
-        Observer, Phase, PhaseProfile, PhaseStat, Policy, PolicyEvent, PolicyView, Progress,
-        RecoveryAction, RecoveryPolicy, RepairModel, RunOutcome, RunReport, Simulation, TaskInfo,
-        TraceEvent, TraceEventKind, TraceObserver,
+        BatchSummary, CheckpointPlan, ChunkedBatch, DetectionModel, EngineConfig, EngineTrace,
+        FailureKind, Histogram, LifetimeDist, MetricSet, MonteCarloConfig, NoopObserver,
+        ObservedSimulation, Observer, Phase, PhaseProfile, PhaseStat, Policy, PolicyEvent,
+        PolicyView, Progress, RecoveryAction, RecoveryPolicy, RepairModel, RunOutcome, RunReport,
+        Simulation, TaskInfo, TraceEvent, TraceEventKind, TraceObserver,
     };
 }

@@ -1,0 +1,340 @@
+//! `ft-serve` — the sweep-service CLI: daemon and thin file-protocol
+//! clients.
+//!
+//! ```text
+//! ft-serve run --root DIR [--workers N] [--poll-ms MS] [--once]
+//! ft-serve submit --root DIR (--spec FILE | --example TENANT) [--id ID]
+//! ft-serve status --root DIR [ID]
+//! ft-serve watch --root DIR ID [--timeout-s S]
+//! ft-serve cancel --root DIR ID
+//! ft-serve stop --root DIR
+//! ft-serve verify --root DIR ID [--expect-cache-hit]
+//! ft-serve example-spec [--tenant T] [--runs N] [--delta-every N]
+//! ```
+//!
+//! Every client subcommand speaks the directory protocol (DESIGN.md
+//! §14) — no daemon connection needed; `submit` against a root whose
+//! daemon starts later just works.
+
+use ft_serve::{
+    read_deltas, read_final, request_stop, Daemon, JobQueue, JobSpec, JobState, ServeError,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "watch" => cmd_watch(rest),
+        "cancel" => cmd_cancel(rest),
+        "stop" => cmd_stop(rest),
+        "verify" => cmd_verify(rest),
+        "example-spec" => cmd_example_spec(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ft-serve {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "ft-serve — persistent multi-tenant sweep daemon over a file-based queue
+
+  run          --root DIR [--workers N] [--poll-ms MS] [--once]
+  submit       --root DIR (--spec FILE | --example TENANT) [--id ID]
+  status       --root DIR [ID]
+  watch        --root DIR ID [--timeout-s S]
+  cancel       --root DIR ID
+  stop         --root DIR
+  verify       --root DIR ID [--expect-cache-hit]
+  example-spec [--tenant T] [--runs N] [--delta-every N]";
+
+/// Minimal flag cursor over the subcommand's arguments.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value(&self, flag: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn present(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    fn positional(&self) -> Option<&'a str> {
+        let mut skip = false;
+        for a in self.args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if let Some(stripped) = a.strip_prefix("--") {
+                // Flags that take a value consume the next argument.
+                skip = !matches!(stripped, "once" | "expect-cache-hit");
+                continue;
+            }
+            return Some(a);
+        }
+        None
+    }
+
+    fn root(&self) -> Result<PathBuf, ServeError> {
+        self.value("--root")
+            .map(PathBuf::from)
+            .ok_or_else(|| ServeError::Message("--root DIR is required".into()))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ServeError> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ServeError::Message(format!("{flag}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, ServeError> {
+    let flags = Flags { args };
+    let root = flags.root()?;
+    let workers = flags.parsed("--workers", 2usize)?;
+    let poll_ms = flags.parsed("--poll-ms", 50u64)?;
+    let daemon = Daemon::new(&root)?
+        .with_workers(workers)
+        .with_poll(Duration::from_millis(poll_ms));
+    eprintln!(
+        "ft-serve: daemon over {} ({} workers, poll {poll_ms} ms)",
+        root.display(),
+        workers
+    );
+    if flags.present("--once") {
+        daemon.run_until_idle()?;
+    } else {
+        daemon.run()?;
+    }
+    let stats = daemon.cache().stats();
+    eprintln!(
+        "ft-serve: daemon exiting (cache: {}i+{}s hits, {}i+{}s misses)",
+        stats.instance_hits, stats.schedule_hits, stats.instance_misses, stats.schedule_misses
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_submit(args: &[String]) -> Result<ExitCode, ServeError> {
+    let flags = Flags { args };
+    let queue = JobQueue::open(flags.root()?)?;
+    let spec = match (flags.value("--spec"), flags.value("--example")) {
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)?;
+            serde_json::from_str(&text)
+                .map_err(|e| ServeError::Message(format!("parsing {path}: {e}")))?
+        }
+        (None, Some(tenant)) => JobSpec::example(tenant),
+        _ => {
+            return Err(ServeError::Message(
+                "submit needs exactly one of --spec FILE or --example TENANT".into(),
+            ))
+        }
+    };
+    let id = queue.submit(flags.value("--id"), &spec)?;
+    println!("{id}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_status(args: &[String]) -> Result<ExitCode, ServeError> {
+    let flags = Flags { args };
+    let queue = JobQueue::open(flags.root()?)?;
+    match flags.positional() {
+        Some(id) => match queue.state(id) {
+            None => Err(ServeError::Message(format!("unknown job {id:?}"))),
+            Some(state) => {
+                print_job_line(&queue, id, state);
+                Ok(ExitCode::SUCCESS)
+            }
+        },
+        None => {
+            for (id, state) in queue.jobs()? {
+                print_job_line(&queue, &id, state);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn print_job_line(queue: &JobQueue, id: &str, state: JobState) {
+    let extra = match state {
+        JobState::Failed => queue
+            .read_error(id)
+            .map(|e| format!("  ({})", e.trim()))
+            .unwrap_or_default(),
+        JobState::Running => {
+            let root = queue.root().to_path_buf();
+            match read_deltas(&root, id) {
+                Ok(deltas) if !deltas.is_empty() => {
+                    let last = &deltas[deltas.len() - 1];
+                    format!(
+                        "  (cell {} · {}/{} runs)",
+                        last.cell, last.completed_runs, last.total_runs
+                    )
+                }
+                _ => String::new(),
+            }
+        }
+        _ => String::new(),
+    };
+    println!("{id:<24} {:<8}{extra}", format!("{state:?}").to_lowercase());
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, ServeError> {
+    let flags = Flags { args };
+    let root = flags.root()?;
+    let id = flags
+        .positional()
+        .ok_or_else(|| ServeError::Message("watch needs a job id".into()))?;
+    let timeout = Duration::from_secs(flags.parsed("--timeout-s", 600u64)?);
+    let queue = JobQueue::open(&root)?;
+    let started = Instant::now();
+    let mut printed = 0usize;
+    loop {
+        let deltas = read_deltas(&root, id)?;
+        for d in &deltas[printed.min(deltas.len())..] {
+            println!(
+                "{}  cell {:>3} [{}]  {:>6}/{} runs  completion {:>5.1}%",
+                d.job,
+                d.cell,
+                d.label,
+                d.completed_runs,
+                d.total_runs,
+                d.summary.completion_rate() * 100.0
+            );
+        }
+        printed = printed.max(deltas.len());
+        match queue.state(id) {
+            Some(JobState::Done) => {
+                let rec = read_final(&root, id)?;
+                println!(
+                    "{id}: done — {} cells (cache: instance {}, schedule {})",
+                    rec.cells.len(),
+                    if rec.cache.instance_hit {
+                        "hit"
+                    } else {
+                        "miss"
+                    },
+                    if rec.cache.schedule_hit {
+                        "hit"
+                    } else {
+                        "miss"
+                    },
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            Some(JobState::Failed) => {
+                let why = queue.read_error(id).unwrap_or_default();
+                eprintln!("{id}: failed — {}", why.trim());
+                return Ok(ExitCode::from(2));
+            }
+            Some(_) => {}
+            None => return Err(ServeError::Message(format!("unknown job {id:?}"))),
+        }
+        if started.elapsed() > timeout {
+            return Err(ServeError::Message(format!(
+                "timed out after {}s waiting on {id}",
+                timeout.as_secs()
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn cmd_cancel(args: &[String]) -> Result<ExitCode, ServeError> {
+    let flags = Flags { args };
+    let queue = JobQueue::open(flags.root()?)?;
+    let id = flags
+        .positional()
+        .ok_or_else(|| ServeError::Message("cancel needs a job id".into()))?;
+    queue.cancel(id)?;
+    eprintln!("{id}: cancellation requested");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stop(args: &[String]) -> Result<ExitCode, ServeError> {
+    let flags = Flags { args };
+    let root = flags.root()?;
+    request_stop(&root)?;
+    eprintln!("stop sentinel dropped at {}", root.join("stop").display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Recomputes the job's grid directly through `simulate_many` and
+/// byte-compares against the daemon's final record — the end-to-end
+/// "service adds zero science" check, also used by the CI acceptance
+/// drill (with `--expect-cache-hit` for the warm tenant).
+fn cmd_verify(args: &[String]) -> Result<ExitCode, ServeError> {
+    let flags = Flags { args };
+    let root = flags.root()?;
+    let id = flags
+        .positional()
+        .ok_or_else(|| ServeError::Message("verify needs a job id".into()))?;
+    let queue = JobQueue::open(&root)?;
+    if queue.state(id) != Some(JobState::Done) {
+        return Err(ServeError::Message(format!("job {id:?} is not done")));
+    }
+    let spec = queue.read_spec(JobState::Done, id)?;
+    let record = read_final(&root, id)?;
+    if flags.present("--expect-cache-hit") && !record.cache.schedule_hit {
+        eprintln!("{id}: FAILED — expected a schedule-cache hit, job resolved cold");
+        return Ok(ExitCode::from(2));
+    }
+    let direct = spec.direct_cell_results();
+    let served =
+        serde_json::to_string(&record.cells).map_err(|e| ServeError::Message(e.to_string()))?;
+    let reference =
+        serde_json::to_string(&direct).map_err(|e| ServeError::Message(e.to_string()))?;
+    if served == reference {
+        println!(
+            "{id}: OK — {} cells byte-identical to direct simulate_many",
+            direct.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("{id}: FAILED — served summaries differ from direct simulate_many");
+        Ok(ExitCode::from(2))
+    }
+}
+
+fn cmd_example_spec(args: &[String]) -> Result<ExitCode, ServeError> {
+    let flags = Flags { args };
+    let mut spec = JobSpec::example(flags.value("--tenant").unwrap_or("example"));
+    spec.grid.runs = flags.parsed("--runs", spec.grid.runs)?;
+    spec.delta_every = flags.parsed("--delta-every", spec.delta_every)?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&spec).map_err(|e| ServeError::Message(e.to_string()))?
+    );
+    Ok(ExitCode::SUCCESS)
+}

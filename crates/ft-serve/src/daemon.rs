@@ -1,0 +1,269 @@
+//! The daemon: a bounded worker pool draining the queue through the
+//! artifact cache, streaming deltas as cells execute.
+//!
+//! Each worker loops claim → execute. Executing a job resolves its
+//! workload through the shared [`ArtifactCache`], enumerates the grid
+//! cells, and runs each cell through a
+//! [`ChunkedBatch`] in `delta_every`-run
+//! chunks: after every chunk a partial-summary [`DeltaRecord`] is
+//! appended to `results/<id>/deltas.jsonl` (flushed, so clients tail it
+//! live) and the job's cancellation tombstone is checked. The final
+//! [`FinalRecord`] is written via temp-file + rename — a `final.json`
+//! is always complete.
+//!
+//! Chunking, worker count and cache hits cannot change the result: the
+//! final summaries are byte-identical to direct
+//! [`simulate_many`](ft_runtime::simulate_many) calls (the
+//! [`ChunkedBatch`] identity, re-pinned
+//! end-to-end through the daemon by `tests/service.rs`).
+
+use crate::cache::ArtifactCache;
+use crate::job::{CellResult, DeltaRecord, FinalRecord};
+use crate::queue::{ClaimOutcome, JobQueue, JobState, ServeError};
+use ft_runtime::ChunkedBatch;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The sweep daemon. Construct with [`new`](Daemon::new), tune with the
+/// `with_*` builders, then either [`run`](Daemon::run) (poll until the
+/// stop sentinel appears) or [`run_until_idle`](Daemon::run_until_idle)
+/// (drain the current queue and return — the in-process/test mode).
+pub struct Daemon {
+    queue: JobQueue,
+    cache: Arc<ArtifactCache>,
+    workers: usize,
+    poll: Duration,
+}
+
+impl Daemon {
+    /// A daemon over the queue at `root` with a fresh default cache,
+    /// 2 workers, and a 50 ms poll interval.
+    pub fn new(root: impl AsRef<Path>) -> Result<Daemon, ServeError> {
+        Ok(Daemon {
+            queue: JobQueue::open(root)?,
+            cache: Arc::new(ArtifactCache::default()),
+            workers: 2,
+            poll: Duration::from_millis(50),
+        })
+    }
+
+    /// Sets the worker-pool size (at least 1): how many jobs execute
+    /// concurrently. Cells within a job already parallelize via rayon,
+    /// so workers buy cross-tenant concurrency, not raw throughput.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the idle poll interval of [`run`](Daemon::run).
+    pub fn with_poll(mut self, poll: Duration) -> Self {
+        self.poll = poll;
+        self
+    }
+
+    /// Shares an external artifact cache (e.g. one cache across several
+    /// in-process daemon turns, or a bench's pre-warmed cache).
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The daemon's queue handle.
+    pub fn queue(&self) -> &JobQueue {
+        &self.queue
+    }
+
+    /// The daemon's artifact cache.
+    pub fn cache(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// Runs crash recovery, then drains the queue with the worker pool
+    /// and returns once no pending job is left. The in-process mode:
+    /// tests and examples call this instead of spawning a process.
+    pub fn run_until_idle(&self) -> Result<(), ServeError> {
+        self.queue.recover()?;
+        self.worker_pool(false)
+    }
+
+    /// Runs crash recovery, then polls the queue until the stop
+    /// sentinel (`<root>/stop`) appears: the long-running service mode
+    /// behind `ft-serve run`.
+    pub fn run(&self) -> Result<(), ServeError> {
+        self.queue.recover()?;
+        self.worker_pool(true)
+    }
+
+    fn worker_pool(&self, poll_until_stopped: bool) -> Result<(), ServeError> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|_| scope.spawn(move || self.worker_loop(poll_until_stopped)))
+                .collect();
+            let mut result = Ok(());
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => result = Err(e),
+                    Err(_) => result = Err(ServeError::Message("worker panicked".into())),
+                }
+            }
+            result
+        })
+    }
+
+    fn worker_loop(&self, poll_until_stopped: bool) -> Result<(), ServeError> {
+        loop {
+            match self.queue.claim()? {
+                Some(claim) => self.execute(claim)?,
+                None if poll_until_stopped => {
+                    if stop_requested(self.queue.root()) {
+                        return Ok(());
+                    }
+                    std::thread::sleep(self.poll);
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Executes one claimed job to done/failed. Execution panics (an
+    /// engine assertion a validated spec still managed to trip) are
+    /// caught and routed to `failed/` with a diagnostic — one poisoned
+    /// job must not take the worker down.
+    fn execute(&self, claim: ClaimOutcome) -> Result<(), ServeError> {
+        let id = claim.id.clone();
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_job(&claim)));
+        match run {
+            Ok(Ok(JobEnd::Done)) => self.queue.mark_done(&id),
+            Ok(Ok(JobEnd::Cancelled)) => {
+                self.queue
+                    .fail(&id, JobState::Running, "cancelled by client")
+            }
+            Ok(Err(e)) => self.queue.fail(&id, JobState::Running, &e.to_string()),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                self.queue.fail(
+                    &id,
+                    JobState::Running,
+                    &format!("execution panicked: {msg}"),
+                )
+            }
+        }
+    }
+
+    fn run_job(&self, claim: &ClaimOutcome) -> Result<JobEnd, ServeError> {
+        let spec = &claim.spec;
+        if self.queue.cancelled(&claim.id) {
+            return Ok(JobEnd::Cancelled);
+        }
+        let resolved = self.cache.resolve(&spec.workload);
+        let cells = spec
+            .grid
+            .cells(resolved.inst.mean_task_cost(), resolved.sched.latency());
+        let results_dir = self.queue.results_dir(&claim.id);
+        fs::create_dir_all(&results_dir)?;
+        let mut deltas = if spec.delta_every > 0 {
+            Some(fs::File::create(results_dir.join("deltas.jsonl"))?)
+        } else {
+            None
+        };
+        let mut finished = Vec::with_capacity(cells.len());
+        for (idx, cell) in cells.iter().enumerate() {
+            let mc = cell.monte_carlo_config(&resolved.inst, &resolved.sched);
+            let mut chunked =
+                ChunkedBatch::new(&resolved.inst, &resolved.sched, &mc, &mc.engine.policy);
+            let chunk = if spec.delta_every > 0 {
+                spec.delta_every
+            } else {
+                usize::MAX
+            };
+            while !chunked.is_done() {
+                if self.queue.cancelled(&claim.id) {
+                    return Ok(JobEnd::Cancelled);
+                }
+                chunked.run_chunk(chunk);
+                if let Some(out) = deltas.as_mut() {
+                    let record = DeltaRecord {
+                        job: claim.id.clone(),
+                        cell: idx,
+                        label: cell.label(),
+                        completed_runs: chunked.completed_runs(),
+                        total_runs: mc.runs,
+                        summary: chunked.snapshot(),
+                    };
+                    let line = serde_json::to_string(&record)
+                        .map_err(|e| ServeError::Message(e.to_string()))?;
+                    writeln!(out, "{line}")?;
+                    out.flush()?;
+                }
+            }
+            finished.push(CellResult {
+                label: cell.label(),
+                summary: chunked.finish(),
+            });
+        }
+        let record = FinalRecord {
+            job: claim.id.clone(),
+            tenant: spec.tenant.clone(),
+            cells: finished,
+            cache: resolved.outcome,
+        };
+        let tmp = results_dir.join("final.json.tmp");
+        fs::write(
+            &tmp,
+            serde_json::to_string_pretty(&record)
+                .map_err(|e| ServeError::Message(e.to_string()))?,
+        )?;
+        fs::rename(&tmp, results_dir.join("final.json"))?;
+        Ok(JobEnd::Done)
+    }
+}
+
+enum JobEnd {
+    Done,
+    Cancelled,
+}
+
+/// Whether the stop sentinel (`<root>/stop`) exists.
+pub fn stop_requested(root: &Path) -> bool {
+    root.join("stop").exists()
+}
+
+/// Drops the stop sentinel: a polling daemon exits once idle.
+pub fn request_stop(root: &Path) -> Result<(), ServeError> {
+    fs::write(root.join("stop"), "")?;
+    Ok(())
+}
+
+/// Reads a finished job's final record.
+pub fn read_final(root: &Path, id: &str) -> Result<FinalRecord, ServeError> {
+    let path = root.join("results").join(id).join("final.json");
+    let text = fs::read_to_string(&path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| ServeError::Message(format!("parsing {}: {e}", path.display())))
+}
+
+/// Reads a job's streamed delta records (empty if streaming was off or
+/// nothing has landed yet).
+pub fn read_deltas(root: &Path, id: &str) -> Result<Vec<DeltaRecord>, ServeError> {
+    let path = root.join("results").join(id).join("deltas.jsonl");
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            serde_json::from_str(l)
+                .map_err(|e| ServeError::Message(format!("parsing delta line: {e}")))
+        })
+        .collect()
+}

@@ -1,0 +1,284 @@
+//! End-to-end service tests: the daemon over a real directory tree.
+//!
+//! The headline pin is the ISSUE-8 acceptance criterion: for a fixed
+//! `JobSpec`, the daemon's final merged `BatchSummary` (including
+//! `MetricSet`) is **byte-identical** to the same grid executed directly
+//! via `simulate_many` — regardless of delta-snapshot interval, worker
+//! count, or cache hits.
+
+use ft_serve::{
+    read_deltas, read_final, request_stop, ArtifactCache, Daemon, JobQueue, JobSpec, JobState,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+static NEXT: AtomicU32 = AtomicU32::new(0);
+
+fn temp_root(tag: &str) -> PathBuf {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ft-serve-it-{tag}-{}-{n}", std::process::id()))
+}
+
+fn cells_json(cells: &[ft_serve::CellResult]) -> String {
+    serde_json::to_string(cells).unwrap()
+}
+
+#[test]
+fn daemon_final_record_is_byte_identical_to_direct_simulate_many() {
+    // The determinism identity, across the three knobs the service adds:
+    // delta interval, worker count, cache temperature.
+    let spec = JobSpec::example("alice");
+    let reference = cells_json(&spec.direct_cell_results());
+    for (delta_every, workers) in [(0usize, 1usize), (1, 2), (7, 3), (1000, 2)] {
+        let root = temp_root("identity");
+        let queue = JobQueue::open(&root).unwrap();
+        let mut job = spec.clone();
+        job.delta_every = delta_every;
+        let cold = queue.submit(Some("cold"), &job).unwrap();
+        let warm = queue.submit(Some("warm"), &job).unwrap();
+        Daemon::new(&root)
+            .unwrap()
+            .with_workers(workers)
+            .run_until_idle()
+            .unwrap();
+        for id in [&cold, &warm] {
+            assert_eq!(queue.state(id), Some(JobState::Done), "{id} must finish");
+            let rec = read_final(&root, id).unwrap();
+            assert_eq!(
+                cells_json(&rec.cells),
+                reference,
+                "job {id} (delta_every={delta_every}, workers={workers}) \
+                 diverged from direct simulate_many"
+            );
+        }
+        // One of the two same-workload jobs must have resolved warm —
+        // whichever ran second (worker scheduling decides which).
+        let hits = [&cold, &warm]
+            .iter()
+            .filter(|id| read_final(&root, id).unwrap().cache.schedule_hit)
+            .count();
+        assert!(hits >= 1, "the repeat workload must hit the schedule cache");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+#[test]
+fn deltas_stream_well_formed_partial_summaries() {
+    let root = temp_root("deltas");
+    let queue = JobQueue::open(&root).unwrap();
+    let mut spec = JobSpec::example("tail");
+    spec.delta_every = 16; // 40 runs/cell -> 3 snapshots per cell
+    let id = queue.submit(None, &spec).unwrap();
+    Daemon::new(&root).unwrap().run_until_idle().unwrap();
+    let deltas = read_deltas(&root, &id).unwrap();
+    let cells = spec.cells();
+    assert_eq!(
+        deltas.len(),
+        cells.len() * spec.grid.runs.div_ceil(spec.delta_every),
+        "every chunk of every cell snapshots once"
+    );
+    for d in &deltas {
+        assert_eq!(d.job, id);
+        assert_eq!(d.total_runs, spec.grid.runs);
+        assert_eq!(
+            d.summary.runs, d.completed_runs,
+            "snapshot covers runs so far"
+        );
+        assert_eq!(d.label, cells[d.cell].label());
+    }
+    // The last snapshot of each cell is the cell's final summary.
+    let rec = read_final(&root, &id).unwrap();
+    for (idx, cell) in rec.cells.iter().enumerate() {
+        let last = deltas.iter().rfind(|d| d.cell == idx).unwrap();
+        assert_eq!(last.completed_runs, spec.grid.runs);
+        assert_eq!(
+            serde_json::to_string(&last.summary).unwrap(),
+            serde_json::to_string(&cell.summary).unwrap(),
+            "cell {idx}: final delta must equal the final record"
+        );
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn killed_daemon_job_is_recovered_and_completes() {
+    let root = temp_root("recover");
+    let queue = JobQueue::open(&root).unwrap();
+    let spec = JobSpec::example("crashy");
+    let id = queue.submit(None, &spec).unwrap();
+    // Simulate a daemon dying mid-job: claim it, then never finish.
+    let claimed = queue.claim().unwrap().unwrap();
+    assert_eq!(claimed.id, id);
+    assert_eq!(queue.state(&id), Some(JobState::Running));
+    // A restarted daemon re-queues the orphan and completes it.
+    Daemon::new(&root).unwrap().run_until_idle().unwrap();
+    assert_eq!(queue.state(&id), Some(JobState::Done));
+    let rec = read_final(&root, &id).unwrap();
+    assert_eq!(
+        cells_json(&rec.cells),
+        cells_json(&spec.direct_cell_results()),
+        "the recovered execution is still byte-identical"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn twice_orphaned_job_fails_instead_of_crash_looping() {
+    let root = temp_root("orphan2");
+    let queue = JobQueue::open(&root).unwrap();
+    let id = queue
+        .submit(Some("cursed"), &JobSpec::example("t"))
+        .unwrap();
+    // Two claim-then-die cycles burn the single retry...
+    assert_eq!(queue.claim().unwrap().unwrap().id, id);
+    queue.recover().unwrap();
+    assert_eq!(queue.claim().unwrap().unwrap().attempts, 2);
+    let ok = queue
+        .submit(Some("healthy"), &JobSpec::example("t"))
+        .unwrap();
+    // ...so the next daemon start fails it and still serves other jobs.
+    Daemon::new(&root).unwrap().run_until_idle().unwrap();
+    assert_eq!(queue.state(&id), Some(JobState::Failed));
+    assert!(queue.read_error(&id).unwrap().contains("not re-queueing"));
+    assert_eq!(queue.state(&ok), Some(JobState::Done));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn malformed_spec_fails_with_diagnostic_and_queue_keeps_draining() {
+    let root = temp_root("malformed");
+    let queue = JobQueue::open(&root).unwrap();
+    let good = queue.submit(None, &JobSpec::example("fine")).unwrap();
+    // Two flavors of bad submission, written behind the CLI's back:
+    // unparseable JSON and a well-formed spec that fails validation.
+    std::fs::write(root.join("queue/pending/garbled.json"), "not json at all").unwrap();
+    let mut invalid = JobSpec::example("empty");
+    invalid.grid.mttf_factors.clear();
+    std::fs::write(
+        root.join("queue/pending/hollow.json"),
+        serde_json::to_string(&invalid).unwrap(),
+    )
+    .unwrap();
+    Daemon::new(&root).unwrap().run_until_idle().unwrap();
+    assert_eq!(queue.state("garbled"), Some(JobState::Failed));
+    assert!(queue
+        .read_error("garbled")
+        .unwrap()
+        .contains("garbled.json"));
+    assert_eq!(queue.state("hollow"), Some(JobState::Failed));
+    assert!(queue.read_error("hollow").unwrap().contains("grid axes"));
+    assert_eq!(
+        queue.state(&good),
+        Some(JobState::Done),
+        "the good job drained"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn cancellation_tombstone_interrupts_a_running_job() {
+    let root = temp_root("cancel");
+    let queue = JobQueue::open(&root).unwrap();
+    // A long job with per-run snapshots: plenty of between-chunk
+    // cancellation points.
+    let mut spec = JobSpec::example("slow");
+    spec.grid.runs = 5000;
+    spec.delta_every = 5;
+    let id = queue.submit(None, &spec).unwrap();
+    let daemon_root = root.clone();
+    let daemon = std::thread::spawn(move || {
+        Daemon::new(&daemon_root)
+            .unwrap()
+            .with_workers(1)
+            .with_poll(Duration::from_millis(10))
+            .run()
+            .unwrap();
+    });
+    // Wait for the first delta (the job is genuinely mid-flight), then
+    // drop the tombstone.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while read_deltas(&root, &id).unwrap().is_empty() {
+        assert!(Instant::now() < deadline, "no delta before the deadline");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    queue.cancel(&id).unwrap();
+    while queue.state(&id) != Some(JobState::Failed) {
+        assert!(Instant::now() < deadline, "cancellation not honored");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(queue.read_error(&id).unwrap().contains("cancelled"));
+    assert!(
+        !root.join("results").join(&id).join("final.json").exists(),
+        "a cancelled job must not publish a final record"
+    );
+    request_stop(&root).unwrap();
+    daemon.join().unwrap();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn shared_cache_across_daemon_turns_reports_warm_resolution() {
+    // Two in-process daemon turns sharing one cache: the second turn's
+    // job (same workload, different tenant) must resolve fully warm and
+    // still produce identical bytes — cache hits add zero science.
+    let cache = Arc::new(ArtifactCache::default());
+    let spec_a = JobSpec::example("alice");
+    let mut spec_b = JobSpec::example("bob");
+    spec_b.grid.runs = 25; // different grid, same workload
+    let root_a = temp_root("warm-a");
+    let a = JobQueue::open(&root_a)
+        .unwrap()
+        .submit(None, &spec_a)
+        .unwrap();
+    Daemon::new(&root_a)
+        .unwrap()
+        .with_cache(cache.clone())
+        .run_until_idle()
+        .unwrap();
+    assert!(!read_final(&root_a, &a).unwrap().cache.schedule_hit);
+    let root_b = temp_root("warm-b");
+    let b = JobQueue::open(&root_b)
+        .unwrap()
+        .submit(None, &spec_b)
+        .unwrap();
+    Daemon::new(&root_b)
+        .unwrap()
+        .with_cache(cache.clone())
+        .run_until_idle()
+        .unwrap();
+    let rec = read_final(&root_b, &b).unwrap();
+    assert!(rec.cache.instance_hit && rec.cache.schedule_hit);
+    assert_eq!(
+        cells_json(&rec.cells),
+        cells_json(&spec_b.direct_cell_results())
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.schedule_misses, 1, "one cold build served both turns");
+    std::fs::remove_dir_all(&root_a).ok();
+    std::fs::remove_dir_all(&root_b).ok();
+}
+
+#[test]
+fn multi_tenant_load_completes_every_job() {
+    let root = temp_root("tenants");
+    let queue = JobQueue::open(&root).unwrap();
+    let mut ids = Vec::new();
+    for tenant in ["alice", "bob", "carol"] {
+        let mut spec = JobSpec::example(tenant);
+        spec.grid.runs = 20;
+        ids.push(queue.submit(None, &spec).unwrap());
+        ids.push(queue.submit(None, &spec).unwrap());
+    }
+    Daemon::new(&root)
+        .unwrap()
+        .with_workers(3)
+        .run_until_idle()
+        .unwrap();
+    for id in &ids {
+        assert_eq!(queue.state(id), Some(JobState::Done), "{id}");
+        assert!(read_final(&root, id).is_ok());
+    }
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -18,7 +18,9 @@
 //!   batches;
 //! * [`obs`] — observability exports: streaming JSONL trace sinks over
 //!   the engine's [`Observer`](ft_runtime::Observer) layer;
-//! * [`experiments`] — the harness regenerating every figure of the paper.
+//! * [`experiments`] — the harness regenerating every figure of the paper;
+//! * [`serve`] — the engine as a persistent multi-tenant service:
+//!   file-based job queue, warm artifact caches, streaming result deltas.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub use ft_model as model;
 pub use ft_obs as obs;
 pub use ft_platform as platform;
 pub use ft_runtime as runtime;
+pub use ft_serve as serve;
 pub use ft_sim as sim;
 
 /// One-stop imports for examples and applications.
@@ -72,11 +75,12 @@ pub mod prelude {
         draw_scenario, draw_scenario_with, execute, execute_observed, execute_observed_with,
         execute_profiled, execute_profiled_with, execute_traced, execute_traced_with, execute_with,
         simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator,
-        BatchSummary, CheckpointPlan, DetectionModel, EngineConfig, EngineTrace, FailureKind,
-        Histogram, LifetimeDist, MetricSet, MonteCarloConfig, NoopObserver, ObservedSimulation,
-        Observer, Phase, PhaseProfile, PhaseStat, Policy, PolicyEvent, PolicyView, Progress,
-        RecoveryAction, RecoveryPolicy, RepairModel, RunOutcome, Simulation, TaskInfo, TraceEvent,
-        TraceEventKind, TraceObserver,
+        BatchSummary, CheckpointPlan, ChunkedBatch, DetectionModel, EngineConfig, EngineTrace,
+        FailureKind, Histogram, LifetimeDist, MetricSet, MonteCarloConfig, NoopObserver,
+        ObservedSimulation, Observer, Phase, PhaseProfile, PhaseStat, Policy, PolicyEvent,
+        PolicyView, Progress, RecoveryAction, RecoveryPolicy, RepairModel, RunOutcome, Simulation,
+        TaskInfo, TraceEvent, TraceEventKind, TraceObserver,
     };
+    pub use ft_serve::{ArtifactCache, Daemon, JobQueue, JobSpec};
     pub use ft_sim::{replay, FaultScenario, ReplayOutcome, ReplayPolicy};
 }
