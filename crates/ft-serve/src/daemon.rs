@@ -81,18 +81,24 @@ impl Daemon {
         &self.cache
     }
 
-    /// Runs crash recovery, then drains the queue with the worker pool
-    /// and returns once no pending job is left. The in-process mode:
-    /// tests and examples call this instead of spawning a process.
+    /// Takes the root's exclusive daemon lock, runs crash recovery,
+    /// then drains the queue with the worker pool and returns once no
+    /// pending job is left. The in-process mode: tests and examples
+    /// call this instead of spawning a process. Errors without touching
+    /// the queue if another daemon already serves this root.
     pub fn run_until_idle(&self) -> Result<(), ServeError> {
+        let _lock = self.queue.lock_daemon()?;
         self.queue.recover()?;
         self.worker_pool(false)
     }
 
-    /// Runs crash recovery, then polls the queue until the stop
-    /// sentinel (`<root>/stop`) appears: the long-running service mode
-    /// behind `ft-serve run`.
+    /// Takes the root's exclusive daemon lock, runs crash recovery,
+    /// then polls the queue until the stop sentinel (`<root>/stop`)
+    /// appears: the long-running service mode behind `ft-serve run`.
+    /// Errors without touching the queue if another daemon already
+    /// serves this root.
     pub fn run(&self) -> Result<(), ServeError> {
+        let _lock = self.queue.lock_daemon()?;
         self.queue.recover()?;
         self.worker_pool(true)
     }

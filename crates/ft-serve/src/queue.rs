@@ -12,19 +12,25 @@
 //! <root>/queue/done/<id>.json       finished (rename from running)
 //! <root>/queue/failed/<id>.json     failed — <id>.error.txt holds the diagnostic
 //! <root>/queue/cancel/<id>          cancellation tombstone (client-created)
-//! <root>/queue/attempts/<id>        claim counter (recovery bookkeeping)
+//! <root>/queue/attempts/<id>        crash counter (written only by recover)
 //! <root>/queue/ids/<id>             id reservation (create_new = uniqueness)
 //! <root>/results/<id>/deltas.jsonl  streaming partial summaries
 //! <root>/results/<id>/final.json    the final record (tmp-write + rename)
+//! <root>/daemon.lock                OS advisory lock: one daemon per root
 //! <root>/stop                       daemon stop sentinel
 //! ```
 //!
 //! A job a killed daemon left in `running/` is re-queued by
-//! [`recover`](JobQueue::recover) **exactly once** (the attempts counter
-//! records every claim; a job that already burned its retry fails with a
-//! diagnostic instead of crash-looping). A malformed or invalid spec is
-//! routed to `failed/` with a diagnostic file at claim time — it cannot
-//! wedge the poll loop. Both are pinned by `tests/service.rs`.
+//! [`recover`](JobQueue::recover) **at most once** (recover itself
+//! records the crash in the attempts counter *before* re-queueing, so
+//! no crash window can mint extra retries; a job that already burned
+//! its retry fails with a diagnostic instead of crash-looping). A
+//! malformed or invalid spec is routed to `failed/` with a diagnostic
+//! file at claim time — it cannot wedge the poll loop. Both are pinned
+//! by `tests/service.rs`. Recovery assumes it owns `running/`, so a
+//! daemon must hold the root's exclusive [`RootLock`] — a second
+//! `ft-serve run` on the same root refuses to start instead of
+//! double-executing in-flight jobs.
 
 use crate::job::JobSpec;
 use serde::{Deserialize, Serialize};
@@ -64,6 +70,22 @@ impl From<std::io::Error> for ServeError {
 
 fn err(msg: impl Into<String>) -> ServeError {
     ServeError::Message(msg.into())
+}
+
+fn is_not_found(e: &ServeError) -> bool {
+    matches!(e, ServeError::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
+}
+
+/// Exclusive daemon lock on a service root, held for the daemon's
+/// lifetime (an OS advisory lock on `<root>/daemon.lock`, so a killed
+/// daemon releases it automatically). Recovery and the claim loop
+/// assume exactly one daemon owns `running/`; a second daemon on the
+/// same root would re-queue jobs that are actively executing and
+/// double-run them.
+#[derive(Debug)]
+pub struct RootLock {
+    // Dropping the handle closes the descriptor and releases the lock.
+    _file: fs::File,
 }
 
 /// Where a job currently is in its lifecycle (= which queue directory
@@ -167,10 +189,14 @@ impl JobQueue {
                 let mut k = 0u64;
                 loop {
                     let candidate = format!("{}-{k}", spec.tenant);
-                    if self.reserve(&candidate).is_ok() {
-                        break candidate;
+                    match self.reserve(&candidate) {
+                        Ok(()) => break candidate,
+                        // Only a taken id warrants the next suffix; any
+                        // other failure (ids dir gone, EACCES, ENOSPC)
+                        // would loop forever.
+                        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => k += 1,
+                        Err(e) => return Err(e.into()),
                     }
-                    k += 1;
                 }
             }
         };
@@ -181,6 +207,28 @@ impl JobQueue {
         )?;
         fs::rename(&tmp, self.job_file(JobState::Pending, &id))?;
         Ok(id)
+    }
+
+    /// Takes the root's exclusive daemon lock (`<root>/daemon.lock`),
+    /// refusing — not blocking — if another live daemon already holds
+    /// it. Must be held across [`recover`](JobQueue::recover) and the
+    /// whole claim/execute lifetime; released on drop or process death.
+    pub fn lock_daemon(&self) -> Result<RootLock, ServeError> {
+        let path = self.root.join("daemon.lock");
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => Ok(RootLock { _file: file }),
+            Err(std::fs::TryLockError::WouldBlock) => Err(err(format!(
+                "another daemon is already serving {} (exclusive lock {} is held)",
+                self.root.display(),
+                path.display()
+            ))),
+            Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+        }
     }
 
     fn reserve(&self, id: &str) -> std::io::Result<()> {
@@ -195,9 +243,12 @@ impl JobQueue {
     /// pending jobs, pick one from the tenant with the fewest jobs
     /// currently running, oldest first within a tenant. Claiming renames
     /// the spec into `running/` (atomic — concurrent workers cannot
-    /// claim the same job) and bumps the attempts counter. A pending
-    /// spec that fails to parse or validate is routed to `failed/` with
-    /// a diagnostic and skipped. Returns `None` when nothing is pending.
+    /// claim the same job). A pending spec that fails to parse or
+    /// validate is routed to `failed/` with a diagnostic and skipped;
+    /// a pending file that vanishes mid-scan (claimed or failed by a
+    /// concurrent worker) is simply skipped — racing workers can never
+    /// error each other out of the loop. Returns `None` when nothing
+    /// is pending.
     pub fn claim(&self) -> Result<Option<ClaimOutcome>, ServeError> {
         loop {
             let pending = self.sorted_entries(JobState::Pending)?;
@@ -223,10 +274,20 @@ impl JobQueue {
                         let load = in_flight.get(&spec.tenant).copied().unwrap_or(0);
                         candidates.push((load, id));
                     }
+                    // The listing is a snapshot: a concurrent worker may
+                    // have claimed (or failed) the file between readdir
+                    // and read — not an error, just not ours to handle.
+                    Err(e) if is_not_found(&e) => continue,
                     Err(e) => {
                         // Malformed submission: out of the poll loop's way,
-                        // diagnostic preserved next to the raw file.
-                        self.fail(&id, JobState::Pending, &e.to_string())?;
+                        // diagnostic preserved next to the raw file. Another
+                        // worker racing the same broken file may win the
+                        // rename; losing that race is fine too.
+                        match self.fail(&id, JobState::Pending, &e.to_string()) {
+                            Ok(()) => {}
+                            Err(e) if is_not_found(&e) => {}
+                            Err(e) => return Err(e),
+                        }
                     }
                 }
             }
@@ -237,7 +298,7 @@ impl JobQueue {
                     self.job_file(JobState::Running, &id),
                 ) {
                     Ok(()) => {
-                        let attempts = self.bump_attempts(&id)?;
+                        let attempts = self.crash_count(&id) + 1;
                         let spec = self.read_spec(JobState::Running, &id)?;
                         return Ok(Some(ClaimOutcome { id, spec, attempts }));
                     }
@@ -250,31 +311,33 @@ impl JobQueue {
         }
     }
 
-    fn bump_attempts(&self, id: &str) -> Result<u32, ServeError> {
-        let path = self.queue_dir("attempts").join(id);
-        let prior: u32 = fs::read_to_string(&path)
+    /// How many crashes the job has survived (the attempts file,
+    /// written only by [`recover`](JobQueue::recover)). Claiming merely
+    /// reads it: `attempts = crashes + 1`, so claim needs no write and
+    /// there is no rename↔counter crash window, nor a double-bump when
+    /// two workers race the same pending file.
+    fn crash_count(&self, id: &str) -> u32 {
+        fs::read_to_string(self.queue_dir("attempts").join(id))
             .ok()
             .and_then(|s| s.trim().parse().ok())
-            .unwrap_or(0);
-        let next = prior + 1;
-        fs::write(&path, next.to_string())?;
-        Ok(next)
+            .unwrap_or(0)
     }
 
-    /// Crash recovery, run once at daemon start: every job a dead
-    /// daemon left in `running/` is re-queued into `pending/` — but only
-    /// on its **first** recovery. A job that already burned its retry
-    /// (claimed twice, crashed twice) moves to `failed/` with a
-    /// diagnostic instead of crash-looping the daemon. Returns
-    /// `(id, requeued)` per recovered job.
+    /// Crash recovery, run once at daemon start (under the root's
+    /// [`RootLock`]): every job a dead daemon left in `running/` is
+    /// re-queued into `pending/` — but only on its **first** recovery.
+    /// The crash is recorded *before* the re-queueing rename: dying in
+    /// between fails the job on the next recovery rather than granting
+    /// it an extra retry. A job that already burned its retry (claimed
+    /// twice, crashed twice) moves to `failed/` with a diagnostic
+    /// instead of crash-looping the daemon. Returns `(id, requeued)`
+    /// per recovered job.
     pub fn recover(&self) -> Result<Vec<(String, bool)>, ServeError> {
         let mut recovered = Vec::new();
         for id in self.sorted_entries(JobState::Running)? {
-            let attempts: u32 = fs::read_to_string(self.queue_dir("attempts").join(&id))
-                .ok()
-                .and_then(|s| s.trim().parse().ok())
-                .unwrap_or(1);
-            if attempts < 2 {
+            let crashes = self.crash_count(&id);
+            if crashes == 0 {
+                fs::write(self.queue_dir("attempts").join(&id), "1")?;
                 fs::rename(
                     self.job_file(JobState::Running, &id),
                     self.job_file(JobState::Pending, &id),
@@ -285,8 +348,9 @@ impl JobQueue {
                     &id,
                     JobState::Running,
                     &format!(
-                        "daemon died while running this job {attempts} times; \
-                         not re-queueing again"
+                        "daemon died while running this job {} times; \
+                         not re-queueing again",
+                        crashes + 1
                     ),
                 )?;
                 recovered.push((id, false));
@@ -463,6 +527,57 @@ mod tests {
         assert_eq!(second.spec.tenant, "bob");
         let third = q.claim().unwrap().unwrap();
         assert_eq!(third.spec.tenant, "alice");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn auto_id_submit_surfaces_reserve_errors_instead_of_spinning() {
+        let root = temp_root();
+        let q = JobQueue::open(&root).unwrap();
+        // A persistent reservation failure (here: the ids dir is gone)
+        // must propagate, not busy-loop through candidate suffixes.
+        fs::remove_dir_all(root.join("queue/ids")).unwrap();
+        assert!(q.submit(None, &JobSpec::example("t")).is_err());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn attempts_counter_is_written_by_recover_not_claim() {
+        let root = temp_root();
+        let q = JobQueue::open(&root).unwrap();
+        let id = q.submit(None, &JobSpec::example("t")).unwrap();
+        assert_eq!(q.claim().unwrap().unwrap().attempts, 1);
+        assert!(
+            !root.join("queue/attempts").join(&id).exists(),
+            "claiming must not write the counter: a crash (or lost \
+             claim race) between rename and bump could skew it"
+        );
+        q.recover().unwrap();
+        assert_eq!(
+            fs::read_to_string(root.join("queue/attempts").join(&id)).unwrap(),
+            "1",
+            "recover records the crash"
+        );
+        assert_eq!(q.claim().unwrap().unwrap().attempts, 2);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn daemon_lock_is_exclusive_until_dropped() {
+        let root = temp_root();
+        let q = JobQueue::open(&root).unwrap();
+        let held = q.lock_daemon().unwrap();
+        let refused = q.lock_daemon();
+        assert!(
+            refused
+                .err()
+                .map(|e| e.to_string())
+                .unwrap_or_default()
+                .contains("another daemon"),
+            "second lock on a held root must be refused"
+        );
+        drop(held);
+        assert!(q.lock_daemon().is_ok(), "dropping the lock releases it");
         fs::remove_dir_all(&root).ok();
     }
 

@@ -178,6 +178,68 @@ fn malformed_spec_fails_with_diagnostic_and_queue_keeps_draining() {
 }
 
 #[test]
+fn racing_workers_over_malformed_specs_never_kill_the_pool() {
+    // Regression (REVIEW PR8): several workers scan the same pending
+    // snapshot; whoever loses the race to claim — or to fail a broken
+    // spec — used to propagate NotFound out of claim() and die,
+    // silently shrinking the pool. A pile of malformed files makes the
+    // race windows wide; with the fix every outcome is tolerated and
+    // run_until_idle stays Ok.
+    let root = temp_root("races");
+    let queue = JobQueue::open(&root).unwrap();
+    let mut good = Vec::new();
+    for k in 0..6 {
+        std::fs::write(
+            root.join(format!("queue/pending/broken-{k}.json")),
+            "{ not json",
+        )
+        .unwrap();
+        let mut spec = JobSpec::example("t");
+        spec.grid.runs = 10;
+        good.push(queue.submit(None, &spec).unwrap());
+    }
+    Daemon::new(&root)
+        .unwrap()
+        .with_workers(4)
+        .run_until_idle()
+        .unwrap();
+    for k in 0..6 {
+        let id = format!("broken-{k}");
+        assert_eq!(queue.state(&id), Some(JobState::Failed), "{id}");
+        assert!(queue.read_error(&id).is_some(), "{id} keeps a diagnostic");
+    }
+    for id in &good {
+        assert_eq!(queue.state(id), Some(JobState::Done), "{id}");
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn second_daemon_on_a_served_root_is_refused() {
+    // Regression (REVIEW PR8): without the root lock, a second daemon's
+    // unconditional recover() would re-queue jobs the first daemon is
+    // actively executing — duplicate execution, then a NotFound on the
+    // first daemon's mark_done.
+    let root = temp_root("lock");
+    let queue = JobQueue::open(&root).unwrap();
+    let held = queue.lock_daemon().unwrap();
+    let refused = Daemon::new(&root).unwrap().run_until_idle();
+    assert!(
+        refused
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_default()
+            .contains("another daemon"),
+        "a daemon must refuse a root whose lock is held"
+    );
+    drop(held);
+    let id = queue.submit(None, &JobSpec::example("t")).unwrap();
+    Daemon::new(&root).unwrap().run_until_idle().unwrap();
+    assert_eq!(queue.state(&id), Some(JobState::Done));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn cancellation_tombstone_interrupts_a_running_job() {
     let root = temp_root("cancel");
     let queue = JobQueue::open(&root).unwrap();
