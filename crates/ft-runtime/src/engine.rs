@@ -641,6 +641,12 @@ struct Engine<'a> {
     /// Reusable dependency-propagation buffer (the event loop's hottest
     /// allocation before the scratch: one `Vec<Act>` per completion).
     act_scratch: Vec<Act>,
+    /// Second-level propagation buffer for the immediate drains inside
+    /// [`Engine::add_hard_dep`] / [`Engine::add_group`], which can run
+    /// while `act_scratch` is checked out by a repair/replan path. One
+    /// level of nesting is the maximum: the drained actions
+    /// (`Fail`/`GhostDone`/`TrySchedule`) never wire new dependencies.
+    fail_scratch: Vec<Act>,
     /// Reusable policy-action buffer, cleared before each hook call.
     action_scratch: Vec<RecoveryAction>,
     /// Best checkpointed fraction of each task (stable storage: survives
@@ -784,6 +790,7 @@ impl<'a> Engine<'a> {
             rejected_actions: 0,
             prestaged: 0,
             act_scratch: Vec::new(),
+            fail_scratch: Vec::new(),
             action_scratch: Vec::new(),
             task_ck_frac: vec![0.0; v],
             checkpoint_overhead: 0.0,
@@ -1257,8 +1264,10 @@ impl<'a> Engine<'a> {
             }
             OpState::Failed | OpState::GhostDone | OpState::Cancelled => {
                 // The producer can never deliver: the dependent fails too.
-                let mut acts = vec![Act::Fail(to)];
+                let mut acts = std::mem::take(&mut self.fail_scratch);
+                acts.push(Act::Fail(to));
                 self.drain(&mut acts);
+                self.fail_scratch = acts;
             }
             _ => {
                 self.ops[from as usize].hard_deps.push(to);
@@ -1295,8 +1304,10 @@ impl<'a> Engine<'a> {
             // No member can ever deliver.
             op.group_live.push(0);
             op.group_done.push(false);
-            let mut acts = vec![Act::Fail(ex)];
+            let mut acts = std::mem::take(&mut self.fail_scratch);
+            acts.push(Act::Fail(ex));
             self.drain(&mut acts);
+            self.fail_scratch = acts;
         } else {
             op.group_live.push(live);
             op.group_done.push(false);
@@ -1637,11 +1648,15 @@ impl<'a> Engine<'a> {
             return; // a spawn this round (or earlier) already covered it
         }
         let on_pid = ProcId::from_index(on);
-        let in_edges: Vec<_> = self.inst.graph.in_edges(TaskId::from_index(t)).to_vec();
+        // Reborrow through the instance's own lifetime: the in-edge slice
+        // lives in the graph, not behind `&self`, so no clone is needed to
+        // keep `&mut self` callable below.
+        let inst = self.inst;
+        let in_edges = inst.graph.in_edges(TaskId::from_index(t));
         let mut staged_any = false;
-        let mut acts = Vec::new();
-        for &e in &in_edges {
-            let pred = self.inst.graph.edge(e).src;
+        let mut acts = std::mem::take(&mut self.act_scratch);
+        for &e in in_edges {
+            let pred = inst.graph.edge(e).src;
             let copies = self.surviving_copies(pred.index());
             if copies.is_empty() || copies.iter().any(|&(_, p, _)| p == on_pid) {
                 continue; // nothing to stage, or already warm on `on`
@@ -1679,6 +1694,7 @@ impl<'a> Engine<'a> {
             self.prestaged += 1;
         }
         self.drain(&mut acts);
+        self.act_scratch = acts;
     }
 
     /// Greedy single replacement replica for `t` at detection time `T`.
@@ -1690,11 +1706,14 @@ impl<'a> Engine<'a> {
             self.spawn_resume(t, now);
             return;
         }
-        let g = &self.inst.graph;
-        let in_edges: Vec<_> = g.in_edges(t).to_vec();
+        // Reborrow through the instance's own lifetime (see
+        // `prestage_inputs`): no per-spawn clone of the in-edge slice.
+        let inst = self.inst;
+        let g = &inst.graph;
+        let in_edges = g.in_edges(t);
         // Surviving sources per input edge.
         let mut edge_sources: Vec<Vec<(Option<u32>, ProcId, f64)>> = Vec::new();
-        for &e in &in_edges {
+        for &e in in_edges {
             let pred = g.edge(e).src;
             let copies = self.surviving_copies(pred.index());
             if copies.is_empty() {
@@ -1765,7 +1784,7 @@ impl<'a> Engine<'a> {
         self.recovery_exec[t.index()].push(ex);
         self.recovery_replicas += 1;
 
-        let mut acts = Vec::new();
+        let mut acts = std::mem::take(&mut self.act_scratch);
         for (ei, &e) in in_edges.iter().enumerate() {
             let (src_op, src_proc, src_est) = picks[ei];
             if src_proc == q {
@@ -1799,6 +1818,7 @@ impl<'a> Engine<'a> {
         }
         acts.push(Act::TrySchedule(ex));
         self.drain(&mut acts);
+        self.act_scratch = acts;
     }
 
     /// Candidate hosts for a replacement or resumed replica of `t`:
@@ -1873,8 +1893,10 @@ impl<'a> Engine<'a> {
         self.ops.push(op);
         self.recovery_exec[t.index()].push(ex);
         self.recovery_replicas += 1;
-        let mut acts = vec![Act::TrySchedule(ex)];
+        let mut acts = std::mem::take(&mut self.act_scratch);
+        acts.push(Act::TrySchedule(ex));
         self.drain(&mut acts);
+        self.act_scratch = acts;
     }
 
     /// `Reschedule`: cancel any previous repair plan and re-run CAFT on
@@ -1956,7 +1978,7 @@ impl<'a> Engine<'a> {
         // Materialize the plan as fixed-time ops.
         let plan = &out.schedule;
         let mut new_exec: Vec<Vec<Option<u32>>> = vec![Vec::new(); v];
-        let mut acts = Vec::new();
+        let mut acts = std::mem::take(&mut self.act_scratch);
         for t in 0..v {
             if !remnant[t] {
                 continue;
@@ -2039,6 +2061,7 @@ impl<'a> Engine<'a> {
             }
         }
         self.drain(&mut acts);
+        self.act_scratch = acts;
     }
 
     fn into_outcome(self) -> RunOutcome {
