@@ -17,7 +17,8 @@
 //! daemon starts later just works.
 
 use ft_serve::{
-    read_deltas, read_final, request_stop, Daemon, JobQueue, JobSpec, JobState, ServeError,
+    read_deltas, read_deltas_from, read_final, request_stop, Daemon, JobQueue, JobSpec, JobState,
+    ServeError,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -219,10 +220,14 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, ServeError> {
     let timeout = Duration::from_secs(flags.parsed("--timeout-s", 600u64)?);
     let queue = JobQueue::open(&root)?;
     let started = Instant::now();
-    let mut printed = 0usize;
+    // Tail the delta stream by byte offset: each poll seeks past what was
+    // already printed and parses only the new lines, instead of
+    // re-reading the whole file every 50 ms (O(n²) over a long job).
+    let mut offset = 0u64;
     loop {
-        let deltas = read_deltas(&root, id)?;
-        for d in &deltas[printed.min(deltas.len())..] {
+        let (deltas, next) = read_deltas_from(&root, id, offset)?;
+        offset = next;
+        for d in &deltas {
             println!(
                 "{}  cell {:>3} [{}]  {:>6}/{} runs  completion {:>5.1}%",
                 d.job,
@@ -233,7 +238,6 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, ServeError> {
                 d.summary.completion_rate() * 100.0
             );
         }
-        printed = printed.max(deltas.len());
         match queue.state(id) {
             Some(JobState::Done) => {
                 let rec = read_final(&root, id)?;

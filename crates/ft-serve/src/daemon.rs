@@ -259,17 +259,43 @@ pub fn read_final(root: &Path, id: &str) -> Result<FinalRecord, ServeError> {
 /// Reads a job's streamed delta records (empty if streaming was off or
 /// nothing has landed yet).
 pub fn read_deltas(root: &Path, id: &str) -> Result<Vec<DeltaRecord>, ServeError> {
+    read_deltas_from(root, id, 0).map(|(records, _)| records)
+}
+
+/// Incremental [`read_deltas`]: seeks to byte `offset` in the job's
+/// `deltas.jsonl` and parses only the newline-terminated records past it,
+/// returning them with the offset to resume from. Polling clients (the
+/// `ft-serve watch` tail loop) call this with the previous return value
+/// instead of re-reading and re-parsing the whole file every tick —
+/// O(new bytes) per poll instead of O(file). A partially-written final
+/// line (the daemon flushes whole lines, but a reader can race the
+/// write) is left for the next call: the returned offset only ever
+/// advances past complete lines.
+pub fn read_deltas_from(
+    root: &Path,
+    id: &str,
+    offset: u64,
+) -> Result<(Vec<DeltaRecord>, u64), ServeError> {
+    use std::io::{Read, Seek, SeekFrom};
     let path = root.join("results").join(id).join("deltas.jsonl");
-    let text = match fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+    let mut file = match fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), offset)),
         Err(e) => return Err(e.into()),
     };
-    text.lines()
+    file.seek(SeekFrom::Start(offset))?;
+    let mut text = String::new();
+    file.read_to_string(&mut text)?;
+    let Some(consumed) = text.rfind('\n').map(|i| i + 1) else {
+        return Ok((Vec::new(), offset));
+    };
+    let records = text[..consumed]
+        .lines()
         .filter(|l| !l.trim().is_empty())
         .map(|l| {
             serde_json::from_str(l)
                 .map_err(|e| ServeError::Message(format!("parsing delta line: {e}")))
         })
-        .collect()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((records, offset + consumed as u64))
 }

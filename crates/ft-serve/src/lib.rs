@@ -63,6 +63,6 @@ pub mod job;
 pub mod queue;
 
 pub use cache::{ArtifactCache, CacheStats, ResolveOutcome, ResolvedJob};
-pub use daemon::{read_deltas, read_final, request_stop, stop_requested, Daemon};
+pub use daemon::{read_deltas, read_deltas_from, read_final, request_stop, stop_requested, Daemon};
 pub use job::{CellResult, DeltaRecord, FinalRecord, JobSpec};
 pub use queue::{ClaimOutcome, JobQueue, JobState, RootLock, ServeError};

@@ -7,7 +7,8 @@
 //! count, or cache hits.
 
 use ft_serve::{
-    read_deltas, read_final, request_stop, ArtifactCache, Daemon, JobQueue, JobSpec, JobState,
+    read_deltas, read_deltas_from, read_final, request_stop, ArtifactCache, Daemon, JobQueue,
+    JobSpec, JobState,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -99,6 +100,69 @@ fn deltas_stream_well_formed_partial_summaries() {
             "cell {idx}: final delta must equal the final record"
         );
     }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn incremental_delta_reads_reconstruct_the_full_stream() {
+    // The `watch` tail loop reads by byte offset; incremental reads in
+    // small steps must reconstruct exactly what a full read returns,
+    // with monotone offsets and no record parsed twice.
+    let root = temp_root("tail-offset");
+    let queue = JobQueue::open(&root).unwrap();
+    let mut spec = JobSpec::example("tail-offset");
+    spec.delta_every = 1; // many-delta job: one snapshot per run per cell
+    let id = queue.submit(None, &spec).unwrap();
+    Daemon::new(&root).unwrap().run_until_idle().unwrap();
+
+    let full = read_deltas(&root, &id).unwrap();
+    assert_eq!(
+        full.len(),
+        spec.cells().len() * spec.grid.runs,
+        "delta_every=1 must snapshot every run of every cell"
+    );
+
+    let mut incremental = Vec::new();
+    let mut offset = 0u64;
+    loop {
+        let (batch, next) = read_deltas_from(&root, &id, offset).unwrap();
+        if batch.is_empty() {
+            assert_eq!(next, offset, "no new records must not move the offset");
+            break;
+        }
+        assert!(next > offset, "consuming records must advance the offset");
+        offset = next;
+        incremental.extend(batch);
+    }
+    assert_eq!(
+        serde_json::to_string(&incremental).unwrap(),
+        serde_json::to_string(&full).unwrap(),
+        "incremental tail reads must reconstruct the full delta stream"
+    );
+    // The final offset is the file size: nothing left unconsumed.
+    let path = root.join("results").join(&id).join("deltas.jsonl");
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(offset, bytes.len() as u64);
+    // A mid-file resume (offset = end of the k-th line, as `watch` would
+    // hold after k records) returns exactly the remaining records.
+    let mid = bytes
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b == b'\n')
+        .nth(2)
+        .map(|(i, _)| i as u64 + 1)
+        .unwrap();
+    let (rest, end) = read_deltas_from(&root, &id, mid).unwrap();
+    assert_eq!(end, bytes.len() as u64);
+    assert_eq!(
+        serde_json::to_string(&rest).unwrap(),
+        serde_json::to_string(&full[3..]).unwrap(),
+        "resuming after 3 records must return records 4.."
+    );
+    // Reading a missing file is a clean empty result at the same offset.
+    let (none, same) = read_deltas_from(&root, "no-such-job", 7).unwrap();
+    assert!(none.is_empty());
+    assert_eq!(same, 7);
     std::fs::remove_dir_all(&root).ok();
 }
 
