@@ -152,6 +152,16 @@ fn evaluate(
             let target = committed_claim.map_or(meas.default_target, |c| c.target);
             let tolerance = committed_claim.map_or(meas.default_tolerance, |c| c.tolerance);
             let error = claim_error(meas.predicted, target);
+            // A NaN prediction (e.g. a mean over an empty histogram)
+            // makes `error <= tolerance` comparison-direction-dependent;
+            // classify it explicitly so it can never read as PASSED.
+            let status = if !meas.predicted.is_finite() || !error.is_finite() {
+                "FAILED (non-finite)".to_string()
+            } else if error <= tolerance + 1e-12 {
+                "PASSED".to_string()
+            } else {
+                "FAILED".to_string()
+            };
             Claim {
                 id: meas.id.to_string(),
                 description: meas.description.to_string(),
@@ -159,11 +169,7 @@ fn evaluate(
                 predicted: meas.predicted,
                 error,
                 tolerance,
-                status: if error <= tolerance + 1e-12 {
-                    "PASSED".to_string()
-                } else {
-                    "FAILED".to_string()
-                },
+                status,
             }
         })
         .collect();
@@ -865,6 +871,43 @@ mod tests {
         assert!(!out.claim("a").unwrap().passed());
         assert!(!out.passed());
         assert!(render(&out).contains("FAILED"));
+    }
+
+    #[test]
+    fn non_finite_predictions_fail_with_diagnostic() {
+        // The empty-histogram case: `Histogram::fraction_le` (and the
+        // mean-slowdown path) return NaN when no run was recorded; a NaN
+        // prediction must read FAILED no matter the comparison direction.
+        let h = ft_runtime::Histogram::new(vec![1.0, 2.0]);
+        let nan = h.fraction_le(2.0);
+        assert!(nan.is_nan());
+        let out = evaluate(
+            "grid",
+            true,
+            vec![
+                m("empty-hist", "", nan, 1.0, 1e9), // any tolerance: still FAILED
+                m("inf", "", f64::INFINITY, 1.0, 0.5),
+                m("ok", "", 1.0, 1.0, 0.0),
+            ],
+            None,
+        );
+        let bad = out.claim("empty-hist").unwrap();
+        assert_eq!(bad.status, "FAILED (non-finite)");
+        assert!(!bad.passed());
+        assert_eq!(out.claim("inf").unwrap().status, "FAILED (non-finite)");
+        assert!(out.claim("ok").unwrap().passed());
+        assert!(!out.passed());
+        assert!(render(&out).contains("FAILED (non-finite)"));
+    }
+
+    #[test]
+    fn non_finite_committed_target_also_fails() {
+        // A poisoned committed record (NaN target) makes `error` NaN even
+        // for a finite prediction — that must fail too, not pass.
+        let committed = record(vec![claim("a", f64::NAN, 1.0, 0.5)]);
+        let out = evaluate("grid", true, vec![m("a", "", 1.0, 1.0, 0.5)], Some(&committed));
+        assert_eq!(out.claim("a").unwrap().status, "FAILED (non-finite)");
+        assert!(!out.passed());
     }
 
     #[test]
