@@ -17,9 +17,12 @@
 //! `BENCH_phases.json` at the repo root, regenerated with
 //!
 //! ```text
-//! PHASE_JSON=BENCH_phases.json \
+//! PHASE_JSON=$PWD/BENCH_phases.json \
 //!   cargo bench -p ft-bench --features phase-profile --bench profile
 //! ```
+//!
+//! (absolute path: cargo runs the bench binary with the package
+//! directory, not the workspace root, as its cwd)
 //!
 //! Either way the bench pins the invariant that profiling only measures:
 //! the profiled outcome is byte-identical to the plain one.

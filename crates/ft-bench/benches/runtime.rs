@@ -3,7 +3,15 @@
 //! * `runtime/execute` — one online run per policy on a paper-scale
 //!   instance with two mid-execution crashes;
 //! * `runtime/no-failure` — the engine on a failure-free scenario vs. the
-//!   static replay it must reproduce;
+//!   static replay it must reproduce. The `online engine` cell drives a
+//!   warm [`Executor`] — the zero-alloc arena path every batch entry
+//!   point uses — so it measures the steady-state event loop, not the
+//!   per-run setup; `one-shot execute` keeps the cold path honest and
+//!   `static replay` is the floor;
+//! * `runtime/grid-sweep` — one million failure-free runs sharded across
+//!   an 8-cell policy grid via `simulate_grid`: all cells share one
+//!   scratch-arena pool and one `StaticPlan` per distinct policy, so the
+//!   cell measures pure steady-state engine throughput at sweep scale;
 //! * `runtime/detection` — one `ReReplicate` run per detection model
 //!   (uniform / per-processor / gossip) on the same crash pair;
 //! * `runtime/transient` — the availability machine: the same crash pair
@@ -30,7 +38,9 @@
 //! completes at least as much as absorb; failure-free engine == replay) so
 //! the bench doubles as a regression harness. Baseline numbers:
 //! `BENCH_runtime.json` at the repo root (regenerate with
-//! `BENCH_JSON=BENCH_runtime.json cargo bench -p ft-bench --bench runtime`).
+//! `BENCH_JSON=$PWD/BENCH_runtime.json cargo bench -p ft-bench --bench
+//! runtime` — the path must be absolute: cargo runs the bench binary
+//! with the package directory, not the workspace root, as its cwd).
 //!
 //! Scale note (open-policy PR): the recovery redesign routed every event
 //! through the `Policy` trait *and* replaced the engine's per-completion
@@ -49,7 +59,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ft_algos::{caft, CommModel};
 use ft_bench::paper_instance;
 use ft_platform::ProcId;
-use ft_runtime::{execute, DetectionModel, EngineConfig, LifetimeDist, RecoveryPolicy, Simulation};
+use ft_runtime::{
+    execute, simulate_grid, DetectionModel, EngineConfig, Executor, FailureKind, LifetimeDist,
+    MonteCarloConfig, RecoveryPolicy, Simulation,
+};
 use ft_serve::{ArtifactCache, JobSpec};
 use ft_sim::{replay, FaultScenario};
 use std::hint::black_box;
@@ -91,11 +104,57 @@ fn bench_no_failure_overhead(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("runtime/no-failure");
+    // The warm path: one Executor, one pre-resolved static plan + op
+    // template, zero heap allocations per run (pinned by the
+    // `alloc_discipline` test). This is what `simulate_many`,
+    // `ChunkedBatch` and `simulate_grid` pay per run.
+    let mut exec = Executor::new(&inst, &sched, &cfg);
+    assert!((exec.run(&none).latency().unwrap() - stat).abs() < 1e-9);
     group.bench_function("online engine", |b| {
+        b.iter(|| black_box(exec.run(black_box(&none)).completed()))
+    });
+    // The cold path: plan resolution + arena growth on every call.
+    group.bench_function("one-shot execute", |b| {
         b.iter(|| black_box(execute(&inst, &sched, &none, &cfg)))
     });
     group.bench_function("static replay", |b| {
         b.iter(|| black_box(replay(&inst, &sched, &none)))
+    });
+    group.finish();
+}
+
+fn bench_grid_sweep(c: &mut Criterion) {
+    let inst = paper_instance(7, 18, 4, 1.0);
+    let sched = caft(&inst, 1, CommModel::OnePort, 0);
+    // Eight failure-free cells x 125k runs = 1e6 engine runs per
+    // iteration. Two distinct policies alternate so the plan cache in
+    // `simulate_grid` is exercised (two StaticPlans serve all eight
+    // cells); `LifetimeDist::Never` keeps every run on the template
+    // fast path, so this measures raw steady-state sweep throughput.
+    let cells: Vec<MonteCarloConfig> = (0..8)
+        .map(|i| MonteCarloConfig {
+            runs: 125_000,
+            lifetime: LifetimeDist::Never,
+            failure: FailureKind::Permanent,
+            engine: EngineConfig::with_policy(if i % 2 == 0 {
+                RecoveryPolicy::Absorb
+            } else {
+                RecoveryPolicy::ReReplicate
+            }),
+            seed: i as u64,
+        })
+        .collect();
+    // Semantics check: a failure-free sweep completes every run.
+    let summaries = simulate_grid(&inst, &sched, &cells);
+    assert_eq!(summaries.len(), cells.len());
+    for s in &summaries {
+        assert_eq!(s.runs, 125_000, "every cell runs to completion");
+    }
+
+    let mut group = c.benchmark_group("runtime/grid-sweep");
+    group.sample_size(2);
+    group.bench_function("1e6 runs", |b| {
+        b.iter(|| black_box(simulate_grid(&inst, &sched, &cells)))
     });
     group.finish();
 }
@@ -218,7 +277,7 @@ fn bench_serve_setup(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_execute, bench_no_failure_overhead, bench_detection_models, bench_transient,
-        bench_simulate_many, bench_serve_setup
+    targets = bench_execute, bench_no_failure_overhead, bench_grid_sweep, bench_detection_models,
+        bench_transient, bench_simulate_many, bench_serve_setup
 }
 criterion_main!(benches);

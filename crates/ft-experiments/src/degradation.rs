@@ -240,18 +240,25 @@ pub struct DegradationRow {
 /// comparable.
 ///
 /// Since the sweep-service PR this is a thin composition of the
-/// job-facing [`sweep`](crate::sweep) types — [`WorkloadSpec::build`]
-/// then [`CellSpec::run`](crate::sweep::CellSpec::run) per grid cell —
-/// byte-identical to the historical fused loop (pinned by the golden
-/// tests and `sweep::tests`).
+/// job-facing [`sweep`](crate::sweep) types — [`WorkloadSpec::build`],
+/// then the whole grid through
+/// [`simulate_grid`](ft_runtime::simulate_grid), which shares one warm
+/// scratch-arena pool and one static plan per policy across all cells —
+/// byte-identical to the historical fused per-cell loop (pinned by the
+/// golden tests and `sweep::tests`).
 pub fn run_degradation(cfg: &DegradationConfig) -> Vec<DegradationRow> {
     let (inst, sched) = cfg.workload().build();
-    cfg.grid()
-        .cells(inst.mean_task_cost(), sched.latency())
+    let cells = cfg.grid().cells(inst.mean_task_cost(), sched.latency());
+    let mcs: Vec<_> = cells
         .iter()
-        .map(|cell| DegradationRow {
+        .map(|cell| cell.monte_carlo_config(&inst, &sched))
+        .collect();
+    cells
+        .iter()
+        .zip(ft_runtime::simulate_grid(&inst, &sched, &mcs))
+        .map(|(cell, summary)| DegradationRow {
             mttf_factor: cell.mttf_factor,
-            summary: cell.run(&inst, &sched),
+            summary,
         })
         .collect()
 }

@@ -53,17 +53,20 @@
 //! );
 //! ```
 
-use crate::engine::execute_with;
+use crate::engine::run_into;
 use crate::lifetime::{draw_scenario_with, FailureKind, LifetimeDist};
 use crate::metrics::{BatchSummary, MetricSet, RunOutcome};
 use crate::policy::{EngineConfig, Policy, RecoveryPolicy};
+use crate::scratch::{EngineScratch, ScratchPool, StaticPlan};
 use ft_model::FtSchedule;
 use ft_platform::Instance;
 use ft_sim::FaultScenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a Monte-Carlo batch.
@@ -190,34 +193,149 @@ fn simulate_many_inner(
     policy: &dyn Policy,
     progress: Option<&(dyn Fn(Progress) + Sync)>,
 ) -> BatchSummary {
+    let plan = StaticPlan::new(inst, sched, policy);
+    let pool = ScratchPool::new();
+    let done = AtomicUsize::new(0);
+    let sink = progress.map(|cb| ProgressSink {
+        cb,
+        started: Instant::now(),
+        done: &done,
+        total: cfg.runs,
+    });
+    accumulate_range(inst, sched, cfg, policy, &plan, &pool, 0..cfg.runs, sink.as_ref())
+        .finish_labeled(cfg.engine.policy, policy.label())
+}
+
+/// Shared progress state of one batch: workers bump the counter and fire
+/// the callback after each finished run.
+struct ProgressSink<'p> {
+    cb: &'p (dyn Fn(Progress) + Sync),
+    started: Instant,
+    done: &'p AtomicUsize,
+    total: usize,
+}
+
+impl ProgressSink<'_> {
+    fn fire(&self) {
+        let completed_runs = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed = self.started.elapsed();
+        let remaining = self.total.saturating_sub(completed_runs);
+        (self.cb)(Progress {
+            completed_runs,
+            total_runs: self.total,
+            elapsed,
+            eta: elapsed.mul_f64(remaining as f64 / completed_runs as f64),
+        });
+    }
+}
+
+/// Runs `range` of the batch through the shared plan and scratch pool —
+/// the rayon fold/reduce every batch form ([`simulate_many`],
+/// [`ChunkedBatch`] chunks, [`simulate_grid`] cells) goes through. Each
+/// worker takes one warm arena from `pool` at its first run, reuses it
+/// across its whole sub-range (zero allocations per failure-free run in
+/// steady state), and the reduce returns every arena to the pool. The
+/// merge is bit-exact, so the result does not depend on how rayon split
+/// the range.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_range(
+    inst: &Instance,
+    sched: &FtSchedule,
+    cfg: &MonteCarloConfig,
+    policy: &dyn Policy,
+    plan: &StaticPlan,
+    pool: &ScratchPool,
+    range: Range<usize>,
+    progress: Option<&ProgressSink<'_>>,
+) -> BatchAccumulator {
     let m = inst.num_procs();
     let nominal = sched.latency();
-    let started = Instant::now();
-    let done = AtomicUsize::new(0);
-    (0..cfg.runs)
+    let (acc, scratch) = range
         .into_par_iter()
         .fold(
-            || BatchAccumulator::new(nominal),
-            |mut acc, i| {
+            || (BatchAccumulator::new(nominal), None::<Box<EngineScratch>>),
+            |(mut acc, mut slot), i| {
+                let scratch = slot.get_or_insert_with(|| pool.take());
                 let scenario = scenario_of_run(cfg.seed, &cfg.lifetime, &cfg.failure, m, i);
-                let out = execute_with(inst, sched, &scenario, &cfg.engine, policy);
-                acc.record(scenario.earliest_crash(), &out);
-                if let Some(cb) = progress {
-                    let completed_runs = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let elapsed = started.elapsed();
-                    let remaining = cfg.runs.saturating_sub(completed_runs);
-                    cb(Progress {
-                        completed_runs,
-                        total_runs: cfg.runs,
-                        elapsed,
-                        eta: elapsed.mul_f64(remaining as f64 / completed_runs as f64),
-                    });
+                run_into(
+                    inst,
+                    sched,
+                    &scenario,
+                    &cfg.engine,
+                    policy,
+                    plan,
+                    scratch,
+                    None,
+                    None,
+                );
+                acc.record(scenario.earliest_crash(), &scratch.outcome);
+                if let Some(sink) = progress {
+                    sink.fire();
                 }
-                acc
+                (acc, slot)
             },
         )
-        .reduce(|| BatchAccumulator::new(nominal), BatchAccumulator::merge)
-        .finish_labeled(cfg.engine.policy, policy.label())
+        .reduce(
+            || (BatchAccumulator::new(nominal), None),
+            |(a, sa), (b, sb)| {
+                if let Some(s) = sa {
+                    pool.put(s);
+                }
+                if let Some(s) = sb {
+                    pool.put(s);
+                }
+                (a.merge(b), None)
+            },
+        );
+    if let Some(s) = scratch {
+        pool.put(s);
+    }
+    acc
+}
+
+/// Runs a whole parameter grid — one [`MonteCarloConfig`] per cell, all
+/// over the same `(inst, sched)` — sharing one [`ScratchPool`] of warm
+/// arenas across every cell and one [`StaticPlan`] per distinct recovery
+/// policy. Setup that a per-cell [`simulate_many`] loop would redo for
+/// every cell (checkpoint-plan queries, the op template, arena warm-up)
+/// is paid once per policy / per worker for the whole sweep.
+///
+/// Cells execute in order; each summary is **byte-identical** to
+/// `simulate_many(inst, sched, &cells[i])` — sharing amortizes setup, it
+/// never couples cells (pinned by this module's tests and the
+/// degradation-sweep goldens that run through this path).
+pub fn simulate_grid(
+    inst: &Instance,
+    sched: &FtSchedule,
+    cells: &[MonteCarloConfig],
+) -> Vec<BatchSummary> {
+    let pool = ScratchPool::new();
+    let mut plans: Vec<(RecoveryPolicy, StaticPlan)> = Vec::new();
+    let mut out = Vec::with_capacity(cells.len());
+    for cfg in cells {
+        let idx = match plans.iter().position(|(p, _)| *p == cfg.engine.policy) {
+            Some(i) => i,
+            None => {
+                plans.push((
+                    cfg.engine.policy,
+                    StaticPlan::new(inst, sched, &cfg.engine.policy),
+                ));
+                plans.len() - 1
+            }
+        };
+        let acc = accumulate_range(
+            inst,
+            sched,
+            cfg,
+            &cfg.engine.policy,
+            &plans[idx].1,
+            &pool,
+            0..cfg.runs,
+            None,
+        );
+        out.push(acc.finish_labeled(cfg.engine.policy, cfg.engine.policy.label()));
+    }
+    out
 }
 
 /// A resumable, chunked form of [`simulate_many_with`]: the batch's runs
@@ -274,6 +392,8 @@ pub struct ChunkedBatch<'a> {
     sched: &'a FtSchedule,
     cfg: &'a MonteCarloConfig,
     policy: &'a dyn Policy,
+    plan: StaticPlan,
+    pool: Arc<ScratchPool>,
     acc: BatchAccumulator,
     next_run: usize,
 }
@@ -289,11 +409,29 @@ impl<'a> ChunkedBatch<'a> {
         cfg: &'a MonteCarloConfig,
         policy: &'a dyn Policy,
     ) -> Self {
+        Self::with_pool(inst, sched, cfg, policy, Arc::new(ScratchPool::new()))
+    }
+
+    /// [`ChunkedBatch::new`] over a caller-shared [`ScratchPool`]: arenas
+    /// warmed by this batch's chunks are drawn from — and returned to —
+    /// `pool`, so consecutive batches (the cells of a multi-cell job)
+    /// reuse each other's warm-up instead of re-allocating per cell.
+    /// Sharing a pool never changes a summary byte: arenas carry no
+    /// run state between takes, only capacity.
+    pub fn with_pool(
+        inst: &'a Instance,
+        sched: &'a FtSchedule,
+        cfg: &'a MonteCarloConfig,
+        policy: &'a dyn Policy,
+        pool: Arc<ScratchPool>,
+    ) -> Self {
         ChunkedBatch {
             inst,
             sched,
             cfg,
             policy,
+            plan: StaticPlan::new(inst, sched, policy),
+            pool,
             acc: BatchAccumulator::new(sched.latency()),
             next_run: 0,
         }
@@ -324,27 +462,17 @@ impl<'a> ChunkedBatch<'a> {
         if start >= end {
             return 0;
         }
-        let m = self.inst.num_procs();
         let nominal = self.sched.latency();
-        let chunk = (start..end)
-            .into_par_iter()
-            .fold(
-                || BatchAccumulator::new(nominal),
-                |mut acc, i| {
-                    let scenario =
-                        scenario_of_run(self.cfg.seed, &self.cfg.lifetime, &self.cfg.failure, m, i);
-                    let out = execute_with(
-                        self.inst,
-                        self.sched,
-                        &scenario,
-                        &self.cfg.engine,
-                        self.policy,
-                    );
-                    acc.record(scenario.earliest_crash(), &out);
-                    acc
-                },
-            )
-            .reduce(|| BatchAccumulator::new(nominal), BatchAccumulator::merge);
+        let chunk = accumulate_range(
+            self.inst,
+            self.sched,
+            self.cfg,
+            self.policy,
+            &self.plan,
+            &self.pool,
+            start..end,
+            None,
+        );
         let held = std::mem::replace(&mut self.acc, BatchAccumulator::new(nominal));
         self.acc = held.merge(chunk);
         self.next_run = end;
@@ -1053,5 +1181,46 @@ mod tests {
             absorb.completed
         );
         assert!(absorb.disturbed > 0, "test should actually inject failures");
+    }
+
+    /// The grid entry point shares arenas and per-policy plans across
+    /// cells; every cell summary must still be byte-identical to an
+    /// independent `simulate_many` of that cell — including across
+    /// policy changes mid-grid (plan cache) and repeated configurations
+    /// (warm arenas carrying capacity from other cells).
+    #[test]
+    fn simulate_grid_matches_per_cell_simulate_many() {
+        let (inst, sched) = setup();
+        let cell = |policy, mean_factor: f64, seed| MonteCarloConfig {
+            runs: 150,
+            lifetime: LifetimeDist::Exponential {
+                mean: sched.latency() * mean_factor,
+            },
+            failure: FailureKind::Permanent,
+            engine: EngineConfig {
+                policy,
+                detection: DetectionModel::Uniform(0.5),
+                seed: 3,
+            },
+            seed,
+        };
+        let cells = vec![
+            cell(RecoveryPolicy::ReReplicate, 2.0, 11),
+            cell(RecoveryPolicy::Absorb, 1.0, 12),
+            cell(RecoveryPolicy::ReReplicate, 0.5, 13),
+            cell(RecoveryPolicy::checkpoint(2.0, 0.05), 1.5, 14),
+            cell(RecoveryPolicy::Reschedule, 1.0, 15),
+            cell(RecoveryPolicy::ReReplicate, 2.0, 11), // repeat of cell 0
+        ];
+        let grid = simulate_grid(&inst, &sched, &cells);
+        assert_eq!(grid.len(), cells.len());
+        for (i, (cfg, summary)) in cells.iter().zip(&grid).enumerate() {
+            let direct = simulate_many(&inst, &sched, cfg);
+            assert_eq!(
+                serde_json::to_string(summary).unwrap(),
+                serde_json::to_string(&direct).unwrap(),
+                "cell {i} diverged from its standalone batch"
+            );
+        }
     }
 }

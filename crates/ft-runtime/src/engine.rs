@@ -108,14 +108,13 @@ use crate::metrics::RunOutcome;
 use crate::observe::{Observer, PhaseProfile, TraceObserver};
 #[cfg(doc)]
 use crate::policy::{CheckpointPlan, RecoveryPolicy};
-use crate::policy::{EngineConfig, Policy, PolicyEvent, RecoveryAction, TaskInfo};
+use crate::policy::{EngineConfig, Policy, PolicyEvent, RecoveryAction};
+use crate::scratch::{EngineScratch, EventQueue, StaticPlan};
 use ft_algos::{caft_on_subdag, CaftOptions, SubDagSpec};
 use ft_graph::TaskId;
 use ft_model::{FtSchedule, Replica, ReplicaRef};
 use ft_platform::{Instance, ProcId};
 use ft_sim::FaultScenario;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Runs the schedule online under the timed scenario and recovery policy.
 /// Dispatches `cfg.policy` through the open [`Policy`] trait — the same
@@ -142,11 +141,12 @@ pub fn execute_with(
     cfg: &EngineConfig,
     policy: &dyn Policy,
 ) -> RunOutcome {
-    let mut engine = Engine::new(inst, sched, scenario, cfg, policy);
-    engine.build_static_ops();
-    engine.seed_events();
-    engine.run(None);
-    engine.into_outcome()
+    let plan = StaticPlan::without_template(inst, sched, policy);
+    let mut scratch = EngineScratch::default();
+    run_into(
+        inst, sched, scenario, cfg, policy, &plan, &mut scratch, None, None,
+    );
+    std::mem::take(&mut scratch.outcome)
 }
 
 /// [`execute`], additionally returning the full [`EngineTrace`]: every
@@ -209,14 +209,20 @@ pub fn execute_observed_with(
     policy: &dyn Policy,
     observer: &mut dyn Observer,
 ) -> RunOutcome {
-    let mut engine = Engine::new(inst, sched, scenario, cfg, policy);
-    engine.build_static_ops();
-    engine.seed_events();
-    engine.run(Some(&mut *observer));
-    engine.emit_ops(&mut *observer);
-    let out = engine.into_outcome();
-    observer.on_run_end(&out);
-    out
+    let plan = StaticPlan::without_template(inst, sched, policy);
+    let mut scratch = EngineScratch::default();
+    run_into(
+        inst,
+        sched,
+        scenario,
+        cfg,
+        policy,
+        &plan,
+        &mut scratch,
+        Some(observer),
+        None,
+    );
+    std::mem::take(&mut scratch.outcome)
 }
 
 /// [`execute`], additionally collecting a [`PhaseProfile`]: wall-clock
@@ -244,13 +250,125 @@ pub fn execute_profiled_with(
     policy: &dyn Policy,
 ) -> (RunOutcome, PhaseProfile) {
     let mut profile = PhaseProfile::new();
-    let mut engine = Engine::new(inst, sched, scenario, cfg, policy);
-    engine.profile = Some(&mut profile);
-    engine.build_static_ops();
+    let plan = StaticPlan::without_template(inst, sched, policy);
+    let mut scratch = EngineScratch::default();
+    run_into(
+        inst,
+        sched,
+        scenario,
+        cfg,
+        policy,
+        &plan,
+        &mut scratch,
+        None,
+        Some(&mut profile),
+    );
+    (std::mem::take(&mut scratch.outcome), profile)
+}
+
+/// Runs one scenario through the reusable `scratch` arena, leaving the
+/// outcome in `scratch.outcome` — the single execution path every entry
+/// point (one-shot, observed, profiled, batch, grid, [`Executor`]) goes
+/// through. With a warm arena and a templated plan this performs zero
+/// heap allocations on failure-free scenarios; the result is
+/// byte-identical either way.
+///
+/// [`Executor`]: crate::Executor
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_into<'a>(
+    inst: &'a Instance,
+    sched: &'a FtSchedule,
+    scenario: &'a FaultScenario,
+    cfg: &'a EngineConfig,
+    policy: &'a dyn Policy,
+    plan: &'a StaticPlan,
+    scratch: &mut EngineScratch,
+    observer: Option<&mut dyn Observer>,
+    profile: Option<&'a mut PhaseProfile>,
+) {
+    let mut engine = Engine::from_parts(
+        inst,
+        sched,
+        scenario,
+        cfg,
+        policy,
+        &plan.plans,
+        &plan.topo_position,
+        scratch,
+    );
+    engine.profile = profile;
+    engine.build_ops(plan);
     engine.seed_events();
-    engine.run(None);
-    let out = engine.into_outcome();
-    (out, profile)
+    match observer {
+        Some(obs) => {
+            engine.run(Some(&mut *obs));
+            engine.emit_ops(&mut *obs);
+            engine.finish_into(scratch);
+            obs.on_run_end(&scratch.outcome);
+        }
+        None => {
+            engine.run(None);
+            engine.finish_into(scratch);
+        }
+    }
+}
+
+/// Builds the static op template of a dead0-free run — the op arena and
+/// `static_exec` of a build under [`FaultScenario::none`] — by running
+/// the legacy builder once. [`StaticPlan::new`] stores the result;
+/// [`Engine::build_from_template`] clones it per run.
+pub(crate) fn build_template(
+    inst: &Instance,
+    sched: &FtSchedule,
+    policy: &dyn Policy,
+    plans: &[Option<(f64, f64)>],
+    topo_position: &[usize],
+) -> (Vec<Op>, Vec<Vec<Option<u32>>>) {
+    let none = FaultScenario::none();
+    let cfg = EngineConfig::default();
+    let mut scratch = EngineScratch::default();
+    let mut engine = Engine::from_parts(
+        inst,
+        sched,
+        &none,
+        &cfg,
+        policy,
+        plans,
+        topo_position,
+        &mut scratch,
+    );
+    engine.build_static_ops();
+    (
+        std::mem::take(&mut engine.ops),
+        std::mem::take(&mut engine.static_exec),
+    )
+}
+
+/// Empties a per-element buffer vector to length `n`, keeping every
+/// allocation (outer and inner) for reuse.
+fn reset_nested<T>(v: &mut Vec<Vec<T>>, n: usize) {
+    v.truncate(n);
+    for inner in v.iter_mut() {
+        inner.clear();
+    }
+    v.resize_with(n, Vec::new);
+}
+
+/// Refills a flat buffer vector with `n` copies of `fill` in place.
+fn reset_flat<T: Copy>(v: &mut Vec<T>, n: usize, fill: T) {
+    v.clear();
+    v.resize(n, fill);
+}
+
+/// Clones `src` into `dst` element-wise via `Clone::clone_from`, reusing
+/// `dst`'s existing element buffers (for `Op`, every dependency list).
+fn clone_vec_reusing<T: Clone>(dst: &mut Vec<T>, src: &[T]) {
+    dst.truncate(src.len());
+    let shared = dst.len();
+    for (d, s) in dst.iter_mut().zip(&src[..shared]) {
+        d.clone_from(s);
+    }
+    dst.extend(src[shared..].iter().cloned());
 }
 
 /// Read-only view of the engine's belief and progress state, handed to
@@ -437,8 +555,8 @@ enum OpState {
     Cancelled,
 }
 
-#[derive(Clone, Debug)]
-struct Op {
+#[derive(Debug)]
+pub(crate) struct Op {
     /// Wall-clock duration (ignored when `fixed_finish` is set). For
     /// computations under `Checkpoint` this is `work` plus the checkpoint
     /// padding `ck_pad`; otherwise it equals `work`.
@@ -529,6 +647,72 @@ impl Op {
     }
 }
 
+/// Hand-written so that `clone_from` reuses the target's buffers: the
+/// derived impl's `clone_from` falls back to `*self = source.clone()`,
+/// which would re-allocate all five dependency lists per op per run and
+/// defeat the template fast path.
+impl Clone for Op {
+    fn clone(&self) -> Self {
+        Op {
+            duration: self.duration,
+            work: self.work,
+            full: self.full,
+            done_frac: self.done_frac,
+            ck_pad: self.ck_pad,
+            fixed_finish: self.fixed_finish,
+            release: self.release,
+            deadline: self.deadline,
+            proc: self.proc,
+            task: self.task,
+            recovery: self.recovery,
+            est_finish: self.est_finish,
+            hard_remaining: self.hard_remaining,
+            fifo_remaining: self.fifo_remaining,
+            groups_remaining: self.groups_remaining,
+            group_live: self.group_live.clone(),
+            group_done: self.group_done.clone(),
+            data_ready: self.data_ready,
+            fifo_ready: self.fifo_ready,
+            hard_deps: self.hard_deps.clone(),
+            fifo_deps: self.fifo_deps.clone(),
+            group_deps: self.group_deps.clone(),
+            state: self.state,
+            start: self.start,
+            finish: self.finish,
+            discovered: self.discovered,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.duration = source.duration;
+        self.work = source.work;
+        self.full = source.full;
+        self.done_frac = source.done_frac;
+        self.ck_pad = source.ck_pad;
+        self.fixed_finish = source.fixed_finish;
+        self.release = source.release;
+        self.deadline = source.deadline;
+        self.proc = source.proc;
+        self.task = source.task;
+        self.recovery = source.recovery;
+        self.est_finish = source.est_finish;
+        self.hard_remaining = source.hard_remaining;
+        self.fifo_remaining = source.fifo_remaining;
+        self.groups_remaining = source.groups_remaining;
+        self.group_live.clone_from(&source.group_live);
+        self.group_done.clone_from(&source.group_done);
+        self.data_ready = source.data_ready;
+        self.fifo_ready = source.fifo_ready;
+        self.hard_deps.clone_from(&source.hard_deps);
+        self.fifo_deps.clone_from(&source.fifo_deps);
+        self.group_deps.clone_from(&source.group_deps);
+        self.state = source.state;
+        self.start = source.start;
+        self.finish = source.finish;
+        self.discovered = source.discovered;
+    }
+}
+
 /// Times `$body` into the engine's attached [`PhaseProfile`] under the
 /// `phase-profile` feature; expands to `$body` alone without it, keeping
 /// the default build on the untraced fast path.
@@ -551,7 +735,7 @@ macro_rules! phase {
 }
 
 /// Local propagation actions, drained to a fixpoint between events.
-enum Act {
+pub(crate) enum Act {
     TrySchedule(u32),
     Fail(u32),
     RealDone(u32, f64),
@@ -571,14 +755,14 @@ struct Engine<'a> {
     /// `(finish, kind, id)`; kind 0 = op completion (`id` = op), 1 =
     /// crash detection, 2 = rejoin knowledge (`id` = `epoch · m + proc`).
     /// Completions at a given instant precede detections, which precede
-    /// rejoins.
-    heap: BinaryHeap<Reverse<(OrdF64, u8, u32)>>,
+    /// rejoins. Backed by the scratch arena's reusable [`EventQueue`].
+    heap: EventQueue,
 
     /// Static exec op per (task, copy); `None` when pruned at build time.
     static_exec: Vec<Vec<Option<u32>>>,
     /// Recovery exec ops per task.
     recovery_exec: Vec<Vec<u32>>,
-    topo_position: Vec<usize>,
+    topo_position: &'a [usize],
     /// The coordinator's current belief: `p` is dead (its latest known
     /// availability event is a crash). Flips back to `false` when a
     /// rejoin enters the coordinator view.
@@ -624,9 +808,9 @@ struct Engine<'a> {
     deferred: Vec<bool>,
 
     /// Per-task `(interval, overhead)` checkpoint plans, from
-    /// [`Policy::checkpoint_plan`] (validated at construction); `None`
-    /// disables checkpointing for the task.
-    plans: Vec<Option<(f64, f64)>>,
+    /// [`Policy::checkpoint_plan`] (validated once per [`StaticPlan`]);
+    /// `None` disables checkpointing for the task.
+    plans: &'a [Option<(f64, f64)>],
     /// Pre-staged data copies per task: `(destination proc, transfer
     /// op)` pairs created by applied [`RecoveryAction::PreStage`]s. A
     /// staged copy feeds later repairs exactly like a surviving replica
@@ -652,6 +836,9 @@ struct Engine<'a> {
     /// Best checkpointed fraction of each task (stable storage: survives
     /// any crash; monotone under the max over crashed replicas).
     task_ck_frac: Vec<f64>,
+    /// Per-processor first crash deadline after `t = 0`, used by the
+    /// template fast path to overwrite op deadlines in one pass.
+    proc_deadline: Vec<f64>,
     /// Total time spent writing and reading checkpoints in *completed*
     /// computations.
     checkpoint_overhead: f64,
@@ -689,49 +876,54 @@ fn checkpoints_for(work: f64, interval: f64) -> u32 {
 }
 
 impl<'a> Engine<'a> {
-    fn new(
+    /// Assembles an engine over the scratch arena's buffers, resetting
+    /// each in place (capacities survive — the zero-allocation core).
+    /// The op arena and `static_exec` are deliberately *not* reset here:
+    /// the template fast path reuses their element buffers via
+    /// `clone_from`, and the legacy builder resets them itself.
+    ///
+    /// The arena's buffers are moved out of `scratch` for the run;
+    /// [`Engine::finish_into`] moves them back. A panicking run leaves
+    /// `scratch` holding taken-empty buffers, which the next
+    /// `from_parts` simply re-grows — no unsafety, no stale state.
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts(
         inst: &'a Instance,
         sched: &'a FtSchedule,
         scenario: &'a FaultScenario,
         cfg: &'a EngineConfig,
         policy: &'a dyn Policy,
+        plans: &'a [Option<(f64, f64)>],
+        topo_position: &'a [usize],
+        scratch: &mut EngineScratch,
     ) -> Self {
         cfg.detection.validate(inst.num_procs());
         let v = inst.num_tasks();
-        // One checkpoint_plan query per task, validated here so a
-        // misbehaving plan fails loudly before any op is built (the same
-        // checks the pre-redesign engine ran on the global knobs).
-        let plans: Vec<Option<(f64, f64)>> = (0..v)
-            .map(|t| {
-                let info = TaskInfo::new(inst, TaskId::from_index(t));
-                policy.checkpoint_plan(&info).map(|p| {
-                    assert!(
-                        p.interval > 0.0 && !p.interval.is_nan(),
-                        "bad checkpoint interval {}",
-                        p.interval
-                    );
-                    assert!(
-                        p.overhead.is_finite() && p.overhead >= 0.0,
-                        "bad checkpoint overhead {}",
-                        p.overhead
-                    );
-                    (p.interval, p.overhead)
-                })
-            })
-            .collect();
-        let mut topo_position = vec![0usize; v];
-        for (i, t) in ft_graph::topological_order(&inst.graph)
-            .into_iter()
-            .enumerate()
-        {
-            topo_position[t.index()] = i;
-        }
         let m = inst.num_procs();
-        let epochs: Vec<Vec<(f64, f64)>> = (0..m)
-            .map(|p| scenario.epochs_of(ProcId::from_index(p)).collect())
-            .collect();
-        let mut crash_detect = vec![Vec::new(); m];
-        let mut rejoin_detect = vec![Vec::new(); m];
+        debug_assert_eq!(plans.len(), v, "plan built for a different instance");
+        debug_assert_eq!(topo_position.len(), v);
+
+        let ops = std::mem::take(&mut scratch.ops);
+        let static_exec = std::mem::take(&mut scratch.static_exec);
+        let mut queue = std::mem::take(&mut scratch.queue);
+        queue.clear();
+        let mut recovery_exec = std::mem::take(&mut scratch.recovery_exec);
+        reset_nested(&mut recovery_exec, v);
+        let mut known_dead = std::mem::take(&mut scratch.known_dead);
+        reset_flat(&mut known_dead, m, false);
+        let mut believed_instant = std::mem::take(&mut scratch.believed_instant);
+        reset_flat(&mut believed_instant, m, f64::NEG_INFINITY);
+        let mut believed_epoch = std::mem::take(&mut scratch.believed_epoch);
+        reset_flat(&mut believed_epoch, m, 0);
+        let mut epochs = std::mem::take(&mut scratch.epochs);
+        reset_nested(&mut epochs, m);
+        for (p, e) in epochs.iter_mut().enumerate() {
+            e.extend(scenario.epochs_of(ProcId::from_index(p)));
+        }
+        let mut crash_detect = std::mem::take(&mut scratch.crash_detect);
+        reset_nested(&mut crash_detect, m);
+        let mut rejoin_detect = std::mem::take(&mut scratch.rejoin_detect);
+        reset_nested(&mut rejoin_detect, m);
         for (p, eps) in epochs.iter().enumerate() {
             let pid = ProcId::from_index(p);
             for (k, &(crash, up)) in eps.iter().enumerate() {
@@ -753,46 +945,72 @@ impl<'a> Engine<'a> {
                 });
             }
         }
-        let crash_seen: Vec<Vec<bool>> = epochs.iter().map(|e| vec![false; e.len()]).collect();
-        let rejoin_seen = crash_seen.clone();
+        let mut crash_seen = std::mem::take(&mut scratch.crash_seen);
+        reset_nested(&mut crash_seen, m);
+        let mut rejoin_seen = std::mem::take(&mut scratch.rejoin_seen);
+        reset_nested(&mut rejoin_seen, m);
+        for (p, e) in epochs.iter().enumerate() {
+            crash_seen[p].resize(e.len(), false);
+            rejoin_seen[p].resize(e.len(), false);
+        }
+        let mut first_finish = std::mem::take(&mut scratch.first_finish);
+        reset_flat(&mut first_finish, v, None);
+        let mut recovered = std::mem::take(&mut scratch.recovered);
+        reset_flat(&mut recovered, v, false);
+        let mut unrecoverable = std::mem::take(&mut scratch.unrecoverable);
+        reset_flat(&mut unrecoverable, v, false);
+        let mut deferred = std::mem::take(&mut scratch.deferred);
+        reset_flat(&mut deferred, v, false);
+        let mut staged = std::mem::take(&mut scratch.staged);
+        reset_nested(&mut staged, v);
+        let mut act_scratch = std::mem::take(&mut scratch.act_scratch);
+        act_scratch.clear();
+        let mut fail_scratch = std::mem::take(&mut scratch.fail_scratch);
+        fail_scratch.clear();
+        let mut action_scratch = std::mem::take(&mut scratch.action_scratch);
+        action_scratch.clear();
+        let mut task_ck_frac = std::mem::take(&mut scratch.task_ck_frac);
+        reset_flat(&mut task_ck_frac, v, 0.0);
+        let mut proc_deadline = std::mem::take(&mut scratch.proc_deadline);
+        proc_deadline.clear();
+
         Engine {
             inst,
             sched,
             scenario,
             cfg,
             policy,
-            ops: Vec::new(),
-            heap: BinaryHeap::new(),
-            static_exec: (0..v)
-                .map(|t| vec![None; sched.replicas[t].len()])
-                .collect(),
-            recovery_exec: vec![Vec::new(); v],
+            ops,
+            heap: queue,
+            static_exec,
+            recovery_exec,
             topo_position,
-            known_dead: vec![false; inst.num_procs()],
-            believed_instant: vec![f64::NEG_INFINITY; m],
-            believed_epoch: vec![0; m],
+            known_dead,
+            believed_instant,
+            believed_epoch,
             epochs,
             crash_detect,
             rejoin_detect,
             crash_seen,
             rejoin_seen,
-            first_finish: vec![None; v],
-            recovered: vec![false; v],
+            first_finish,
+            recovered,
             detections: 0,
             rejoins: 0,
             reschedules: 0,
             recovery_replicas: 0,
             recovery_messages: 0,
-            unrecoverable: vec![false; v],
-            deferred: vec![false; v],
+            unrecoverable,
+            deferred,
             plans,
-            staged: vec![Vec::new(); v],
+            staged,
             rejected_actions: 0,
             prestaged: 0,
-            act_scratch: Vec::new(),
-            fail_scratch: Vec::new(),
-            action_scratch: Vec::new(),
-            task_ck_frac: vec![0.0; v],
+            act_scratch,
+            fail_scratch,
+            action_scratch,
+            task_ck_frac,
+            proc_deadline,
             checkpoint_overhead: 0.0,
             work_saved: 0.0,
             work_lost: 0.0,
@@ -835,6 +1053,47 @@ impl<'a> Engine<'a> {
         self.scenario.deadline_after(p, t)
     }
 
+    /// Builds the static op graph for this run, through the template
+    /// fast path when it applies.
+    ///
+    /// The template is the op graph of a build with no crash at `t ≤ 0`
+    /// (`dead0` all false). Any such build prunes nothing in pass 1,
+    /// skips no receiver queue in pass 2c, and wires every dependency
+    /// while all ops are still `Pending` — so it differs from the
+    /// template **only** in `Op::deadline`, which is a pure per-processor
+    /// value (`deadline_after(p, 0)` of the executing/sending processor).
+    /// Cloning the template in place and overwriting the deadlines is
+    /// therefore byte-identical to the legacy build; scenarios with a
+    /// crash at `t ≤ 0` (the adversarial replay identities) take the
+    /// legacy builder unchanged.
+    fn build_ops(&mut self, plan: &StaticPlan) {
+        let m = self.inst.num_procs();
+        let any_dead0 =
+            (0..m).any(|p| self.deadline_after(ProcId::from_index(p), 0.0) <= 0.0);
+        if plan.has_template && !any_dead0 {
+            self.build_from_template(plan);
+        } else {
+            self.build_static_ops();
+        }
+    }
+
+    /// The template fast path: clone the pre-built op graph reusing this
+    /// arena's per-op buffers, then overwrite the crash deadlines.
+    fn build_from_template(&mut self, plan: &StaticPlan) {
+        let m = self.inst.num_procs();
+        let mut pd = std::mem::take(&mut self.proc_deadline);
+        pd.clear();
+        for p in 0..m {
+            pd.push(self.deadline_after(ProcId::from_index(p), 0.0));
+        }
+        clone_vec_reusing(&mut self.ops, &plan.template_ops);
+        for op in &mut self.ops {
+            op.deadline = pd[op.proc as usize];
+        }
+        self.proc_deadline = pd;
+        clone_vec_reusing(&mut self.static_exec, &plan.template_static_exec);
+    }
+
     /// Mirrors `ft_sim::replay` passes 1–2: prunes replicas dead or
     /// statically starved under the processors crashed at t ≤ 0, builds
     /// exec/msg ops, inherits the static FIFO orders, and wires the
@@ -843,6 +1102,17 @@ impl<'a> Engine<'a> {
         let g = &self.inst.graph;
         let v = g.num_tasks();
         let m = self.inst.num_procs();
+        // Arena reset (no-op on a fresh engine): the op arena and the
+        // per-(task, copy) exec table are rebuilt from nothing here.
+        self.ops.clear();
+        self.static_exec.truncate(v);
+        for (t, se) in self.static_exec.iter_mut().enumerate() {
+            se.clear();
+            se.resize(self.sched.replicas[t].len(), None);
+        }
+        for t in self.static_exec.len()..v {
+            self.static_exec.push(vec![None; self.sched.replicas[t].len()]);
+        }
         let dead0: Vec<bool> = (0..m)
             .map(|p| self.deadline_after(ProcId::from_index(p), 0.0) <= 0.0)
             .collect();
@@ -995,10 +1265,10 @@ impl<'a> Engine<'a> {
             for k in 0..self.epochs[p].len() {
                 let id = (k * m + p) as u32;
                 for w in Self::event_instants(&self.crash_detect[p][k], p) {
-                    self.heap.push(Reverse((OrdF64(w), 1, id)));
+                    self.heap.push((w, 1, id));
                 }
                 for w in Self::event_instants(&self.rejoin_detect[p][k], p) {
-                    self.heap.push(Reverse((OrdF64(w), 2, id)));
+                    self.heap.push((w, 2, id));
                 }
             }
         }
@@ -1039,7 +1309,7 @@ impl<'a> Engine<'a> {
         let m = self.inst.num_procs();
         loop {
             let popped = phase!(self, QueuePop, self.heap.pop());
-            let Some(Reverse((OrdF64(time), kind, id))) = popped else {
+            let Some((time, kind, id)) = popped else {
                 break;
             };
             self.frontier = self.frontier.max(time);
@@ -1176,7 +1446,7 @@ impl<'a> Engine<'a> {
             op.start = start;
             op.finish = finish;
             op.est_finish = finish;
-            self.heap.push(Reverse((OrdF64(finish), 0, i)));
+            self.heap.push((finish, 0, i));
         } else {
             // The computation still ran from `start` until the crash;
             // that progress is destroyed (checkpointed fractions are
@@ -2064,30 +2334,57 @@ impl<'a> Engine<'a> {
         self.act_scratch = acts;
     }
 
-    fn into_outcome(self) -> RunOutcome {
+    /// Finalizes the run into `scratch.outcome` and returns every buffer
+    /// to the arena. The outcome's two vectors are *swapped* with the
+    /// engine's, so the previous run's outcome storage becomes the next
+    /// run's `first_finish`/`recovered` buffers — the last allocation the
+    /// steady-state loop would otherwise make.
+    fn finish_into(mut self, scratch: &mut EngineScratch) {
         let unrecoverable = self
             .unrecoverable
             .iter()
             .zip(&self.first_finish)
             .filter(|&(&flagged, finish)| flagged && finish.is_none())
             .count();
-        RunOutcome {
-            first_finish: self.first_finish,
-            recovered: self.recovered,
-            num_failures: self.scenario.num_failures(),
-            detections: self.detections,
-            rejoins: self.rejoins,
-            reschedules: self.reschedules,
-            recovery_replicas: self.recovery_replicas,
-            recovery_messages: self.recovery_messages,
-            unrecoverable,
-            prestaged: self.prestaged,
-            rejected_actions: self.rejected_actions,
-            checkpoint_overhead: self.checkpoint_overhead,
-            work_saved: self.work_saved,
-            work_lost: self.work_lost,
-            detection_lag: self.detection_lag,
-        }
+        let out = &mut scratch.outcome;
+        std::mem::swap(&mut out.first_finish, &mut self.first_finish);
+        std::mem::swap(&mut out.recovered, &mut self.recovered);
+        out.num_failures = self.scenario.num_failures();
+        out.detections = self.detections;
+        out.rejoins = self.rejoins;
+        out.reschedules = self.reschedules;
+        out.recovery_replicas = self.recovery_replicas;
+        out.recovery_messages = self.recovery_messages;
+        out.unrecoverable = unrecoverable;
+        out.prestaged = self.prestaged;
+        out.rejected_actions = self.rejected_actions;
+        out.checkpoint_overhead = self.checkpoint_overhead;
+        out.work_saved = self.work_saved;
+        out.work_lost = self.work_lost;
+        out.detection_lag = self.detection_lag;
+
+        scratch.ops = self.ops;
+        scratch.queue = self.heap;
+        scratch.static_exec = self.static_exec;
+        scratch.recovery_exec = self.recovery_exec;
+        scratch.known_dead = self.known_dead;
+        scratch.believed_instant = self.believed_instant;
+        scratch.believed_epoch = self.believed_epoch;
+        scratch.epochs = self.epochs;
+        scratch.crash_detect = self.crash_detect;
+        scratch.rejoin_detect = self.rejoin_detect;
+        scratch.crash_seen = self.crash_seen;
+        scratch.rejoin_seen = self.rejoin_seen;
+        scratch.first_finish = self.first_finish;
+        scratch.recovered = self.recovered;
+        scratch.unrecoverable = self.unrecoverable;
+        scratch.deferred = self.deferred;
+        scratch.staged = self.staged;
+        scratch.act_scratch = self.act_scratch;
+        scratch.fail_scratch = self.fail_scratch;
+        scratch.action_scratch = self.action_scratch;
+        scratch.task_ck_frac = self.task_ck_frac;
+        scratch.proc_deadline = self.proc_deadline;
     }
 
     /// Streams every materialized operation to `obs` in creation order —
@@ -2831,22 +3128,43 @@ mod tests {
             assert_eq!(out.latency(), None);
         }
     }
-}
 
-/// Total-order wrapper for f64 heap keys.
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
+    /// A persistent [`Executor`](crate::Executor) run — warm arena, op
+    /// template, indexed event queue — must reproduce the one-shot
+    /// [`execute`] byte-for-byte on every scenario class: failure-free
+    /// (template fast path), mid-run crashes (template + availability
+    /// events), crashes at `t = 0` (legacy-build fallback inside a warm
+    /// executor), and everything interleaved through one arena so state
+    /// leakage between runs would be caught.
+    #[test]
+    fn executor_matches_one_shot_execute_byte_for_byte() {
+        let inst = setup(11, 30, 1.0);
+        let sched = caft(&inst, 1, CommModel::OnePort, 3);
+        let nominal = sched.latency();
+        let scenarios = [
+            FaultScenario::none(),
+            FaultScenario::timed(&[(ProcId(0), nominal * 0.4)]),
+            FaultScenario::timed(&[(ProcId(1), nominal * 0.2), (ProcId(2), nominal * 0.7)]),
+            FaultScenario::timed(&[(ProcId(2), 0.0)]),
+            FaultScenario::timed(&[(ProcId(0), 0.0), (ProcId(3), nominal * 0.5)]),
+        ];
+        for policy in RecoveryPolicy::ALL {
+            let cfg = EngineConfig {
+                policy,
+                detection: DetectionModel::uniform(1.0),
+                seed: 7,
+            };
+            let mut exec = crate::Executor::new(&inst, &sched, &cfg);
+            // Two passes over the same arena: the second pass runs every
+            // scenario through buffers warmed by a *different* scenario.
+            for pass in 0..2 {
+                for (i, scenario) in scenarios.iter().enumerate() {
+                    let warm = serde_json::to_string(exec.run(scenario)).unwrap();
+                    let cold =
+                        serde_json::to_string(&execute(&inst, &sched, scenario, &cfg)).unwrap();
+                    assert_eq!(warm, cold, "{policy}: scenario {i}, pass {pass}");
+                }
+            }
+        }
     }
 }

@@ -115,11 +115,12 @@ pub mod lifetime;
 pub mod metrics;
 pub mod observe;
 pub mod policy;
+pub mod scratch;
 pub mod simulation;
 
 pub use batch::{
-    simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator, ChunkedBatch,
-    ExactSum, MonteCarloConfig, Progress,
+    simulate_grid, simulate_many, simulate_many_with, simulate_many_with_progress,
+    BatchAccumulator, ChunkedBatch, ExactSum, MonteCarloConfig, Progress,
 };
 pub use detection::DetectionModel;
 pub use engine::{
@@ -133,6 +134,7 @@ pub use observe::{NoopObserver, Observer, Phase, PhaseProfile, PhaseStat, TraceO
 pub use policy::{
     CheckpointPlan, EngineConfig, Policy, PolicyEvent, RecoveryAction, RecoveryPolicy, TaskInfo,
 };
+pub use scratch::{EngineScratch, Executor, ScratchPool, StaticPlan};
 pub use simulation::{ObservedSimulation, Simulation};
 
 /// One-stop imports for examples and applications.
@@ -140,11 +142,12 @@ pub mod prelude {
     pub use crate::{
         draw_scenario, draw_scenario_with, execute, execute_observed, execute_observed_with,
         execute_profiled, execute_profiled_with, execute_traced, execute_traced_with, execute_with,
-        report, simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator,
-        BatchSummary, CheckpointPlan, ChunkedBatch, DetectionModel, EngineConfig, EngineTrace,
-        FailureKind, Histogram, LifetimeDist, MetricSet, MonteCarloConfig, NoopObserver,
-        ObservedSimulation, Observer, Phase, PhaseProfile, PhaseStat, Policy, PolicyEvent,
-        PolicyView, Progress, RecoveryAction, RecoveryPolicy, RepairModel, RunOutcome, RunReport,
-        Simulation, TaskInfo, TraceEvent, TraceEventKind, TraceObserver,
+        report, simulate_grid, simulate_many, simulate_many_with, simulate_many_with_progress,
+        BatchAccumulator, BatchSummary, CheckpointPlan, ChunkedBatch, DetectionModel, EngineConfig,
+        EngineScratch, EngineTrace, Executor, FailureKind, Histogram, LifetimeDist, MetricSet,
+        MonteCarloConfig, NoopObserver, ObservedSimulation, Observer, Phase, PhaseProfile,
+        PhaseStat, Policy, PolicyEvent, PolicyView, Progress, RecoveryAction, RecoveryPolicy,
+        RepairModel, RunOutcome, RunReport, ScratchPool, Simulation, StaticPlan, TaskInfo,
+        TraceEvent, TraceEventKind, TraceObserver,
     };
 }

@@ -34,7 +34,11 @@ use ft_sim::latency_bounds;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of one online execution ([`crate::execute`]).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `Default` is the all-zero outcome of a run over nothing; it exists so
+/// a reusable [`EngineScratch`](crate::EngineScratch) can hold an
+/// outcome slot the engine fills in place.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// First completion time of each task (any replica, static or
     /// recovery); `None` if the task never completed.

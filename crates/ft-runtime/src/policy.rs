@@ -484,10 +484,16 @@ pub trait Policy: Send + Sync {
     }
 
     /// The task's checkpointing contract, asked **once per task** before
-    /// the run starts; `None` (the default) disables checkpointing for
+    /// a run starts; `None` (the default) disables checkpointing for
     /// the task. This is the hook that makes per-task Young/Daly
     /// intervals expressible — see
     /// [`RecoveryPolicy::AdaptiveCheckpoint`].
+    ///
+    /// Plans are amortized: batch entry points query this hook once per
+    /// [`StaticPlan`](crate::StaticPlan) — i.e. once per `(instance,
+    /// schedule, policy)`, not once per run — so the implementation must
+    /// be a pure function of `task` (the built-ins are). One-shot
+    /// [`execute`](crate::execute) still queries once per call.
     fn checkpoint_plan(&self, task: &TaskInfo<'_>) -> Option<CheckpointPlan> {
         let _ = task;
         None

@@ -1,0 +1,379 @@
+//! The zero-allocation event core: reusable run arenas and pre-resolved
+//! static plans (DESIGN.md §15).
+//!
+//! Historically every [`execute`](crate::execute) call allocated its
+//! whole world from scratch: the op arena, one `Vec` wall per dependency
+//! list, a fresh `BinaryHeap` for the event queue, and per-task
+//! checkpoint plans re-queried from the policy — roughly a hundred heap
+//! allocations per run, paid 10⁶ times per Monte-Carlo batch. This
+//! module splits that cost into three reusable pieces:
+//!
+//! * [`StaticPlan`] — everything that depends only on `(instance,
+//!   schedule, policy)`: validated per-task checkpoint plans, the
+//!   topological order, and a **pre-built op template** (the full static
+//!   op graph with its dependency wiring) that a run clones *in place*.
+//!   The template is valid for every scenario with no crash at `t ≤ 0`:
+//!   such a build takes identical branches everywhere except the per-op
+//!   crash deadlines, which are a per-processor overwrite (the host of a
+//!   computation, the sender of a transfer). Scenarios that do kill a
+//!   processor at `t ≤ 0` — the adversarial replay identities — fall
+//!   back to the full legacy build, byte-for-byte.
+//! * [`EngineScratch`] — every per-run buffer the engine touches, owned
+//!   across runs: the op arena, the indexed event queue, belief and
+//!   detection state, propagation scratch, and the previous run's
+//!   [`RunOutcome`] (whose vectors are recycled into the next run). After
+//!   one warm-up run on a failure-free scenario, a run through a warm
+//!   scratch performs **zero** heap allocations (pinned by
+//!   `tests/alloc_discipline.rs`).
+//! * [`ScratchPool`] — a mutex-guarded stack of warm arenas, shared by
+//!   the rayon workers of [`simulate_many`](crate::simulate_many) /
+//!   [`ChunkedBatch`](crate::ChunkedBatch) chunks and across the cells
+//!   of a [`simulate_grid`](crate::simulate_grid) sweep, so arena
+//!   warm-up is paid once per thread per batch — not once per run or per
+//!   grid cell.
+//!
+//! [`Executor`] packages a plan and an arena behind the simplest
+//! possible steady-state surface: construct once, call
+//! [`run`](Executor::run) per scenario. Every path through this module
+//! returns outcomes **byte-identical** to the one-shot
+//! [`execute`](crate::execute) — the fast path only re-uses memory and
+//! skips redundant construction, it never changes an event order (the
+//! event-queue keys are all distinct, so *any* correct min-heap pops
+//! them in the same ascending order).
+
+use crate::engine::{build_template, run_into, Act, Op};
+use crate::metrics::RunOutcome;
+use crate::policy::{EngineConfig, Policy, RecoveryAction, TaskInfo};
+use ft_graph::TaskId;
+use ft_model::FtSchedule;
+use ft_platform::Instance;
+use ft_sim::FaultScenario;
+use std::sync::Mutex;
+
+/// Indexed min-heap over `(time, kind, id)` event keys — the engine's
+/// event queue, backed by one reusable `Vec` instead of a fresh
+/// `BinaryHeap` per run.
+///
+/// Keys order lexicographically with `f64::total_cmp` on the time (the
+/// exact order the historical `BinaryHeap<Reverse<(OrdF64, u8, u32)>>`
+/// used). Every key pushed by the engine is distinct — an op id enters
+/// at most once (the `Pending → Scheduled` transition guards the push),
+/// and availability-event instants are deduplicated per `(proc, epoch)`
+/// with the id encoding the pair — so pop order is the unique ascending
+/// key order regardless of heap implementation details.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: Vec<(f64, u8, u32)>,
+}
+
+impl EventQueue {
+    /// Empties the queue, keeping its capacity for the next run.
+    pub(crate) fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn less(a: (f64, u8, u32), b: (f64, u8, u32)) -> bool {
+        a.0.total_cmp(&b.0)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+            == std::cmp::Ordering::Less
+    }
+
+    pub(crate) fn push(&mut self, key: (f64, u8, u32)) {
+        self.heap.push(key);
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::less(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(f64, u8, u32)> {
+        let n = self.heap.len();
+        if n == 0 {
+            return None;
+        }
+        self.heap.swap(0, n - 1);
+        let top = self.heap.pop();
+        let n = self.heap.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < n && Self::less(self.heap[r], self.heap[l]) {
+                r
+            } else {
+                l
+            };
+            if Self::less(self.heap[c], self.heap[i]) {
+                self.heap.swap(i, c);
+                i = c;
+            } else {
+                break;
+            }
+        }
+        top
+    }
+}
+
+/// Everything about a run that depends only on `(instance, schedule,
+/// policy)` — validated checkpoint plans, the topological order, and the
+/// pre-built static op template — computed once and shared by every run
+/// of a batch, chunk, or grid cell.
+///
+/// See the [module docs](self) for when the template applies and why the
+/// fast path is byte-identical to the legacy build.
+pub struct StaticPlan {
+    /// Per-task `(interval, overhead)` checkpoint plans from
+    /// [`Policy::checkpoint_plan`], validated once here instead of once
+    /// per run.
+    pub(crate) plans: Vec<Option<(f64, f64)>>,
+    /// Topological position of each task (spawn-ordering key).
+    pub(crate) topo_position: Vec<usize>,
+    /// The static op graph of a build with no crash at `t ≤ 0`, wiring
+    /// included; per-run cloned in place with only the crash deadlines
+    /// overwritten.
+    pub(crate) template_ops: Vec<Op>,
+    /// Static exec op per `(task, copy)` of the template build.
+    pub(crate) template_static_exec: Vec<Vec<Option<u32>>>,
+    /// Whether the template was built (false for the cheap one-shot form
+    /// that always takes the legacy build).
+    pub(crate) has_template: bool,
+}
+
+impl StaticPlan {
+    /// Builds the full plan — checkpoint plans, topological order, and
+    /// the static op template — for runs of `sched` on `inst` under
+    /// `policy`. One template build amortizes over every subsequent run.
+    pub fn new(inst: &Instance, sched: &FtSchedule, policy: &dyn Policy) -> Self {
+        let mut plan = Self::without_template(inst, sched, policy);
+        let (template_ops, template_static_exec) =
+            build_template(inst, sched, policy, &plan.plans, &plan.topo_position);
+        plan.template_ops = template_ops;
+        plan.template_static_exec = template_static_exec;
+        plan.has_template = true;
+        plan
+    }
+
+    /// Plans and topological order only — the one-shot
+    /// [`execute`](crate::execute) form, which pays the legacy build
+    /// once anyway and would gain nothing from a template.
+    pub(crate) fn without_template(
+        inst: &Instance,
+        sched: &FtSchedule,
+        policy: &dyn Policy,
+    ) -> Self {
+        let v = inst.num_tasks();
+        // One checkpoint_plan query per task, validated here so a
+        // misbehaving plan fails loudly before any op is built (the same
+        // checks the pre-redesign engine ran per execute call).
+        let plans: Vec<Option<(f64, f64)>> = (0..v)
+            .map(|t| {
+                let info = TaskInfo::new(inst, TaskId::from_index(t));
+                policy.checkpoint_plan(&info).map(|p| {
+                    assert!(
+                        p.interval > 0.0 && !p.interval.is_nan(),
+                        "bad checkpoint interval {}",
+                        p.interval
+                    );
+                    assert!(
+                        p.overhead.is_finite() && p.overhead >= 0.0,
+                        "bad checkpoint overhead {}",
+                        p.overhead
+                    );
+                    (p.interval, p.overhead)
+                })
+            })
+            .collect();
+        let mut topo_position = vec![0usize; v];
+        for (i, t) in ft_graph::topological_order(&inst.graph)
+            .into_iter()
+            .enumerate()
+        {
+            topo_position[t.index()] = i;
+        }
+        let _ = sched; // shape checks happen in the engine per run
+        StaticPlan {
+            plans,
+            topo_position,
+            template_ops: Vec::new(),
+            template_static_exec: Vec::new(),
+            has_template: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for StaticPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticPlan")
+            .field("tasks", &self.plans.len())
+            .field("template_ops", &self.template_ops.len())
+            .field("has_template", &self.has_template)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The reusable per-run arena: every buffer one engine run touches, plus
+/// the latest [`RunOutcome`]. Buffers keep their capacity across runs —
+/// construct once (or [take](ScratchPool::take) from a pool), hand to
+/// run after run, and the steady-state hot loop stops allocating
+/// entirely (see the [module docs](self)).
+#[derive(Default)]
+pub struct EngineScratch {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) queue: EventQueue,
+    pub(crate) static_exec: Vec<Vec<Option<u32>>>,
+    pub(crate) recovery_exec: Vec<Vec<u32>>,
+    pub(crate) known_dead: Vec<bool>,
+    pub(crate) believed_instant: Vec<f64>,
+    pub(crate) believed_epoch: Vec<usize>,
+    pub(crate) epochs: Vec<Vec<(f64, f64)>>,
+    pub(crate) crash_detect: Vec<Vec<Vec<f64>>>,
+    pub(crate) rejoin_detect: Vec<Vec<Vec<f64>>>,
+    pub(crate) crash_seen: Vec<Vec<bool>>,
+    pub(crate) rejoin_seen: Vec<Vec<bool>>,
+    pub(crate) first_finish: Vec<Option<f64>>,
+    pub(crate) recovered: Vec<bool>,
+    pub(crate) unrecoverable: Vec<bool>,
+    pub(crate) deferred: Vec<bool>,
+    pub(crate) staged: Vec<Vec<(u32, u32)>>,
+    pub(crate) act_scratch: Vec<Act>,
+    pub(crate) fail_scratch: Vec<Act>,
+    pub(crate) action_scratch: Vec<RecoveryAction>,
+    pub(crate) task_ck_frac: Vec<f64>,
+    pub(crate) proc_deadline: Vec<f64>,
+    /// Outcome of the latest run executed through this scratch; its
+    /// vectors are recycled into the next run's buffers.
+    pub(crate) outcome: RunOutcome,
+}
+
+impl EngineScratch {
+    /// A cold arena; the first run through it allocates its buffers,
+    /// every later run of the same shape reuses them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for EngineScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineScratch")
+            .field("ops_capacity", &self.ops.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A shared stack of warm [`EngineScratch`] arenas. Rayon workers of a
+/// batch chunk take one arena each and return it at the reduce, so the
+/// next chunk (or the next cell of a grid) starts warm instead of cold.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<Box<EngineScratch>>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a warm arena, or builds a cold one if the pool is empty.
+    pub fn take(&self) -> Box<EngineScratch> {
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an arena to the pool for the next taker.
+    pub fn put(&self, scratch: Box<EngineScratch>) {
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(scratch);
+    }
+}
+
+/// A persistent single-thread executor: one [`StaticPlan`] plus one warm
+/// [`EngineScratch`] behind a `run(scenario)` call. The steady-state
+/// form of [`execute`](crate::execute) — byte-identical outcomes, none
+/// of the per-run construction.
+///
+/// # Example
+///
+/// ```
+/// use ft_runtime::{EngineConfig, Executor};
+/// use ft_algos::{caft, CommModel};
+/// use ft_graph::gen::{random_layered, RandomDagParams};
+/// use ft_platform::{random_instance, PlatformParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let g = random_layered(&RandomDagParams::default().with_tasks(25), &mut rng);
+/// let inst = random_instance(g, &PlatformParams::default(), 1.0, &mut rng);
+/// let sched = caft(&inst, 1, CommModel::OnePort, 5);
+/// let cfg = EngineConfig::default();
+///
+/// let mut exec = Executor::new(&inst, &sched, &cfg);
+/// let none = ft_sim::FaultScenario::none();
+/// for _ in 0..3 {
+///     assert!(exec.run(&none).completed());
+/// }
+/// ```
+pub struct Executor<'a> {
+    inst: &'a Instance,
+    sched: &'a FtSchedule,
+    cfg: &'a EngineConfig,
+    plan: StaticPlan,
+    scratch: Box<EngineScratch>,
+}
+
+impl<'a> Executor<'a> {
+    /// Builds the executor's plan and a cold arena for runs of `sched`
+    /// on `inst` under `cfg` (the built-in `cfg.policy`).
+    pub fn new(inst: &'a Instance, sched: &'a FtSchedule, cfg: &'a EngineConfig) -> Self {
+        Executor {
+            inst,
+            sched,
+            cfg,
+            plan: StaticPlan::new(inst, sched, &cfg.policy),
+            scratch: Box::default(),
+        }
+    }
+
+    /// Runs one scenario through the warm arena; the returned outcome is
+    /// byte-identical to `execute(inst, sched, scenario, cfg)` and valid
+    /// until the next `run` call.
+    pub fn run(&mut self, scenario: &FaultScenario) -> &RunOutcome {
+        run_into(
+            self.inst,
+            self.sched,
+            scenario,
+            self.cfg,
+            &self.cfg.policy,
+            &self.plan,
+            &mut self.scratch,
+            None,
+            None,
+        );
+        &self.scratch.outcome
+    }
+}
+
+impl std::fmt::Debug for Executor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}

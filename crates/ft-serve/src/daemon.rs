@@ -20,7 +20,7 @@
 use crate::cache::ArtifactCache;
 use crate::job::{CellResult, DeltaRecord, FinalRecord};
 use crate::queue::{ClaimOutcome, JobQueue, JobState, ServeError};
-use ft_runtime::ChunkedBatch;
+use ft_runtime::{ChunkedBatch, ScratchPool};
 use std::fs;
 use std::io::Write;
 use std::path::Path;
@@ -181,10 +181,19 @@ impl Daemon {
             None
         };
         let mut finished = Vec::with_capacity(cells.len());
+        // One scratch-arena pool for the whole job: arenas warmed by one
+        // cell's chunks are reused by every later cell instead of being
+        // re-allocated per cell (capacity only — summaries are unchanged).
+        let pool = Arc::new(ScratchPool::new());
         for (idx, cell) in cells.iter().enumerate() {
             let mc = cell.monte_carlo_config(&resolved.inst, &resolved.sched);
-            let mut chunked =
-                ChunkedBatch::new(&resolved.inst, &resolved.sched, &mc, &mc.engine.policy);
+            let mut chunked = ChunkedBatch::with_pool(
+                &resolved.inst,
+                &resolved.sched,
+                &mc,
+                &mc.engine.policy,
+                Arc::clone(&pool),
+            );
             let chunk = if spec.delta_every > 0 {
                 spec.delta_every
             } else {

@@ -1,0 +1,56 @@
+//! A counting wrapper around the system allocator, for tests that pin
+//! allocation discipline (e.g. "the engine's steady-state hot loop
+//! performs zero heap allocations").
+//!
+//! Install it as the test binary's global allocator and read the
+//! counter around the region under test:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+//!
+//! let before = alloc_counter::allocation_count();
+//! hot_loop();
+//! assert_eq!(alloc_counter::allocation_count() - before, 0);
+//! ```
+//!
+//! The counter tallies every `alloc`, `alloc_zeroed` and `realloc` call
+//! (deallocations are free and not counted) process-wide, so tests that
+//! read it must not run concurrently with unrelated allocating threads —
+//! keep one test function per binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of heap allocations (alloc + alloc_zeroed + realloc) since the
+/// process started, counted across all threads.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The counting allocator: forwards to [`System`], incrementing the
+/// global counter on every allocating call.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
