@@ -22,6 +22,12 @@
 //!   engine-loop cost baseline: its numbers track `runtime/execute`
 //!   (within noise) because the per-epoch availability tables collapse
 //!   to the historical single-crash path when every repair is ∞;
+//! * `runtime/contended` — the link-contention surcharge: one crashy
+//!   `ReReplicate` run per sharing model (ideal / exclusive store-and-
+//!   forward / fair-share) on a Beneš B(3) interconnect. The ideal cell
+//!   is the contention-free engine (and doubles as the cross-check that
+//!   it never touches the link model); the deltas to the other cells are
+//!   the per-transfer `NetworkState` charging cost;
 //! * `serve/` — sweep-service job setup (ft-serve's artifact cache):
 //!   cold resolution pays the full instance build plus CAFT scheduling,
 //!   warm resolution is two LRU lookups — the fast path that lets a
@@ -58,13 +64,16 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ft_algos::{caft, CommModel};
 use ft_bench::paper_instance;
-use ft_platform::ProcId;
+use ft_graph::gen::{random_layered, RandomDagParams};
+use ft_platform::{random_instance, PlatformParams, ProcId, Topology};
 use ft_runtime::{
-    execute, simulate_grid, DetectionModel, EngineConfig, Executor, FailureKind, LifetimeDist,
-    MonteCarloConfig, RecoveryPolicy, Simulation,
+    execute, simulate_grid, Contention, DetectionModel, EngineConfig, Executor, FailureKind,
+    LifetimeDist, MonteCarloConfig, RecoveryPolicy, Simulation,
 };
 use ft_serve::{ArtifactCache, JobSpec};
 use ft_sim::{replay, FaultScenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_execute(c: &mut Criterion) {
@@ -223,6 +232,52 @@ fn bench_transient(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_contended(c: &mut Criterion) {
+    // The contention surcharge on the engine hot loop: the same crash
+    // pair replayed per link-sharing model on a Beneš B(3) interconnect,
+    // where every repair transfer crosses 2r shared switch hops. `ideal`
+    // is the historical contention-free engine (the `timed_model` suite
+    // pins it byte-identical and it never touches the link model); the
+    // contended cells price the per-transfer `NetworkState` charging on
+    // top of it, on the same warm zero-alloc `Executor` path as
+    // `runtime/no-failure/online engine`.
+    let mut rng = StdRng::seed_from_u64(6);
+    let graph = random_layered(&RandomDagParams::default().with_tasks(100), &mut rng);
+    let params = PlatformParams::default()
+        .with_procs(8)
+        .with_topology(Topology::Benes { log2_m: 3 });
+    let inst = random_instance(graph, &params, 1.0, &mut rng);
+    let sched = caft(&inst, 1, CommModel::OnePort, 0);
+    let nominal = sched.latency();
+    let scenario = FaultScenario::timed(&[(ProcId(2), nominal * 0.3), (ProcId(5), nominal * 0.6)]);
+    let mut group = c.benchmark_group("runtime/contended");
+    for contention in [
+        Contention::Ideal,
+        Contention::Exclusive,
+        Contention::FairShare,
+    ] {
+        let cfg = EngineConfig {
+            contention,
+            ..EngineConfig::with_policy(RecoveryPolicy::ReReplicate)
+        };
+        let mut exec = Executor::new(&inst, &sched, &cfg);
+        // Semantics check: the ideal cell charges nothing against the
+        // network; the contended cells account every transfer.
+        let transfers = exec.run(&scenario).net_transfers;
+        if contention == Contention::Ideal {
+            assert_eq!(transfers, 0, "ideal runs must not touch the network");
+        } else {
+            assert!(transfers > 0, "{contention:?} must charge the links");
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(contention.name()),
+            &scenario,
+            |b, sc| b.iter(|| black_box(exec.run(black_box(sc)).completed())),
+        );
+    }
+    group.finish();
+}
+
 fn bench_simulate_many(c: &mut Criterion) {
     let inst = paper_instance(3, 60, 10, 1.0);
     let sched = caft(&inst, 1, CommModel::OnePort, 0);
@@ -278,6 +333,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_execute, bench_no_failure_overhead, bench_grid_sweep, bench_detection_models,
-        bench_transient, bench_simulate_many, bench_serve_setup
+        bench_transient, bench_contended, bench_simulate_many, bench_serve_setup
 }
 criterion_main!(benches);

@@ -19,6 +19,9 @@
 //!                                   # (exp repairs, MTTR 0.25 × nominal)
 //! paper-figures degradation --mttr 0.5             # …with an explicit MTTR
 //!                                   # (× nominal latency; implies --transient)
+//! paper-figures storm               # recovery storms under link contention
+//!                                   # (Beneš interconnect; the `network`
+//!                                   # validation family's experiment)
 //! paper-figures fig1 --quick        # thinned sweep, 10 graphs/point
 //! paper-figures fig1 --graphs 20    # override graphs per point
 //! paper-figures all --json out.json # machine-readable dump
@@ -49,7 +52,7 @@ use ft_experiments::table::{render_figure, render_messages, render_resilience};
 use ft_experiments::validate::{
     self, bless, committed_dir, load_family, render, save_family, validate_family, FAMILIES,
 };
-use ft_experiments::{render_isoclines, run_grid};
+use ft_experiments::{render_isoclines, render_storm, run_grid, run_storm};
 
 #[derive(serde::Serialize)]
 struct Dump {
@@ -57,6 +60,7 @@ struct Dump {
     messages: Vec<ft_experiments::messages::MessageRow>,
     resilience: Vec<ft_experiments::resilience_exp::ResilienceRow>,
     degradation: Vec<ft_experiments::degradation::DegradationRow>,
+    storm: Vec<ft_experiments::StormRow>,
 }
 
 /// The `validate` subcommand: evaluate each family's committed
@@ -232,6 +236,7 @@ fn main() {
         messages: Vec::new(),
         resilience: Vec::new(),
         degradation: Vec::new(),
+        storm: Vec::new(),
     };
     let msg_graphs = if quick { 5 } else { 20 };
     let res_graphs = if quick { 2 } else { 10 };
@@ -279,6 +284,11 @@ fn main() {
             dump.degradation = run_degradation(&deg_cfg);
             println!("{}", render_degradation(&deg_cfg, &dump.degradation));
         }
+        "storm" => {
+            let storm_cfg = ft_experiments::validate::storm_config(quick);
+            dump.storm = run_storm(&storm_cfg);
+            println!("{}", render_storm(&storm_cfg, &dump.storm));
+        }
         "validate" => {
             run_validate(&args, quick);
         }
@@ -291,7 +301,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown experiment '{id}' — expected fig1..fig6, messages, \
-                     resilience, degradation, validate or all"
+                     resilience, degradation, storm, validate or all"
                 );
                 std::process::exit(2);
             }

@@ -37,7 +37,9 @@
 //! recorded in EXPERIMENTS.md).
 
 use crate::sweep::{SweepGrid, WorkloadSpec};
-use ft_runtime::{BatchSummary, DetectionModel, FailureKind, RecoveryPolicy, RepairModel};
+use ft_runtime::{
+    BatchSummary, Contention, DetectionModel, FailureKind, RecoveryPolicy, RepairModel,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the degradation sweep.
@@ -193,6 +195,7 @@ impl DegradationConfig {
             runs: self.runs,
             detection_latency: self.detection_latency,
             seed: self.seed,
+            contention: Contention::Ideal,
         }
     }
 

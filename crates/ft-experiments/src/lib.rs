@@ -42,6 +42,7 @@ pub mod messages;
 pub mod resilience_exp;
 pub mod runner;
 pub mod stats;
+pub mod storm;
 pub mod sweep;
 pub mod table;
 pub mod validate;
@@ -53,5 +54,6 @@ pub use degradation::{
 pub use grid::{render_isoclines, run_grid, GridConfig, GridResult, PlatformSetting};
 pub use runner::{run_figure, FigureResult, PointResult};
 pub use stats::Accumulator;
+pub use storm::{ranking_flips, render_storm, run_storm, StormConfig, StormRow};
 pub use sweep::{CellSpec, SweepGrid, WorkloadSpec};
 pub use validate::{validate_family, Claim, FamilyValidation, FAMILIES};

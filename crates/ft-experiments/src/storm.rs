@@ -1,0 +1,440 @@
+//! The recovery-storm experiment: correlated crash bursts under link
+//! contention on a Beneš multistage interconnect.
+//!
+//! Every other sweep draws independent exponential lifetimes, so repair
+//! traffic trickles: crashes are spread over the run and their recovery
+//! transfers rarely overlap on a link. This experiment does the
+//! opposite — each Monte-Carlo run kills a *burst* of processors at one
+//! instant mid-run, so every survivor detects the crashes together and
+//! the recovery policies fire all their repair transfers at once. On a
+//! contention-free network ([`Contention::Ideal`]) that storm is free;
+//! on a [`Topology::Benes`] multistage interconnect, where every
+//! processor pair routes through `2r` shared switch hops, the
+//! simultaneous transfers collide and the sharing model
+//! ([`Contention::Exclusive`] / [`Contention::FairShare`]) stretches
+//! them.
+//!
+//! The headline measurement (recorded in
+//! `validation/VALIDATION_network.json`): contention is not a uniform
+//! tax. Policies that answer a burst with *many* parallel transfers
+//! (re-replication shipping every input of every lost task) pay more
+//! than policies that answer with *fewer* or staggered transfers — and
+//! at some burst size the induced delay is enough to **flip the policy
+//! ranking** relative to the Ideal network ([`ranking_flips`]: among
+//! policies completing equally often, the latency preference inverts).
+//! Link
+//! saturation itself is read from the engine's per-run network counters
+//! ([`MetricSet::net_transfers`](ft_runtime::MetricSet),
+//! `net_contended`, `net_delay`).
+//!
+//! Determinism matches the other sweeps: the burst scenarios of a burst
+//! size are drawn from a seed that depends only on `(seed, burst)`, so
+//! every policy × contention cell at that size replays the **same**
+//! storms run-for-run.
+
+use ft_algos::{caft, CommModel};
+use ft_graph::gen::{random_layered, RandomDagParams};
+use ft_model::FtSchedule;
+use ft_platform::{random_instance, Instance, PlatformParams, ProcId, Topology};
+use ft_runtime::{
+    BatchAccumulator, BatchSummary, Contention, DetectionModel, EngineConfig, Executor,
+    RecoveryPolicy,
+};
+use ft_sim::FaultScenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the recovery-storm sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StormConfig {
+    /// Tasks in the workload.
+    pub tasks: usize,
+    /// Processors `m` — must be a power of two (the Beneš network is
+    /// `B(log2 m)`).
+    pub procs: usize,
+    /// Supported failures ε of the static schedule.
+    pub eps: usize,
+    /// Granularity of the instance (small = communication-dominated,
+    /// the regime where link contention can bite).
+    pub granularity: f64,
+    /// Burst-size axis: how many processors crash simultaneously per
+    /// run (one row group per entry).
+    pub burst_sizes: Vec<usize>,
+    /// Contention-model axis (the Ideal column is the baseline the
+    /// ranking flips are measured against).
+    pub contentions: Vec<Contention>,
+    /// Monte-Carlo runs per (burst, contention, policy) cell.
+    pub runs: usize,
+    /// Uniform detection latency of the runtime.
+    pub detection_latency: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            tasks: 40,
+            procs: 8,
+            eps: 2,
+            granularity: 0.2,
+            burst_sizes: vec![2, 3],
+            contentions: vec![
+                Contention::Ideal,
+                Contention::Exclusive,
+                Contention::FairShare,
+            ],
+            runs: 200,
+            detection_latency: 1.0,
+            seed: 0x5702,
+        }
+    }
+}
+
+impl StormConfig {
+    /// Builds the storm workload: the usual graph/instance draw (same
+    /// RNG order as [`WorkloadSpec::build`](crate::WorkloadSpec::build))
+    /// but on a [`Topology::Benes`] platform, plus the ε-resilient CAFT
+    /// schedule.
+    ///
+    /// # Panics
+    /// When `procs` is not a power of two.
+    pub fn build(&self) -> (Instance, FtSchedule) {
+        assert!(
+            self.procs.is_power_of_two(),
+            "the Beneš interconnect needs a power-of-two processor count, got {}",
+            self.procs
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let graph = random_layered(&RandomDagParams::default().with_tasks(self.tasks), &mut rng);
+        let params = PlatformParams::default()
+            .with_procs(self.procs)
+            .with_topology(Topology::Benes {
+                log2_m: self.procs.trailing_zeros(),
+            });
+        let inst = random_instance(graph, &params, self.granularity, &mut rng);
+        let sched = caft(&inst, self.eps, CommModel::OnePort, self.seed);
+        (inst, sched)
+    }
+
+    /// The policy roster of the storm: the parameterless built-ins. The
+    /// checkpoint columns are left out — the storm isolates *recovery
+    /// traffic*, and the interval axis would only dilute the cells.
+    pub fn roster(&self) -> Vec<RecoveryPolicy> {
+        RecoveryPolicy::ALL.to_vec()
+    }
+
+    /// The burst scenario of run `run` at burst size `burst`: `burst`
+    /// distinct victims, all crashing at one instant drawn uniformly
+    /// from the middle of the nominal schedule (`[0.15, 0.6] ×`
+    /// nominal — late enough that data is in flight, early enough that
+    /// recovery has room to matter). Depends only on `(seed, burst,
+    /// run)`, never on the policy or contention mode.
+    pub fn scenario(&self, burst: usize, run: usize, nominal: f64) -> FaultScenario {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (burst as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (run as u64) << 20,
+        );
+        let at = rng.gen_range(0.15..0.6) * nominal;
+        let crashes: Vec<(ProcId, f64)> = rand::seq::index::sample(&mut rng, self.procs, burst)
+            .into_iter()
+            .map(|p| (ProcId(p as u32), at))
+            .collect();
+        FaultScenario::timed(&crashes)
+    }
+
+    /// The engine config of one cell. The engine seed depends only on
+    /// the burst size, so every policy × contention cell of a burst
+    /// group shares the engine's internal draws too.
+    pub fn engine_config(
+        &self,
+        burst: usize,
+        policy: RecoveryPolicy,
+        mode: Contention,
+    ) -> EngineConfig {
+        EngineConfig {
+            policy,
+            detection: DetectionModel::uniform(self.detection_latency),
+            seed: self.seed ^ burst as u64,
+            contention: mode,
+        }
+    }
+}
+
+/// One cell of the storm sweep: a recovery policy at a burst size under
+/// a contention model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StormRow {
+    /// Processors crashed simultaneously per run.
+    pub burst: usize,
+    /// Link-contention model of the cell.
+    pub contention: Contention,
+    /// The Monte-Carlo aggregate.
+    pub summary: BatchSummary,
+}
+
+impl StormRow {
+    /// Transfers charged against the network per run (0 under Ideal).
+    pub fn transfers_per_run(&self) -> f64 {
+        self.summary.metrics.net_transfers as f64 / self.summary.runs.max(1) as f64
+    }
+
+    /// Fraction of charged transfers that were actually delayed by
+    /// another transfer on a shared link — the saturation measure.
+    pub fn contended_share(&self) -> f64 {
+        let total = self.summary.metrics.net_transfers;
+        if total == 0 {
+            return 0.0;
+        }
+        self.summary.metrics.net_contended as f64 / total as f64
+    }
+
+    /// Total contention-induced delay per run (time units).
+    pub fn delay_per_run(&self) -> f64 {
+        self.summary.metrics.net_delay.value() / self.summary.runs.max(1) as f64
+    }
+}
+
+/// Runs the storm sweep: one Beneš CAFT schedule,
+/// `|burst_sizes| × |contentions| × |roster|` Monte-Carlo batches, every
+/// cell of a burst group replaying the same storms. Deterministic in the
+/// configuration.
+pub fn run_storm(cfg: &StormConfig) -> Vec<StormRow> {
+    let (inst, sched) = cfg.build();
+    let nominal = sched.latency();
+    let mut rows = Vec::new();
+    for &burst in &cfg.burst_sizes {
+        let scenarios: Vec<FaultScenario> = (0..cfg.runs)
+            .map(|r| cfg.scenario(burst, r, nominal))
+            .collect();
+        for &mode in &cfg.contentions {
+            for policy in cfg.roster() {
+                let engine = cfg.engine_config(burst, policy, mode);
+                let mut exec = Executor::new(&inst, &sched, &engine);
+                let mut acc = BatchAccumulator::new(nominal);
+                for scenario in &scenarios {
+                    acc.record(scenario.earliest_crash(), exec.run(scenario));
+                }
+                rows.push(StormRow {
+                    burst,
+                    contention: mode,
+                    summary: acc.finish(policy),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Completion-rate band within which two policies are considered tied
+/// on completion and ranked by mean slowdown instead (two points — the
+/// Monte-Carlo noise floor at the sweep's run counts).
+pub const COMPLETION_PARITY: f64 = 0.02;
+
+/// `(burst, policy preferred on Ideal, policy preferred under
+/// contention)` triples where a contended mode strictly inverts an
+/// Ideal-network preference. `p` is preferred over `q` when their
+/// completion rates are within [`COMPLETION_PARITY`] of each other
+/// (both non-zero) and `p`'s mean slowdown is strictly lower — the
+/// choice a practitioner faces between policies that complete equally
+/// often. A flip is a pair preferred one way on the ideal network and
+/// the **opposite** way under a contended mode of the same burst group:
+/// link contention changed the policy recommendation, not just the
+/// absolute numbers.
+pub fn ranking_flips(rows: &[StormRow]) -> Vec<(usize, String, String)> {
+    let beats = |a: &BatchSummary, b: &BatchSummary| {
+        a.completed > 0
+            && b.completed > 0
+            && (a.completion_rate() - b.completion_rate()).abs() <= COMPLETION_PARITY + 1e-12
+            && a.mean_slowdown < b.mean_slowdown - 1e-9
+    };
+    let cell = |burst: usize, mode: Contention, policy: &RecoveryPolicy| {
+        rows.iter()
+            .find(|r| r.burst == burst && r.contention == mode && r.summary.policy == *policy)
+            .map(|r| &r.summary)
+    };
+    let mut flips = Vec::new();
+    let mut bursts: Vec<usize> = rows.iter().map(|r| r.burst).collect();
+    bursts.dedup();
+    let policies: Vec<RecoveryPolicy> = rows
+        .iter()
+        .filter(|r| r.burst == bursts[0] && r.contention == Contention::Ideal)
+        .map(|r| r.summary.policy)
+        .collect();
+    let modes: Vec<Contention> = rows
+        .iter()
+        .map(|r| r.contention)
+        .filter(|m| m.is_contended())
+        .collect();
+    for &burst in &bursts {
+        for &mode in &modes {
+            for p in &policies {
+                for q in &policies {
+                    let (Some(ip), Some(iq)) = (
+                        cell(burst, Contention::Ideal, p),
+                        cell(burst, Contention::Ideal, q),
+                    ) else {
+                        continue;
+                    };
+                    let (Some(cp), Some(cq)) = (cell(burst, mode, p), cell(burst, mode, q)) else {
+                        continue;
+                    };
+                    if beats(ip, iq) && beats(cq, cp) {
+                        flips.push((burst, p.label(), q.label()));
+                    }
+                }
+            }
+        }
+    }
+    flips.sort();
+    flips.dedup();
+    flips
+}
+
+/// ASCII table of the storm sweep.
+pub fn render_storm(cfg: &StormConfig, rows: &[StormRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "recovery storm on a Benes B({}) interconnect ({} procs, granularity {}, \
+         {} runs/cell; burst = simultaneous crashes per run)\n",
+        cfg.procs.trailing_zeros(),
+        cfg.procs,
+        cfg.granularity,
+        cfg.runs,
+    ));
+    out.push_str(
+        "  burst  network     policy          completion   mean slowdown   xfers/run   \
+         contended   delay/run\n",
+    );
+    let mut last = (usize::MAX, "");
+    for row in rows {
+        let key = (row.burst, row.contention.name());
+        if key != last {
+            out.push_str(&format!("  {:-<100}\n", ""));
+            last = key;
+        }
+        let s = &row.summary;
+        out.push_str(&format!(
+            "  {:>5}  {:<10}  {:<14}  {:>8.1}%   {:>12.3}   {:>9.2}   {:>8.1}%   {:>9.3}\n",
+            row.burst,
+            row.contention.name(),
+            s.policy_label.as_str(),
+            s.completion_rate() * 100.0,
+            s.mean_slowdown,
+            row.transfers_per_run(),
+            row.contended_share() * 100.0,
+            row.delay_per_run(),
+        ));
+    }
+    let flips = ranking_flips(rows);
+    if flips.is_empty() {
+        out.push_str("  no policy-ranking flips: contention was a uniform tax here\n");
+    } else {
+        for (burst, better, worse) in &flips {
+            out.push_str(&format!(
+                "  flip at burst {burst}: '{better}' beats '{worse}' on the ideal network, \
+                 loses to it under contention\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> StormConfig {
+        StormConfig {
+            tasks: 25,
+            runs: 30,
+            burst_sizes: vec![2],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn storm_shape_and_determinism() {
+        let cfg = quick();
+        let rows = run_storm(&cfg);
+        assert_eq!(rows.len(), 3 * RecoveryPolicy::ALL.len());
+        let again = run_storm(&cfg);
+        assert_eq!(
+            serde_json::to_string(&rows).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+        let table = render_storm(&cfg, &rows);
+        assert!(table.contains("fair-share"));
+        assert!(table.contains("exclusive"));
+    }
+
+    #[test]
+    fn scenarios_are_shared_across_cells_and_burst_sized() {
+        let cfg = quick();
+        let s1 = cfg.scenario(2, 7, 10.0);
+        let s2 = cfg.scenario(2, 7, 10.0);
+        assert_eq!(
+            serde_json::to_string(&s1).unwrap(),
+            serde_json::to_string(&s2).unwrap()
+        );
+        assert_eq!(s1.crashes().count(), 2);
+        // All victims crash at the same instant — that is the storm.
+        let times: Vec<f64> = s1.crashes().map(|(_, t)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] == w[1]));
+        assert!(times[0] > 0.0 && times[0] < 10.0);
+    }
+
+    #[test]
+    fn ideal_rows_never_touch_the_network() {
+        let rows = run_storm(&quick());
+        for row in rows.iter().filter(|r| r.contention == Contention::Ideal) {
+            assert_eq!(row.summary.metrics.net_transfers, 0);
+            assert_eq!(row.transfers_per_run(), 0.0);
+            assert_eq!(row.delay_per_run(), 0.0);
+        }
+    }
+
+    #[test]
+    fn contended_rows_charge_links_and_observe_collisions() {
+        let rows = run_storm(&quick());
+        for row in rows.iter().filter(|r| r.contention.is_contended()) {
+            assert!(
+                row.summary.metrics.net_transfers > 0,
+                "{} under {} charged no transfers",
+                row.summary.policy_label,
+                row.contention.name()
+            );
+            assert!(row.delay_per_run() >= 0.0);
+        }
+        // The storm exists: somewhere, transfers actually collided.
+        assert!(
+            rows.iter().any(|r| r.summary.metrics.net_contended > 0),
+            "no cell observed link contention — the storm never materialized"
+        );
+    }
+
+    #[test]
+    fn contention_flips_a_policy_ranking() {
+        // The acceptance cell (EXPERIMENTS.md / VALIDATION_network.json):
+        // at the default dimensions, link contention must change at
+        // least one policy recommendation, not just the absolute
+        // numbers.
+        let cfg = StormConfig::default();
+        let rows = run_storm(&cfg);
+        assert!(
+            !ranking_flips(&rows).is_empty(),
+            "contention never flipped a policy ranking:\n{}",
+            render_storm(&cfg, &rows)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_platform_is_rejected() {
+        StormConfig {
+            procs: 6,
+            ..quick()
+        }
+        .build();
+    }
+}

@@ -34,8 +34,8 @@ use ft_graph::gen::{random_layered, RandomDagParams};
 use ft_model::FtSchedule;
 use ft_platform::{random_instance, Instance, PlatformParams};
 use ft_runtime::{
-    simulate_many, BatchSummary, EngineConfig, FailureKind, LifetimeDist, MonteCarloConfig,
-    RecoveryPolicy, RepairModel,
+    simulate_many, BatchSummary, Contention, EngineConfig, FailureKind, LifetimeDist,
+    MonteCarloConfig, RecoveryPolicy, RepairModel,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -124,6 +124,11 @@ pub struct SweepGrid {
     /// mttf_factor.to_bits()` (every policy at a rate sees the same fault
     /// draws), and gossip detection is seeded with `seed` itself.
     pub seed: u64,
+    /// Link-contention model every cell's transfers are charged under.
+    /// [`Contention::Ideal`] (the default) is the historical
+    /// contention-free engine; job files without the field deserialize
+    /// to `Ideal`.
+    pub contention: Contention,
 }
 
 impl Default for SweepGrid {
@@ -177,6 +182,7 @@ impl SweepGrid {
                             detection_seed: self.seed,
                             runs: self.runs,
                             seed: self.seed ^ mttf_factor.to_bits(),
+                            contention: self.contention,
                         });
                     }
                 }
@@ -210,6 +216,9 @@ pub struct CellSpec {
     pub runs: usize,
     /// Simulation seed (scenario stream + engine streams).
     pub seed: u64,
+    /// Link-contention model the cell's transfers are charged under
+    /// (defaults to [`Contention::Ideal`] in legacy cell records).
+    pub contention: Contention,
 }
 
 impl CellSpec {
@@ -249,6 +258,7 @@ impl CellSpec {
                     self.detection_seed,
                 ),
                 seed: self.seed,
+                contention: self.contention,
             },
             seed: self.seed,
         }

@@ -3,8 +3,9 @@
 //!
 //! Byte-for-byte golden files guard the *engine*; this module guards the
 //! *conclusions*. Each experiment family — the §6 `grid`, the online
-//! `degradation` sweep, the `transient` rejuvenation sweep, and the
-//! `adaptive` checkpoint comparison — evaluates a list of claims, each a
+//! `degradation` sweep, the `transient` rejuvenation sweep, the
+//! `adaptive` checkpoint comparison, and the `network` recovery-storm
+//! sweep — evaluates a list of claims, each a
 //! single scalar distilled from the experiment (a completion rate, an
 //! overhead ratio, a dominance fraction) and compared against a committed
 //! target:
@@ -31,13 +32,14 @@
 
 use crate::degradation::{run_degradation, DegradationConfig, DegradationRow};
 use crate::grid::{run_grid, GridConfig, GridResult};
-use ft_runtime::{BatchSummary, RecoveryPolicy};
+use crate::storm::{ranking_flips, run_storm, StormConfig, StormRow};
+use ft_runtime::{BatchSummary, Contention, RecoveryPolicy};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// The experiment families with a committed validation record, in
 /// evaluation order.
-pub const FAMILIES: [&str; 4] = ["grid", "degradation", "transient", "adaptive"];
+pub const FAMILIES: [&str; 5] = ["grid", "degradation", "transient", "adaptive", "network"];
 
 /// One validated claim: a scalar prediction against a committed target.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -241,6 +243,17 @@ pub fn adaptive_config(quick: bool) -> DegradationConfig {
         checkpoint_overhead: 0.1,
         mttf_factors: vec![8.0, 4.0, 2.0, 1.0],
         ..degradation_config(quick)
+    }
+}
+
+/// The sweep configuration of the `network` family: the recovery-storm
+/// experiment on the Beneš interconnect (quick thins the Monte-Carlo
+/// run count; the workload and burst axis are shared so the flip cell
+/// is the same one the full lane measures).
+pub fn storm_config(quick: bool) -> StormConfig {
+    StormConfig {
+        runs: if quick { 120 } else { 400 },
+        ..StormConfig::default()
     }
 }
 
@@ -699,6 +712,108 @@ fn measure_adaptive(rows: &[DegradationRow], factors: &[f64]) -> Vec<Measurement
     ]
 }
 
+fn measure_network(rows: &[StormRow]) -> Vec<Measurement> {
+    let (ideal, contended): (Vec<&StormRow>, Vec<&StormRow>) =
+        rows.iter().partition(|r| !r.contention.is_contended());
+
+    // The identity half of the record: Ideal cells never touch the link
+    // model (the byte-for-byte engine identity is pinned separately by
+    // tests/timed_model.rs — this claim keeps the *sweep* on the
+    // contention-free path).
+    let ideal_clean = fraction(
+        ideal
+            .iter()
+            .filter(|r| r.summary.metrics.net_transfers == 0)
+            .count(),
+        ideal.len(),
+    );
+    let charged = fraction(
+        contended
+            .iter()
+            .filter(|r| r.summary.metrics.net_transfers > 0)
+            .count(),
+        contended.len(),
+    );
+    let collided = fraction(
+        contended
+            .iter()
+            .filter(|r| r.summary.metrics.net_contended > 0)
+            .count(),
+        contended.len(),
+    );
+
+    let flips = ranking_flips(rows);
+    let saturation = contended
+        .iter()
+        .map(|r| r.contended_share())
+        .fold(0.0, f64::max);
+
+    // How concentrated the storm is on the replanning policy: its
+    // per-run contention delay over re-replication's, under fair
+    // sharing at the largest burst.
+    let largest = rows.iter().map(|r| r.burst).max().unwrap_or(0);
+    let delay_of = |label: &str| {
+        contended
+            .iter()
+            .find(|r| {
+                r.burst == largest
+                    && r.contention == Contention::FairShare
+                    && r.summary.policy_label == label
+            })
+            .map(|r| r.delay_per_run())
+            .unwrap_or(f64::NAN)
+    };
+    let amplification = delay_of("reschedule") / delay_of("re-replicate");
+
+    vec![
+        m(
+            "ideal_cells_never_charge_links",
+            "Fraction of Ideal storm cells with zero transfers charged against the network",
+            ideal_clean,
+            1.0,
+            0.0,
+        ),
+        m(
+            "contended_cells_charge_links",
+            "Fraction of contended storm cells charging at least one transfer",
+            charged,
+            1.0,
+            0.0,
+        ),
+        m(
+            "storm_collides_on_shared_links",
+            "Fraction of contended storm cells observing at least one delayed transfer",
+            collided,
+            1.0,
+            0.0,
+        ),
+        m(
+            "contention_flips_policy_ranking",
+            "Some burst where link contention inverts a policy preference that held on \
+             the ideal network (1 = yes; see storm::ranking_flips)",
+            if flips.is_empty() { 0.0 } else { 1.0 },
+            1.0,
+            0.0,
+        ),
+        m(
+            "peak_contended_transfer_share",
+            "Max over contended cells of the fraction of transfers delayed by link \
+             contention (the saturation measure)",
+            saturation,
+            saturation,
+            0.20,
+        ),
+        m(
+            "reschedule_delay_amplification",
+            "Per-run contention delay of Reschedule over ReReplicate under fair sharing \
+             at the largest burst (how much the replanning storm concentrates on the links)",
+            amplification,
+            amplification,
+            0.35,
+        ),
+    ]
+}
+
 // ---------------------------------------------------------------------------
 // Entry points
 
@@ -741,6 +856,7 @@ pub fn validate_family(
             let cfg = adaptive_config(quick);
             measure_adaptive(&run_degradation(&cfg), &cfg.mttf_factors)
         }
+        "network" => measure_network(&run_storm(&storm_config(quick))),
         other => panic!("unknown validation family '{other}' (expected one of {FAMILIES:?})"),
     };
     evaluate(family, quick, measurements, committed)
@@ -905,7 +1021,12 @@ mod tests {
         // A poisoned committed record (NaN target) makes `error` NaN even
         // for a finite prediction — that must fail too, not pass.
         let committed = record(vec![claim("a", f64::NAN, 1.0, 0.5)]);
-        let out = evaluate("grid", true, vec![m("a", "", 1.0, 1.0, 0.5)], Some(&committed));
+        let out = evaluate(
+            "grid",
+            true,
+            vec![m("a", "", 1.0, 1.0, 0.5)],
+            Some(&committed),
+        );
         assert_eq!(out.claim("a").unwrap().status, "FAILED (non-finite)");
         assert!(!out.passed());
     }
@@ -947,5 +1068,12 @@ mod tests {
         assert_eq!(transient_config(true).mttr_factor, Some(0.25));
         assert_eq!(adaptive_config(true).checkpoint_overhead, 0.1);
         assert!(adaptive_config(true).mttf_factors.contains(&4.0));
+        assert!(storm_config(true).runs < storm_config(false).runs);
+        // The quick lane must re-measure the same flip cell as the full
+        // lane: only the run count thins.
+        assert_eq!(
+            storm_config(true).burst_sizes,
+            storm_config(false).burst_sizes
+        );
     }
 }

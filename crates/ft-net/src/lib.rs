@@ -1,0 +1,593 @@
+//! # ft-net — deterministic link contention over platform routes
+//!
+//! The paper's engine (and every sweep built on it) assumes contention-free
+//! delivery: a transfer of duration `d` from `Pk` to `Ph` always lands at
+//! `start + d`, no matter what else is on the wire. This crate closes that
+//! idealization. A [`NetworkModel`] freezes the platform's routing tables
+//! into per-link paths (one directed link per adjacent node pair, switch
+//! vertices included on multistage topologies such as
+//! [`Topology::Benes`](ft_platform::Topology)); a [`NetworkState`] owns the
+//! per-link occupancy of one engine run and charges each transfer
+//! link-by-link along its route under a [`Contention`] sharing model.
+//!
+//! Determinism: charging is a pure function of the (deterministic) order in
+//! which the engine schedules operations — occupancy lives in sorted
+//! interval lists, ties cannot occur because every committed interval is
+//! produced by the same total order, and no randomness or wall-clock enters
+//! anywhere. Two runs of the same scenario charge identical times.
+//!
+//! The degenerate [`Contention::Ideal`] mode never consults the network at
+//! all: the engine keeps its legacy arithmetic byte-for-byte (pinned by the
+//! identity suite in `tests/timed_model.rs`).
+//!
+//! Charging is two-phase: [`NetworkState::plan_transfer`] /
+//! [`NetworkState::plan_port`] stage reservations and return the charged
+//! finish time; the engine then either [`NetworkState::commit`]s them (the
+//! op was scheduled) or [`NetworkState::discard`]s them (the op missed its
+//! deadline and never transmits). When a staged plan meets no occupancy the
+//! charged finish equals the contention-free value *exactly* (bitwise), so
+//! an uncontended contended run and an ideal run agree on every time.
+
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use ft_platform::Platform;
+use serde::{Deserialize, Serialize, Value};
+
+/// Link sharing model for transfer charging.
+///
+/// Serde note: deserializing `null` (or a missing field, which the serde
+/// shim surfaces as `null`) yields [`Contention::Ideal`], so configs
+/// predating the contention model keep their meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize)]
+pub enum Contention {
+    /// Contention-free delivery — the paper's model and the default. The
+    /// engine never consults [`NetworkState`]; behavior is byte-identical
+    /// to the pre-contention engine.
+    #[default]
+    Ideal,
+    /// Exclusive store-and-forward: each hop of the route serves one
+    /// transfer at a time, in the order charges arrive; a busy link delays
+    /// the hop to the earliest free window.
+    Exclusive,
+    /// Fair bandwidth sharing: a hop overlapping `k` committed transfers
+    /// is served at `1/(k+1)` of the link rate (its service time stretches
+    /// by `k+1`); nothing queues.
+    FairShare,
+}
+
+impl Deserialize for Contention {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Null => Ok(Contention::Ideal),
+            Value::Str(s) => Contention::parse(s).ok_or_else(|| {
+                serde::Error::msg(format!(
+                    "unknown Contention mode {s:?} (expected \"Ideal\", \
+                     \"Exclusive\" or \"FairShare\")"
+                ))
+            }),
+            other => Err(serde::Error::msg(format!(
+                "expected Contention mode string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Contention {
+    /// Parses a mode name; accepts the serde spellings plus kebab/lower
+    /// CLI forms (`ideal`, `exclusive`, `fair-share`).
+    pub fn parse(s: &str) -> Option<Contention> {
+        match s {
+            "Ideal" | "ideal" => Some(Contention::Ideal),
+            "Exclusive" | "exclusive" => Some(Contention::Exclusive),
+            "FairShare" | "fair-share" | "fairshare" => Some(Contention::FairShare),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase display name (`ideal`, `exclusive`,
+    /// `fair-share`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Contention::Ideal => "ideal",
+            Contention::Exclusive => "exclusive",
+            Contention::FairShare => "fair-share",
+        }
+    }
+
+    /// True for every mode that consults the network state (everything
+    /// except [`Contention::Ideal`]).
+    #[inline]
+    pub fn is_contended(&self) -> bool {
+        !matches!(self, Contention::Ideal)
+    }
+}
+
+/// The immutable network picture of one platform: directed link ids over
+/// the node graph and, for every ordered processor pair, the route as a
+/// link sequence with cumulative delay fractions.
+///
+/// Built once per `StaticPlan`; [`NetworkState`] indexes into it every run.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    /// Total graph nodes (processors + switches).
+    nodes: usize,
+    /// Processor count `m`.
+    m: usize,
+    /// Number of directed links.
+    num_links: usize,
+    /// `nodes * nodes` → directed link id (`u32::MAX` when not adjacent).
+    link_of: Vec<u32>,
+    /// Offsets into `path_links`/`path_cum`: route of ordered proc pair
+    /// `(k, h)` is the half-open range `path_off[k*m+h] ..
+    /// path_off[k*m+h+1]` (empty on the diagonal).
+    path_off: Vec<u32>,
+    /// Directed link id of each route hop.
+    path_links: Vec<u32>,
+    /// Cumulative fraction of the end-to-end delay served once this hop
+    /// completes (strictly increasing, final hop exactly `1.0`), so a
+    /// transfer of duration `d` nominally finishes hop `i` at
+    /// `start + d * path_cum[i]`.
+    path_cum: Vec<f64>,
+}
+
+impl NetworkModel {
+    /// Freezes the routing tables of `platform` into link paths.
+    pub fn new(platform: &Platform) -> Self {
+        let nodes = platform.num_nodes();
+        let m = platform.num_procs();
+        // Directed link ids in row-major node order.
+        let mut link_of = vec![u32::MAX; nodes * nodes];
+        let mut num_links = 0usize;
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a != b && platform.node_link_delay(a, b) > 0.0 {
+                    link_of[a * nodes + b] = num_links as u32;
+                    num_links += 1;
+                }
+            }
+        }
+        let mut path_off = Vec::with_capacity(m * m + 1);
+        let mut path_links = Vec::new();
+        let mut path_cum = Vec::new();
+        path_off.push(0u32);
+        for k in 0..m {
+            for h in 0..m {
+                if k != h {
+                    let route = platform.node_route(k, h);
+                    let total: f64 = route
+                        .windows(2)
+                        .map(|w| platform.node_link_delay(w[0], w[1]))
+                        .sum();
+                    let hops = route.len() - 1;
+                    let mut cum = 0.0;
+                    for (i, w) in route.windows(2).enumerate() {
+                        let link = link_of[w[0] * nodes + w[1]];
+                        debug_assert!(link != u32::MAX, "route hop without a link");
+                        cum += platform.node_link_delay(w[0], w[1]) / total;
+                        path_links.push(link);
+                        // Force the last hop to land on exactly 1.0 so an
+                        // uncontended transfer finishes at start + d
+                        // bitwise.
+                        path_cum.push(if i + 1 == hops { 1.0 } else { cum });
+                    }
+                }
+                path_off.push(path_links.len() as u32);
+            }
+        }
+        NetworkModel {
+            nodes,
+            m,
+            num_links,
+            link_of,
+            path_off,
+            path_links,
+            path_cum,
+        }
+    }
+
+    /// Number of directed links.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Total graph nodes (processors + switches).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.m
+    }
+
+    /// Directed link id between adjacent nodes (`None` when not adjacent).
+    pub fn link_between(&self, a: usize, b: usize) -> Option<u32> {
+        match self.link_of[a * self.nodes + b] {
+            u32::MAX => None,
+            id => Some(id),
+        }
+    }
+
+    /// Route of the ordered processor pair as parallel slices of link ids
+    /// and cumulative delay fractions (empty when `k == h`).
+    #[inline]
+    pub fn path(&self, k: usize, h: usize) -> (&[u32], &[f64]) {
+        let lo = self.path_off[k * self.m + h] as usize;
+        let hi = self.path_off[k * self.m + h + 1] as usize;
+        (&self.path_links[lo..hi], &self.path_cum[lo..hi])
+    }
+}
+
+/// Per-run link and storage-port occupancy.
+///
+/// All buffers survive across runs inside the engine scratch arena:
+/// [`NetworkState::reset`] clears them without releasing capacity, keeping
+/// the zero-alloc discipline of the warm engine loop (DESIGN.md §15/§16).
+#[derive(Debug, Default)]
+pub struct NetworkState {
+    /// Committed busy intervals per directed link, sorted by start.
+    busy: Vec<Vec<(f64, f64)>>,
+    /// Committed storage-port busy intervals per node, sorted by start
+    /// (checkpoint read/write I/O serializes on the node's storage link).
+    ports: Vec<Vec<(f64, f64)>>,
+    /// Staged link reservations of the transfer currently being planned.
+    pending: Vec<(u32, f64, f64)>,
+    /// Staged storage-port reservation.
+    pending_port: Option<(u32, f64, f64)>,
+}
+
+/// Earliest `w >= t` such that `[w, w + span)` overlaps no interval of the
+/// sorted `busy` list (touching endpoints do not overlap; `span > 0`).
+fn earliest_free(busy: &[(f64, f64)], t: f64, span: f64) -> f64 {
+    let mut w = t;
+    for &(s, e) in busy {
+        if e <= w {
+            continue;
+        }
+        if s >= w + span {
+            break;
+        }
+        w = e;
+    }
+    w
+}
+
+/// Number of intervals of the sorted `busy` list overlapping `[t, t + span)`.
+fn overlap_count(busy: &[(f64, f64)], t: f64, span: f64) -> usize {
+    busy.iter().filter(|&&(s, e)| s < t + span && e > t).count()
+}
+
+/// Inserts `iv` into a start-sorted interval list, keeping it sorted.
+fn insert_sorted(list: &mut Vec<(f64, f64)>, iv: (f64, f64)) {
+    let at = list.partition_point(|&(s, _)| s < iv.0);
+    list.insert(at, iv);
+}
+
+impl NetworkState {
+    /// Empty state; size it to a platform with [`NetworkState::reset`].
+    pub fn new() -> Self {
+        NetworkState::default()
+    }
+
+    /// Clears all occupancy and (re)sizes to `model`, keeping allocated
+    /// capacity wherever the shape allows.
+    pub fn reset(&mut self, model: &NetworkModel) {
+        self.busy.resize_with(model.num_links(), Vec::new);
+        self.busy.truncate(model.num_links());
+        for b in &mut self.busy {
+            b.clear();
+        }
+        self.ports.resize_with(model.num_nodes(), Vec::new);
+        self.ports.truncate(model.num_nodes());
+        for p in &mut self.ports {
+            p.clear();
+        }
+        self.pending.clear();
+        self.pending_port = None;
+    }
+
+    /// Stages the route charges of a transfer of length `duration` from
+    /// processor `src` to processor `dst` starting at `start`, and returns
+    /// the charged finish time. Call [`NetworkState::commit`] if the engine
+    /// schedules the op, [`NetworkState::discard`] otherwise.
+    ///
+    /// When no committed reservation interferes the result is exactly
+    /// `start + duration`.
+    ///
+    /// # Panics
+    /// Panics (debug) if a plan is already staged or `src == dst`.
+    pub fn plan_transfer(
+        &mut self,
+        model: &NetworkModel,
+        mode: Contention,
+        src: usize,
+        dst: usize,
+        start: f64,
+        duration: f64,
+    ) -> f64 {
+        debug_assert!(self.pending.is_empty() && self.pending_port.is_none());
+        debug_assert_ne!(src, dst, "local transfers never touch the network");
+        let (links, cums) = model.path(src, dst);
+        let mut prev_end = start;
+        let mut prev_cum = 0.0;
+        for (&link, &cum) in links.iter().zip(cums) {
+            let nominal_prev = start + duration * prev_cum;
+            let nominal_end = start + duration * cum;
+            let span = nominal_end - nominal_prev;
+            let busy = &self.busy[link as usize];
+            let end = match mode {
+                Contention::Ideal => nominal_end,
+                Contention::Exclusive => {
+                    let w = earliest_free(busy, prev_end, span);
+                    if w == nominal_prev {
+                        // Uncontended hop: keep the contention-free
+                        // boundary bit-for-bit.
+                        self.pending.push((link, w, nominal_end));
+                        nominal_end
+                    } else {
+                        self.pending.push((link, w, w + span));
+                        w + span
+                    }
+                }
+                Contention::FairShare => {
+                    let k = overlap_count(busy, prev_end, span);
+                    if k == 0 && prev_end == nominal_prev {
+                        self.pending.push((link, prev_end, nominal_end));
+                        nominal_end
+                    } else {
+                        let end = prev_end + span * (k as f64 + 1.0);
+                        self.pending.push((link, prev_end, end));
+                        end
+                    }
+                }
+            };
+            prev_end = end;
+            prev_cum = cum;
+        }
+        prev_end
+    }
+
+    /// Stages an exclusive storage-port reservation on `node` for
+    /// `busy_for` time units from `start` on (checkpoint read/write I/O)
+    /// and returns the wait until the port is free — `0.0` exactly when it
+    /// already is.
+    pub fn plan_port(&mut self, node: usize, start: f64, busy_for: f64) -> f64 {
+        debug_assert!(self.pending.is_empty() && self.pending_port.is_none());
+        let w = earliest_free(&self.ports[node], start, busy_for);
+        self.pending_port = Some((node as u32, w, w + busy_for));
+        w - start
+    }
+
+    /// Whether a staged (not yet committed or discarded) plan exists.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty() || self.pending_port.is_some()
+    }
+
+    /// Commits the staged plan into the occupancy tables.
+    pub fn commit(&mut self) {
+        for i in 0..self.pending.len() {
+            let (link, s, e) = self.pending[i];
+            insert_sorted(&mut self.busy[link as usize], (s, e));
+        }
+        self.pending.clear();
+        if let Some((node, s, e)) = self.pending_port.take() {
+            insert_sorted(&mut self.ports[node as usize], (s, e));
+        }
+    }
+
+    /// Drops the staged plan (the op missed its deadline: it never
+    /// transmits, so it occupies nothing).
+    pub fn discard(&mut self) {
+        self.pending.clear();
+        self.pending_port = None;
+    }
+
+    /// Total committed busy time over all links (diagnostic; used by the
+    /// saturation report of the recovery-storm sweep).
+    pub fn total_busy_time(&self) -> f64 {
+        self.busy
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|&(s, e)| e - s)
+            .sum()
+    }
+
+    /// Committed busy intervals of one directed link, sorted by start.
+    pub fn link_busy(&self, link: u32) -> &[(f64, f64)] {
+        &self.busy[link as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_platform::Topology;
+
+    fn model(m: usize, topology: Topology) -> (Platform, NetworkModel) {
+        let p = Platform::new(m, topology, |a, b| 0.25 + 0.05 * (a + b) as f64);
+        let net = NetworkModel::new(&p);
+        (p, net)
+    }
+
+    #[test]
+    fn contention_serde_and_parse() {
+        assert_eq!(
+            serde_json::to_string(&Contention::Ideal).unwrap(),
+            "\"Ideal\""
+        );
+        let back: Contention = serde_json::from_str("\"FairShare\"").unwrap();
+        assert_eq!(back, Contention::FairShare);
+        // Missing field / null defaults to Ideal (legacy configs).
+        let d: Contention = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(d, Contention::Ideal);
+        assert!(serde_json::from_str::<Contention>("\"warp-speed\"").is_err());
+        for mode in [
+            Contention::Ideal,
+            Contention::Exclusive,
+            Contention::FairShare,
+        ] {
+            assert_eq!(Contention::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(Contention::default(), Contention::Ideal);
+    }
+
+    #[test]
+    fn clique_model_has_direct_paths() {
+        let (_, net) = model(4, Topology::Clique);
+        assert_eq!(net.num_links(), 12); // directed: m * (m - 1)
+        assert_eq!(net.num_nodes(), 4);
+        for k in 0..4 {
+            for h in 0..4 {
+                let (links, cums) = net.path(k, h);
+                if k == h {
+                    assert!(links.is_empty());
+                } else {
+                    assert_eq!(links.len(), 1);
+                    assert_eq!(cums, &[1.0]);
+                    assert_eq!(links[0], net.link_between(k, h).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benes_paths_cross_switch_links() {
+        let (p, net) = model(4, Topology::Benes { log2_m: 2 });
+        assert_eq!(net.num_nodes(), 20);
+        for k in 0..4 {
+            for h in 0..4 {
+                if k == h {
+                    continue;
+                }
+                let (links, cums) = net.path(k, h);
+                assert_eq!(links.len(), p.node_route(k, h).len() - 1);
+                assert!(links.len() >= 2, "proc pairs are never adjacent in B(2)");
+                assert_eq!(*cums.last().unwrap(), 1.0);
+                assert!(cums.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn uncontended_transfer_is_exact() {
+        for topology in [
+            Topology::Clique,
+            Topology::Ring,
+            Topology::Benes { log2_m: 2 },
+        ] {
+            let (_, net) = model(4, topology);
+            let mut state = NetworkState::new();
+            state.reset(&net);
+            for mode in [Contention::Exclusive, Contention::FairShare] {
+                for (start, duration) in [(0.0, 3.7), (11.3, 0.9), (2.5, 100.0 / 3.0)] {
+                    let f = state.plan_transfer(&net, mode, 0, 3, start, duration);
+                    state.discard();
+                    assert_eq!(f, start + duration, "{mode:?} must be exact uncontended");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_serializes_conflicting_transfers() {
+        let (_, net) = model(3, Topology::Clique);
+        let mut state = NetworkState::new();
+        state.reset(&net);
+        // Two transfers on the same directed link, overlapping in time.
+        let f1 = state.plan_transfer(&net, Contention::Exclusive, 0, 1, 0.0, 2.0);
+        state.commit();
+        assert_eq!(f1, 2.0);
+        let f2 = state.plan_transfer(&net, Contention::Exclusive, 0, 1, 1.0, 2.0);
+        state.commit();
+        // Link busy until 2.0: the second waits, then runs exclusively.
+        assert_eq!(f2, 4.0);
+        // The opposite direction is a different link: no interference.
+        let f3 = state.plan_transfer(&net, Contention::Exclusive, 1, 0, 1.0, 2.0);
+        state.commit();
+        assert_eq!(f3, 3.0);
+    }
+
+    #[test]
+    fn fair_share_stretches_by_overlap() {
+        let (_, net) = model(3, Topology::Clique);
+        let mut state = NetworkState::new();
+        state.reset(&net);
+        let f1 = state.plan_transfer(&net, Contention::FairShare, 0, 1, 0.0, 2.0);
+        state.commit();
+        assert_eq!(f1, 2.0);
+        // One committed overlap: service stretches ×2 but nothing queues.
+        let f2 = state.plan_transfer(&net, Contention::FairShare, 0, 1, 1.0, 2.0);
+        state.commit();
+        assert_eq!(f2, 5.0);
+    }
+
+    #[test]
+    fn discard_leaves_no_trace() {
+        let (_, net) = model(3, Topology::Clique);
+        let mut state = NetworkState::new();
+        state.reset(&net);
+        let _ = state.plan_transfer(&net, Contention::Exclusive, 0, 1, 0.0, 5.0);
+        state.discard();
+        let f = state.plan_transfer(&net, Contention::Exclusive, 0, 1, 0.0, 2.0);
+        state.commit();
+        assert_eq!(f, 2.0, "discarded plans must not occupy links");
+        assert_eq!(state.total_busy_time(), 2.0);
+    }
+
+    #[test]
+    fn port_charging_serializes_checkpoint_io() {
+        let (_, net) = model(3, Topology::Clique);
+        let mut state = NetworkState::new();
+        state.reset(&net);
+        assert_eq!(state.plan_port(1, 0.0, 1.5), 0.0);
+        state.commit();
+        // Port busy [0, 1.5): a second checkpoint starting at 1.0 waits 0.5.
+        assert_eq!(state.plan_port(1, 1.0, 1.0), 0.5);
+        state.commit();
+        // Other nodes are unaffected.
+        assert_eq!(state.plan_port(2, 1.0, 1.0), 0.0);
+        state.discard();
+    }
+
+    #[test]
+    fn store_and_forward_chains_hops_in_order() {
+        // Star: 1 → 0 → 2; a transfer across the hub holds each hop's link
+        // for its delay share, and a conflicting transfer on the second
+        // hop's link delays only from the moment the route reaches it.
+        let p = Platform::new(3, Topology::Star, |_, _| 1.0);
+        let net = NetworkModel::new(&p);
+        let mut state = NetworkState::new();
+        state.reset(&net);
+        let f = state.plan_transfer(&net, Contention::Exclusive, 1, 2, 0.0, 4.0);
+        state.commit();
+        assert_eq!(f, 4.0);
+        let link_0_2 = net.link_between(0, 2).unwrap();
+        // Hop 0→2 of that transfer occupied [2, 4): equal delay split.
+        assert_eq!(state.link_busy(link_0_2), &[(2.0, 4.0)]);
+        // A direct 0→2 transfer overlapping that window queues behind it.
+        let f2 = state.plan_transfer(&net, Contention::Exclusive, 0, 2, 3.0, 1.0);
+        state.commit();
+        assert_eq!(f2, 5.0);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_clears_time() {
+        let (_, net) = model(3, Topology::Clique);
+        let mut state = NetworkState::new();
+        state.reset(&net);
+        for i in 0..10 {
+            let _ = state.plan_transfer(&net, Contention::Exclusive, 0, 1, i as f64, 1.0);
+            state.commit();
+        }
+        assert!(state.total_busy_time() > 0.0);
+        state.reset(&net);
+        assert_eq!(state.total_busy_time(), 0.0);
+        let f = state.plan_transfer(&net, Contention::Exclusive, 0, 1, 0.0, 1.0);
+        state.discard();
+        assert_eq!(f, 1.0);
+    }
+}

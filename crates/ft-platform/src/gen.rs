@@ -63,16 +63,19 @@ impl PlatformParams {
 pub fn random_platform<R: Rng>(params: &PlatformParams, rng: &mut R) -> Platform {
     let m = params.procs;
     // Pre-draw a symmetric delay table so the Platform constructor closure
-    // is deterministic.
-    let mut table = vec![0.0f64; m * m];
-    for i in 0..m {
-        for j in (i + 1)..m {
+    // is deterministic. The table covers every graph node (switch vertices
+    // included on multistage topologies; n == m on flat ones, so the draw
+    // sequence there is unchanged).
+    let n = params.topology.num_nodes(m);
+    let mut table = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
             let d = sample(rng, params.unit_delay.clone());
-            table[i * m + j] = d;
-            table[j * m + i] = d;
+            table[i * n + j] = d;
+            table[j * n + i] = d;
         }
     }
-    Platform::new(m, params.topology.clone(), move |a, b| table[a * m + b])
+    Platform::new(m, params.topology.clone(), move |a, b| table[a * n + b])
 }
 
 /// Draws the execution matrix for a graph on a platform: per-processor

@@ -15,13 +15,16 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Platform {
     m: usize,
+    /// Total graph nodes: `m` for flat topologies, processors plus switch
+    /// vertices for multistage ones ([`Topology::num_nodes`]).
+    nodes: usize,
     topology: Topology,
-    /// Physical per-link unit delays, symmetric, `m * m` (entries for
-    /// non-adjacent pairs are unused).
+    /// Physical per-link unit delays, symmetric, `nodes * nodes` (entries
+    /// for non-adjacent pairs are unused).
     link_delay: Vec<f64>,
-    /// Precomputed end-to-end unit delays along routes, `m * m`.
+    /// Precomputed end-to-end unit delays along routes, `nodes * nodes`.
     delay: Vec<f64>,
-    /// Precomputed first hops, `m * m` (u32::MAX on diagonal).
+    /// Precomputed first hops, `nodes * nodes` (u32::MAX on diagonal).
     next_hop: Vec<u32>,
 }
 
@@ -41,8 +44,9 @@ impl Platform {
             topology.is_connected(m),
             "topology must connect all processors"
         );
+        let nodes = topology.num_nodes(m);
         let adj = topology.adjacency(m);
-        let mut link_delay = vec![0.0; m * m];
+        let mut link_delay = vec![0.0; nodes * nodes];
         for (i, neigh) in adj.iter().enumerate() {
             for &j in neigh {
                 let d = physical_delay(i.min(j), i.max(j));
@@ -50,13 +54,14 @@ impl Platform {
                     d.is_finite() && d > 0.0,
                     "link delay must be positive and finite, got {d}"
                 );
-                link_delay[i * m + j] = d;
-                link_delay[j * m + i] = d;
+                link_delay[i * nodes + j] = d;
+                link_delay[j * nodes + i] = d;
             }
         }
-        let routes: Routes = shortest_routes(m, &adj, |a, b| link_delay[a * m + b]);
+        let routes: Routes = shortest_routes(nodes, &adj, |a, b| link_delay[a * nodes + b]);
         Platform {
             m,
+            nodes,
             topology,
             link_delay,
             delay: routes.delay,
@@ -86,26 +91,45 @@ impl Platform {
         &self.topology
     }
 
+    /// Total number of graph nodes (processors plus switch vertices).
+    /// Equals [`Platform::num_procs`] on flat topologies.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
     /// End-to-end unit delay `d(Pk, Ph)` (0 when `k == h`).
     #[inline]
     pub fn delay(&self, k: ProcId, h: ProcId) -> f64 {
-        self.delay[k.index() * self.m + h.index()]
+        self.delay[k.index() * self.nodes + h.index()]
     }
 
     /// Physical unit delay of the direct link between adjacent processors
     /// (0 if not adjacent).
     #[inline]
     pub fn physical_delay(&self, k: ProcId, h: ProcId) -> f64 {
-        self.link_delay[k.index() * self.m + h.index()]
+        self.link_delay[k.index() * self.nodes + h.index()]
+    }
+
+    /// Physical unit delay of the direct link between two graph nodes
+    /// (0 if not adjacent). Node-level twin of
+    /// [`Platform::physical_delay`] reaching switch vertices too.
+    #[inline]
+    pub fn node_link_delay(&self, a: usize, b: usize) -> f64 {
+        self.link_delay[a * self.nodes + b]
     }
 
     /// The route from `k` to `h`, both endpoints included.
+    ///
+    /// On multistage topologies intermediate hops are switch vertices;
+    /// use [`Platform::node_route`] there, where switch indices are not
+    /// meaningful [`ProcId`]s.
     pub fn route(&self, k: ProcId, h: ProcId) -> Vec<ProcId> {
         let mut path = vec![k];
         let mut cur = k.index();
         let dst = h.index();
         while cur != dst {
-            let nxt = self.next_hop[cur * self.m + dst];
+            let nxt = self.next_hop[cur * self.nodes + dst];
             assert!(nxt != u32::MAX, "no route from {k} to {h}");
             cur = nxt as usize;
             path.push(ProcId::from_index(cur));
@@ -113,27 +137,42 @@ impl Platform {
         path
     }
 
-    /// True if `k` and `h` share a physical link.
-    pub fn adjacent(&self, k: ProcId, h: ProcId) -> bool {
-        k != h && self.link_delay[k.index() * self.m + h.index()] > 0.0
+    /// The shortest-delay route between two graph nodes as raw node
+    /// indices, both endpoints included.
+    pub fn node_route(&self, from: usize, to: usize) -> Vec<usize> {
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != to {
+            let nxt = self.next_hop[cur * self.nodes + to];
+            assert!(nxt != u32::MAX, "no route from node {from} to node {to}");
+            cur = nxt as usize;
+            path.push(cur);
+        }
+        path
     }
 
-    /// Largest end-to-end delay over distinct pairs — the "slowest link",
-    /// used by the granularity measure.
+    /// True if `k` and `h` share a physical link.
+    pub fn adjacent(&self, k: ProcId, h: ProcId) -> bool {
+        k != h && self.link_delay[k.index() * self.nodes + h.index()] > 0.0
+    }
+
+    /// Largest end-to-end delay over distinct processor pairs — the
+    /// "slowest link", used by the granularity measure.
     pub fn max_delay(&self) -> f64 {
         let mut best = 0.0f64;
         for k in 0..self.m {
             for h in 0..self.m {
                 if k != h {
-                    best = best.max(self.delay[k * self.m + h]);
+                    best = best.max(self.delay[k * self.nodes + h]);
                 }
             }
         }
         best
     }
 
-    /// Mean end-to-end delay over distinct ordered pairs (0 for m = 1).
-    /// Used as the edge-weight averaging constant in priority computation.
+    /// Mean end-to-end delay over distinct ordered processor pairs (0 for
+    /// m = 1). Used as the edge-weight averaging constant in priority
+    /// computation.
     pub fn mean_delay(&self) -> f64 {
         if self.m <= 1 {
             return 0.0;
@@ -142,7 +181,7 @@ impl Platform {
         for k in 0..self.m {
             for h in 0..self.m {
                 if k != h {
-                    sum += self.delay[k * self.m + h];
+                    sum += self.delay[k * self.nodes + h];
                 }
             }
         }
@@ -197,6 +236,36 @@ mod tests {
     #[should_panic]
     fn rejects_nonpositive_delay() {
         Platform::uniform_clique(2, 0.0);
+    }
+
+    #[test]
+    fn benes_platform_routes_through_switches() {
+        let p = Platform::new(4, Topology::Benes { log2_m: 2 }, |_, _| 0.5);
+        assert_eq!(p.num_procs(), 4);
+        assert_eq!(p.num_nodes(), 20);
+        for k in 0..4u32 {
+            for h in 0..4u32 {
+                if k == h {
+                    continue;
+                }
+                let path = p.node_route(k as usize, h as usize);
+                assert_eq!(*path.first().unwrap(), k as usize);
+                assert_eq!(*path.last().unwrap(), h as usize);
+                // Interior hops are switch vertices; every hop crosses a
+                // physical link and the hop delays sum to the end-to-end
+                // delay table.
+                let mut sum = 0.0;
+                for w in path.windows(2) {
+                    let d = p.node_link_delay(w[0], w[1]);
+                    assert!(d > 0.0, "route hop {w:?} not a physical link");
+                    sum += d;
+                }
+                assert!((sum - p.delay(ProcId(k), ProcId(h))).abs() < 1e-12);
+                assert!(!p.adjacent(ProcId(k), ProcId(h)));
+            }
+        }
+        // Uniform 0.5 link delay, proc-pair hop diameter 2r = 4.
+        assert_eq!(p.max_delay(), 2.0);
     }
 
     #[test]

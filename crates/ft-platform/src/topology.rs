@@ -20,13 +20,49 @@ pub enum Topology {
     Star,
     /// Explicit undirected edge list over processor indices.
     Custom(Vec<(u32, u32)>),
+    /// Beneš rearrangeable multistage network `B(r)` with `r = log2_m`
+    /// (back-to-back butterflies, arXiv:2411.04135). The `m = 2^r`
+    /// processors are the level-0 vertices; levels `1..=2r` are switch
+    /// vertices (`2r + 1` levels of `2^r` vertices each, vertex `v` of
+    /// level `l` is graph node `l * 2^r + v`). Level `i` connects to level
+    /// `i + 1` by a straight edge and a butterfly cross edge flipping bit
+    /// `r-1-i` (first half) or bit `i-r` (mirrored second half), giving
+    /// `(2r+1)·2^r` vertices, `r·2^(r+2)` edges and processor-pair
+    /// diameter `2r`.
+    Benes {
+        /// `log2` of the processor count (`m = 2^log2_m`).
+        log2_m: u32,
+    },
 }
 
 impl Topology {
+    /// Total number of graph nodes for a platform of `m` processors:
+    /// `m` for flat topologies, processors plus switch vertices for
+    /// multistage ones.
+    ///
+    /// # Panics
+    /// Panics for [`Topology::Benes`] when `m != 2^log2_m`.
+    pub fn num_nodes(&self, m: usize) -> usize {
+        match self {
+            Topology::Benes { log2_m } => {
+                let r = *log2_m as usize;
+                assert_eq!(
+                    m,
+                    1usize << r,
+                    "Benes {{ log2_m: {r} }} requires m == 2^{r} processors, got {m}"
+                );
+                (2 * r + 1) << r
+            }
+            _ => m,
+        }
+    }
+
     /// The undirected adjacency lists implied by the topology for a
-    /// platform of `m` processors.
+    /// platform of `m` processors. For multistage topologies the lists
+    /// cover every graph node ([`Topology::num_nodes`]); processors are
+    /// always nodes `0..m`.
     pub fn adjacency(&self, m: usize) -> Vec<Vec<usize>> {
-        let mut adj = vec![Vec::new(); m];
+        let mut adj = vec![Vec::new(); self.num_nodes(m)];
         match self {
             Topology::Clique => {
                 for (i, neighbors) in adj.iter_mut().enumerate() {
@@ -64,6 +100,25 @@ impl Topology {
                     }
                 }
             }
+            Topology::Benes { log2_m } => {
+                let r = *log2_m as usize;
+                let width = 1usize << r;
+                for level in 0..2 * r {
+                    // Bit flipped by the cross edges of this gap: the first
+                    // r gaps walk the bits MSB→LSB, the mirrored second
+                    // half walks them back LSB→MSB.
+                    let bit = if level < r { r - 1 - level } else { level - r };
+                    for v in 0..width {
+                        let a = level * width + v;
+                        let straight = (level + 1) * width + v;
+                        let cross = (level + 1) * width + (v ^ (1 << bit));
+                        adj[a].push(straight);
+                        adj[straight].push(a);
+                        adj[a].push(cross);
+                        adj[cross].push(a);
+                    }
+                }
+            }
         }
         for l in &mut adj {
             l.sort_unstable();
@@ -71,13 +126,14 @@ impl Topology {
         adj
     }
 
-    /// True if every processor can reach every other.
+    /// True if every node (processor or switch) can reach every other.
     pub fn is_connected(&self, m: usize) -> bool {
         if m == 0 {
             return true;
         }
         let adj = self.adjacency(m);
-        let mut seen = vec![false; m];
+        let n = adj.len();
+        let mut seen = vec![false; n];
         let mut stack = vec![0usize];
         seen[0] = true;
         let mut count = 1;
@@ -90,7 +146,7 @@ impl Topology {
                 }
             }
         }
-        count == m
+        count == n
     }
 }
 
@@ -143,5 +199,74 @@ mod tests {
     #[should_panic]
     fn custom_rejects_out_of_range() {
         Topology::Custom(vec![(0, 9)]).adjacency(3);
+    }
+
+    /// Breadth-first hop distances from `src` over unit-weight edges.
+    fn bfs(adj: &[Vec<usize>], src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; adj.len()];
+        let mut queue = std::collections::VecDeque::from([src]);
+        dist[src] = 0;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// `B(r)` metrics from the Beneš-variant paper (arXiv:2411.04135):
+    /// `(2r+1)·2^r` vertices, `r·2^(r+2)` edges, connected, and hop
+    /// diameter `2r` between processors (level-0 vertices).
+    #[test]
+    fn benes_matches_published_metrics() {
+        for r in 1u32..=4 {
+            let m = 1usize << r;
+            let t = Topology::Benes { log2_m: r };
+            let n = t.num_nodes(m);
+            assert_eq!(n, (2 * r as usize + 1) << r, "|V| for B({r})");
+            let adj = t.adjacency(m);
+            assert_eq!(adj.len(), n);
+            let edges: usize = adj.iter().map(Vec::len).sum::<usize>() / 2;
+            assert_eq!(edges, (r as usize) << (r + 2), "|E| for B({r})");
+            assert!(t.is_connected(m), "B({r}) must be connected");
+            // No duplicate edges: adjacency lists are sorted and strict.
+            for l in &adj {
+                assert!(l.windows(2).all(|w| w[0] < w[1]));
+            }
+            let mut diameter = 0;
+            for k in 0..m {
+                let dist = bfs(&adj, k);
+                for &d in dist.iter().take(m) {
+                    assert_ne!(d, usize::MAX);
+                    diameter = diameter.max(d);
+                }
+            }
+            assert_eq!(diameter, 2 * r as usize, "proc-pair diameter of B({r})");
+        }
+    }
+
+    #[test]
+    fn benes_trivial_single_processor() {
+        let t = Topology::Benes { log2_m: 0 };
+        assert_eq!(t.num_nodes(1), 1);
+        assert!(t.adjacency(1)[0].is_empty());
+        assert!(t.is_connected(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn benes_rejects_non_power_of_two() {
+        Topology::Benes { log2_m: 2 }.num_nodes(6);
+    }
+
+    #[test]
+    fn benes_serde_roundtrip() {
+        let t = Topology::Benes { log2_m: 3 };
+        let s = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
     }
 }

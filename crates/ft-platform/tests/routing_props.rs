@@ -1,0 +1,212 @@
+//! Property tests for the routing substrate: `shortest_routes` tables and
+//! `Topology::is_connected`, across every topology variant. The routing
+//! layer is load-bearing for the contention model (ft-net charges transfers
+//! link-by-link along these routes), so the invariants are pinned here:
+//!
+//! * routes start and end at their endpoints and only cross physical links;
+//! * the `delay` table is consistent with the route (hop delays sum to it)
+//!   and symmetric for symmetric link delays;
+//! * end-to-end delays satisfy the triangle inequality;
+//! * tie-breaks are deterministic (identical rebuilds, smallest-index
+//!   first hop among equal-delay routes);
+//! * `is_connected` agrees with an independent reachability check.
+
+use ft_platform::routing::{shortest_routes, Routes};
+use ft_platform::Topology;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A topology drawn from `kind`: every variant, sized to `m` processors
+/// (`Benes` rounds `m` down to a power of two). Returns the topology and
+/// the processor count it is valid for.
+fn make_topology(kind: usize, m: usize, rng: &mut StdRng) -> (Topology, usize) {
+    match kind {
+        0 => (Topology::Clique, m),
+        1 => (Topology::Ring, m),
+        2 => (Topology::Star, m),
+        3 => {
+            let log2_m = (usize::BITS - 1 - m.leading_zeros()).min(3);
+            (Topology::Benes { log2_m }, 1usize << log2_m)
+        }
+        _ => {
+            // Random connected graph: a random spanning tree plus a few
+            // extra chords.
+            let mut edges = Vec::new();
+            for v in 1..m {
+                let u = rng.gen_range(0..v);
+                edges.push((u as u32, v as u32));
+            }
+            for _ in 0..m / 2 {
+                let a = rng.gen_range(0..m);
+                let b = rng.gen_range(0..m);
+                if a != b {
+                    edges.push((a as u32, b as u32));
+                }
+            }
+            (Topology::Custom(edges), m)
+        }
+    }
+}
+
+/// Symmetric positive link delays drawn per unordered node pair.
+fn draw_delays(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut table = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = rng.gen_range(0.5..1.5);
+            table[i * n + j] = d;
+            table[j * n + i] = d;
+        }
+    }
+    table
+}
+
+fn build(topology: &Topology, m: usize, table: &[f64]) -> Routes {
+    let n = topology.num_nodes(m);
+    let adj = topology.adjacency(m);
+    shortest_routes(n, &adj, |a, b| table[a * n + b])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn routes_are_valid_and_consistent_with_delay(
+        seed in any::<u64>(),
+        m in 2usize..10,
+        kind in 0usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (topology, m) = make_topology(kind, m, &mut rng);
+        let n = topology.num_nodes(m);
+        let adj = topology.adjacency(m);
+        let table = draw_delays(n, &mut rng);
+        let connected = topology.is_connected(m);
+        let routes = build(&topology, m, &table);
+        for k in 0..n {
+            for h in 0..n {
+                if k == h {
+                    prop_assert_eq!(routes.delay(k, h), 0.0);
+                    continue;
+                }
+                if !connected && routes.delay(k, h).is_infinite() {
+                    continue;
+                }
+                let path = routes.route(k, h);
+                prop_assert_eq!(*path.first().unwrap(), k);
+                prop_assert_eq!(*path.last().unwrap(), h);
+                let mut sum = 0.0;
+                for w in path.windows(2) {
+                    prop_assert!(
+                        adj[w[0]].contains(&w[1]),
+                        "route hop {}→{} is not a physical link", w[0], w[1]
+                    );
+                    sum += table[w[0] * n + w[1]];
+                }
+                let d = routes.delay(k, h);
+                prop_assert!(
+                    (sum - d).abs() < 1e-9,
+                    "hop delays sum to {sum}, table says {d}"
+                );
+                // Symmetric weights ⇒ symmetric end-to-end delays.
+                prop_assert!((d - routes.delay(h, k)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn delays_satisfy_triangle_inequality(
+        seed in any::<u64>(),
+        m in 2usize..8,
+        kind in 0usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (topology, m) = make_topology(kind, m, &mut rng);
+        let n = topology.num_nodes(m);
+        let table = draw_delays(n, &mut rng);
+        let routes = build(&topology, m, &table);
+        for k in 0..n {
+            for h in 0..n {
+                for j in 0..n {
+                    let lhs = routes.delay(k, h);
+                    let rhs = routes.delay(k, j) + routes.delay(j, h);
+                    prop_assert!(
+                        lhs <= rhs + 1e-9,
+                        "d({k},{h}) = {lhs} > d({k},{j}) + d({j},{h}) = {rhs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_are_deterministic(
+        seed in any::<u64>(),
+        m in 2usize..10,
+        kind in 0usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (topology, m) = make_topology(kind, m, &mut rng);
+        let n = topology.num_nodes(m);
+        let table = draw_delays(n, &mut rng);
+        let a = build(&topology, m, &table);
+        let b = build(&topology, m, &table);
+        prop_assert_eq!(&a.next, &b.next);
+        // Bitwise, not approximate: same inputs must give the same table.
+        for (x, y) in a.delay.iter().zip(&b.delay) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn is_connected_matches_reference_reachability(
+        seed in any::<u64>(),
+        m in 1usize..10,
+        kind in 0usize..5,
+        drop in 0usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (topology, m) = make_topology(kind, m, &mut rng);
+        // Possibly break connectivity by dropping edges from a Custom copy.
+        let topology = match (&topology, drop) {
+            (Topology::Custom(edges), d) if d > 0 && !edges.is_empty() => {
+                let keep = edges.len().saturating_sub(d);
+                Topology::Custom(edges[..keep].to_vec())
+            }
+            _ => topology,
+        };
+        let adj = topology.adjacency(m);
+        let n = adj.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        prop_assert_eq!(topology.is_connected(m), seen.iter().all(|&s| s));
+    }
+}
+
+/// The documented tie-break: among equal-delay routes the smaller
+/// first-hop index wins — pinned on a diamond and an even cycle where both
+/// directions cost the same.
+#[test]
+fn ties_break_towards_smaller_first_hop() {
+    // Diamond: 0–1–3 and 0–2–3 with identical unit delays.
+    let diamond = Topology::Custom(vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    let adj = diamond.adjacency(4);
+    let r = shortest_routes(4, &adj, |_, _| 1.0);
+    assert_eq!(r.route(0, 3), vec![0, 1, 3]);
+    assert_eq!(r.route(3, 0), vec![3, 1, 0]);
+
+    // Even cycle: opposite node is equidistant both ways round.
+    let adj = Topology::Ring.adjacency(6);
+    let r = shortest_routes(6, &adj, |_, _| 1.0);
+    assert_eq!(r.route(0, 3), vec![0, 1, 2, 3]);
+}

@@ -129,7 +129,8 @@ pub fn simulate_many(inst: &Instance, sched: &FtSchedule, cfg: &MonteCarloConfig
 
 /// [`simulate_many`] with an explicit [`Policy`] implementation: every
 /// run dispatches `policy` through the open action path (see
-/// [`execute_with`]); `cfg.engine.policy` only fills the summary's
+/// [`execute_with`](crate::execute_with)); `cfg.engine.policy` only
+/// fills the summary's
 /// serializable `policy` field, while
 /// [`policy_label`](BatchSummary::policy_label) reports the label of the
 /// policy that actually ran. Determinism and the streaming aggregation
@@ -202,8 +203,17 @@ fn simulate_many_inner(
         done: &done,
         total: cfg.runs,
     });
-    accumulate_range(inst, sched, cfg, policy, &plan, &pool, 0..cfg.runs, sink.as_ref())
-        .finish_labeled(cfg.engine.policy, policy.label())
+    accumulate_range(
+        inst,
+        sched,
+        cfg,
+        policy,
+        &plan,
+        &pool,
+        0..cfg.runs,
+        sink.as_ref(),
+    )
+    .finish_labeled(cfg.engine.policy, policy.label())
 }
 
 /// Shared progress state of one batch: workers bump the counter and fire
@@ -1103,6 +1113,7 @@ mod tests {
                 policy: RecoveryPolicy::checkpoint(interval, 0.02),
                 detection: DetectionModel::Uniform(0.5),
                 seed: 3,
+                ..EngineConfig::default()
             },
             seed: 23,
         };
@@ -1130,6 +1141,7 @@ mod tests {
                 policy,
                 detection: DetectionModel::Uniform(0.5),
                 seed: 3,
+                ..EngineConfig::default()
             },
             seed: 29,
         };
@@ -1160,6 +1172,7 @@ mod tests {
                 policy,
                 detection: DetectionModel::Uniform(0.5),
                 seed: 3,
+                ..EngineConfig::default()
             },
             seed: 11,
         };
@@ -1201,6 +1214,7 @@ mod tests {
                 policy,
                 detection: DetectionModel::Uniform(0.5),
                 seed: 3,
+                ..EngineConfig::default()
             },
             seed,
         };

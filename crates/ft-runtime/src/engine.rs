@@ -92,7 +92,7 @@
 //! let cfg = EngineConfig {
 //!     policy: RecoveryPolicy::checkpoint(2.0, 0.05),
 //!     detection: DetectionModel::uniform(1.0),
-//!     seed: 0,
+//!     ..EngineConfig::default()
 //! };
 //! let out = execute(&inst, &sched, &scenario, &cfg);
 //! assert_eq!(out.detections, 1);
@@ -113,6 +113,7 @@ use crate::scratch::{EngineScratch, EventQueue, StaticPlan};
 use ft_algos::{caft_on_subdag, CaftOptions, SubDagSpec};
 use ft_graph::TaskId;
 use ft_model::{FtSchedule, Replica, ReplicaRef};
+use ft_net::{NetworkModel, NetworkState};
 use ft_platform::{Instance, ProcId};
 use ft_sim::FaultScenario;
 
@@ -142,11 +143,22 @@ pub fn execute_with(
     policy: &dyn Policy,
 ) -> RunOutcome {
     let plan = StaticPlan::without_template(inst, sched, policy);
-    let mut scratch = EngineScratch::default();
+    let pool = crate::scratch::global_pool();
+    let mut scratch = pool.take();
     run_into(
-        inst, sched, scenario, cfg, policy, &plan, &mut scratch, None, None,
+        inst,
+        sched,
+        scenario,
+        cfg,
+        policy,
+        &plan,
+        &mut scratch,
+        None,
+        None,
     );
-    std::mem::take(&mut scratch.outcome)
+    let out = std::mem::take(&mut scratch.outcome);
+    pool.put(scratch);
+    out
 }
 
 /// [`execute`], additionally returning the full [`EngineTrace`]: every
@@ -210,7 +222,8 @@ pub fn execute_observed_with(
     observer: &mut dyn Observer,
 ) -> RunOutcome {
     let plan = StaticPlan::without_template(inst, sched, policy);
-    let mut scratch = EngineScratch::default();
+    let pool = crate::scratch::global_pool();
+    let mut scratch = pool.take();
     run_into(
         inst,
         sched,
@@ -222,7 +235,9 @@ pub fn execute_observed_with(
         Some(observer),
         None,
     );
-    std::mem::take(&mut scratch.outcome)
+    let out = std::mem::take(&mut scratch.outcome);
+    pool.put(scratch);
+    out
 }
 
 /// [`execute`], additionally collecting a [`PhaseProfile`]: wall-clock
@@ -251,7 +266,8 @@ pub fn execute_profiled_with(
 ) -> (RunOutcome, PhaseProfile) {
     let mut profile = PhaseProfile::new();
     let plan = StaticPlan::without_template(inst, sched, policy);
-    let mut scratch = EngineScratch::default();
+    let pool = crate::scratch::global_pool();
+    let mut scratch = pool.take();
     run_into(
         inst,
         sched,
@@ -263,7 +279,9 @@ pub fn execute_profiled_with(
         None,
         Some(&mut profile),
     );
-    (std::mem::take(&mut scratch.outcome), profile)
+    let out = std::mem::take(&mut scratch.outcome);
+    pool.put(scratch);
+    (out, profile)
 }
 
 /// Runs one scenario through the reusable `scratch` arena, leaving the
@@ -294,6 +312,7 @@ pub(crate) fn run_into<'a>(
         policy,
         &plan.plans,
         &plan.topo_position,
+        &plan.network,
         scratch,
     );
     engine.profile = profile;
@@ -323,6 +342,7 @@ pub(crate) fn build_template(
     policy: &dyn Policy,
     plans: &[Option<(f64, f64)>],
     topo_position: &[usize],
+    network: &NetworkModel,
 ) -> (Vec<Op>, Vec<Vec<Option<u32>>>) {
     let none = FaultScenario::none();
     let cfg = EngineConfig::default();
@@ -335,6 +355,7 @@ pub(crate) fn build_template(
         policy,
         plans,
         topo_position,
+        network,
         &mut scratch,
     );
     engine.build_static_ops();
@@ -583,6 +604,9 @@ pub(crate) struct Op {
     deadline: f64,
     /// Executing (exec) or sending (msg) processor.
     proc: u32,
+    /// Receiving processor of a transfer (equals `proc` for computations
+    /// and local messages — exactly the ops that never touch a link).
+    dst: u32,
     /// `Some(task)` for computations, `None` for transfers.
     task: Option<TaskId>,
     /// True for repair work injected at a detection.
@@ -626,6 +650,7 @@ impl Op {
             release,
             deadline,
             proc: proc.index() as u32,
+            dst: proc.index() as u32,
             task: None,
             recovery: false,
             est_finish: 0.0,
@@ -663,6 +688,7 @@ impl Clone for Op {
             release: self.release,
             deadline: self.deadline,
             proc: self.proc,
+            dst: self.dst,
             task: self.task,
             recovery: self.recovery,
             est_finish: self.est_finish,
@@ -693,6 +719,7 @@ impl Clone for Op {
         self.release = source.release;
         self.deadline = source.deadline;
         self.proc = source.proc;
+        self.dst = source.dst;
         self.task = source.task;
         self.recovery = source.recovery;
         self.est_finish = source.est_finish;
@@ -811,6 +838,22 @@ struct Engine<'a> {
     /// [`Policy::checkpoint_plan`] (validated once per [`StaticPlan`]);
     /// `None` disables checkpointing for the task.
     plans: &'a [Option<(f64, f64)>],
+    /// Link/route tables of the platform's network (pre-resolved once per
+    /// [`StaticPlan`]); only consulted when `contended`.
+    net_model: &'a NetworkModel,
+    /// Live link/port occupancy, charged by [`Engine::try_schedule`] under
+    /// a contended [`Contention`] mode. Backed by the scratch arena.
+    net: NetworkState,
+    /// `cfg.contention.is_contended()`, hoisted out of the hot loop.
+    contended: bool,
+    /// Operations that charged the network (transfers and checkpoint I/O).
+    net_transfers: usize,
+    /// Charged operations that finished later than their contention-free
+    /// nominal time.
+    net_contended: usize,
+    /// Summed finish delay of contended operations over their nominal
+    /// contention-free finish times.
+    net_delay: f64,
     /// Pre-staged data copies per task: `(destination proc, transfer
     /// op)` pairs created by applied [`RecoveryAction::PreStage`]s. A
     /// staged copy feeds later repairs exactly like a surviving replica
@@ -895,6 +938,7 @@ impl<'a> Engine<'a> {
         policy: &'a dyn Policy,
         plans: &'a [Option<(f64, f64)>],
         topo_position: &'a [usize],
+        net_model: &'a NetworkModel,
         scratch: &mut EngineScratch,
     ) -> Self {
         cfg.detection.validate(inst.num_procs());
@@ -973,6 +1017,13 @@ impl<'a> Engine<'a> {
         reset_flat(&mut task_ck_frac, v, 0.0);
         let mut proc_deadline = std::mem::take(&mut scratch.proc_deadline);
         proc_deadline.clear();
+        let contended = cfg.contention.is_contended();
+        let mut net = std::mem::take(&mut scratch.net);
+        if contended {
+            // Ideal runs never read the occupancy tables, so the reset
+            // (and its per-link clears) stays off the contention-free path.
+            net.reset(net_model);
+        }
 
         Engine {
             inst,
@@ -1003,6 +1054,12 @@ impl<'a> Engine<'a> {
             unrecoverable,
             deferred,
             plans,
+            net_model,
+            net,
+            contended,
+            net_transfers: 0,
+            net_contended: 0,
+            net_delay: 0.0,
             staged,
             rejected_actions: 0,
             prestaged: 0,
@@ -1068,8 +1125,7 @@ impl<'a> Engine<'a> {
     /// legacy builder unchanged.
     fn build_ops(&mut self, plan: &StaticPlan) {
         let m = self.inst.num_procs();
-        let any_dead0 =
-            (0..m).any(|p| self.deadline_after(ProcId::from_index(p), 0.0) <= 0.0);
+        let any_dead0 = (0..m).any(|p| self.deadline_after(ProcId::from_index(p), 0.0) <= 0.0);
         if plan.has_template && !any_dead0 {
             self.build_from_template(plan);
         } else {
@@ -1111,7 +1167,8 @@ impl<'a> Engine<'a> {
             se.resize(self.sched.replicas[t].len(), None);
         }
         for t in self.static_exec.len()..v {
-            self.static_exec.push(vec![None; self.sched.replicas[t].len()]);
+            self.static_exec
+                .push(vec![None; self.sched.replicas[t].len()]);
         }
         let dead0: Vec<bool> = (0..m)
             .map(|p| self.deadline_after(ProcId::from_index(p), 0.0) <= 0.0)
@@ -1180,12 +1237,14 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let id = self.ops.len() as u32;
-            self.ops.push(Op::new(
+            let mut mop = Op::new(
                 msg.finish - msg.start,
                 0.0,
                 self.deadline_after(msg.from, 0.0),
                 msg.from,
-            ));
+            );
+            mop.dst = msg.to.index() as u32;
+            self.ops.push(mop);
             msg_op[mi] = Some(id);
             let src = self.static_exec[msg.src.task.index()][msg.src.copy as usize]
                 .expect("surviving source replica has an exec op");
@@ -1437,17 +1496,30 @@ impl<'a> Engine<'a> {
             return;
         }
         let start = op.data_ready.max(op.fifo_ready).max(op.release);
-        let finish = match op.fixed_finish {
+        let nominal = match op.fixed_finish {
             Some(f) => f.max(start),
             None => start + op.duration,
         };
+        let finish = if self.contended {
+            self.charge_network(i, start, nominal)
+        } else {
+            nominal
+        };
+        let op = &mut self.ops[i as usize];
         if finish <= op.deadline {
             op.state = OpState::Scheduled;
             op.start = start;
             op.finish = finish;
             op.est_finish = finish;
             self.heap.push((finish, 0, i));
+            if self.contended {
+                self.commit_network(nominal, finish);
+            }
         } else {
+            if self.contended {
+                // The op never transmits: drop its staged reservations.
+                self.net.discard();
+            }
             // The computation still ran from `start` until the crash;
             // that progress is destroyed (checkpointed fractions are
             // credited back by `record_crash_progress`). Transfers carry
@@ -1460,6 +1532,49 @@ impl<'a> Engine<'a> {
             self.work_lost += lost;
             self.record_crash_progress(i, start);
             acts.push(Act::Fail(i));
+        }
+    }
+
+    /// Stages op `i`'s network charges under the configured contended
+    /// sharing model ([`NetworkState::commit`]/[`NetworkState::discard`]
+    /// follows the scheduling decision): a remote transfer occupies every
+    /// link of its platform route hop by hop, a checkpointing computation
+    /// occupies its host's storage port for its checkpoint I/O padding.
+    /// Returns the charged finish time — with an idle network this is
+    /// exactly `nominal`, bit for bit.
+    fn charge_network(&mut self, i: u32, start: f64, nominal: f64) -> f64 {
+        let op = &self.ops[i as usize];
+        if op.task.is_none() {
+            if op.proc != op.dst && op.duration > 0.0 {
+                let charged = self.net.plan_transfer(
+                    self.net_model,
+                    self.cfg.contention,
+                    op.proc as usize,
+                    op.dst as usize,
+                    start,
+                    op.duration,
+                );
+                // A fixed-finish (planned) transfer embeds queueing of its
+                // own; contention can only push it later, never earlier.
+                return charged.max(nominal);
+            }
+        } else if op.ck_pad > 0.0 {
+            let wait = self.net.plan_port(op.proc as usize, start, op.ck_pad);
+            return nominal + wait;
+        }
+        nominal
+    }
+
+    /// Commits the staged charges of a just-scheduled op into the live
+    /// occupancy tables and folds the contention accounting.
+    fn commit_network(&mut self, nominal: f64, finish: f64) {
+        if self.net.has_pending() {
+            self.net_transfers += 1;
+            if finish > nominal {
+                self.net_contended += 1;
+                self.net_delay += finish - nominal;
+            }
+            self.net.commit();
         }
     }
 
@@ -1945,6 +2060,7 @@ impl<'a> Engine<'a> {
                 .deadline_after(src_proc, now)
                 .min(self.deadline_after(on_pid, now));
             let mut mop = Op::new(w, now, deadline, src_proc);
+            mop.dst = on as u32;
             mop.recovery = true;
             mop.est_finish = src_est.max(now) + w;
             self.ops.push(mop);
@@ -2069,12 +2185,9 @@ impl<'a> Engine<'a> {
             }
             let w = self.inst.comm_time(e, src_proc, q);
             let mid = self.ops.len() as u32;
-            self.ops.push(Op::new(
-                w,
-                now,
-                self.deadline_after(src_proc, now),
-                src_proc,
-            ));
+            let mut mop = Op::new(w, now, self.deadline_after(src_proc, now), src_proc);
+            mop.dst = q.index() as u32;
+            self.ops.push(mop);
             self.recovery_messages += 1;
             match src_op {
                 Some(s) => self.add_hard_dep(s, mid),
@@ -2307,6 +2420,7 @@ impl<'a> Engine<'a> {
                             self.deadline_after(msg.from, now),
                             msg.from,
                         );
+                        mop.dst = msg.to.index() as u32;
                         mop.fixed_finish = Some(msg.finish);
                         mop.recovery = true;
                         self.ops.push(mop);
@@ -2362,6 +2476,9 @@ impl<'a> Engine<'a> {
         out.work_saved = self.work_saved;
         out.work_lost = self.work_lost;
         out.detection_lag = self.detection_lag;
+        out.net_transfers = self.net_transfers;
+        out.net_contended = self.net_contended;
+        out.net_delay = self.net_delay;
 
         scratch.ops = self.ops;
         scratch.queue = self.heap;
@@ -2385,6 +2502,7 @@ impl<'a> Engine<'a> {
         scratch.action_scratch = self.action_scratch;
         scratch.task_ck_frac = self.task_ck_frac;
         scratch.proc_deadline = self.proc_deadline;
+        scratch.net = self.net;
     }
 
     /// Streams every materialized operation to `obs` in creation order —
@@ -2566,6 +2684,7 @@ mod tests {
                     policy: RecoveryPolicy::Reschedule,
                     detection: DetectionModel::uniform(0.5),
                     seed: 0,
+                    ..EngineConfig::default()
                 };
                 let out = execute(&inst, &sched, &scenario, &cfg);
                 assert!(
@@ -2595,6 +2714,7 @@ mod tests {
                 policy: RecoveryPolicy::Absorb,
                 detection: DetectionModel::uniform(0.2),
                 seed: 0,
+                ..EngineConfig::default()
             },
         );
         let rerep = execute(
@@ -2605,6 +2725,7 @@ mod tests {
                 policy: RecoveryPolicy::ReReplicate,
                 detection: DetectionModel::uniform(0.2),
                 seed: 0,
+                ..EngineConfig::default()
             },
         );
         assert!(
@@ -2643,6 +2764,7 @@ mod tests {
             policy: RecoveryPolicy::ReReplicate,
             detection: DetectionModel::PerProcessor(delays),
             seed: 0,
+            ..EngineConfig::default()
         };
         let out = execute(&inst, &sched, &scenario, &cfg);
         assert!(
@@ -2675,6 +2797,7 @@ mod tests {
             policy: RecoveryPolicy::Reschedule,
             detection: DetectionModel::PerProcessor(delays),
             seed: 0,
+            ..EngineConfig::default()
         };
         let out = execute(&inst, &sched, &scenario, &cfg);
         // Three detection events fire: crash 1 via the dead fast monitor
@@ -2707,6 +2830,7 @@ mod tests {
                     policy: RecoveryPolicy::ReReplicate,
                     detection: DetectionModel::uniform(delta),
                     seed: 0,
+                    ..EngineConfig::default()
                 },
             )
         };
@@ -2733,6 +2857,7 @@ mod tests {
                 policy,
                 detection: DetectionModel::uniform(0.3),
                 seed: 4,
+                ..EngineConfig::default()
             };
             let a = execute(&inst, &sched, &scenario, &cfg);
             let b = execute(&inst, &sched, &scenario, &cfg);
@@ -2775,6 +2900,7 @@ mod tests {
                 policy,
                 detection: DetectionModel::uniform(0.2),
                 seed: 0,
+                ..EngineConfig::default()
             };
             let ck = execute(
                 &inst,
@@ -2812,6 +2938,7 @@ mod tests {
                 policy: RecoveryPolicy::checkpoint(interval, 0.01),
                 detection: DetectionModel::uniform(0.2),
                 seed: 0,
+                ..EngineConfig::default()
             },
         );
         assert!(out.completed(), "double crash must be repaired by resumes");
@@ -2891,6 +3018,7 @@ mod tests {
                 policy: RecoveryPolicy::ReReplicate,
                 detection,
                 seed: 0,
+                ..EngineConfig::default()
             };
             let out = execute(&inst, &sched, &scenario, &cfg);
             assert_eq!(out.detections, 1, "the lone crash must be detected");
@@ -2905,6 +3033,7 @@ mod tests {
                 seed: 0,
             },
             seed: 0,
+            ..EngineConfig::default()
         };
         let out = execute(&inst, &sched, &scenario, &gossip);
         assert_eq!(out.detections, 0, "no observer, no rumor, no detection");
@@ -2928,6 +3057,7 @@ mod tests {
                 policy,
                 detection: DetectionModel::uniform(0.3),
                 seed: 0,
+                ..EngineConfig::default()
             };
             let perm = execute(&inst, &sched, &FaultScenario::timed(&crashes), &cfg);
             let tra = execute(&inst, &sched, &FaultScenario::transient(&transient), &cfg);
@@ -2962,6 +3092,7 @@ mod tests {
             policy: RecoveryPolicy::ReReplicate,
             detection: DetectionModel::uniform(0.5),
             seed: 0,
+            ..EngineConfig::default()
         };
         let perm = execute(
             &inst,
@@ -3013,6 +3144,7 @@ mod tests {
                 policy,
                 detection: DetectionModel::uniform(0.3),
                 seed: 0,
+                ..EngineConfig::default()
             };
             let out = execute(&inst, &sched, &scenario, &cfg);
             assert_eq!(out.detections, 2, "{policy}: both epochs detected");
@@ -3052,6 +3184,7 @@ mod tests {
             policy: RecoveryPolicy::ReReplicate,
             detection: DetectionModel::uniform(0.3),
             seed: 0,
+            ..EngineConfig::default()
         };
         let (out, trace) = execute_traced(&inst, &sched, &scenario, &cfg);
         assert_eq!(out.detections, 2);
@@ -3079,6 +3212,7 @@ mod tests {
             policy: RecoveryPolicy::checkpoint(inst.mean_task_cost() * 0.5, 0.02),
             detection: DetectionModel::uniform(0.3),
             seed: 0,
+            ..EngineConfig::default()
         };
         let plain = execute(&inst, &sched, &scenario, &cfg);
         let (traced, trace) = execute_traced(&inst, &sched, &scenario, &cfg);
@@ -3153,6 +3287,7 @@ mod tests {
                 policy,
                 detection: DetectionModel::uniform(1.0),
                 seed: 7,
+                ..EngineConfig::default()
             };
             let mut exec = crate::Executor::new(&inst, &sched, &cfg);
             // Two passes over the same arena: the second pass runs every

@@ -137,17 +137,22 @@ pub use policy::{
 pub use scratch::{EngineScratch, Executor, ScratchPool, StaticPlan};
 pub use simulation::{ObservedSimulation, Simulation};
 
+/// Re-exported from [`ft_net`]: the link-contention model transfers are
+/// charged under (see [`EngineConfig::contention`]).
+#[doc(no_inline)]
+pub use ft_net::{Contention, NetworkModel, NetworkState};
+
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use crate::{
         draw_scenario, draw_scenario_with, execute, execute_observed, execute_observed_with,
         execute_profiled, execute_profiled_with, execute_traced, execute_traced_with, execute_with,
         report, simulate_grid, simulate_many, simulate_many_with, simulate_many_with_progress,
-        BatchAccumulator, BatchSummary, CheckpointPlan, ChunkedBatch, DetectionModel, EngineConfig,
-        EngineScratch, EngineTrace, Executor, FailureKind, Histogram, LifetimeDist, MetricSet,
-        MonteCarloConfig, NoopObserver, ObservedSimulation, Observer, Phase, PhaseProfile,
-        PhaseStat, Policy, PolicyEvent, PolicyView, Progress, RecoveryAction, RecoveryPolicy,
-        RepairModel, RunOutcome, RunReport, ScratchPool, Simulation, StaticPlan, TaskInfo,
-        TraceEvent, TraceEventKind, TraceObserver,
+        BatchAccumulator, BatchSummary, CheckpointPlan, ChunkedBatch, Contention, DetectionModel,
+        EngineConfig, EngineScratch, EngineTrace, Executor, FailureKind, Histogram, LifetimeDist,
+        MetricSet, MonteCarloConfig, NoopObserver, ObservedSimulation, Observer, Phase,
+        PhaseProfile, PhaseStat, Policy, PolicyEvent, PolicyView, Progress, RecoveryAction,
+        RecoveryPolicy, RepairModel, RunOutcome, RunReport, ScratchPool, Simulation, StaticPlan,
+        TaskInfo, TraceEvent, TraceEventKind, TraceObserver,
     };
 }

@@ -90,6 +90,17 @@ pub struct RunOutcome {
     /// crash instant. 0 when nothing crashed (or crashes were never
     /// detected within the run).
     pub detection_lag: f64,
+    /// Operations that charged link or storage-port capacity against the
+    /// live [`ft_net::NetworkState`]: remote transfers and checkpointing
+    /// computations. Always 0 under [`ft_net::Contention::Ideal`] (the
+    /// default), where the network is never consulted.
+    pub net_transfers: usize,
+    /// Charged operations that finished later than their contention-free
+    /// nominal time (a subset of `net_transfers`).
+    pub net_contended: usize,
+    /// Summed finish delay of contended operations over their nominal
+    /// contention-free finish times (wall-clock units).
+    pub net_delay: f64,
 }
 
 impl RunOutcome {
@@ -394,6 +405,16 @@ pub struct MetricSet {
     pub recovery_messages: u64,
     /// Policy actions the engine's validation refused.
     pub rejected_actions: u64,
+    /// Operations that charged link/port capacity against the live
+    /// network ([`RunOutcome::net_transfers`]); 0 under
+    /// [`ft_net::Contention::Ideal`].
+    pub net_transfers: u64,
+    /// Charged operations delayed past their contention-free finish
+    /// ([`RunOutcome::net_contended`]).
+    pub net_contended: u64,
+    /// Total contention delay across runs (exact sum of
+    /// [`RunOutcome::net_delay`]).
+    pub net_delay: ExactSum,
 }
 
 impl MetricSet {
@@ -422,6 +443,9 @@ impl MetricSet {
             prestaged: 0,
             recovery_messages: 0,
             rejected_actions: 0,
+            net_transfers: 0,
+            net_contended: 0,
+            net_delay: ExactSum::new(),
         }
     }
 
@@ -450,6 +474,9 @@ impl MetricSet {
         self.prestaged += out.prestaged as u64;
         self.recovery_messages += out.recovery_messages as u64;
         self.rejected_actions += out.rejected_actions as u64;
+        self.net_transfers += out.net_transfers as u64;
+        self.net_contended += out.net_contended as u64;
+        self.net_delay.add(out.net_delay);
     }
 
     /// Number of runs recorded into the set: every run lands either in
@@ -493,6 +520,9 @@ impl MetricSet {
         self.prestaged += other.prestaged;
         self.recovery_messages += other.recovery_messages;
         self.rejected_actions += other.rejected_actions;
+        self.net_transfers += other.net_transfers;
+        self.net_contended += other.net_contended;
+        self.net_delay.merge(&other.net_delay);
     }
 }
 
@@ -517,6 +547,9 @@ mod tests {
             work_saved: 1.5,
             work_lost: 2.5,
             detection_lag: 3.0,
+            net_transfers: 2,
+            net_contended: 1,
+            net_delay: 0.25,
         }
     }
 
@@ -573,6 +606,9 @@ mod tests {
         assert_eq!(set.detection_lag.count, 2);
         assert!((set.detection_lag.max - 1.5).abs() < 1e-12);
         assert_eq!(set.work_lost.count, 2);
+        assert_eq!(set.net_transfers, 4);
+        assert_eq!(set.net_contended, 2);
+        assert!((set.net_delay.value() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -621,6 +657,9 @@ mod tests {
             work_saved: 0.0,
             work_lost: 0.0,
             detection_lag: 0.0,
+            net_transfers: 0,
+            net_contended: 0,
+            net_delay: 0.0,
         };
         assert!(out.completed());
         assert_eq!(out.latency(), Some(5.0));

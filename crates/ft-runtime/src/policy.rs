@@ -111,6 +111,7 @@ use crate::detection::DetectionModel;
 #[cfg(doc)]
 use crate::engine::PolicyView;
 use ft_graph::TaskId;
+use ft_net::Contention;
 use ft_platform::{Instance, ProcId};
 use serde::{Deserialize, Serialize};
 
@@ -615,6 +616,12 @@ pub struct EngineConfig {
     /// still carries a second seed field for byte-compatible replays of
     /// pre-builder experiments.
     pub seed: u64,
+    /// Link sharing model for transfers (static traffic, repair inputs,
+    /// checkpoint I/O, pre-staging). The default [`Contention::Ideal`] is
+    /// the paper's contention-free network and keeps the engine
+    /// byte-identical to its pre-contention behavior; configs serialized
+    /// before this field existed deserialize to it.
+    pub contention: Contention,
 }
 
 impl Default for EngineConfig {
@@ -623,6 +630,7 @@ impl Default for EngineConfig {
             policy: RecoveryPolicy::Absorb,
             detection: DetectionModel::DEFAULT_UNIFORM,
             seed: 0,
+            contention: Contention::Ideal,
         }
     }
 }
@@ -708,6 +716,7 @@ mod tests {
                 policy: RecoveryPolicy::ReReplicate,
                 detection,
                 seed: 9,
+                ..Default::default()
             };
             let json = serde_json::to_string(&c).unwrap();
             let back: EngineConfig = serde_json::from_str(&json).unwrap();
@@ -743,9 +752,28 @@ mod tests {
         let legacy = r#"{"policy":{"Checkpoint":{"interval":2.0,"overhead":0.5}},"detection":{"Uniform":1.0},"seed":3}"#;
         let back: EngineConfig = serde_json::from_str(legacy).unwrap();
         assert_eq!(back.policy, RecoveryPolicy::checkpoint(2.0, 0.5));
+        // No contention key in pre-PR configs → the Ideal (legacy) network.
+        assert_eq!(back.contention, Contention::Ideal);
         let absorb = r#"{"policy":"Absorb","detection":{"Uniform":1.0},"seed":0}"#;
         let back: EngineConfig = serde_json::from_str(absorb).unwrap();
         assert_eq!(back.policy, RecoveryPolicy::Absorb);
+        assert_eq!(back.contention, Contention::Ideal);
+    }
+
+    #[test]
+    fn contended_config_serializes() {
+        let c = EngineConfig {
+            contention: Contention::FairShare,
+            ..EngineConfig::with_policy(RecoveryPolicy::ReReplicate)
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"contention\":\"FairShare\""), "{json}");
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert!(serde_json::from_str::<EngineConfig>(
+            r#"{"policy":"Absorb","detection":{"Uniform":1.0},"seed":0,"contention":"warp-speed"}"#
+        )
+        .is_err());
     }
 
     #[test]

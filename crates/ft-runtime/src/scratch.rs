@@ -46,6 +46,7 @@ use crate::metrics::RunOutcome;
 use crate::policy::{EngineConfig, Policy, RecoveryAction, TaskInfo};
 use ft_graph::TaskId;
 use ft_model::FtSchedule;
+use ft_net::{NetworkModel, NetworkState};
 use ft_platform::Instance;
 use ft_sim::FaultScenario;
 use std::sync::Mutex;
@@ -74,10 +75,7 @@ impl EventQueue {
 
     #[inline]
     fn less(a: (f64, u8, u32), b: (f64, u8, u32)) -> bool {
-        a.0.total_cmp(&b.0)
-            .then(a.1.cmp(&b.1))
-            .then(a.2.cmp(&b.2))
-            == std::cmp::Ordering::Less
+        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)) == std::cmp::Ordering::Less
     }
 
     pub(crate) fn push(&mut self, key: (f64, u8, u32)) {
@@ -148,6 +146,13 @@ pub struct StaticPlan {
     /// Whether the template was built (false for the cheap one-shot form
     /// that always takes the legacy build).
     pub(crate) has_template: bool,
+    /// Link ids and per-route hop tables of the platform's network,
+    /// resolved once here; runs under a contended [`Contention`] mode
+    /// charge transfers against it ([`ft_net::NetworkState`]), Ideal runs
+    /// never read it.
+    ///
+    /// [`Contention`]: ft_net::Contention
+    pub(crate) network: NetworkModel,
 }
 
 impl StaticPlan {
@@ -156,8 +161,14 @@ impl StaticPlan {
     /// `policy`. One template build amortizes over every subsequent run.
     pub fn new(inst: &Instance, sched: &FtSchedule, policy: &dyn Policy) -> Self {
         let mut plan = Self::without_template(inst, sched, policy);
-        let (template_ops, template_static_exec) =
-            build_template(inst, sched, policy, &plan.plans, &plan.topo_position);
+        let (template_ops, template_static_exec) = build_template(
+            inst,
+            sched,
+            policy,
+            &plan.plans,
+            &plan.topo_position,
+            &plan.network,
+        );
         plan.template_ops = template_ops;
         plan.template_static_exec = template_static_exec;
         plan.has_template = true;
@@ -208,6 +219,7 @@ impl StaticPlan {
             template_ops: Vec::new(),
             template_static_exec: Vec::new(),
             has_template: false,
+            network: NetworkModel::new(&inst.platform),
         }
     }
 }
@@ -251,6 +263,9 @@ pub struct EngineScratch {
     pub(crate) action_scratch: Vec<RecoveryAction>,
     pub(crate) task_ck_frac: Vec<f64>,
     pub(crate) proc_deadline: Vec<f64>,
+    /// Link/port occupancy of contended runs; interval lists keep their
+    /// capacity across runs (Ideal runs carry it through untouched).
+    pub(crate) net: NetworkState,
     /// Outcome of the latest run executed through this scratch; its
     /// vectors are recycled into the next run's buffers.
     pub(crate) outcome: RunOutcome,
@@ -277,7 +292,21 @@ impl std::fmt::Debug for EngineScratch {
 /// next chunk (or the next cell of a grid) starts warm instead of cold.
 #[derive(Debug, Default)]
 pub struct ScratchPool {
+    // Boxed on purpose: take/put hand a pointer across threads instead
+    // of moving the multi-hundred-byte arena struct by value.
+    #[allow(clippy::vec_box)]
     pool: Mutex<Vec<Box<EngineScratch>>>,
+}
+
+/// The process-wide arena pool behind the one-shot entry points
+/// ([`execute`](crate::execute) and friends): the first call pays the
+/// cold-arena construction, every later one-shot call of any shape
+/// starts from a warm arena. Outcomes are byte-identical either way —
+/// the arena only recycles capacity, never state (every buffer is reset
+/// in `Engine::from_parts`).
+pub(crate) fn global_pool() -> &'static ScratchPool {
+    static POOL: std::sync::OnceLock<ScratchPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(ScratchPool::new)
 }
 
 impl ScratchPool {

@@ -75,6 +75,7 @@ use crate::metrics::{BatchSummary, RunOutcome};
 use crate::observe::{Observer, PhaseProfile};
 use crate::policy::{EngineConfig, Policy, RecoveryPolicy};
 use ft_model::FtSchedule;
+use ft_net::Contention;
 use ft_platform::Instance;
 use ft_sim::FaultScenario;
 use std::sync::Arc;
@@ -162,6 +163,15 @@ impl<'a> Simulation<'a> {
     /// streams derived from it).
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the link-contention model transfers are charged under
+    /// ([`Contention::Ideal`] — the default — reproduces the historical
+    /// contention-free engine byte-for-byte; pinned by
+    /// `tests/timed_model.rs`).
+    pub fn contention(mut self, contention: Contention) -> Self {
+        self.cfg.contention = contention;
         self
     }
 

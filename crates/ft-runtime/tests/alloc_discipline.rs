@@ -14,7 +14,7 @@ use ft_algos::{caft, CommModel};
 use ft_graph::gen::{random_layered, RandomDagParams};
 use ft_platform::{random_instance, PlatformParams};
 use ft_runtime::{
-    ChunkedBatch, EngineConfig, Executor, FailureKind, LifetimeDist, MonteCarloConfig,
+    ChunkedBatch, Contention, EngineConfig, Executor, FailureKind, LifetimeDist, MonteCarloConfig,
     RecoveryPolicy,
 };
 use ft_sim::FaultScenario;
@@ -49,6 +49,32 @@ fn steady_state_hot_loop_does_not_allocate() {
     assert_eq!(
         during, 0,
         "steady-state Executor runs allocated {during} times over 100 runs"
+    );
+
+    // Part 1b: the contended engine obeys the same discipline. Charging
+    // every static transfer through the link model (occupancy tables,
+    // staged plans, route walks) reuses the `NetworkState` buffers the
+    // scratch arena carries run-over-run — a warm contended Executor
+    // allocates nothing either.
+    let contended_cfg = EngineConfig {
+        contention: Contention::FairShare,
+        ..EngineConfig::with_policy(RecoveryPolicy::ReReplicate)
+    };
+    let mut exec = Executor::new(&inst, &sched, &contended_cfg);
+    for _ in 0..3 {
+        assert!(
+            exec.run(&none).completed(),
+            "contended warm-up must complete"
+        );
+    }
+    let before = allocation_count();
+    for _ in 0..100 {
+        exec.run(&none);
+    }
+    let during = allocation_count() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state contended runs allocated {during} times over 100 runs"
     );
 
     // Part 2: batch chunks through warm pooled arenas. The engine side

@@ -2,7 +2,7 @@
 //! streams back.
 
 use ft_experiments::{CellSpec, DetectionKind, SweepGrid, WorkloadSpec};
-use ft_runtime::BatchSummary;
+use ft_runtime::{BatchSummary, Contention};
 use serde::{Deserialize, Serialize};
 
 /// A simulation job: one tenant's workload plus the scenario grid to
@@ -51,6 +51,7 @@ impl JobSpec {
                 runs: 40,
                 detection_latency: 1.0,
                 seed: 0x5EED,
+                contention: Contention::Ideal,
             },
             delta_every: 16,
         }

@@ -598,6 +598,26 @@ mod tests {
     }
 
     #[test]
+    fn unknown_contention_mode_fails_at_claim_with_a_diagnostic() {
+        let root = temp_root();
+        let q = JobQueue::open(&root).unwrap();
+        // A structurally valid spec asking for a sharing model this
+        // build does not know — must land in failed/, not crash-loop.
+        let json = serde_json::to_string(&JobSpec::example("x"))
+            .unwrap()
+            .replace("\"Ideal\"", "\"warp-speed\"");
+        fs::write(root.join("queue/pending/warped.json"), json).unwrap();
+        assert!(q.claim().unwrap().is_none(), "nothing claimable");
+        assert_eq!(q.state("warped"), Some(JobState::Failed));
+        let diag = q.read_error("warped").unwrap();
+        assert!(
+            diag.contains("warp-speed"),
+            "diagnostic names the unknown mode: {diag}"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn recover_requeues_exactly_once() {
         let root = temp_root();
         let q = JobQueue::open(&root).unwrap();

@@ -1,0 +1,72 @@
+//! Recovery storms under link contention on a Beneš interconnect.
+//!
+//! Kills a correlated burst of processors at one instant mid-run and
+//! compares the recovery policies on an ideal (contention-free) network
+//! against the store-and-forward and fair-share link-sharing models —
+//! the experiment behind `validation/VALIDATION_network.json`.
+//!
+//! ```text
+//! cargo run --release --example recovery_storm
+//! cargo run --release --example recovery_storm -- --contention fair-share
+//! cargo run --release --example recovery_storm -- --runs 60 --granularity 0.2
+//! ```
+//!
+//! With `--contention MODE` only that sharing model (plus the ideal
+//! baseline) is swept; the output is deterministic for a given argument
+//! list, which CI exploits by diffing two invocations.
+
+use ftsched::experiments::{ranking_flips, render_storm, run_storm, StormConfig};
+use ftsched::prelude::Contention;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let mut cfg = StormConfig::default();
+    if let Some(runs) = flag("--runs") {
+        cfg.runs = runs.parse().expect("--runs takes a positive integer");
+    }
+    if let Some(g) = flag("--granularity") {
+        cfg.granularity = g.parse().expect("--granularity takes a positive number");
+    }
+    let bursts: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--burst")
+        .map(|(i, _)| {
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .expect("--burst takes a positive integer")
+        })
+        .collect();
+    if !bursts.is_empty() {
+        cfg.burst_sizes = bursts;
+    }
+    if let Some(d) = flag("--detection-latency") {
+        cfg.detection_latency = d.parse().expect("--detection-latency takes a number");
+    }
+    if let Some(e) = flag("--eps") {
+        cfg.eps = e.parse().expect("--eps takes an integer");
+    }
+    if let Some(t) = flag("--tasks") {
+        cfg.tasks = t.parse().expect("--tasks takes a positive integer");
+    }
+    if let Some(mode) = flag("--contention") {
+        let mode = Contention::parse(mode).unwrap_or_else(|| {
+            eprintln!("unknown contention mode '{mode}' — expected ideal, exclusive or fair-share");
+            std::process::exit(2);
+        });
+        cfg.contentions = vec![Contention::Ideal, mode];
+        cfg.contentions.dedup();
+    }
+    let rows = run_storm(&cfg);
+    print!("{}", render_storm(&cfg, &rows));
+    let flips = ranking_flips(&rows);
+    println!(
+        "{} policy-ranking flip(s) induced by link contention",
+        flips.len()
+    );
+}

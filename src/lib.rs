@@ -13,6 +13,9 @@
 //!   rescheduling for online recovery);
 //! * [`sim`] — crash scenarios, schedule replay, latency bounds,
 //!   resilience verification;
+//! * [`net`] — deterministic link-contention model: per-link bandwidth
+//!   occupancy over the platform topology, charged against every
+//!   transfer the engine schedules;
 //! * [`runtime`] — the online failure-injection engine: stochastically
 //!   timed crashes, detection latency, recovery policies, Monte-Carlo
 //!   batches;
@@ -48,6 +51,7 @@ pub use ft_algos as algos;
 pub use ft_experiments as experiments;
 pub use ft_graph as graph;
 pub use ft_model as model;
+pub use ft_net as net;
 pub use ft_obs as obs;
 pub use ft_platform as platform;
 pub use ft_runtime as runtime;
@@ -75,11 +79,12 @@ pub mod prelude {
         draw_scenario, draw_scenario_with, execute, execute_observed, execute_observed_with,
         execute_profiled, execute_profiled_with, execute_traced, execute_traced_with, execute_with,
         simulate_many, simulate_many_with, simulate_many_with_progress, BatchAccumulator,
-        BatchSummary, CheckpointPlan, ChunkedBatch, DetectionModel, EngineConfig, EngineTrace,
-        FailureKind, Histogram, LifetimeDist, MetricSet, MonteCarloConfig, NoopObserver,
-        ObservedSimulation, Observer, Phase, PhaseProfile, PhaseStat, Policy, PolicyEvent,
-        PolicyView, Progress, RecoveryAction, RecoveryPolicy, RepairModel, RunOutcome, Simulation,
-        TaskInfo, TraceEvent, TraceEventKind, TraceObserver,
+        BatchSummary, CheckpointPlan, ChunkedBatch, Contention, DetectionModel, EngineConfig,
+        EngineTrace, Executor, FailureKind, Histogram, LifetimeDist, MetricSet, MonteCarloConfig,
+        NetworkModel, NetworkState, NoopObserver, ObservedSimulation, Observer, Phase,
+        PhaseProfile, PhaseStat, Policy, PolicyEvent, PolicyView, Progress, RecoveryAction,
+        RecoveryPolicy, RepairModel, RunOutcome, Simulation, TaskInfo, TraceEvent, TraceEventKind,
+        TraceObserver,
     };
     pub use ft_serve::{ArtifactCache, Daemon, JobQueue, JobSpec};
     pub use ft_sim::{replay, FaultScenario, ReplayOutcome, ReplayPolicy};

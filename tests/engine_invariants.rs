@@ -166,6 +166,7 @@ fn traced_cell(
         policy: pol,
         detection: detection(det_ix, procs, seed),
         seed: seed ^ 0xE21,
+        ..EngineConfig::default()
     };
     let (out, trace) = execute_traced(&inst, &sched, &scenario, &cfg);
     (inst, sched, scenario, out, trace, pol)
@@ -320,6 +321,7 @@ proptest! {
                 policy: policy(policy_ix, inst.mean_task_cost()),
                 detection: detection(det_ix, procs, seed),
                 seed: seed ^ 0xE21,
+                ..EngineConfig::default()
             },
             seed: seed ^ 0xBA7C4,
         };
@@ -366,6 +368,7 @@ proptest! {
             policy: RecoveryPolicy::Absorb,
             detection: detection(det_ix, procs, seed),
             seed: seed ^ 0xE21,
+            ..EngineConfig::default()
         };
         let (absorb, absorb_trace) = execute_traced(&inst, &sched, &scenario, &cfg);
         let (noop, noop_trace) = execute_traced_with(&inst, &sched, &scenario, &cfg, &Inert);
@@ -444,6 +447,7 @@ proptest! {
             policy: RecoveryPolicy::Absorb,
             detection: detection(det_ix, procs, seed),
             seed: seed ^ 0xE21,
+            ..EngineConfig::default()
         };
         let (out, trace) = execute_traced_with(&inst, &sched, &scenario, &cfg, &Mischief);
         // Every crash-knowledge event proposed pre-stages onto the
@@ -500,6 +504,7 @@ proptest! {
                 policy: policy(policy_ix, inst.mean_task_cost()),
                 detection: detection(det_ix, procs, seed),
                 seed: seed ^ 0xE21,
+                ..EngineConfig::default()
             },
             seed: seed ^ 0xBA7C4,
         };
@@ -587,6 +592,7 @@ proptest! {
                 policy: policy(policy_ix, inst.mean_task_cost()),
                 detection: detection(det_ix, procs, seed),
                 seed: seed ^ 0xE21,
+                ..EngineConfig::default()
             },
             seed: seed ^ 0xBA7C4,
         };

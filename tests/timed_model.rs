@@ -1,6 +1,6 @@
 //! Property tests pinning the timed fault model to the static stack.
 //!
-//! Eight consistency guarantees tie `ft-runtime`'s online engine to
+//! Nine consistency guarantees tie `ft-runtime`'s online engine to
 //! `ft-sim`'s replay semantics and anchor the checkpoint, detection,
 //! availability, aggregation, policy-dispatch and observability models:
 //!
@@ -33,7 +33,11 @@
 //!   attached is plain `execute` byte-for-byte, and a `TraceObserver`
 //!   pushed through `execute_observed_with` reproduces `execute_traced`
 //!   exactly (same outcome bytes, same ops, same event log) — tracing
-//!   is now just a buffered observer.
+//!   is now just a buffered observer;
+//! * **network**: `Contention::Ideal` is the historical contention-free
+//!   engine byte-for-byte under every policy and detection model (and
+//!   charges nothing against the link model), while the contended
+//!   sharing modes stay deterministic run-over-run.
 //!
 //! Plus the documented detection edge cases: a crash with no live
 //! observer is never detected under `Gossip` (a rumor with nobody to
@@ -470,6 +474,126 @@ proptest! {
                 );
                 prop_assert_eq!(tra.rejoins, 0);
             }
+        }
+    }
+
+    /// The ninth pinned identity (network): `Contention::Ideal` IS the
+    /// historical contention-free engine. An explicit
+    /// `.contention(Ideal)` run is byte-identical to the default config
+    /// under every recovery policy and detection model, and charges
+    /// nothing against the network (`net_transfers == 0`). The contended
+    /// modes stay fully deterministic — the same scenario re-run under
+    /// `Exclusive` or `FairShare` reproduces itself byte-for-byte — and
+    /// only ever add delay, never remove it.
+    #[test]
+    fn ideal_contention_is_the_contention_free_engine(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+        delay in 0.1f64..2.0,
+    ) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2E7);
+        let scenario = ftsched::runtime::draw_scenario(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() * 1.5 },
+            &mut rng,
+        );
+        let policies = RecoveryPolicy::ALL
+            .into_iter()
+            .chain([RecoveryPolicy::checkpoint(inst.mean_task_cost() * 0.5, 0.05)]);
+        for policy in policies {
+            for detection in [
+                DetectionModel::uniform(delay),
+                DetectionModel::per_processor_spread(procs, delay),
+                DetectionModel::Gossip { period: delay, fanout: 2, seed },
+            ] {
+                let base = Simulation::of(&inst, &sched)
+                    .policy(policy)
+                    .detection(detection.clone())
+                    .seed(1);
+                let implicit = base.clone().run(&scenario);
+                let ideal = base.clone().contention(Contention::Ideal).run(&scenario);
+                prop_assert_eq!(
+                    serde_json::to_string(&implicit).unwrap(),
+                    serde_json::to_string(&ideal).unwrap(),
+                    "{} under {}: explicit Ideal drifted from the default engine",
+                    policy, detection
+                );
+                prop_assert_eq!(ideal.net_transfers, 0);
+                prop_assert_eq!(ideal.net_contended, 0);
+                prop_assert_eq!(ideal.net_delay, 0.0);
+            }
+            for mode in [Contention::Exclusive, Contention::FairShare] {
+                let run = || {
+                    Simulation::of(&inst, &sched)
+                        .policy(policy)
+                        .detection(DetectionModel::uniform(delay))
+                        .seed(1)
+                        .contention(mode)
+                        .run(&scenario)
+                };
+                let a = run();
+                let b = run();
+                prop_assert_eq!(
+                    serde_json::to_string(&a).unwrap(),
+                    serde_json::to_string(&b).unwrap(),
+                    "{} under {}: contended engine must be deterministic",
+                    policy, mode.name()
+                );
+                prop_assert!(a.net_delay >= 0.0, "{}: negative net delay", policy);
+                prop_assert!(
+                    a.net_contended <= a.net_transfers,
+                    "{}: more contended transfers than transfers", policy
+                );
+            }
+        }
+    }
+
+    /// Satellite pin for the warm one-shot path: `execute` borrows its
+    /// scratch arena from a process-wide pool, and pooling must be
+    /// invisible — repeated calls (first cold, then warm reuse of a
+    /// dirty arena) stay byte-identical, and both match a dedicated warm
+    /// [`Executor`] on the same scenario, under Ideal and contended
+    /// configs alike.
+    #[test]
+    fn pooled_one_shot_execute_is_byte_stable(
+        (seed, tasks, procs, eps, gran) in arb_workload(),
+    ) {
+        let eps = eps.min(procs - 1);
+        let inst = make_instance(seed, tasks, procs, gran);
+        let sched = caft(&inst, eps, CommModel::OnePort, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9001);
+        let scenario = ftsched::runtime::draw_scenario(
+            procs,
+            &LifetimeDist::Exponential { mean: sched.latency() * 1.5 },
+            &mut rng,
+        );
+        for contention in [Contention::Ideal, Contention::FairShare] {
+            let cfg = EngineConfig {
+                contention,
+                ..EngineConfig::with_policy(RecoveryPolicy::ReReplicate)
+            };
+            let first = execute(&inst, &sched, &scenario, &cfg);
+            let first_bytes = serde_json::to_string(&first).unwrap();
+            for round in 0..2 {
+                let again = execute(&inst, &sched, &scenario, &cfg);
+                prop_assert_eq!(
+                    &first_bytes,
+                    &serde_json::to_string(&again).unwrap(),
+                    "{}: pooled execute round {} drifted",
+                    contention.name(), round
+                );
+            }
+            let mut exec = Executor::new(&inst, &sched, &cfg);
+            exec.run(&scenario);
+            let warm = exec.run(&scenario);
+            prop_assert_eq!(
+                &first_bytes,
+                &serde_json::to_string(warm).unwrap(),
+                "{}: pooled execute drifted from a warm Executor",
+                contention.name()
+            );
         }
     }
 

@@ -72,3 +72,8 @@ fn transient_claims_pass_at_quick_dimensions() {
 fn adaptive_claims_pass_at_quick_dimensions() {
     assert_family_validates("adaptive");
 }
+
+#[test]
+fn network_claims_pass_at_quick_dimensions() {
+    assert_family_validates("network");
+}
